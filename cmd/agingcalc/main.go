@@ -1,0 +1,69 @@
+// Command agingcalc evaluates the classical Huang et al. software-aging
+// CTMC (reference [9] of the paper): steady-state availability and
+// long-run cost rate as functions of the rejuvenation rate, plus the
+// cost-optimal rate. It is the analytical companion to the paper's
+// measurement-driven algorithms: the same question — when to rejuvenate
+// — answered from a model instead of from observations.
+//
+// Rates are per hour. Example:
+//
+//	agingcalc -aging 0.00417 -failure 0.0139 -repair 0.25 -finish 12 \
+//	          -cost-failed 1000 -cost-rejuv 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rejuv/internal/aging"
+)
+
+func main() {
+	var (
+		agingRate  = flag.Float64("aging", 1.0/240, "aging rate: Robust -> FailureProbable (per hour)")
+		failure    = flag.Float64("failure", 1.0/72, "failure rate: FailureProbable -> Failed (per hour)")
+		repair     = flag.Float64("repair", 0.25, "repair rate: Failed -> Robust (per hour)")
+		finish     = flag.Float64("finish", 12, "rejuvenation finish rate: Rejuvenating -> Robust (per hour)")
+		costFailed = flag.Float64("cost-failed", 1000, "cost per hour of unplanned downtime")
+		costRejuv  = flag.Float64("cost-rejuv", 10, "cost per hour of planned rejuvenation downtime")
+		maxRate    = flag.Float64("max-rate", 10, "upper bound of the rejuvenation-rate search (per hour)")
+	)
+	flag.Parse()
+
+	m := aging.Model{
+		AgingRate:              *agingRate,
+		FailureRate:            *failure,
+		RepairRate:             *repair,
+		RejuvenationFinishRate: *finish,
+	}
+	fmt.Printf("Huang et al. aging model (rates per hour)\n")
+	fmt.Printf("mean time to failure without rejuvenation: %.1f h\n\n", m.MeanTimeToFailure())
+
+	fmt.Printf("%12s %14s %14s\n", "rejuv rate", "availability", "cost rate")
+	for _, r := range []float64{0, 0.01, 0.05, 0.1, 0.5, 1, 5} {
+		mm := m
+		mm.RejuvenationRate = r
+		avail, err := mm.Availability()
+		fatalIf(err)
+		cost, err := mm.CostRate(*costFailed, *costRejuv)
+		fatalIf(err)
+		fmt.Printf("%12.4g %14.6f %14.4f\n", r, avail, cost)
+	}
+
+	rate, cost, err := m.OptimalRejuvenationRate(*costFailed, *costRejuv, *maxRate)
+	fatalIf(err)
+	if rate == 0 {
+		fmt.Printf("\nrejuvenation does not pay at these costs (optimal rate 0, cost %.4f)\n", cost)
+		return
+	}
+	fmt.Printf("\ncost-optimal rejuvenation rate: %.4g/h (mean %.1f h between planned restarts of an aged system), cost rate %.4f\n",
+		rate, 1/rate, cost)
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "agingcalc:", err)
+		os.Exit(1)
+	}
+}

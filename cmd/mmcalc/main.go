@@ -1,0 +1,138 @@
+// Command mmcalc is an analytical calculator for the paper's M/M/c
+// results: the Erlang formulas, the response-time distribution (eq. 1)
+// and its moments (eq. 2, 3), the phase-type chain of the sample
+// average (Fig. 4), its density (eq. 4), and the tail probabilities
+// beyond normal quantiles quoted in Section 4.1.
+//
+// Examples:
+//
+//	mmcalc                         # paper system: c=16, lambda=1.6, mu=0.2
+//	mmcalc -lambda 0.5             # lighter load
+//	mmcalc -tails -n 15,30         # Section 4.1 tail table
+//	mmcalc -chain -n 2             # print the Fig. 4 CTMC for n=2
+//	mmcalc -density -n 30 -x 6.79  # density and CDF of X̄30 at a point
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"rejuv/internal/mmc"
+	"rejuv/internal/stats"
+)
+
+func main() {
+	var (
+		c       = flag.Int("c", 16, "number of servers")
+		lambda  = flag.Float64("lambda", 1.6, "arrival rate (transactions/second)")
+		mu      = flag.Float64("mu", 0.2, "service rate per server (transactions/second)")
+		ns      = flag.String("n", "15,30", "comma-separated sample sizes")
+		tails   = flag.Bool("tails", false, "print tail mass of X̄n beyond the normal quantile")
+		level   = flag.Float64("level", 0.975, "normal quantile level for -tails")
+		chain   = flag.Bool("chain", false, "print the Fig. 4 absorbing CTMC for the first -n value")
+		density = flag.Bool("density", false, "print density and CDF of X̄n at -x for the first -n value")
+		x       = flag.Float64("x", 0, "evaluation point for -density")
+	)
+	flag.Parse()
+
+	sys, err := mmc.New(*c, *lambda, *mu)
+	if err != nil {
+		fatal(err)
+	}
+	sizes, err := parseInts(*ns)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("M/M/%d  lambda=%.4g  mu=%.4g  rho=%.4f  offered load=%.2f CPUs\n",
+		*c, *lambda, *mu, sys.Rho(), sys.OfferedLoad())
+	fmt.Printf("Wc (P[fewer than c jobs])   = %.6f\n", sys.Wc())
+	fmt.Printf("Erlang-C (P[wait])          = %.6f\n", sys.ErlangC())
+	fmt.Printf("E[X]  (eq. 2)               = %.6f s\n", sys.RTMean())
+	fmt.Printf("SD[X] (eq. 3)               = %.6f s\n", sys.RTStdDev())
+	fmt.Printf("E[W] (queueing delay)       = %.6f s\n", sys.WaitMean())
+	for _, p := range []float64{0.9, 0.95, 0.975, 0.99} {
+		q, err := sys.RTQuantile(p)
+		fatalIf(err)
+		fmt.Printf("%5.3g%% RT quantile           = %.4f s\n", p*100, q)
+	}
+
+	if *tails {
+		fmt.Printf("\ntail mass of X̄n beyond the %.4g normal quantile:\n", *level)
+		nominal := 1 - *level
+		for _, n := range sizes {
+			tail, err := sys.TailBeyondNormalQuantile(n, *level)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("  n=%3d: %.4f%%   (nominal %.4f%%)\n", n, tail*100, nominal*100)
+		}
+	}
+
+	if *chain && len(sizes) > 0 {
+		n := sizes[0]
+		ph, err := sys.AvgRTPhaseType(n)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nFig. 4 chain for X̄%d: %d transient phases + absorption\n", n, ph.NumPhases())
+		fmt.Printf("mean=%.6f var=%.6f (closed form: mean=%.6f var=%.6f)\n",
+			ph.Mean(), ph.Var(), sys.RTMean(), sys.RTVar()/float64(n))
+		cc, _ := ph.Chain()
+		fmt.Printf("states: %d (absorbing: state %d)\n", cc.NumStates(), cc.NumStates())
+		for s := 0; s < cc.NumStates(); s++ {
+			fmt.Printf("  state %2d exit rate %.4f\n", s+1, cc.ExitRate(s))
+		}
+	}
+
+	if *density && len(sizes) > 0 {
+		n := sizes[0]
+		ph, err := sys.AvgRTPhaseType(n)
+		if err != nil {
+			fatal(err)
+		}
+		pdf, err := ph.PDF(*x, 0)
+		if err != nil {
+			fatal(err)
+		}
+		cdf, err := ph.CDF(*x, 0)
+		if err != nil {
+			fatal(err)
+		}
+		m, sd := sys.NormalApprox(n)
+		fmt.Printf("\nX̄%d at x=%.6g: density=%.8g cdf=%.8g\n", n, *x, pdf, cdf)
+		fmt.Printf("normal approximation:  density=%.8g cdf=%.8g\n",
+			stats.NormPDF(*x, m, sd), stats.NormCDF(*x, m, sd))
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		v, err := strconv.Atoi(p)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("invalid sample size %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mmcalc:", err)
+	os.Exit(1)
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fatal(err)
+	}
+}

@@ -1,0 +1,86 @@
+// Command quotes measures every numeric value quoted in the paper's
+// Section 5 text and prints a paper-vs-measured table, plus the
+// analytical values of Section 4.1. It is the automated regression
+// behind EXPERIMENTS.md.
+//
+// Usage:
+//
+//	quotes [-reps 5] [-txns 100000] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rejuv/internal/experiment"
+	"rejuv/internal/mmc"
+	"rejuv/internal/stats"
+)
+
+func main() {
+	var (
+		reps     = flag.Int("reps", 5, "replications per point (paper: 5)")
+		txns     = flag.Int64("txns", 100_000, "transactions per replication (paper: 100,000)")
+		seed     = flag.Uint64("seed", 1, "base random seed")
+		markdown = flag.Bool("markdown", false, "emit a Markdown table (for EXPERIMENTS.md)")
+	)
+	flag.Parse()
+
+	fmt.Println("Section 4.1 — analytical values")
+	sys, err := mmc.New(16, 1.6, 0.2)
+	fatalIf(err)
+	for _, row := range []struct {
+		name  string
+		paper float64
+		got   func() (float64, error)
+	}{
+		{"tail of X̄15 beyond 97.5% normal quantile (%)", 3.69,
+			func() (float64, error) { v, err := sys.TailBeyondNormalQuantile(15, 0.975); return v * 100, err }},
+		{"tail of X̄30 beyond 97.5% normal quantile (%)", 3.37,
+			func() (float64, error) { v, err := sys.TailBeyondNormalQuantile(30, 0.975); return v * 100, err }},
+		{"E[X] at lambda=1.6 (s)", 5,
+			func() (float64, error) { return sys.RTMean(), nil }},
+		{"SD[X] at lambda=1.6 (s)", 5,
+			func() (float64, error) { return sys.RTStdDev(), nil }},
+	} {
+		v, err := row.got()
+		fatalIf(err)
+		fmt.Printf("  %-48s paper %8.4g   measured %8.4f   reldiff %5.1f%%\n",
+			row.name, row.paper, v, 100*stats.RelDiff(row.paper, v))
+	}
+
+	fmt.Printf("\nSection 5 — simulation quotes (%d x %d transactions per point)\n", *reps, *txns)
+	cfg := experiment.SweepConfig{
+		Replications: *reps,
+		Transactions: *txns,
+		Seed:         *seed,
+	}
+	results, err := experiment.EvaluateQuotes(cfg, experiment.PaperQuotes())
+	fatalIf(err)
+	if *markdown {
+		fmt.Println("| source | quantity | paper | measured | rel. diff |")
+		fmt.Println("|---|---|---|---|---|")
+		for _, r := range results {
+			fmt.Printf("| %s | %s | %.6g | %.6g | %.1f%% |\n",
+				r.Quote.Source, r.Quote.Label(), r.Quote.Paper, r.Measured,
+				100*stats.RelDiff(r.Quote.Paper, r.Measured))
+		}
+		return
+	}
+	fmt.Printf("  %-5s %-42s %12s %12s %9s\n", "src", "quantity", "paper", "measured", "reldiff")
+	for _, r := range results {
+		fmt.Printf("  %-5s %-42s %12.6g %12.6g %8.1f%%\n",
+			r.Quote.Source, r.Quote.Label(), r.Quote.Paper, r.Measured,
+			100*stats.RelDiff(r.Quote.Paper, r.Measured))
+	}
+	fmt.Println("\nsee EXPERIMENTS.md for the interpretation of each row, including")
+	fmt.Println("the known deviations and their analysis.")
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "quotes:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,108 @@
+// Command rejuvsim runs one configuration of the paper's e-commerce
+// simulation model and prints the replication results: average response
+// time, transaction loss, rejuvenation and GC counts.
+//
+// Example, the paper's best trade-off configuration at high load:
+//
+//	rejuvsim -algo SRAA -n 3 -k 2 -d 5 -load 9.0 -reps 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rejuv/internal/ecommerce"
+	"rejuv/internal/experiment"
+	"rejuv/internal/stats"
+)
+
+func main() {
+	var (
+		algo     = flag.String("algo", "SRAA", "algorithm: none, SRAA, SARAA, CLTA, Shewhart, EWMA, CUSUM")
+		n        = flag.Int("n", 2, "sample size (n_orig for SARAA)")
+		k        = flag.Int("k", 5, "number of buckets K")
+		d        = flag.Int("d", 3, "bucket depth D")
+		quantile = flag.Float64("quantile", 1.96, "CLTA normal quantile / Shewhart,EWMA limit / CUSUM threshold")
+		weight   = flag.Float64("weight", 0.2, "EWMA smoothing weight / CUSUM slack")
+		load     = flag.Float64("load", 8.0, "offered load in CPUs (lambda/mu)")
+		txns     = flag.Int64("txns", 100_000, "transactions per replication")
+		reps     = flag.Int("reps", 5, "replications")
+		seed     = flag.Uint64("seed", 1, "base random seed")
+		mean     = flag.Float64("mean", 5, "baseline mean response time (SLA)")
+		sd       = flag.Float64("sd", 5, "baseline response time standard deviation (SLA)")
+		burst    = flag.Float64("burst", 0, "burst factor (0 or 1 disables the on-off arrival overlay)")
+		burstOn  = flag.Float64("burst-on", 60, "mean burst duration in seconds")
+		burstOff = flag.Float64("burst-off", 600, "mean quiet duration in seconds")
+		pause    = flag.Float64("pause", 0, "rejuvenation outage in seconds (paper: 0, instantaneous)")
+		leaky    = flag.Bool("leaky-gc", false, "full GC reclaims nothing; only rejuvenation restores the heap")
+		noGC     = flag.Bool("no-gc", false, "disable the memory/GC aging mechanism")
+		noOvh    = flag.Bool("no-overhead", false, "disable the kernel-overhead mechanism")
+		verbose  = flag.Bool("v", false, "print each replication")
+	)
+	flag.Parse()
+
+	spec := experiment.Spec{
+		Algorithm: experiment.Algorithm(*algo),
+		N:         *n, K: *k, D: *d,
+		Quantile: *quantile,
+		Weight:   *weight,
+	}
+	spec.Baseline.Mean = *mean
+	spec.Baseline.StdDev = *sd
+
+	lambda := *load * 0.2
+	fmt.Printf("%s  load=%.2f CPUs (lambda=%.3f/s, mu=0.2/s, c=16)  %d x %d transactions\n",
+		spec.Label(), *load, lambda, *reps, *txns)
+
+	var pooled stats.Welford
+	var completed, lost, rejuv, gcs int64
+	start := time.Now()
+	for rep := 0; rep < *reps; rep++ {
+		det, err := spec.NewDetector()
+		fatalIf(err)
+		model, err := ecommerce.New(ecommerce.Config{
+			ArrivalRate:       lambda,
+			Transactions:      *txns,
+			BurstFactor:       *burst,
+			BurstOn:           *burstOn,
+			BurstOff:          *burstOff,
+			RejuvenationPause: *pause,
+			LeakyGC:           *leaky,
+			DisableGC:         *noGC,
+			DisableOverhead:   *noOvh,
+			Seed:              *seed,
+			Stream:            uint64(rep) + 1,
+		}, det)
+		fatalIf(err)
+		res, err := model.Run()
+		fatalIf(err)
+		if *verbose {
+			fmt.Printf("  rep %d: avg RT %.3f s, loss %.6f, %d rejuvenations, %d GCs, %.0f s simulated\n",
+				rep+1, res.AvgRT(), res.LossFraction(), res.Rejuvenations, res.GCs, res.SimTime)
+		}
+		pooled.Merge(res.RT)
+		completed += res.Completed
+		lost += res.Lost
+		rejuv += res.Rejuvenations
+		gcs += res.GCs
+	}
+	elapsed := time.Since(start)
+
+	lossFrac := 0.0
+	if done := completed + lost; done > 0 {
+		lossFrac = float64(lost) / float64(done)
+	}
+	fmt.Printf("\naverage response time: %.3f s (sd %.3f)\n", pooled.Mean(), pooled.StdDev())
+	fmt.Printf("transaction loss:      %.6f (%d of %d)\n", lossFrac, lost, completed+lost)
+	fmt.Printf("rejuvenations:         %d   full GCs: %d\n", rejuv, gcs)
+	fmt.Printf("wall time:             %v\n", elapsed.Round(time.Millisecond))
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rejuvsim:", err)
+		os.Exit(1)
+	}
+}

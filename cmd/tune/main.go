@@ -1,0 +1,75 @@
+// Command tune grid-searches the rejuvenation algorithm parameters
+// (n, K, D) over the e-commerce simulation, scoring each configuration
+// by the paper's assessment basis: average response time at high load
+// plus transaction loss at low load. It operationalizes the paper's
+// concluding suggestion of determining optimal algorithm parameters by
+// statistical estimation.
+//
+// Examples:
+//
+//	tune -budget 30             # all factorizations of n*K*D = 30 (the paper's Fig. 11-15 space)
+//	tune -budget 15 -algo SARAA
+//	tune -max-n 6 -max-k 6 -max-d 6 -top 15
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rejuv/internal/experiment"
+)
+
+func main() {
+	var (
+		algo       = flag.String("algo", "SRAA", "algorithm to tune: SRAA or SARAA")
+		budget     = flag.Int("budget", 30, "fixed n*K*D product; 0 searches the -max box instead")
+		maxN       = flag.Int("max-n", 8, "free-search bound for n (with -budget 0)")
+		maxK       = flag.Int("max-k", 6, "free-search bound for K (with -budget 0)")
+		maxD       = flag.Int("max-d", 6, "free-search bound for D (with -budget 0)")
+		high       = flag.Float64("high", 9.0, "high assessment load (CPUs)")
+		low        = flag.Float64("low", 0.5, "low assessment load (CPUs)")
+		rtWeight   = flag.Float64("rt-weight", 1, "cost per second of high-load response time")
+		lossWeight = flag.Float64("loss-weight", 100, "cost per unit of low-load loss fraction")
+		reps       = flag.Int("reps", 3, "replications per evaluation")
+		txns       = flag.Int64("txns", 50_000, "transactions per replication")
+		seed       = flag.Uint64("seed", 1, "base random seed (common across candidates)")
+		top        = flag.Int("top", 10, "how many configurations to print")
+	)
+	flag.Parse()
+
+	cfg := experiment.TuneConfig{
+		Algorithm:    experiment.Algorithm(*algo),
+		Budget:       *budget,
+		MaxN:         *maxN,
+		MaxK:         *maxK,
+		MaxD:         *maxD,
+		HighLoad:     *high,
+		LowLoad:      *low,
+		RTWeight:     *rtWeight,
+		LossWeight:   *lossWeight,
+		Replications: *reps,
+		Transactions: *txns,
+		Seed:         *seed,
+	}
+	n := len(cfg.Candidates())
+	fmt.Printf("tuning %s over %d candidates (cost = %.3g*RT@%.1f + %.3g*loss@%.1f)\n\n",
+		*algo, n, *rtWeight, *high, *lossWeight, *low)
+	results, err := experiment.Tune(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tune:", err)
+		os.Exit(1)
+	}
+	if *top > len(results) {
+		*top = len(results)
+	}
+	fmt.Printf("%4s  %-26s %10s %12s %12s %10s\n",
+		"rank", "configuration", "RT@high", "loss@low", "loss@high", "cost")
+	for i := 0; i < *top; i++ {
+		r := results[i]
+		fmt.Printf("%4d  %-26s %10.2f %12.6f %12.6f %10.3f\n",
+			i+1, r.Spec.Label(), r.HighRT, r.LowLoss, r.HighLoss, r.Cost)
+	}
+	worst := results[len(results)-1]
+	fmt.Printf("\nworst: %s (cost %.3f)\n", worst.Spec.Label(), worst.Cost)
+}

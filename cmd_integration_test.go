@@ -1,0 +1,167 @@
+package rejuv_test
+
+// Integration tests for the command-line tools: each binary is built
+// once into a temp dir and driven with fast flags, asserting on its
+// output. These protect the CLI surface the documentation promises.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCmds compiles every command once per test binary invocation.
+var builtCmds struct {
+	dir  string
+	err  error
+	done bool
+}
+
+func cmdPath(t *testing.T, name string) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("skipping CLI integration in -short mode")
+	}
+	if !builtCmds.done {
+		builtCmds.done = true
+		dir, err := os.MkdirTemp("", "rejuv-cmds")
+		if err != nil {
+			builtCmds.err = err
+		} else {
+			builtCmds.dir = dir
+			cmd := exec.Command("go", "build", "-o", dir, "./cmd/...")
+			cmd.Dir = "."
+			if out, err := cmd.CombinedOutput(); err != nil {
+				builtCmds.err = err
+				t.Logf("go build output:\n%s", out)
+			}
+		}
+	}
+	if builtCmds.err != nil {
+		t.Fatalf("building commands: %v", builtCmds.err)
+	}
+	return filepath.Join(builtCmds.dir, name)
+}
+
+func runCmd(t *testing.T, name string, stdin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(cmdPath(t, name), args...)
+	if stdin != "" {
+		cmd.Stdin = strings.NewReader(stdin)
+	}
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", name, args, err, out)
+	}
+	return string(out)
+}
+
+func TestCmdMMCalc(t *testing.T) {
+	out := runCmd(t, "mmcalc", "", "-tails")
+	for _, want := range []string{"Wc (P[fewer than c jobs])   = 0.990981", "n= 15: 3.7", "n= 30: 3.4"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("mmcalc output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCmdMMCalcChainAndDensity(t *testing.T) {
+	out := runCmd(t, "mmcalc", "", "-chain", "-density", "-n", "2", "-x", "5")
+	for _, want := range []string{"Fig. 4 chain for X̄2", "4 transient phases", "density="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("mmcalc -chain output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCmdRejuvsim(t *testing.T) {
+	out := runCmd(t, "rejuvsim", "",
+		"-algo", "SARAA", "-n", "2", "-k", "5", "-d", "3",
+		"-load", "9", "-reps", "1", "-txns", "5000")
+	for _, want := range []string{"SARAA (n=2, K=5, D=3)", "average response time:", "rejuvenations:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rejuvsim output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCmdFiguresQuick(t *testing.T) {
+	dir := t.TempDir()
+	out := runCmd(t, "figures", "", "-fig", "16", "-quick", "-out", dir)
+	if !strings.Contains(out, "Figure 16") {
+		t.Fatalf("figures output missing table:\n%s", out)
+	}
+	for _, f := range []string{"fig16.csv", "fig16.svg", "fig16.txt"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("missing artifact %s: %v", f, err)
+		}
+	}
+}
+
+func TestCmdAutocorr(t *testing.T) {
+	out := runCmd(t, "autocorr", "", "-reps", "2", "-txns", "20000", "-warmup", "2000")
+	if !strings.Contains(out, "significant in") {
+		t.Fatalf("autocorr output missing verdict:\n%s", out)
+	}
+	if !strings.Contains(out, "gamma_1") {
+		t.Fatalf("autocorr output missing coefficients:\n%s", out)
+	}
+}
+
+func TestCmdQuotes(t *testing.T) {
+	out := runCmd(t, "quotes", "", "-reps", "1", "-txns", "5000", "-markdown")
+	if !strings.Contains(out, "| source | quantity | paper | measured | rel. diff |") {
+		t.Fatalf("quotes markdown header missing:\n%s", out)
+	}
+	if strings.Count(out, "\n|") < 10 {
+		t.Fatalf("quotes table too short:\n%s", out)
+	}
+}
+
+func TestCmdTune(t *testing.T) {
+	out := runCmd(t, "tune", "", "-budget", "4", "-reps", "1", "-txns", "4000", "-top", "3")
+	for _, want := range []string{"tuning SRAA over 6 candidates", "rank", "worst:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tune output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCmdRejuvmon(t *testing.T) {
+	var input strings.Builder
+	for i := 0; i < 50; i++ {
+		input.WriteString("0.1\n")
+	}
+	for i := 0; i < 50; i++ {
+		input.WriteString("9.9\n")
+	}
+	out := runCmd(t, "rejuvmon", input.String(),
+		"-algo", "SRAA", "-n", "2", "-k", "2", "-d", "2",
+		"-mean", "0.1", "-sd", "0.1", "-cooldown", "0s")
+	if !strings.Contains(out, "TRIGGER") {
+		t.Fatalf("rejuvmon never triggered on a step stream:\n%s", out)
+	}
+	if !strings.Contains(out, "100 observations") {
+		t.Fatalf("rejuvmon summary missing:\n%s", out)
+	}
+}
+
+func TestCmdRejuvmonRejectsGarbage(t *testing.T) {
+	cmd := exec.Command(cmdPath(t, "rejuvmon"), "-mean", "1", "-sd", "1")
+	cmd.Stdin = strings.NewReader("not-a-number\n")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("rejuvmon accepted garbage input:\n%s", out)
+	}
+}
+
+func TestCmdAgingcalc(t *testing.T) {
+	out := runCmd(t, "agingcalc", "")
+	for _, want := range []string{"mean time to failure", "availability", "cost-optimal rejuvenation rate"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("agingcalc output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+// Package rejuv detects software aging by monitoring a customer-affecting
+// performance metric — typically response time — and decides when to
+// trigger software rejuvenation, implementing the algorithms of
+// Avritzer, Bondi, Grottke, Trivedi and Weyuker, "Performance Assurance
+// via Software Rejuvenation: Monitoring, Statistics and Algorithms"
+// (Proc. DSN 2006).
+//
+// # Detectors
+//
+// Three algorithm families from the paper are provided:
+//
+//   - SRAA — static rejuvenation with averaging: block means of n
+//     observations drive a ball-and-bucket counter against targets
+//     mean + N*sd; K bucket overflows trigger rejuvenation. With n = 1
+//     it is the static algorithm of the authors' earlier work
+//     (NewStaticDetector).
+//   - SARAA — adds sampling acceleration: targets shrink to
+//     mean + N*sd/sqrt(n) and the sample size shrinks as degradation
+//     deepens, confirming a developing degradation faster.
+//   - CLTA — central-limit-theorem algorithm: a single block mean of a
+//     large sample above the normal-quantile target triggers at once.
+//
+// Classical change-detection charts (Shewhart, EWMA, CUSUM) are included
+// for comparison, and Adaptive wraps any of them to learn the baseline
+// (mean, sd) online instead of taking it from an SLA.
+//
+// # Monitoring
+//
+// Monitor adapts a Detector for concurrent production use: goroutines
+// report observations (or time request handlers through the HTTP
+// middleware), and a trigger callback fires — subject to a cooldown —
+// when the detector calls for rejuvenation.
+//
+// # Simulation
+//
+// Simulate runs the paper's e-commerce system model (Section 3): a
+// 16-CPU FCFS queue with kernel-overhead and garbage-collection aging
+// and a rejuvenation hook, which is how the algorithms are evaluated.
+// The cmd/figures tool regenerates every figure of the paper's
+// evaluation on top of it.
+package rejuv

@@ -1,0 +1,89 @@
+// Burst discrimination scenario: the design requirement behind the
+// paper's multiple threshold levels is to "distinguish between
+// performance degradation that occurs as a result of burstiness in the
+// arrival process and software degradation that occurs as a result of
+// software aging" (Section 1).
+//
+// This example runs the e-commerce system with NO aging at all (GC
+// disabled) but with heavy transient arrival bursts, so every
+// rejuvenation is a false alarm. A single-bucket configuration triggers
+// constantly on burst-inflated response times; a multi-bucket
+// configuration rides the bursts out. Then the same detectors face real
+// aging and both catch it — burst tolerance is not blindness.
+//
+// Run with:
+//
+//	go run ./examples/bursts
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"rejuv"
+)
+
+func detector(n, k, d int) (rejuv.Detector, error) {
+	return rejuv.NewSRAA(rejuv.SRAAConfig{
+		SampleSize: n, Buckets: k, Depth: d,
+		Baseline: rejuv.Baseline{Mean: 5, StdDev: 5},
+	})
+}
+
+func main() {
+	type row struct {
+		name    string
+		n, k, d int
+	}
+	rows := []row{
+		{"multi-bucket  (2,5,3)", 2, 5, 3},
+		{"single-bucket (15,1,1)", 15, 1, 1},
+	}
+
+	fmt.Println("phase 1 — bursts only (no aging): every rejuvenation is a false alarm")
+	fmt.Println("  base load 4 CPUs; bursts to 14 CPUs for ~60 s every ~10 min")
+	for _, r := range rows {
+		det, err := detector(r.n, r.k, r.d)
+		fatalIf(err)
+		res, err := rejuv.Simulate(rejuv.SimulationConfig{
+			ArrivalRate:  0.8,
+			BurstFactor:  3.5,
+			BurstOn:      60,
+			BurstOff:     600,
+			DisableGC:    true,
+			Transactions: 200_000,
+			Seed:         7,
+		}, det)
+		fatalIf(err)
+		fmt.Printf("  %-24s false alarms %4d   loss %.6f   avg RT %.2f s\n",
+			r.name, res.Rejuvenations, res.LossFraction(), res.AvgRT())
+	}
+
+	fmt.Println("\nphase 2 — real aging (GC stalls) plus the same bursts")
+	for _, r := range rows {
+		det, err := detector(r.n, r.k, r.d)
+		fatalIf(err)
+		res, err := rejuv.Simulate(rejuv.SimulationConfig{
+			ArrivalRate:  1.6,
+			BurstFactor:  2,
+			BurstOn:      60,
+			BurstOff:     600,
+			Transactions: 200_000,
+			Seed:         7,
+		}, det)
+		fatalIf(err)
+		fmt.Printf("  %-24s rejuvenations %4d   loss %.6f   avg RT %.2f s\n",
+			r.name, res.Rejuvenations, res.LossFraction(), res.AvgRT())
+	}
+
+	fmt.Println("\nthe buckets buy burst tolerance; the climb through K targets is")
+	fmt.Println("what separates a temporary arrival surge from a genuine shift of")
+	fmt.Println("the response-time distribution.")
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bursts example:", err)
+		os.Exit(1)
+	}
+}

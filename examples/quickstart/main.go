@@ -1,0 +1,71 @@
+// Quickstart: wire a response-time stream into a rejuvenation detector.
+//
+// A synthetic service emits response times that are healthy for a while
+// and then degrade (the distribution shifts right, as software aging
+// does). An SRAA detector watches the stream through a Monitor and
+// raises a rejuvenation trigger; we "rejuvenate" by removing the
+// degradation and continue.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"rejuv"
+)
+
+func main() {
+	// The SLA says: healthy response time has mean 100 ms and standard
+	// deviation 100 ms (exponential-ish service, as in the paper).
+	baseline := rejuv.Baseline{Mean: 0.100, StdDev: 0.100}
+
+	detector, err := rejuv.NewSRAA(rejuv.SRAAConfig{
+		SampleSize: 3, // average three observations per step
+		Buckets:    2, // tolerate bursts; require a sustained shift
+		Depth:      5,
+		Baseline:   baseline,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	degraded := false // the fault we will inject and repair
+	rejuvenations := 0
+
+	monitor, err := rejuv.NewMonitor(rejuv.MonitorConfig{
+		Detector: detector,
+		OnTrigger: func(t rejuv.Trigger) {
+			rejuvenations++
+			degraded = false // rejuvenation restores full capacity
+			fmt.Printf("  -> rejuvenation #%d triggered after %d observations (sample mean %.0f ms)\n",
+				rejuvenations, t.Observations, t.Decision.SampleMean*1000)
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	for i := 1; i <= 3000; i++ {
+		if i == 1000 {
+			fmt.Println("injecting degradation at observation 1000 (mean response time triples)")
+			degraded = true
+		}
+		rt := rng.ExpFloat64() * baseline.Mean
+		if degraded {
+			rt += math.Abs(rng.NormFloat64())*0.1 + 0.25 // aging: +250 ms and noisier
+		}
+		monitor.Observe(rt)
+	}
+
+	s := monitor.Stats()
+	fmt.Printf("\nobservations: %d, triggers: %d\n", s.Observations, s.Triggers)
+	if s.Triggers == 0 {
+		fmt.Println("no rejuvenation was needed")
+	}
+}

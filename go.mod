@@ -1,0 +1,3 @@
+module rejuv
+
+go 1.22

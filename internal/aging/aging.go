@@ -1,0 +1,208 @@
+// Package aging implements the canonical continuous-time Markov model
+// of software aging and rejuvenation introduced by Huang, Kintala,
+// Kolettis and Fulton (FTCS 1995) — reference [9] of the paper — on top
+// of the ctmc package: a process is Robust, then Failure-Probable
+// (aged), and from there either fails (expensive repair) or is
+// rejuvenated (cheap, planned restart).
+//
+// The model answers the question the paper's measurement-driven
+// algorithms answer empirically: how often should rejuvenation happen?
+// Here the answer is analytical — steady-state availability and cost
+// rate as functions of the rejuvenation rate, with a numerical search
+// for the cost-optimal rate — providing the classical baseline the
+// paper's approach is positioned against.
+package aging
+
+import (
+	"fmt"
+	"math"
+
+	"rejuv/internal/ctmc"
+)
+
+// States of the Huang et al. model.
+const (
+	StateRobust = iota
+	StateFailureProbable
+	StateFailed
+	StateRejuvenating
+	numStates
+)
+
+// Model is the four-state aging/rejuvenation CTMC. All rates are per
+// unit time and must be positive except RejuvenationRate, which may be
+// zero (no rejuvenation policy).
+type Model struct {
+	// AgingRate moves Robust -> FailureProbable: the reciprocal of the
+	// mean healthy lifetime.
+	AgingRate float64
+	// FailureRate moves FailureProbable -> Failed.
+	FailureRate float64
+	// RepairRate moves Failed -> Robust: the reciprocal of the mean
+	// unplanned-repair time.
+	RepairRate float64
+	// RejuvenationRate moves FailureProbable -> Rejuvenating: the
+	// policy knob. Zero disables rejuvenation.
+	RejuvenationRate float64
+	// RejuvenationFinishRate moves Rejuvenating -> Robust: the
+	// reciprocal of the mean planned-restart time. It should exceed
+	// RepairRate (rejuvenation is cheaper than repair) for rejuvenation
+	// to pay off.
+	RejuvenationFinishRate float64
+}
+
+// Validate reports whether the model's rates are usable.
+func (m Model) Validate() error {
+	check := func(name string, v float64, allowZero bool) error {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 || (!allowZero && v == 0) {
+			return fmt.Errorf("aging: %s rate %v must be positive and finite", name, v)
+		}
+		return nil
+	}
+	if err := check("aging", m.AgingRate, false); err != nil {
+		return err
+	}
+	if err := check("failure", m.FailureRate, false); err != nil {
+		return err
+	}
+	if err := check("repair", m.RepairRate, false); err != nil {
+		return err
+	}
+	if err := check("rejuvenation", m.RejuvenationRate, true); err != nil {
+		return err
+	}
+	return check("rejuvenation finish", m.RejuvenationFinishRate, false)
+}
+
+// Chain builds the CTMC.
+func (m Model) Chain() (*ctmc.Chain, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	c := ctmc.New(numStates)
+	c.MustAddRate(StateRobust, StateFailureProbable, m.AgingRate)
+	c.MustAddRate(StateFailureProbable, StateFailed, m.FailureRate)
+	c.MustAddRate(StateFailed, StateRobust, m.RepairRate)
+	if m.RejuvenationRate > 0 {
+		c.MustAddRate(StateFailureProbable, StateRejuvenating, m.RejuvenationRate)
+	}
+	c.MustAddRate(StateRejuvenating, StateRobust, m.RejuvenationFinishRate)
+	return c, nil
+}
+
+// SteadyState returns the stationary probabilities of the four states.
+// With RejuvenationRate zero the Rejuvenating state is transient and
+// gets probability zero, making the chain effectively three-state; the
+// solver handles this by removing the unreachable state.
+func (m Model) SteadyState() ([]float64, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if m.RejuvenationRate > 0 {
+		c, err := m.Chain()
+		if err != nil {
+			return nil, err
+		}
+		return c.SteadyState()
+	}
+	// Three-state cycle Robust -> FP -> Failed -> Robust.
+	c := ctmc.New(3)
+	c.MustAddRate(0, 1, m.AgingRate)
+	c.MustAddRate(1, 2, m.FailureRate)
+	c.MustAddRate(2, 0, m.RepairRate)
+	pi3, err := c.SteadyState()
+	if err != nil {
+		return nil, err
+	}
+	return []float64{pi3[0], pi3[1], pi3[2], 0}, nil
+}
+
+// Availability returns the steady-state probability of being
+// operational (Robust or FailureProbable: the paper's soft-failure
+// state is degraded but up).
+func (m Model) Availability() (float64, error) {
+	pi, err := m.SteadyState()
+	if err != nil {
+		return 0, err
+	}
+	return pi[StateRobust] + pi[StateFailureProbable], nil
+}
+
+// CostRate returns the long-run cost per unit time when unplanned
+// downtime costs costFailed and planned (rejuvenation) downtime costs
+// costRejuvenation per unit time. Rejuvenation pays off when its
+// downtime is cheaper or shorter than repair.
+func (m Model) CostRate(costFailed, costRejuvenation float64) (float64, error) {
+	if costFailed < 0 || costRejuvenation < 0 {
+		return 0, fmt.Errorf("aging: costs must be non-negative, got %v and %v", costFailed, costRejuvenation)
+	}
+	pi, err := m.SteadyState()
+	if err != nil {
+		return 0, err
+	}
+	return pi[StateFailed]*costFailed + pi[StateRejuvenating]*costRejuvenation, nil
+}
+
+// OptimalRejuvenationRate searches [0, maxRate] for the rejuvenation
+// rate minimizing CostRate, by golden-section search (the cost is
+// unimodal in the rate for this model). It returns the best rate and
+// its cost; a best rate of zero means rejuvenation does not pay at
+// these costs.
+func (m Model) OptimalRejuvenationRate(costFailed, costRejuvenation, maxRate float64) (rate, cost float64, err error) {
+	if maxRate <= 0 || math.IsNaN(maxRate) || math.IsInf(maxRate, 0) {
+		return 0, 0, fmt.Errorf("aging: maxRate %v must be positive and finite", maxRate)
+	}
+	eval := func(r float64) (float64, error) {
+		mm := m
+		mm.RejuvenationRate = r
+		return mm.CostRate(costFailed, costRejuvenation)
+	}
+	const phi = 0.6180339887498949 // golden ratio conjugate
+	lo, hi := 0.0, maxRate
+	x1 := hi - phi*(hi-lo)
+	x2 := lo + phi*(hi-lo)
+	f1, err := eval(x1)
+	if err != nil {
+		return 0, 0, err
+	}
+	f2, err := eval(x2)
+	if err != nil {
+		return 0, 0, err
+	}
+	for i := 0; i < 200 && hi-lo > 1e-10*maxRate; i++ {
+		if f1 <= f2 {
+			hi, x2, f2 = x2, x1, f1
+			x1 = hi - phi*(hi-lo)
+			if f1, err = eval(x1); err != nil {
+				return 0, 0, err
+			}
+		} else {
+			lo, x1, f1 = x1, x2, f2
+			x2 = lo + phi*(hi-lo)
+			if f2, err = eval(x2); err != nil {
+				return 0, 0, err
+			}
+		}
+	}
+	best := (lo + hi) / 2
+	bestCost, err := eval(best)
+	if err != nil {
+		return 0, 0, err
+	}
+	// The boundary r = 0 may beat the interior optimum when
+	// rejuvenation does not pay; check it explicitly.
+	zeroCost, err := eval(0)
+	if err != nil {
+		return 0, 0, err
+	}
+	if zeroCost <= bestCost {
+		return 0, zeroCost, nil
+	}
+	return best, bestCost, nil
+}
+
+// MeanTimeToFailure returns the expected time from Robust to Failed
+// when no rejuvenation happens: 1/AgingRate + 1/FailureRate.
+func (m Model) MeanTimeToFailure() float64 {
+	return 1/m.AgingRate + 1/m.FailureRate
+}

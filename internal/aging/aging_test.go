@@ -1,0 +1,198 @@
+package aging
+
+import (
+	"math"
+	"testing"
+)
+
+// plausible returns a model with a day-scale healthy lifetime, hour-scale
+// failure onset, 4-hour repairs, and 5-minute rejuvenations (rates per
+// hour).
+func plausible() Model {
+	return Model{
+		AgingRate:              1.0 / 240, // ages after ~10 days
+		FailureRate:            1.0 / 72,  // fails ~3 days after aging
+		RepairRate:             1.0 / 4,   // 4 h unplanned repair
+		RejuvenationRate:       0,         // policy knob
+		RejuvenationFinishRate: 12,        // 5 min planned restart
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := plausible()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.AgingRate = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero aging rate accepted")
+	}
+	bad = good
+	bad.RepairRate = math.NaN()
+	if err := bad.Validate(); err == nil {
+		t.Error("NaN repair rate accepted")
+	}
+	bad = good
+	bad.RejuvenationRate = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative rejuvenation rate accepted")
+	}
+}
+
+func TestSteadyStateNoRejuvenationClosedForm(t *testing.T) {
+	// Without rejuvenation the model is a three-state cycle; the
+	// stationary probabilities are proportional to the mean holding
+	// times 1/r2, 1/lambda, 1/mu1.
+	m := plausible()
+	pi, err := m.SteadyState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := []float64{1 / m.AgingRate, 1 / m.FailureRate, 1 / m.RepairRate}
+	total := h[0] + h[1] + h[2]
+	for i := 0; i < 3; i++ {
+		if math.Abs(pi[i]-h[i]/total) > 1e-12 {
+			t.Fatalf("pi[%d] = %v, want %v", i, pi[i], h[i]/total)
+		}
+	}
+	if pi[StateRejuvenating] != 0 {
+		t.Fatalf("rejuvenating probability %v without a policy", pi[StateRejuvenating])
+	}
+}
+
+func TestSteadyStateSumsToOne(t *testing.T) {
+	m := plausible()
+	m.RejuvenationRate = 0.05
+	pi, err := m.SteadyState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, p := range pi {
+		if p < 0 {
+			t.Fatalf("negative probability %v", p)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("probabilities sum to %v", sum)
+	}
+}
+
+func TestRejuvenationImprovesAvailability(t *testing.T) {
+	// With planned restarts 48x faster than repairs, diverting the
+	// failure-probable state into rejuvenation must raise availability.
+	none := plausible()
+	a0, err := none.Availability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	with := none
+	with.RejuvenationRate = 0.2
+	a1, err := with.Availability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 <= a0 {
+		t.Fatalf("availability %v with rejuvenation <= %v without", a1, a0)
+	}
+}
+
+func TestAvailabilityMonotoneInRepairRate(t *testing.T) {
+	m := plausible()
+	prev := -1.0
+	for _, mu := range []float64{0.1, 0.25, 1, 4} {
+		m.RepairRate = mu
+		a, err := m.Availability()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a <= prev {
+			t.Fatalf("availability %v did not rise with repair rate %v", a, mu)
+		}
+		prev = a
+	}
+}
+
+func TestCostRate(t *testing.T) {
+	m := plausible()
+	m.RejuvenationRate = 0.1
+	pi, err := m.SteadyState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost, err := m.CostRate(100, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := pi[StateFailed]*100 + pi[StateRejuvenating]*5
+	if math.Abs(cost-want) > 1e-12 {
+		t.Fatalf("cost %v, want %v", cost, want)
+	}
+	if _, err := m.CostRate(-1, 5); err == nil {
+		t.Error("negative cost accepted")
+	}
+}
+
+func TestOptimalRejuvenationRateInterior(t *testing.T) {
+	// Expensive failures, cheap rejuvenation: the optimum is a positive
+	// rate, and it beats both no rejuvenation and frantic rejuvenation.
+	m := plausible()
+	rate, cost, err := m.OptimalRejuvenationRate(1000, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate <= 0 {
+		t.Fatalf("optimal rate %v; rejuvenation should pay here", rate)
+	}
+	noRejuv := m
+	noRejuv.RejuvenationRate = 0
+	c0, err := noRejuv.CostRate(1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost >= c0 {
+		t.Fatalf("optimal cost %v >= no-rejuvenation cost %v", cost, c0)
+	}
+	frantic := m
+	frantic.RejuvenationRate = 10
+	cMax, err := frantic.CostRate(1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With these costs the optimum may sit at (or numerically against)
+	// the search boundary; it must never be worse than the boundary.
+	if cost > cMax*(1+1e-6) {
+		t.Fatalf("optimal cost %v above boundary cost %v", cost, cMax)
+	}
+}
+
+func TestOptimalRejuvenationRateZeroWhenRejuvenationIsExpensive(t *testing.T) {
+	// Rejuvenation outage costing far more than unplanned repair makes
+	// the no-rejuvenation boundary optimal. A slow planned restart
+	// amplifies the effect.
+	m := plausible()
+	m.RejuvenationFinishRate = 0.05 // 20 h planned restart, 5x a repair
+	rate, _, err := m.OptimalRejuvenationRate(1, 1000, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate != 0 {
+		t.Fatalf("optimal rate %v, want 0 when rejuvenation is the expensive action", rate)
+	}
+}
+
+func TestOptimalRateValidation(t *testing.T) {
+	m := plausible()
+	if _, _, err := m.OptimalRejuvenationRate(1, 1, 0); err == nil {
+		t.Error("zero maxRate accepted")
+	}
+}
+
+func TestMeanTimeToFailure(t *testing.T) {
+	m := plausible()
+	if got, want := m.MeanTimeToFailure(), 240.0+72.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("MTTF = %v, want %v", got, want)
+	}
+}

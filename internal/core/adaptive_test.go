@@ -1,0 +1,133 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestAdaptiveLearnsBaseline(t *testing.T) {
+	var built Baseline
+	det, err := NewAdaptive(1000, func(b Baseline) (Detector, error) {
+		built = b
+		return NewSRAA(SRAAConfig{SampleSize: 1, Buckets: 2, Depth: 3, Baseline: b})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(61))
+	for i := 0; i < 1000; i++ {
+		if d := det.Observe(5 * rng.ExpFloat64()); d.Triggered || d.Evaluated {
+			t.Fatal("warmup produced decisions")
+		}
+	}
+	b, ok := det.Learned()
+	if !ok {
+		t.Fatal("baseline not learned after warmup")
+	}
+	if b != built {
+		t.Fatalf("Learned() = %+v, factory got %+v", b, built)
+	}
+	// Exponential(0.2): mean 5, sd 5, estimated from 1000 draws.
+	if math.Abs(b.Mean-5) > 0.6 || math.Abs(b.StdDev-5) > 0.8 {
+		t.Fatalf("learned baseline %+v far from (5, 5)", b)
+	}
+}
+
+func TestAdaptiveDetectsShiftAfterWarmup(t *testing.T) {
+	det, err := NewAdaptive(500, func(b Baseline) (Detector, error) {
+		return NewSRAA(SRAAConfig{SampleSize: 2, Buckets: 2, Depth: 2, Baseline: b})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(67))
+	for i := 0; i < 500; i++ {
+		det.Observe(1 + 0.2*rng.NormFloat64())
+	}
+	if _, ok := det.Learned(); !ok {
+		t.Fatal("warmup incomplete")
+	}
+	triggered := false
+	for i := 0; i < 200; i++ {
+		if det.Observe(10).Triggered { // massive shift
+			triggered = true
+			break
+		}
+	}
+	if !triggered {
+		t.Fatal("adaptive detector missed a massive shift")
+	}
+}
+
+func TestAdaptiveNoTriggerDuringWarmup(t *testing.T) {
+	det, err := NewAdaptive(10_000, func(b Baseline) (Detector, error) {
+		return NewShewhart(1, b)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 9_999; i++ {
+		if det.Observe(1e9).Triggered {
+			t.Fatal("triggered during warmup")
+		}
+	}
+}
+
+func TestAdaptiveConstantWarmupRestartsLearning(t *testing.T) {
+	det, err := NewAdaptive(10, func(b Baseline) (Detector, error) {
+		return NewShewhart(3, b)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		det.Observe(5) // zero variance: degenerate baseline
+	}
+	if _, ok := det.Learned(); ok {
+		t.Fatal("learned a degenerate baseline from a constant series")
+	}
+	// A varied series afterwards must succeed.
+	rng := rand.New(rand.NewSource(71))
+	for i := 0; i < 10; i++ {
+		det.Observe(5 + rng.NormFloat64())
+	}
+	if _, ok := det.Learned(); !ok {
+		t.Fatal("did not relearn after the degenerate warmup")
+	}
+}
+
+func TestAdaptiveResetKeepsBaseline(t *testing.T) {
+	det, err := NewAdaptive(100, func(b Baseline) (Detector, error) {
+		return NewSRAA(SRAAConfig{SampleSize: 1, Buckets: 1, Depth: 1, Baseline: b})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(73))
+	for i := 0; i < 100; i++ {
+		det.Observe(5 + rng.NormFloat64())
+	}
+	before, ok := det.Learned()
+	if !ok {
+		t.Fatal("not learned")
+	}
+	det.Reset()
+	after, ok := det.Learned()
+	if !ok || after != before {
+		t.Fatal("Reset discarded the learned baseline")
+	}
+	det.Relearn()
+	if _, ok := det.Learned(); ok {
+		t.Fatal("Relearn kept the baseline")
+	}
+}
+
+func TestAdaptiveValidation(t *testing.T) {
+	if _, err := NewAdaptive(1, func(Baseline) (Detector, error) { return nil, nil }); err == nil {
+		t.Error("warmup 1 accepted")
+	}
+	if _, err := NewAdaptive(10, nil); err == nil {
+		t.Error("nil factory accepted")
+	}
+}

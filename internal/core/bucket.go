@@ -1,0 +1,79 @@
+package core
+
+import "fmt"
+
+// bucketState is the ball-and-bucket counter shared by SRAA and SARAA,
+// implementing exactly the transitions of the paper's pseudo-code
+// (Figs. 6 and 7):
+//
+//	exceed target:  d++        otherwise: d--
+//	d > D          -> overflow:  d = 0, N++
+//	d < 0 && N > 0 -> underflow: d = D, N--
+//	d < 0 && N == 0 -> d = 0
+//	N == K         -> trigger, then d = 0, N = 0
+//
+// Note the pseudo-code overflows on d > D (strict), i.e. a bucket holds
+// D+1 net exceedances before spilling; the prose "reaches its allowed
+// depth" is ambiguous and the pseudo-code is authoritative here.
+type bucketState struct {
+	k     int // number of buckets K
+	depth int // bucket depth D
+	fill  int // current ball count d
+	level int // current bucket pointer N in [0, K)
+}
+
+// bucketEvent describes what a bucket step did, so SARAA can react to
+// overflow/underflow by resizing its sample.
+type bucketEvent int
+
+const (
+	bucketNone bucketEvent = iota
+	bucketOverflow
+	bucketUnderflow
+	bucketTrigger
+)
+
+func newBucketState(k, depth int) (bucketState, error) {
+	if k <= 0 {
+		return bucketState{}, fmt.Errorf("core: number of buckets K must be positive, got %d", k)
+	}
+	if depth <= 0 {
+		return bucketState{}, fmt.Errorf("core: bucket depth D must be positive, got %d", depth)
+	}
+	return bucketState{k: k, depth: depth}, nil
+}
+
+// step applies one exceed/recede observation and returns what happened.
+// On trigger the state has already been reset to (d=0, N=0).
+func (b *bucketState) step(exceeded bool) bucketEvent {
+	if exceeded {
+		b.fill++
+	} else {
+		b.fill--
+	}
+	event := bucketNone
+	switch {
+	case b.fill > b.depth:
+		b.fill = 0
+		b.level++
+		event = bucketOverflow
+	case b.fill < 0 && b.level > 0:
+		b.fill = b.depth
+		b.level--
+		event = bucketUnderflow
+	case b.fill < 0:
+		b.fill = 0
+	}
+	if b.level == b.k {
+		b.fill = 0
+		b.level = 0
+		return bucketTrigger
+	}
+	return event
+}
+
+// reset restores the initial state.
+func (b *bucketState) reset() {
+	b.fill = 0
+	b.level = 0
+}

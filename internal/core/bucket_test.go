@@ -1,0 +1,169 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBucketStepFollowsPseudoCode(t *testing.T) {
+	// Walk the exact transitions of the paper's Fig. 6 pseudo-code for
+	// K=2, D=2 and verify fill/level/event after every step.
+	b, err := newBucketState(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := []struct {
+		exceed    bool
+		wantFill  int
+		wantLevel int
+		wantEvent bucketEvent
+	}{
+		{true, 1, 0, bucketNone},       // d: 0->1
+		{true, 2, 0, bucketNone},       // d: 1->2 (== D, no overflow yet)
+		{false, 1, 0, bucketNone},      // d: 2->1
+		{true, 2, 0, bucketNone},       // d: 1->2
+		{true, 0, 1, bucketOverflow},   // d: 2->3 > D -> overflow, N=1
+		{false, 2, 0, bucketUnderflow}, // d: -1 < 0, N>0 -> underflow, d=D
+		{false, 1, 0, bucketNone},      // d: 2->1
+		{false, 0, 0, bucketNone},      // d: 1->0
+		{false, 0, 0, bucketNone},      // d: -1 < 0, N==0 -> clamp to 0
+	}
+	for i, s := range steps {
+		event := b.step(s.exceed)
+		if b.fill != s.wantFill || b.level != s.wantLevel || event != s.wantEvent {
+			t.Fatalf("step %d (exceed=%v): fill=%d level=%d event=%d, want %d %d %d",
+				i, s.exceed, b.fill, b.level, event, s.wantFill, s.wantLevel, s.wantEvent)
+		}
+	}
+}
+
+func TestBucketTriggerOnLastOverflow(t *testing.T) {
+	// K=1, D=1: trigger requires d to pass D, i.e. two net exceedances.
+	b, err := newBucketState(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := b.step(true); e != bucketNone {
+		t.Fatalf("first exceedance already produced event %d", e)
+	}
+	if e := b.step(true); e != bucketTrigger {
+		t.Fatalf("second exceedance produced event %d, want trigger", e)
+	}
+	if b.fill != 0 || b.level != 0 {
+		t.Fatalf("state after trigger: fill=%d level=%d, want 0,0", b.fill, b.level)
+	}
+}
+
+func TestBucketMinimumDelay(t *testing.T) {
+	// The paper: "the minimum delay before a degradation can be
+	// affirmed is at least D*K observations". With strict overflow the
+	// exact minimum under constant exceedance is (D+1)*K steps.
+	tests := []struct {
+		k, d int
+	}{
+		{1, 1}, {3, 5}, {5, 3}, {2, 10}, {10, 1},
+	}
+	for _, tt := range tests {
+		b, err := newBucketState(tt.k, tt.d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		steps := 0
+		for {
+			steps++
+			if b.step(true) == bucketTrigger {
+				break
+			}
+			if steps > 10*(tt.d+1)*tt.k {
+				t.Fatalf("K=%d D=%d: no trigger after %d steps", tt.k, tt.d, steps)
+			}
+		}
+		want := (tt.d + 1) * tt.k
+		if steps != want {
+			t.Errorf("K=%d D=%d: triggered after %d steps, want %d", tt.k, tt.d, steps, want)
+		}
+		if steps < tt.d*tt.k {
+			t.Errorf("K=%d D=%d: violated the paper's D*K lower bound", tt.k, tt.d)
+		}
+	}
+}
+
+func TestBucketNeverTriggersWithoutExceedances(t *testing.T) {
+	b, err := newBucketState(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if e := b.step(false); e != bucketNone {
+			t.Fatalf("step %d produced event %d on a healthy stream", i, e)
+		}
+		if b.fill != 0 || b.level != 0 {
+			t.Fatalf("healthy stream moved state to fill=%d level=%d", b.fill, b.level)
+		}
+	}
+}
+
+func TestBucketInvariants(t *testing.T) {
+	// Property: under any observation sequence, 0 <= fill <= D and
+	// 0 <= level < K hold after every step.
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 50; trial++ {
+		k := 1 + rng.Intn(6)
+		d := 1 + rng.Intn(6)
+		b, err := newBucketState(k, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 5000; i++ {
+			b.step(rng.Intn(2) == 0)
+			if b.fill < 0 || b.fill > d {
+				t.Fatalf("K=%d D=%d: fill %d escaped [0,%d]", k, d, b.fill, d)
+			}
+			if b.level < 0 || b.level >= k {
+				t.Fatalf("K=%d D=%d: level %d escaped [0,%d)", k, d, b.level, k)
+			}
+		}
+	}
+}
+
+func TestBucketUnderflowDescendsToPreviousBucket(t *testing.T) {
+	b, err := newBucketState(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Climb to level 2.
+	for b.level < 2 {
+		b.step(true)
+	}
+	// Descend: first underflow refills the lower bucket to D.
+	b.fill = 0
+	if e := b.step(false); e != bucketUnderflow {
+		t.Fatalf("event %d, want underflow", e)
+	}
+	if b.level != 1 || b.fill != 2 {
+		t.Fatalf("after underflow: level=%d fill=%d, want 1,2", b.level, b.fill)
+	}
+}
+
+func TestBucketValidation(t *testing.T) {
+	if _, err := newBucketState(0, 1); err == nil {
+		t.Error("K=0 accepted")
+	}
+	if _, err := newBucketState(1, 0); err == nil {
+		t.Error("D=0 accepted")
+	}
+	if _, err := newBucketState(-1, -1); err == nil {
+		t.Error("negative parameters accepted")
+	}
+}
+
+func TestBucketReset(t *testing.T) {
+	b, _ := newBucketState(3, 3)
+	for i := 0; i < 7; i++ {
+		b.step(true)
+	}
+	b.reset()
+	if b.fill != 0 || b.level != 0 {
+		t.Fatal("reset did not clear state")
+	}
+}

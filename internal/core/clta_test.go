@@ -1,0 +1,155 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func mustCLTA(t *testing.T, n int, quantile float64) *CLTA {
+	t.Helper()
+	c, err := NewCLTA(CLTAConfig{SampleSize: n, Quantile: quantile, Baseline: testBaseline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCLTAConfigValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		cfg  CLTAConfig
+	}{
+		{"zero sample size", CLTAConfig{SampleSize: 0, Quantile: 1.96, Baseline: testBaseline}},
+		{"zero quantile", CLTAConfig{SampleSize: 30, Quantile: 0, Baseline: testBaseline}},
+		{"negative quantile", CLTAConfig{SampleSize: 30, Quantile: -1.96, Baseline: testBaseline}},
+		{"NaN quantile", CLTAConfig{SampleSize: 30, Quantile: math.NaN(), Baseline: testBaseline}},
+		{"bad baseline", CLTAConfig{SampleSize: 30, Quantile: 1.96}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := NewCLTA(tt.cfg); err == nil {
+				t.Errorf("invalid config accepted: %+v", tt.cfg)
+			}
+		})
+	}
+}
+
+func TestCLTATarget(t *testing.T) {
+	// The paper's target: mu + N*sigma/sqrt(n) = 5 + 1.96*5/sqrt(30).
+	det := mustCLTA(t, 30, 1.96)
+	want := 5 + 1.96*5/math.Sqrt(30)
+	if math.Abs(det.Target()-want) > 1e-12 {
+		t.Fatalf("target = %v, want %v", det.Target(), want)
+	}
+}
+
+func TestCLTATriggersOnFirstExceedingSample(t *testing.T) {
+	det := mustCLTA(t, 10, 1.96)
+	target := det.Target()
+	// One full sample just above the target.
+	for i := 0; i < 9; i++ {
+		if d := det.Observe(target + 1); d.Evaluated || d.Triggered {
+			t.Fatal("evaluated before the sample completed")
+		}
+	}
+	d := det.Observe(target + 1)
+	if !d.Triggered || !d.Evaluated {
+		t.Fatalf("decision %+v, want trigger on the first exceeding sample", d)
+	}
+	if math.Abs(d.SampleMean-(target+1)) > 1e-12 {
+		t.Fatalf("sample mean %v, want %v", d.SampleMean, target+1)
+	}
+}
+
+func TestCLTADoesNotTriggerAtTarget(t *testing.T) {
+	// Comparison is strictly greater, per the pseudo-code.
+	det := mustCLTA(t, 5, 2)
+	target := det.Target()
+	for i := 0; i < 5; i++ {
+		if det.Observe(target).Triggered {
+			t.Fatal("triggered on a sample mean equal to the target")
+		}
+	}
+}
+
+func TestCLTAFalseAlarmProbability(t *testing.T) {
+	det := mustCLTA(t, 30, 1.96)
+	if got := det.FalseAlarmProbability(); math.Abs(got-0.025) > 1e-4 {
+		t.Fatalf("nominal false alarm %v, want ~0.025", got)
+	}
+}
+
+func TestCLTAFalseAlarmRateOnNormalStream(t *testing.T) {
+	// Feed exactly normal N(mu, sigma^2/n)-mean samples: the trigger
+	// rate per sample must approximate the nominal probability.
+	det := mustCLTA(t, 30, 1.96)
+	rng := rand.New(rand.NewSource(47))
+	const samples = 40_000
+	triggers := 0
+	for s := 0; s < samples; s++ {
+		for i := 0; i < 30; i++ {
+			// Gaussian observations: the sample mean is exactly normal,
+			// so the nominal 2.5% rate is exact up to MC error.
+			if det.Observe(5 + 5*rng.NormFloat64()).Triggered {
+				triggers++
+			}
+		}
+	}
+	rate := float64(triggers) / samples
+	if math.Abs(rate-0.025) > 0.004 {
+		t.Fatalf("false alarm rate %v, want ~0.025", rate)
+	}
+}
+
+func TestCLTAInflatedFalseAlarmOnSkewedStream(t *testing.T) {
+	// With exponential observations (the paper's response-time shape at
+	// low load) the right-skew inflates the false alarm rate above the
+	// nominal 2.5% — the Section 4.1 effect.
+	det := mustCLTA(t, 30, 1.96)
+	rng := rand.New(rand.NewSource(53))
+	const samples = 40_000
+	triggers := 0
+	for s := 0; s < samples; s++ {
+		for i := 0; i < 30; i++ {
+			if det.Observe(5 * rng.ExpFloat64()).Triggered {
+				triggers++
+			}
+		}
+	}
+	rate := float64(triggers) / samples
+	if rate <= 0.025 {
+		t.Fatalf("skewed stream false alarm rate %v, want > nominal 0.025", rate)
+	}
+	if rate > 0.06 {
+		t.Fatalf("skewed stream false alarm rate %v implausibly large", rate)
+	}
+}
+
+func TestCLTAReset(t *testing.T) {
+	det := mustCLTA(t, 4, 1.96)
+	det.Observe(100)
+	det.Observe(100)
+	det.Reset()
+	// After reset, a fresh full sample is needed.
+	det.Observe(0)
+	det.Observe(0)
+	d := det.Observe(0)
+	if d.Evaluated {
+		t.Fatal("evaluated after 3 of 4 post-reset observations")
+	}
+	if d = det.Observe(0); !d.Evaluated {
+		t.Fatal("did not evaluate after a full post-reset sample")
+	}
+}
+
+func TestCLTAConfigAccessor(t *testing.T) {
+	cfg := CLTAConfig{SampleSize: 30, Quantile: 1.96, Baseline: testBaseline}
+	det, err := NewCLTA(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.Config() != cfg {
+		t.Fatalf("Config() = %+v", det.Config())
+	}
+}

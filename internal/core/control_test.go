@@ -1,0 +1,195 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestShewhartTriggersAboveLimit(t *testing.T) {
+	det, err := NewShewhart(3, testBaseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.Target() != 20 {
+		t.Fatalf("target = %v, want mu + 3*sigma = 20", det.Target())
+	}
+	if det.Observe(20).Triggered {
+		t.Fatal("triggered at the limit (comparison must be strict)")
+	}
+	if !det.Observe(20.01).Triggered {
+		t.Fatal("did not trigger above the limit")
+	}
+}
+
+func TestShewhartIsMemoryless(t *testing.T) {
+	det, err := NewShewhart(2, testBaseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		det.Observe(14.99) // just below the limit, forever
+	}
+	if det.Observe(14.99).Triggered {
+		t.Fatal("memoryless chart accumulated state")
+	}
+}
+
+func TestShewhartValidation(t *testing.T) {
+	if _, err := NewShewhart(0, testBaseline); err == nil {
+		t.Error("zero limit accepted")
+	}
+	if _, err := NewShewhart(2, Baseline{}); err == nil {
+		t.Error("invalid baseline accepted")
+	}
+}
+
+func TestEWMAStatisticConverges(t *testing.T) {
+	det, err := NewEWMA(0.2, 3, testBaseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.Statistic() != 5 {
+		t.Fatalf("initial statistic %v, want baseline mean", det.Statistic())
+	}
+	// Feed a constant below the limit: z converges geometrically to it.
+	for i := 0; i < 200; i++ {
+		det.Observe(6)
+	}
+	if math.Abs(det.Statistic()-6) > 1e-9 {
+		t.Fatalf("statistic %v did not converge to 6", det.Statistic())
+	}
+}
+
+func TestEWMATriggersOnSustainedShift(t *testing.T) {
+	det, err := NewEWMA(0.2, 3, testBaseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	limit := det.Target()
+	want := 5 + 3*5*math.Sqrt(0.2/1.8)
+	if math.Abs(limit-want) > 1e-12 {
+		t.Fatalf("target %v, want %v", limit, want)
+	}
+	triggered := false
+	for i := 0; i < 100; i++ {
+		if det.Observe(12).Triggered { // well above the limit's fixed point
+			triggered = true
+			break
+		}
+	}
+	if !triggered {
+		t.Fatal("EWMA never triggered on a sustained large shift")
+	}
+	if det.Statistic() != 5 {
+		t.Fatalf("statistic %v after trigger, want reset to baseline mean", det.Statistic())
+	}
+}
+
+func TestEWMAResistsSingleOutlier(t *testing.T) {
+	det, err := NewEWMA(0.1, 3, testBaseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One spike: z = 0.9*5 + 0.1*30 = 7.5, below the 8.44 limit.
+	if det.Observe(30).Triggered {
+		t.Fatal("EWMA triggered on a single outlier")
+	}
+}
+
+func TestEWMAValidation(t *testing.T) {
+	for _, w := range []float64{0, -0.5, 1.5, math.NaN()} {
+		if _, err := NewEWMA(w, 3, testBaseline); err == nil {
+			t.Errorf("weight %v accepted", w)
+		}
+	}
+	if _, err := NewEWMA(0.2, 0, testBaseline); err == nil {
+		t.Error("zero limit accepted")
+	}
+}
+
+func TestCUSUMAccumulatesDrift(t *testing.T) {
+	det, err := NewCUSUM(0.5, 5, testBaseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Observations one sigma above mean add (1 - 0.5) = 0.5 per step:
+	// the statistic must cross h = 5 after 11 steps.
+	steps := 0
+	for {
+		steps++
+		if det.Observe(10).Triggered {
+			break
+		}
+		if steps > 100 {
+			t.Fatal("CUSUM never triggered")
+		}
+	}
+	if steps != 11 {
+		t.Fatalf("triggered after %d steps, want 11", steps)
+	}
+	if det.Statistic() != 0 {
+		t.Fatalf("statistic %v after trigger, want 0", det.Statistic())
+	}
+}
+
+func TestCUSUMClampsAtZero(t *testing.T) {
+	det, err := NewCUSUM(0.5, 4, testBaseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		det.Observe(0) // far below mean
+	}
+	if det.Statistic() != 0 {
+		t.Fatalf("statistic %v, want clamped at 0", det.Statistic())
+	}
+}
+
+func TestCUSUMIgnoresWithinSlackNoise(t *testing.T) {
+	det, err := NewCUSUM(1, 4, testBaseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(59))
+	for i := 0; i < 10_000; i++ {
+		// Mean-centered noise with sd well below slack never triggers.
+		if det.Observe(5 + rng.NormFloat64()).Triggered {
+			t.Fatal("CUSUM triggered on sub-slack noise")
+		}
+	}
+}
+
+func TestCUSUMValidation(t *testing.T) {
+	if _, err := NewCUSUM(-1, 4, testBaseline); err == nil {
+		t.Error("negative slack accepted")
+	}
+	if _, err := NewCUSUM(0.5, 0, testBaseline); err == nil {
+		t.Error("zero threshold accepted")
+	}
+	if _, err := NewCUSUM(0.5, 4, Baseline{StdDev: -1}); err == nil {
+		t.Error("invalid baseline accepted")
+	}
+}
+
+func TestBaselineValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		b    Baseline
+		ok   bool
+	}{
+		{"paper baseline", Baseline{Mean: 5, StdDev: 5}, true},
+		{"zero mean is fine", Baseline{Mean: 0, StdDev: 1}, true},
+		{"negative mean is fine", Baseline{Mean: -2, StdDev: 1}, true},
+		{"zero sd", Baseline{Mean: 5, StdDev: 0}, false},
+		{"NaN mean", Baseline{Mean: math.NaN(), StdDev: 1}, false},
+		{"Inf sd", Baseline{Mean: 5, StdDev: math.Inf(1)}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.b.Validate(); (err == nil) != tt.ok {
+				t.Errorf("Validate(%+v) = %v, want ok=%v", tt.b, err, tt.ok)
+			}
+		})
+	}
+}

@@ -1,0 +1,81 @@
+// Package core implements the paper's contribution: rejuvenation-
+// triggering algorithms that watch a customer-affecting metric (response
+// time) and decide when software rejuvenation should be carried out.
+//
+// The three algorithms of the paper are SRAA (static rejuvenation with
+// averaging), SARAA (sampling-acceleration rejuvenation with averaging)
+// and CLTA (central-limit-theorem algorithm). Static, the per-observation
+// bucket algorithm of the earlier work the paper extends, is SRAA with
+// sample size one. The package also provides classical change-detection
+// comparators (Shewhart, EWMA, CUSUM) used in ablation experiments, and
+// an adaptive wrapper that estimates the baseline online (the paper's
+// stated future work).
+//
+// All detectors are deterministic state machines: the same observation
+// sequence always yields the same decisions. None of them is safe for
+// concurrent use; wrap them in the public Monitor for that.
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Baseline is the service-level specification of normal behaviour: the
+// mean and standard deviation of the metric when the system is healthy.
+// The paper's experiments use Mean = StdDev = 5 seconds.
+type Baseline struct {
+	Mean   float64
+	StdDev float64
+}
+
+// Validate reports whether the baseline is usable.
+func (b Baseline) Validate() error {
+	if math.IsNaN(b.Mean) || math.IsInf(b.Mean, 0) {
+		return fmt.Errorf("core: baseline mean %v must be finite", b.Mean)
+	}
+	if b.StdDev <= 0 || math.IsNaN(b.StdDev) || math.IsInf(b.StdDev, 0) {
+		return fmt.Errorf("core: baseline standard deviation %v must be positive and finite", b.StdDev)
+	}
+	return nil
+}
+
+// Decision is the outcome of feeding one observation to a detector.
+type Decision struct {
+	// Triggered reports that rejuvenation should be carried out now.
+	// The detector has already reset itself to its initial state.
+	Triggered bool
+	// Evaluated reports that this observation completed a sample and the
+	// detector performed a bucket (or threshold) step.
+	Evaluated bool
+	// SampleMean is the completed sample mean; valid only when Evaluated.
+	SampleMean float64
+	// Level is the current bucket pointer N after the step (0 for
+	// detectors without buckets).
+	Level int
+	// Fill is the current ball count d after the step (0 for detectors
+	// without buckets).
+	Fill int
+}
+
+// Detector consumes observations of the customer-affecting metric one at
+// a time and decides when to trigger rejuvenation. Implementations
+// assume smaller metric values are better, as holds for response time.
+type Detector interface {
+	// Observe feeds one metric observation and returns the decision.
+	Observe(x float64) Decision
+	// Reset restores the initial state, as after an external
+	// rejuvenation or restart.
+	Reset()
+}
+
+// Compile-time interface compliance checks.
+var (
+	_ Detector = (*SRAA)(nil)
+	_ Detector = (*SARAA)(nil)
+	_ Detector = (*CLTA)(nil)
+	_ Detector = (*Shewhart)(nil)
+	_ Detector = (*EWMA)(nil)
+	_ Detector = (*CUSUM)(nil)
+	_ Detector = (*Adaptive)(nil)
+)

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// SARAAConfig parameterizes the sampling-acceleration rejuvenation
+// algorithm with averaging (paper Fig. 7).
+type SARAAConfig struct {
+	// InitialSampleSize is n_orig, the sample size used while the first
+	// bucket is current. Deeper buckets use smaller samples.
+	InitialSampleSize int
+	// Buckets is K, the number of buckets.
+	Buckets int
+	// Depth is D, the bucket depth.
+	Depth int
+	// Baseline is the normal-behaviour (mean, standard deviation).
+	Baseline Baseline
+}
+
+// Validate reports whether the configuration is usable.
+func (c SARAAConfig) Validate() error {
+	if c.InitialSampleSize <= 0 {
+		return fmt.Errorf("core: SARAA initial sample size must be positive, got %d", c.InitialSampleSize)
+	}
+	if _, err := newBucketState(c.Buckets, c.Depth); err != nil {
+		return err
+	}
+	return c.Baseline.Validate()
+}
+
+// SARAA is the sampling-acceleration rejuvenation algorithm with
+// averaging. Unlike SRAA it follows the hypothesis-testing paradigm:
+// targets are mu + N*sigma/sqrt(n), the standard deviation of the sample
+// mean, and the sample size shrinks linearly as degradation deepens —
+// n = floor(1 + (n_orig-1)*(1 - N/K)) — so confirmation of a developing
+// degradation arrives faster.
+type SARAA struct {
+	cfg     SARAAConfig
+	window  sampleWindow
+	buckets bucketState
+}
+
+// NewSARAA returns a SARAA detector for the given configuration.
+func NewSARAA(cfg SARAAConfig) (*SARAA, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid SARAA config: %w", err)
+	}
+	b, err := newBucketState(cfg.Buckets, cfg.Depth)
+	if err != nil {
+		return nil, err
+	}
+	return &SARAA{
+		cfg:     cfg,
+		window:  sampleWindow{size: cfg.InitialSampleSize},
+		buckets: b,
+	}, nil
+}
+
+// Config returns the configuration the detector was built with.
+func (s *SARAA) Config() SARAAConfig { return s.cfg }
+
+// SampleSize returns the sample size currently in use, which depends on
+// the current bucket: floor(1 + (n_orig-1)*(1 - N/K)).
+func (s *SARAA) SampleSize() int { return s.window.size }
+
+// acceleratedSize returns the paper's linear sampling-acceleration rule
+// for bucket level N: floor(1 + (norig-1)*(1 - N/K)). Evaluated in
+// integer arithmetic — floor(1 + (norig-1)*(K-N)/K) — because the
+// floating-point form rounds cases like norig=6, K=5, N=4 down to 1
+// instead of the exact 2.
+func (s *SARAA) acceleratedSize(level int) int {
+	return 1 + (s.cfg.InitialSampleSize-1)*(s.cfg.Buckets-level)/s.cfg.Buckets
+}
+
+// Target returns the threshold the current bucket compares sample means
+// against: mu + N*sigma/sqrt(n) with the current sample size n.
+func (s *SARAA) Target() float64 {
+	return s.cfg.Baseline.Mean +
+		float64(s.buckets.level)*s.cfg.Baseline.StdDev/math.Sqrt(float64(s.window.size))
+}
+
+// Observe feeds one observation.
+func (s *SARAA) Observe(x float64) Decision {
+	mean, done := s.window.add(x)
+	if !done {
+		return Decision{Level: s.buckets.level, Fill: s.buckets.fill}
+	}
+	exceeded := mean > s.Target()
+	event := s.buckets.step(exceeded)
+	switch event {
+	case bucketOverflow, bucketUnderflow:
+		// Recompute the sample size for the new current bucket.
+		s.window.resize(s.acceleratedSize(s.buckets.level))
+	case bucketTrigger:
+		s.window.resize(s.cfg.InitialSampleSize)
+	}
+	return Decision{
+		Triggered:  event == bucketTrigger,
+		Evaluated:  true,
+		SampleMean: mean,
+		Level:      s.buckets.level,
+		Fill:       s.buckets.fill,
+	}
+}
+
+// Reset restores the initial state, including the original sample size.
+func (s *SARAA) Reset() {
+	s.buckets.reset()
+	s.window.resize(s.cfg.InitialSampleSize)
+}

@@ -1,0 +1,101 @@
+package core
+
+import "fmt"
+
+// SRAAConfig parameterizes the static rejuvenation algorithm with
+// averaging (paper Fig. 6).
+type SRAAConfig struct {
+	// SampleSize is n, the number of observations averaged per step.
+	SampleSize int
+	// Buckets is K, the number of buckets; rejuvenation fires when the
+	// K-th bucket overflows, i.e. after evidence of a shift by K-1
+	// standard deviations.
+	Buckets int
+	// Depth is D, the bucket depth.
+	Depth int
+	// Baseline is the (mean, standard deviation) of the metric under
+	// normal behaviour, from the service level agreement.
+	Baseline Baseline
+}
+
+// Validate reports whether the configuration is usable.
+func (c SRAAConfig) Validate() error {
+	if c.SampleSize <= 0 {
+		return fmt.Errorf("core: SRAA sample size n must be positive, got %d", c.SampleSize)
+	}
+	if _, err := newBucketState(c.Buckets, c.Depth); err != nil {
+		return err
+	}
+	return c.Baseline.Validate()
+}
+
+// SRAA is the static rejuvenation algorithm with averaging: it averages
+// blocks of n observations and runs the ball-and-bucket counter against
+// targets mu + N*sigma. Because the targets do not shrink with n, SRAA
+// "verifies" that the metric's distribution has shifted right by K-1
+// whole standard deviations before triggering.
+type SRAA struct {
+	cfg     SRAAConfig
+	window  sampleWindow
+	buckets bucketState
+}
+
+// NewSRAA returns an SRAA detector for the given configuration.
+func NewSRAA(cfg SRAAConfig) (*SRAA, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid SRAA config: %w", err)
+	}
+	b, err := newBucketState(cfg.Buckets, cfg.Depth)
+	if err != nil {
+		return nil, err
+	}
+	return &SRAA{
+		cfg:     cfg,
+		window:  sampleWindow{size: cfg.SampleSize},
+		buckets: b,
+	}, nil
+}
+
+// Config returns the configuration the detector was built with.
+func (s *SRAA) Config() SRAAConfig { return s.cfg }
+
+// Target returns the threshold the current bucket compares sample means
+// against: mu + N*sigma.
+func (s *SRAA) Target() float64 {
+	return s.cfg.Baseline.Mean + float64(s.buckets.level)*s.cfg.Baseline.StdDev
+}
+
+// Observe feeds one observation.
+func (s *SRAA) Observe(x float64) Decision {
+	mean, done := s.window.add(x)
+	if !done {
+		return Decision{Level: s.buckets.level, Fill: s.buckets.fill}
+	}
+	exceeded := mean > s.Target()
+	event := s.buckets.step(exceeded)
+	return Decision{
+		Triggered:  event == bucketTrigger,
+		Evaluated:  true,
+		SampleMean: mean,
+		Level:      s.buckets.level,
+		Fill:       s.buckets.fill,
+	}
+}
+
+// Reset restores the initial state.
+func (s *SRAA) Reset() {
+	s.window.reset()
+	s.buckets.reset()
+}
+
+// NewStatic returns the static rejuvenation algorithm of the paper's
+// earlier work ([1]): the bucket counter applied to raw observations,
+// which is exactly SRAA with sample size one.
+func NewStatic(buckets, depth int, baseline Baseline) (*SRAA, error) {
+	return NewSRAA(SRAAConfig{
+		SampleSize: 1,
+		Buckets:    buckets,
+		Depth:      depth,
+		Baseline:   baseline,
+	})
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTracerLogsEvaluationsAndTriggers(t *testing.T) {
+	inner, err := NewSRAA(SRAAConfig{
+		SampleSize: 2, Buckets: 1, Depth: 1, Baseline: testBaseline,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	tr, err := NewTracer(inner, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two samples above the target: fill then trigger.
+	for i := 0; i < 4; i++ {
+		tr.Observe(100)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("traced %d lines, want 2 (one per evaluated sample):\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "obs=2 mean=100 level=0 fill=1") {
+		t.Fatalf("first line %q", lines[0])
+	}
+	if !strings.HasSuffix(lines[1], "TRIGGER") {
+		t.Fatalf("second line %q lacks the trigger marker", lines[1])
+	}
+}
+
+func TestTracerPassesDecisionsThrough(t *testing.T) {
+	mk := func() Detector {
+		d, err := NewSARAA(SARAAConfig{
+			InitialSampleSize: 3, Buckets: 2, Depth: 2, Baseline: testBaseline,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	plain := mk()
+	traced, err := NewTracer(mk(), &strings.Builder{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		x := float64(i%17) * 2
+		if dp, dt := plain.Observe(x), traced.Observe(x); dp != dt {
+			t.Fatalf("observation %d: traced decision %+v != plain %+v", i, dt, dp)
+		}
+	}
+}
+
+func TestTracerLogsReset(t *testing.T) {
+	inner, err := NewStatic(1, 1, testBaseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	tr, err := NewTracer(inner, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Observe(1)
+	tr.Reset()
+	if !strings.Contains(buf.String(), "obs=1 RESET") {
+		t.Fatalf("trace %q missing reset marker", buf.String())
+	}
+}
+
+func TestTracerValidation(t *testing.T) {
+	if _, err := NewTracer(nil, &strings.Builder{}); err == nil {
+		t.Error("nil detector accepted")
+	}
+	inner, _ := NewStatic(1, 1, testBaseline)
+	if _, err := NewTracer(inner, nil); err == nil {
+		t.Error("nil writer accepted")
+	}
+}

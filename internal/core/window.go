@@ -1,0 +1,42 @@
+package core
+
+// sampleWindow accumulates observations until a sample of the configured
+// size is complete, then yields its mean. It implements the
+// x̄_u = (1/n) Σ x_t batching of the paper's pseudo-code: samples are
+// consecutive, non-overlapping blocks.
+type sampleWindow struct {
+	size  int     // observations per sample, n >= 1
+	count int     // observations in the current block
+	sum   float64 // running block sum
+}
+
+// add folds one observation; it returns the completed block mean and
+// true when this observation finished a block.
+func (w *sampleWindow) add(x float64) (mean float64, done bool) {
+	w.sum += x
+	w.count++
+	if w.count < w.size {
+		return 0, false
+	}
+	mean = w.sum / float64(w.size)
+	w.sum = 0
+	w.count = 0
+	return mean, true
+}
+
+// resize sets a new block size, discarding any partial block. SARAA
+// resizes on bucket transitions; the paper computes the next sample
+// size when the previous bucket overflows, so the partial block (always
+// empty at that point, since resizing happens on a completed block)
+// carries no information worth keeping.
+func (w *sampleWindow) resize(size int) {
+	w.size = size
+	w.sum = 0
+	w.count = 0
+}
+
+// reset discards any partial block.
+func (w *sampleWindow) reset() {
+	w.sum = 0
+	w.count = 0
+}

@@ -1,0 +1,186 @@
+// Package des implements a discrete-event simulation kernel: a virtual
+// clock, a cancellable event queue, and a run loop. It is the substrate
+// for every simulator in this repository.
+//
+// Events are callbacks scheduled at absolute or relative virtual times.
+// Scheduling returns an *Event handle that can be cancelled or rescheduled,
+// which the e-commerce model uses to push back in-flight service
+// completions when a garbage-collection stall occurs.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Handler is the callback invoked when an event fires. The simulator
+// passes itself so handlers can schedule follow-up events.
+type Handler func(sim *Simulator)
+
+// Event is a scheduled occurrence in virtual time. Handles are returned
+// by the Schedule methods and stay valid until the event fires or is
+// cancelled.
+type Event struct {
+	time    float64
+	seq     uint64 // tie-breaker: FIFO among same-time events
+	index   int    // position in the heap, -1 when not queued
+	handler Handler
+}
+
+// Time returns the virtual time at which the event is scheduled to fire.
+func (e *Event) Time() float64 { return e.time }
+
+// Pending reports whether the event is still queued (not fired, not
+// cancelled).
+func (e *Event) Pending() bool { return e.index >= 0 }
+
+// eventQueue is a min-heap of events ordered by (time, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Simulator owns the virtual clock and the event queue. The zero value is
+// a simulator at time zero with an empty queue, ready to use.
+type Simulator struct {
+	now     float64
+	seq     uint64
+	queue   eventQueue
+	stopped bool
+}
+
+// New returns a simulator at virtual time zero.
+func New() *Simulator { return &Simulator{} }
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() float64 { return s.now }
+
+// Len returns the number of pending events.
+func (s *Simulator) Len() int { return len(s.queue) }
+
+// ScheduleAt schedules h to run at absolute virtual time t. It panics if
+// t precedes the current time or is NaN, since scheduling into the past
+// is always a modeling bug.
+func (s *Simulator) ScheduleAt(t float64, h Handler) *Event {
+	if math.IsNaN(t) || t < s.now {
+		panic(fmt.Sprintf("des: ScheduleAt(%v) before now (%v)", t, s.now))
+	}
+	e := &Event{time: t, seq: s.seq, handler: h}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// Schedule schedules h to run after the given non-negative delay.
+func (s *Simulator) Schedule(delay float64, h Handler) *Event {
+	if math.IsNaN(delay) || delay < 0 {
+		panic(fmt.Sprintf("des: Schedule with negative delay %v", delay))
+	}
+	return s.ScheduleAt(s.now+delay, h)
+}
+
+// Cancel removes a pending event from the queue. Cancelling an event that
+// already fired or was already cancelled is a no-op, so callers need not
+// track event lifecycles precisely.
+func (s *Simulator) Cancel(e *Event) {
+	if e == nil || e.index < 0 {
+		return
+	}
+	heap.Remove(&s.queue, e.index)
+}
+
+// Reschedule moves a pending event to absolute time t, preserving its
+// handler. If the event is no longer pending it is re-queued, which is
+// what callers pushing back in-flight completions want. It panics if t
+// precedes the current time.
+func (s *Simulator) Reschedule(e *Event, t float64) {
+	if math.IsNaN(t) || t < s.now {
+		panic(fmt.Sprintf("des: Reschedule(%v) before now (%v)", t, s.now))
+	}
+	if e.index >= 0 {
+		e.time = t
+		e.seq = s.seq
+		s.seq++
+		heap.Fix(&s.queue, e.index)
+		return
+	}
+	e.time = t
+	e.seq = s.seq
+	s.seq++
+	heap.Push(&s.queue, e)
+}
+
+// Stop makes the current Run call return after the executing handler
+// completes. Pending events remain queued.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Step fires the next pending event, advancing the clock to its time.
+// It returns false when no events are pending.
+func (s *Simulator) Step() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.queue).(*Event)
+	if e.time < s.now {
+		panic(fmt.Sprintf("des: time went backwards: %v -> %v", s.now, e.time))
+	}
+	s.now = e.time
+	e.handler(s)
+	return true
+}
+
+// Run fires events in time order until the queue drains or Stop is
+// called. It returns the number of events fired.
+func (s *Simulator) Run() int {
+	s.stopped = false
+	fired := 0
+	for !s.stopped && s.Step() {
+		fired++
+	}
+	return fired
+}
+
+// RunUntil fires events with time <= horizon, then advances the clock to
+// horizon. Events scheduled beyond the horizon remain queued. It returns
+// the number of events fired.
+func (s *Simulator) RunUntil(horizon float64) int {
+	s.stopped = false
+	fired := 0
+	for !s.stopped && len(s.queue) > 0 && s.queue[0].time <= horizon {
+		s.Step()
+		fired++
+	}
+	if !s.stopped && s.now < horizon {
+		s.now = horizon
+	}
+	return fired
+}

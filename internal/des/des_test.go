@@ -1,0 +1,240 @@
+package des
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	sim := New()
+	times := []float64{5, 1, 3, 2, 4, 2.5}
+	var fired []float64
+	for _, at := range times {
+		sim.ScheduleAt(at, func(s *Simulator) { fired = append(fired, s.Now()) })
+	}
+	sim.Run()
+	if !sort.Float64sAreSorted(fired) {
+		t.Fatalf("events fired out of order: %v", fired)
+	}
+	if len(fired) != len(times) {
+		t.Fatalf("fired %d events, want %d", len(fired), len(times))
+	}
+}
+
+func TestSameTimeEventsFireFIFO(t *testing.T) {
+	sim := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		sim.ScheduleAt(1.0, func(*Simulator) { order = append(order, i) })
+	}
+	sim.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events fired in order %v, want FIFO", order)
+		}
+	}
+}
+
+func TestScheduleRelative(t *testing.T) {
+	sim := New()
+	var at float64
+	sim.Schedule(2, func(s *Simulator) {
+		s.Schedule(3, func(s *Simulator) { at = s.Now() })
+	})
+	sim.Run()
+	if at != 5 {
+		t.Fatalf("nested relative schedule fired at %v, want 5", at)
+	}
+}
+
+func TestCancelPreventsFiring(t *testing.T) {
+	sim := New()
+	fired := false
+	e := sim.ScheduleAt(1, func(*Simulator) { fired = true })
+	sim.Cancel(e)
+	sim.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if e.Pending() {
+		t.Fatal("cancelled event still pending")
+	}
+}
+
+func TestCancelIsIdempotent(t *testing.T) {
+	sim := New()
+	e := sim.ScheduleAt(1, func(*Simulator) {})
+	sim.Cancel(e)
+	sim.Cancel(e) // must not panic or corrupt the heap
+	sim.Cancel(nil)
+	sim.ScheduleAt(2, func(*Simulator) {})
+	if got := sim.Run(); got != 1 {
+		t.Fatalf("fired %d events after double cancel, want 1", got)
+	}
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	sim := New()
+	var fired []float64
+	var events []*Event
+	for _, at := range []float64{1, 2, 3, 4, 5} {
+		events = append(events, sim.ScheduleAt(at, func(s *Simulator) {
+			fired = append(fired, s.Now())
+		}))
+	}
+	sim.Cancel(events[2]) // cancel t=3
+	sim.Run()
+	want := []float64{1, 2, 4, 5}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired %v, want %v", fired, want)
+		}
+	}
+}
+
+func TestReschedulePending(t *testing.T) {
+	sim := New()
+	var at float64
+	e := sim.ScheduleAt(1, func(s *Simulator) { at = s.Now() })
+	sim.Reschedule(e, 7)
+	sim.Run()
+	if at != 7 {
+		t.Fatalf("rescheduled event fired at %v, want 7", at)
+	}
+}
+
+func TestRescheduleCancelledRequeues(t *testing.T) {
+	sim := New()
+	count := 0
+	e := sim.ScheduleAt(1, func(*Simulator) { count++ })
+	sim.Cancel(e)
+	sim.Reschedule(e, 2)
+	sim.Run()
+	if count != 1 {
+		t.Fatalf("requeued event fired %d times, want 1", count)
+	}
+}
+
+func TestRescheduleKeepsOrder(t *testing.T) {
+	sim := New()
+	var order []string
+	a := sim.ScheduleAt(1, func(*Simulator) { order = append(order, "a") })
+	sim.ScheduleAt(2, func(*Simulator) { order = append(order, "b") })
+	sim.Reschedule(a, 3) // a moves after b
+	sim.Run()
+	if len(order) != 2 || order[0] != "b" || order[1] != "a" {
+		t.Fatalf("order after reschedule = %v, want [b a]", order)
+	}
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	sim := New()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		sim.ScheduleAt(float64(i), func(s *Simulator) {
+			count++
+			if count == 3 {
+				s.Stop()
+			}
+		})
+	}
+	fired := sim.Run()
+	if fired != 3 || count != 3 {
+		t.Fatalf("Run fired %d events (count %d), want 3", fired, count)
+	}
+	// A subsequent Run resumes with the remaining events.
+	if rest := sim.Run(); rest != 7 {
+		t.Fatalf("resumed Run fired %d, want 7", rest)
+	}
+}
+
+func TestRunUntilHorizon(t *testing.T) {
+	sim := New()
+	var fired []float64
+	for _, at := range []float64{1, 2, 3, 4, 5} {
+		sim.ScheduleAt(at, func(s *Simulator) { fired = append(fired, s.Now()) })
+	}
+	n := sim.RunUntil(3)
+	if n != 3 || len(fired) != 3 {
+		t.Fatalf("RunUntil(3) fired %d events, want 3", n)
+	}
+	if sim.Now() != 3 {
+		t.Fatalf("clock at %v after RunUntil(3), want 3", sim.Now())
+	}
+	if sim.Len() != 2 {
+		t.Fatalf("%d events left, want 2", sim.Len())
+	}
+}
+
+func TestRunUntilAdvancesIdleClock(t *testing.T) {
+	sim := New()
+	sim.RunUntil(10)
+	if sim.Now() != 10 {
+		t.Fatalf("idle RunUntil left clock at %v, want 10", sim.Now())
+	}
+}
+
+func TestScheduleInPastPanics(t *testing.T) {
+	sim := New()
+	sim.ScheduleAt(5, func(*Simulator) {})
+	sim.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ScheduleAt in the past did not panic")
+		}
+	}()
+	sim.ScheduleAt(1, func(*Simulator) {})
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Schedule with negative delay did not panic")
+		}
+	}()
+	New().Schedule(-1, func(*Simulator) {})
+}
+
+func TestRandomWorkloadFiresSorted(t *testing.T) {
+	// Property: any mix of schedules and cancellations fires the
+	// surviving events in nondecreasing time order, exactly once each.
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		sim := New()
+		var fired []float64
+		var live []*Event
+		expected := 0
+		for i := 0; i < 200; i++ {
+			at := rng.Float64() * 100
+			e := sim.ScheduleAt(at, func(s *Simulator) { fired = append(fired, s.Now()) })
+			live = append(live, e)
+			expected++
+			if rng.Intn(4) == 0 && len(live) > 0 {
+				k := rng.Intn(len(live))
+				if live[k].Pending() {
+					sim.Cancel(live[k])
+					expected--
+				}
+			}
+		}
+		sim.Run()
+		if len(fired) != expected {
+			t.Fatalf("trial %d: fired %d events, want %d", trial, len(fired), expected)
+		}
+		if !sort.Float64sAreSorted(fired) {
+			t.Fatalf("trial %d: events fired out of order", trial)
+		}
+	}
+}
+
+func TestStepOnEmptyQueue(t *testing.T) {
+	sim := New()
+	if sim.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+}

@@ -1,0 +1,161 @@
+package ecommerce
+
+import (
+	"testing"
+
+	"rejuv/internal/core"
+)
+
+// burstRun executes the burst scenario: no aging at all (GC disabled),
+// moderate base load, and transient overload bursts — so every
+// rejuvenation is by definition a false alarm.
+func burstRun(t *testing.T, det core.Detector) Result {
+	t.Helper()
+	m, err := New(Config{
+		ArrivalRate:  0.8, // 4 CPUs base load
+		BurstFactor:  3.5, // 14 CPUs offered during bursts: heavy but stable
+		BurstOn:      60,
+		BurstOff:     600,
+		DisableGC:    true,
+		Transactions: 100_000,
+		Seed:         37,
+		Stream:       1,
+	}, det)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestBurstValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		cfg  Config
+	}{
+		{"factor without durations", Config{ArrivalRate: 1, BurstFactor: 3}},
+		{"factor below one", Config{ArrivalRate: 1, BurstFactor: 0.5, BurstOn: 10, BurstOff: 10}},
+		{"negative factor", Config{ArrivalRate: 1, BurstFactor: -1}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := New(tt.cfg, nil); err == nil {
+				t.Errorf("invalid burst config accepted: %+v", tt.cfg)
+			}
+		})
+	}
+}
+
+func TestBurstsRaiseArrivalVolume(t *testing.T) {
+	// With bursts on, the same virtual time span must carry more
+	// arrivals; equivalently, 100k transactions finish sooner.
+	plain := burstConfigResult(t, false)
+	bursty := burstConfigResult(t, true)
+	if bursty.SimTime >= plain.SimTime {
+		t.Fatalf("bursty run took %v virtual seconds, plain %v; bursts added no volume",
+			bursty.SimTime, plain.SimTime)
+	}
+	// Expected effective rate: 0.8 * (600 + 5*60)/(600+60) = ~1.09/s vs 0.8/s.
+	ratio := plain.SimTime / bursty.SimTime
+	if ratio < 1.15 || ratio > 1.65 {
+		t.Fatalf("volume ratio %v outside the modulation's plausible band", ratio)
+	}
+}
+
+func burstConfigResult(t *testing.T, bursts bool) Result {
+	t.Helper()
+	cfg := Config{
+		ArrivalRate:  0.8,
+		DisableGC:    true,
+		Transactions: 50_000,
+		Seed:         41,
+		Stream:       2,
+	}
+	if bursts {
+		cfg.BurstFactor = 5
+		cfg.BurstOn = 60
+		cfg.BurstOff = 600
+	}
+	m, err := New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestBucketsTolerateBurstsSingleBucketDoesNot(t *testing.T) {
+	// The paper's central design claim (Sections 1-2): multiple
+	// threshold levels distinguish bursts of arrivals from soft
+	// failures. Without any aging, the multi-bucket configuration must
+	// (almost) never rejuvenate through transient overload bursts,
+	// while the single-bucket configuration false-triggers repeatedly.
+	base := core.Baseline{Mean: 5, StdDev: 5}
+	multi, err := core.NewSRAA(core.SRAAConfig{SampleSize: 2, Buckets: 5, Depth: 3, Baseline: base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := core.NewSRAA(core.SRAAConfig{SampleSize: 15, Buckets: 1, Depth: 1, Baseline: base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resMulti := burstRun(t, multi)
+	resSingle := burstRun(t, single)
+
+	if resSingle.Rejuvenations == 0 {
+		t.Fatal("single-bucket config never false-triggered; the burst scenario is too mild to discriminate")
+	}
+	if resMulti.Rejuvenations*10 > resSingle.Rejuvenations {
+		t.Fatalf("multi-bucket rejuvenated %d times vs single-bucket %d; buckets did not absorb the bursts",
+			resMulti.Rejuvenations, resSingle.Rejuvenations)
+	}
+	if resMulti.LossFraction() > 0.002 {
+		t.Fatalf("multi-bucket lost %v of transactions to false alarms", resMulti.LossFraction())
+	}
+}
+
+func TestBurstsDoNotMaskRealAging(t *testing.T) {
+	// With aging (GC) re-enabled on top of bursts, the multi-bucket
+	// configuration must still rejuvenate: tolerance to bursts must not
+	// mean blindness to soft failures.
+	det, err := core.NewSRAA(core.SRAAConfig{
+		SampleSize: 2, Buckets: 5, Depth: 3,
+		Baseline: core.Baseline{Mean: 5, StdDev: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(Config{
+		ArrivalRate:  1.6,
+		BurstFactor:  2,
+		BurstOn:      60,
+		BurstOff:     600,
+		Transactions: 100_000,
+		Seed:         43,
+		Stream:       3,
+	}, det)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rejuvenations == 0 {
+		t.Fatal("aging was never detected once bursts were present")
+	}
+}
+
+func TestBurstDeterminism(t *testing.T) {
+	a := burstConfigResult(t, true)
+	b := burstConfigResult(t, true)
+	if a.AvgRT() != b.AvgRT() || a.SimTime != b.SimTime {
+		t.Fatal("bursty runs with identical seeds diverged")
+	}
+}

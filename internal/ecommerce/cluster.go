@@ -1,0 +1,270 @@
+package ecommerce
+
+import (
+	"fmt"
+	"math"
+
+	"rejuv/internal/core"
+	"rejuv/internal/des"
+	"rejuv/internal/xrand"
+)
+
+// Routing selects how the cluster router assigns arrivals to hosts.
+type Routing int
+
+// Routing policies.
+const (
+	// RouteLeastActive sends each arrival to the in-service host with
+	// the fewest active threads (ties to the lowest index).
+	RouteLeastActive Routing = iota
+	// RouteRoundRobin cycles through in-service hosts.
+	RouteRoundRobin
+)
+
+// ClusterConfig parameterizes a multi-host deployment: several copies of
+// the Section-3 system behind a router, as in the authors' companion
+// work on cluster systems. Each host has its own detector; rejuvenating
+// a host takes it out of service for RejuvenationPause seconds, and at
+// most one host rejuvenates at a time so the cluster never loses more
+// than one host's capacity to restarts.
+type ClusterConfig struct {
+	// Hosts is the number of hosts (at least 1).
+	Hosts int
+	// Host is the per-host system configuration. ArrivalRate is ignored
+	// (the cluster owns the arrival process); Transactions bounds the
+	// cluster-wide total.
+	Host Config
+	// ArrivalRate is the cluster-wide lambda, in transactions/second.
+	ArrivalRate float64
+	// Routing selects the router policy.
+	Routing Routing
+	// RejuvenationPause is how long a rejuvenating host is out of
+	// service, in seconds. Zero means instantaneous, as in the paper's
+	// single-host model.
+	RejuvenationPause float64
+	// Transactions is how many transactions must leave the cluster
+	// (completed or lost) before the run ends.
+	Transactions int64
+	// Seed and Stream select the random number stream.
+	Seed   uint64
+	Stream uint64
+}
+
+// ClusterResult aggregates a cluster run.
+type ClusterResult struct {
+	// Result pools the cluster-wide counters and response times.
+	Result
+	// PerHost holds each host's completion/loss/rejuvenation counts.
+	PerHost []Result
+	// Deferred counts rejuvenation triggers that had to wait because
+	// another host was rejuvenating.
+	Deferred int64
+}
+
+// Cluster is a multi-host simulation. Build with NewCluster, run with
+// Run; single-use like Model.
+type Cluster struct {
+	cfg       ClusterConfig
+	sim       *des.Simulator
+	rng       *xrand.Rand
+	stations  []*station
+	detectors []core.Detector
+	inService []bool
+	pending   []bool // host asked to rejuvenate while another was busy
+	busy      bool   // a host is currently rejuvenating
+	rrNext    int
+
+	res ClusterResult
+	ran bool
+
+	// OnRejuvenate, when non-nil, observes every host rejuvenation.
+	OnRejuvenate func(simTime float64, host, killed int)
+}
+
+// NewCluster validates the configuration and builds the cluster. The
+// factory is called once per host to create its detector; a nil factory
+// disables rejuvenation on every host.
+func NewCluster(cfg ClusterConfig, factory func(host int) (core.Detector, error)) (*Cluster, error) {
+	if cfg.Hosts <= 0 {
+		return nil, fmt.Errorf("ecommerce: cluster needs at least one host, got %d", cfg.Hosts)
+	}
+	if cfg.ArrivalRate <= 0 || math.IsNaN(cfg.ArrivalRate) || math.IsInf(cfg.ArrivalRate, 0) {
+		return nil, fmt.Errorf("ecommerce: cluster arrival rate must be positive and finite, got %v", cfg.ArrivalRate)
+	}
+	if cfg.RejuvenationPause < 0 {
+		return nil, fmt.Errorf("ecommerce: rejuvenation pause must be non-negative, got %v", cfg.RejuvenationPause)
+	}
+	if cfg.Transactions <= 0 {
+		cfg.Transactions = 100_000
+	}
+	host := cfg.Host
+	host.ArrivalRate = cfg.ArrivalRate // satisfies Validate; stations don't use it
+	host = host.Default()
+	if err := host.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.Host = host
+
+	c := &Cluster{
+		cfg:       cfg,
+		sim:       des.New(),
+		rng:       xrand.NewStream(cfg.Seed, cfg.Stream),
+		stations:  make([]*station, cfg.Hosts),
+		detectors: make([]core.Detector, cfg.Hosts),
+		inService: make([]bool, cfg.Hosts),
+		pending:   make([]bool, cfg.Hosts),
+	}
+	c.res.PerHost = make([]Result, cfg.Hosts)
+	for h := 0; h < cfg.Hosts; h++ {
+		h := h
+		c.stations[h] = newStation(host, c.sim, c.rng, func(j *job, rt float64) {
+			c.complete(h, j, rt)
+		})
+		c.inService[h] = true
+		if factory != nil {
+			det, err := factory(h)
+			if err != nil {
+				return nil, fmt.Errorf("ecommerce: detector for host %d: %w", h, err)
+			}
+			c.detectors[h] = det
+		}
+	}
+	return c, nil
+}
+
+// Run executes the cluster until the transaction budget is spent.
+func (c *Cluster) Run() (ClusterResult, error) {
+	if c.ran {
+		return ClusterResult{}, fmt.Errorf("ecommerce: cluster already ran; create a new one per replication")
+	}
+	c.ran = true
+	c.scheduleArrival()
+	c.sim.Run()
+	for h, st := range c.stations {
+		c.res.PerHost[h].GCs = st.gcCount()
+		c.res.GCs += st.gcCount()
+	}
+	c.res.SimTime = c.sim.Now()
+	return c.res, nil
+}
+
+func (c *Cluster) scheduleArrival() {
+	c.sim.Schedule(c.rng.Exp(c.cfg.ArrivalRate), func(*des.Simulator) { c.arrive() })
+}
+
+// arrive routes the transaction to a host. If every host is out of
+// service the transaction queues on the next round-robin host and is
+// served when that host returns.
+func (c *Cluster) arrive() {
+	c.res.Arrived++
+	j := &job{arrival: c.sim.Now(), slot: -1}
+	h := c.route()
+	j.host = h
+	c.res.PerHost[h].Arrived++
+	if c.inService[h] {
+		c.stations[h].enqueue(j)
+	} else {
+		c.stations[h].queue = append(c.stations[h].queue, j)
+	}
+	c.scheduleArrival()
+}
+
+// route picks the destination host according to the routing policy,
+// preferring in-service hosts.
+func (c *Cluster) route() int {
+	switch c.cfg.Routing {
+	case RouteRoundRobin:
+		for tries := 0; tries < c.cfg.Hosts; tries++ {
+			h := c.rrNext
+			c.rrNext = (c.rrNext + 1) % c.cfg.Hosts
+			if c.inService[h] {
+				return h
+			}
+		}
+		return c.rrNext
+	default: // RouteLeastActive
+		best, bestActive := -1, 0
+		for h, st := range c.stations {
+			if !c.inService[h] {
+				continue
+			}
+			if best == -1 || st.active() < bestActive {
+				best, bestActive = h, st.active()
+			}
+		}
+		if best >= 0 {
+			return best
+		}
+		return 0
+	}
+}
+
+// complete records one finished transaction and runs the host's detector.
+func (c *Cluster) complete(h int, _ *job, rt float64) {
+	c.res.Completed++
+	c.res.RT.Add(rt)
+	c.res.PerHost[h].Completed++
+	c.res.PerHost[h].RT.Add(rt)
+	if det := c.detectors[h]; det != nil && det.Observe(rt).Triggered {
+		c.requestRejuvenation(h)
+	}
+	if c.res.Completed+c.res.Lost >= c.cfg.Transactions {
+		c.sim.Stop()
+	}
+}
+
+// requestRejuvenation rejuvenates host h now, or defers it until the
+// currently rejuvenating host finishes.
+func (c *Cluster) requestRejuvenation(h int) {
+	if c.busy {
+		if !c.pending[h] {
+			c.pending[h] = true
+			c.res.Deferred++
+		}
+		return
+	}
+	c.rejuvenate(h)
+}
+
+// rejuvenate takes host h out of service, kills its threads, and
+// schedules its return.
+func (c *Cluster) rejuvenate(h int) {
+	killed := c.stations[h].rejuvenate()
+	c.res.Lost += int64(killed)
+	c.res.Rejuvenations++
+	c.res.PerHost[h].Lost += int64(killed)
+	c.res.PerHost[h].Rejuvenations++
+	if det := c.detectors[h]; det != nil {
+		det.Reset()
+	}
+	if c.OnRejuvenate != nil {
+		c.OnRejuvenate(c.sim.Now(), h, killed)
+	}
+	if c.res.Completed+c.res.Lost >= c.cfg.Transactions {
+		c.sim.Stop()
+		return
+	}
+	if c.cfg.RejuvenationPause == 0 {
+		c.startNextPending()
+		return
+	}
+	c.busy = true
+	c.inService[h] = false
+	c.sim.Schedule(c.cfg.RejuvenationPause, func(*des.Simulator) {
+		c.inService[h] = true
+		c.busy = false
+		c.stations[h].tryStart()
+		c.startNextPending()
+	})
+}
+
+// startNextPending serves the lowest-indexed deferred rejuvenation.
+func (c *Cluster) startNextPending() {
+	for h, want := range c.pending {
+		if want {
+			c.pending[h] = false
+			c.rejuvenate(h)
+			return
+		}
+	}
+}

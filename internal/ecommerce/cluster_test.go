@@ -1,0 +1,246 @@
+package ecommerce
+
+import (
+	"testing"
+
+	"rejuv/internal/core"
+)
+
+func paperDetectorFactory(t *testing.T) func(int) (core.Detector, error) {
+	t.Helper()
+	return func(int) (core.Detector, error) {
+		return core.NewSRAA(core.SRAAConfig{
+			SampleSize: 2, Buckets: 5, Depth: 3,
+			Baseline: core.Baseline{Mean: 5, StdDev: 5},
+		})
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		cfg  ClusterConfig
+	}{
+		{"zero hosts", ClusterConfig{Hosts: 0, ArrivalRate: 1}},
+		{"zero arrival rate", ClusterConfig{Hosts: 2}},
+		{"negative pause", ClusterConfig{Hosts: 2, ArrivalRate: 1, RejuvenationPause: -1}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := NewCluster(tt.cfg, nil); err == nil {
+				t.Errorf("invalid config accepted: %+v", tt.cfg)
+			}
+		})
+	}
+}
+
+func TestClusterConservation(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{
+		Hosts:        3,
+		ArrivalRate:  3 * 1.6,
+		Transactions: 60_000,
+		Seed:         1,
+	}, paperDetectorFactory(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inside int64
+	for _, st := range c.stations {
+		inside += int64(st.active())
+	}
+	if res.Arrived != res.Completed+res.Lost+inside {
+		t.Fatalf("conservation violated: %d != %d + %d + %d",
+			res.Arrived, res.Completed, res.Lost, inside)
+	}
+	// Per-host counters must add up to the cluster totals.
+	var perArrived, perCompleted, perLost, perRejuv int64
+	for _, h := range res.PerHost {
+		perArrived += h.Arrived
+		perCompleted += h.Completed
+		perLost += h.Lost
+		perRejuv += h.Rejuvenations
+	}
+	if perArrived != res.Arrived || perCompleted != res.Completed ||
+		perLost != res.Lost || perRejuv != res.Rejuvenations {
+		t.Fatalf("per-host sums (%d,%d,%d,%d) != totals (%d,%d,%d,%d)",
+			perArrived, perCompleted, perLost, perRejuv,
+			res.Arrived, res.Completed, res.Lost, res.Rejuvenations)
+	}
+}
+
+func TestClusterLeastActiveBalancesLoad(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{
+		Hosts:        4,
+		ArrivalRate:  4 * 1.0,
+		Routing:      RouteLeastActive,
+		Transactions: 40_000,
+		Seed:         3,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := res.Arrived / 4
+	for h, r := range res.PerHost {
+		if r.Arrived < want*8/10 || r.Arrived > want*12/10 {
+			t.Fatalf("host %d received %d arrivals, want ~%d", h, r.Arrived, want)
+		}
+	}
+}
+
+func TestClusterRoundRobinIsExact(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{
+		Hosts:        3,
+		ArrivalRate:  3,
+		Routing:      RouteRoundRobin,
+		Transactions: 9_000,
+		Seed:         5,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With no host ever out of service, round robin splits arrivals
+	// within one transaction of each other.
+	for h := 1; h < 3; h++ {
+		diff := res.PerHost[h].Arrived - res.PerHost[0].Arrived
+		if diff < -1 || diff > 1 {
+			t.Fatalf("round robin skewed: %v", []int64{
+				res.PerHost[0].Arrived, res.PerHost[1].Arrived, res.PerHost[2].Arrived})
+		}
+	}
+}
+
+func TestClusterSingleRejuvenationAtATime(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{
+		Hosts:             3,
+		ArrivalRate:       3 * 1.8,
+		RejuvenationPause: 30,
+		Transactions:      60_000,
+		Seed:              7,
+	}, paperDetectorFactory(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	outOfService := 0
+	maxOut := 0
+	c.OnRejuvenate = func(float64, int, int) {
+		outOfService = 0
+		for h := range c.inService {
+			if !c.inService[h] {
+				outOfService++
+			}
+		}
+		if outOfService > maxOut {
+			maxOut = outOfService
+		}
+	}
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rejuvenations == 0 {
+		t.Fatal("no rejuvenations happened")
+	}
+	if maxOut > 1 {
+		t.Fatalf("%d hosts out of service at once, want at most 1", maxOut)
+	}
+}
+
+func TestClusterDeferredRejuvenations(t *testing.T) {
+	// At heavy load with a long pause, concurrent triggers must defer.
+	c, err := NewCluster(ClusterConfig{
+		Hosts:             4,
+		ArrivalRate:       4 * 1.8,
+		RejuvenationPause: 120,
+		Transactions:      80_000,
+		Seed:              9,
+	}, paperDetectorFactory(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rejuvenations == 0 {
+		t.Fatal("no rejuvenations")
+	}
+	if res.Deferred == 0 {
+		t.Fatal("expected at least one deferred rejuvenation under these conditions")
+	}
+}
+
+func TestClusterInstantRejuvenationNeverDefers(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{
+		Hosts:        2,
+		ArrivalRate:  2 * 1.8,
+		Transactions: 40_000,
+		Seed:         11,
+	}, paperDetectorFactory(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deferred != 0 {
+		t.Fatalf("instantaneous rejuvenation deferred %d times", res.Deferred)
+	}
+}
+
+func TestClusterDetectorFactoryError(t *testing.T) {
+	_, err := NewCluster(ClusterConfig{Hosts: 2, ArrivalRate: 1}, func(int) (core.Detector, error) {
+		return core.NewSRAA(core.SRAAConfig{}) // invalid
+	})
+	if err == nil {
+		t.Fatal("factory error not propagated")
+	}
+}
+
+func TestClusterSingleUse(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{Hosts: 1, ArrivalRate: 1, Transactions: 500, Seed: 13}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(); err == nil {
+		t.Fatal("second Run accepted")
+	}
+}
+
+func TestClusterDeterminism(t *testing.T) {
+	run := func() ClusterResult {
+		c, err := NewCluster(ClusterConfig{
+			Hosts:        2,
+			ArrivalRate:  2.4,
+			Transactions: 20_000,
+			Seed:         15,
+		}, paperDetectorFactory(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := c.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Completed != b.Completed || a.Lost != b.Lost || a.AvgRT() != b.AvgRT() {
+		t.Fatal("identical cluster runs diverged")
+	}
+}

@@ -1,0 +1,381 @@
+// Package ecommerce implements the simulation model of the paper's
+// Section 3: a multi-tier Java e-commerce system reduced to a 16-CPU
+// FCFS queue with two aging mechanisms layered on top — kernel overhead
+// when more than 50 threads are active, and full-GC stalls when the JVM
+// heap runs low — plus a rejuvenation hook driven by a response-time
+// detector.
+//
+// With both mechanisms and rejuvenation disabled the model degenerates
+// to a pure M/M/c system, which is how the paper validates the
+// analytical results of Section 4.1 and runs its autocorrelation study.
+// Cluster extends the model to several hosts behind a router, following
+// the cluster systems of the authors' companion work.
+package ecommerce
+
+import (
+	"fmt"
+	"math"
+
+	"rejuv/internal/core"
+	"rejuv/internal/des"
+	"rejuv/internal/stats"
+	"rejuv/internal/xrand"
+)
+
+// Config parameterizes the model. Zero fields take the paper's values
+// via Default; only ArrivalRate has no sensible default.
+type Config struct {
+	// ArrivalRate is lambda, in transactions/second.
+	ArrivalRate float64
+	// Servers is c, the number of CPUs (paper: 16).
+	Servers int
+	// ServiceRate is mu, in transactions/second per CPU (paper: 0.2).
+	ServiceRate float64
+	// ServiceDistribution selects the CPU processing-time distribution.
+	// The paper uses the exponential (the default, empty string);
+	// "erlang2" (CV ~0.71) and "hyper2" (CV 2) exist for the
+	// distributional-sensitivity ablation, all with the same mean
+	// 1/ServiceRate.
+	ServiceDistribution ServiceDistribution
+	// OverheadThreshold is the number of active threads above which
+	// kernel overhead kicks in (paper: 50).
+	OverheadThreshold int
+	// OverheadFactor multiplies the service time under overhead
+	// (paper: 2.0).
+	OverheadFactor float64
+	// HeapMB is the JVM heap size in MB (paper: 3 GB).
+	HeapMB float64
+	// AllocMB is the memory allocated per transaction in MB (paper: 10).
+	AllocMB float64
+	// GCThresholdMB is the remaining-heap level that schedules a full
+	// GC (paper: 100).
+	GCThresholdMB float64
+	// GCPause is the full-GC stall applied to all running threads, in
+	// seconds (paper: 60).
+	GCPause float64
+	// RejuvenationPause takes the system out of service for this many
+	// seconds per rejuvenation. The paper's rejuvenation is
+	// instantaneous (zero); the ablation benchmarks use this to study
+	// how a restart cost changes the picture. Arrivals during the pause
+	// queue up and are served afterwards.
+	RejuvenationPause float64
+	// RejuvenationInterval, when positive, rejuvenates the system every
+	// that many seconds of virtual time regardless of observed response
+	// times — the classical time-based policy of the rejuvenation
+	// literature (Huang et al.), included as a baseline for the paper's
+	// measurement-driven algorithms. It composes with a detector: both
+	// can trigger.
+	RejuvenationInterval float64
+	// BurstFactor, BurstOn and BurstOff add an on-off (Markov-modulated)
+	// overlay to the Poisson arrival process: during a burst the
+	// arrival rate is ArrivalRate*BurstFactor; burst and quiet periods
+	// last exponentially distributed times with means BurstOn and
+	// BurstOff seconds. A BurstFactor of 0 or 1 disables bursts. The
+	// paper's bucket design exists precisely to tolerate such bursts
+	// without rejuvenating; the burst experiments exercise that claim.
+	BurstFactor float64
+	BurstOn     float64
+	BurstOff    float64
+	// LeakyGC makes full garbage collections fail to reclaim the heap:
+	// the per-transaction allocations are true leaks and only
+	// rejuvenation restores capacity. Under this reading of the paper's
+	// "memory leaks" the system enters a soft-failure regime (every
+	// service start stalls all running threads) once the heap is
+	// exhausted, and rejuvenation is the only recovery. The default
+	// (false) has full GC restore the heap, which matches the paper's
+	// "time needed to perform a full garbage collection" framing; the
+	// ablation benchmarks exercise both.
+	LeakyGC bool
+	// DisableOverhead turns off the kernel-overhead mechanism.
+	DisableOverhead bool
+	// DisableGC turns off the memory/GC mechanism.
+	DisableGC bool
+	// Transactions is how many transactions must leave the system
+	// (completed or lost) before the replication ends (paper: 100,000).
+	Transactions int64
+	// Seed and Stream select the random number stream; replications use
+	// the same seed with distinct streams.
+	Seed   uint64
+	Stream uint64
+}
+
+// Default returns cfg with every zero field replaced by the paper's
+// value for it.
+func (cfg Config) Default() Config {
+	if cfg.Servers == 0 {
+		cfg.Servers = 16
+	}
+	if cfg.ServiceRate == 0 {
+		cfg.ServiceRate = 0.2
+	}
+	if cfg.OverheadThreshold == 0 {
+		cfg.OverheadThreshold = 50
+	}
+	if cfg.OverheadFactor == 0 {
+		cfg.OverheadFactor = 2.0
+	}
+	if cfg.HeapMB == 0 {
+		cfg.HeapMB = 3072
+	}
+	if cfg.AllocMB == 0 {
+		cfg.AllocMB = 10
+	}
+	if cfg.GCThresholdMB == 0 {
+		cfg.GCThresholdMB = 100
+	}
+	if cfg.GCPause == 0 {
+		cfg.GCPause = 60
+	}
+	if cfg.Transactions == 0 {
+		cfg.Transactions = 100_000
+	}
+	return cfg
+}
+
+// Validate reports whether the (defaulted) configuration is usable.
+func (cfg Config) Validate() error {
+	switch {
+	case cfg.ArrivalRate <= 0 || math.IsNaN(cfg.ArrivalRate) || math.IsInf(cfg.ArrivalRate, 0):
+		return fmt.Errorf("ecommerce: arrival rate must be positive and finite, got %v", cfg.ArrivalRate)
+	case cfg.Servers <= 0:
+		return fmt.Errorf("ecommerce: need at least one server, got %d", cfg.Servers)
+	case cfg.ServiceRate <= 0:
+		return fmt.Errorf("ecommerce: service rate must be positive, got %v", cfg.ServiceRate)
+	case cfg.OverheadFactor < 1:
+		return fmt.Errorf("ecommerce: overhead factor must be >= 1, got %v", cfg.OverheadFactor)
+	case cfg.AllocMB <= 0 || cfg.HeapMB <= cfg.GCThresholdMB:
+		return fmt.Errorf("ecommerce: heap %v MB must exceed GC threshold %v MB and allocation %v MB must be positive",
+			cfg.HeapMB, cfg.GCThresholdMB, cfg.AllocMB)
+	case cfg.GCPause < 0:
+		return fmt.Errorf("ecommerce: GC pause must be non-negative, got %v", cfg.GCPause)
+	case cfg.RejuvenationPause < 0:
+		return fmt.Errorf("ecommerce: rejuvenation pause must be non-negative, got %v", cfg.RejuvenationPause)
+	case cfg.BurstFactor < 0 || (cfg.BurstFactor > 1 && (cfg.BurstOn <= 0 || cfg.BurstOff <= 0)):
+		return fmt.Errorf("ecommerce: bursts need factor >= 1 and positive on/off durations, got factor=%v on=%v off=%v",
+			cfg.BurstFactor, cfg.BurstOn, cfg.BurstOff)
+	case cfg.BurstFactor > 0 && cfg.BurstFactor < 1:
+		return fmt.Errorf("ecommerce: burst factor %v below 1 would model a lull, not a burst", cfg.BurstFactor)
+	case cfg.RejuvenationInterval < 0 || math.IsNaN(cfg.RejuvenationInterval):
+		return fmt.Errorf("ecommerce: rejuvenation interval must be non-negative, got %v", cfg.RejuvenationInterval)
+	case cfg.Transactions <= 0:
+		return fmt.Errorf("ecommerce: transactions must be positive, got %d", cfg.Transactions)
+	}
+	if _, err := cfg.ServiceDistribution.sampler(cfg.ServiceRate); err != nil {
+		return err
+	}
+	return nil
+}
+
+// job is one transaction moving through the system.
+type job struct {
+	arrival    float64
+	completion *des.Event // nil while queued
+	slot       int        // index in station.running, -1 while queued
+	host       int        // cluster host index, 0 on a single host
+}
+
+// Result aggregates one replication.
+type Result struct {
+	// Arrived counts transactions that entered the system.
+	Arrived int64
+	// Completed counts transactions that finished service.
+	Completed int64
+	// Lost counts transactions killed by rejuvenation.
+	Lost int64
+	// Rejuvenations counts rejuvenation events.
+	Rejuvenations int64
+	// GCs counts full garbage collections.
+	GCs int64
+	// RT accumulates the response times of completed transactions.
+	RT stats.Welford
+	// SimTime is the virtual time at which the replication ended.
+	SimTime float64
+}
+
+// AvgRT returns the mean response time of completed transactions.
+func (r Result) AvgRT() float64 { return r.RT.Mean() }
+
+// LossFraction returns lost / (lost + completed), the paper's
+// rejuvenation cost metric.
+func (r Result) LossFraction() float64 {
+	done := r.Completed + r.Lost
+	if done == 0 {
+		return 0
+	}
+	return float64(r.Lost) / float64(done)
+}
+
+// Model is one replication of the Section-3 system. Build with New, run
+// with Run. A model is single-use: Run may be called once.
+type Model struct {
+	cfg      Config
+	sim      *des.Simulator
+	rng      *xrand.Rand
+	detector core.Detector // nil disables rejuvenation
+	st       *station
+
+	// paused is true while a non-zero RejuvenationPause is in progress;
+	// arrivals queue but nothing is served. pauseEnd is the pending
+	// un-pause event so that a second rejuvenation during a pause
+	// extends the outage instead of ending it early.
+	paused   bool
+	pauseEnd *des.Event
+	// bursting is true while the on-off arrival overlay is in its
+	// high-rate phase; nextArrival is the pending arrival event, which
+	// toggles reschedule (valid because the exponential inter-arrival
+	// time is memoryless, this resampling is exactly the Markov-
+	// modulated Poisson process).
+	bursting    bool
+	nextArrival *des.Event
+
+	res Result
+	ran bool
+
+	// OnComplete, when non-nil, receives the response time of every
+	// completed transaction; the autocorrelation study uses it to
+	// record the full series.
+	OnComplete func(rt float64)
+	// OnRejuvenate, when non-nil, is called after every rejuvenation
+	// with the number of transactions it killed.
+	OnRejuvenate func(simTime float64, killed int)
+}
+
+// New returns a model for the given configuration and detector. A nil
+// detector disables rejuvenation entirely (the implicit baseline of the
+// paper's figures).
+func New(cfg Config, detector core.Detector) (*Model, error) {
+	cfg = cfg.Default()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Model{
+		cfg:      cfg,
+		sim:      des.New(),
+		rng:      xrand.NewStream(cfg.Seed, cfg.Stream),
+		detector: detector,
+	}
+	m.st = newStation(cfg, m.sim, m.rng, m.complete)
+	return m, nil
+}
+
+// Config returns the defaulted configuration in use.
+func (m *Model) Config() Config { return m.cfg }
+
+// Run executes the replication until cfg.Transactions transactions have
+// left the system, and returns the aggregated result.
+func (m *Model) Run() (Result, error) {
+	if m.ran {
+		return Result{}, fmt.Errorf("ecommerce: model already ran; create a new one per replication")
+	}
+	m.ran = true
+	m.scheduleArrival()
+	if m.cfg.BurstFactor > 1 {
+		m.scheduleBurstToggle()
+	}
+	if m.cfg.RejuvenationInterval > 0 {
+		m.schedulePeriodicRejuvenation()
+	}
+	m.sim.Run()
+	m.res.GCs = m.st.gcCount()
+	m.res.SimTime = m.sim.Now()
+	return m.res, nil
+}
+
+// currentArrivalRate returns the instantaneous lambda, including any
+// active burst.
+func (m *Model) currentArrivalRate() float64 {
+	if m.bursting {
+		return m.cfg.ArrivalRate * m.cfg.BurstFactor
+	}
+	return m.cfg.ArrivalRate
+}
+
+// scheduleArrival schedules the next Poisson arrival at the current rate.
+func (m *Model) scheduleArrival() {
+	m.nextArrival = m.sim.Schedule(m.rng.Exp(m.currentArrivalRate()),
+		func(*des.Simulator) { m.arrive() })
+}
+
+// scheduleBurstToggle schedules the end of the current on/off phase.
+func (m *Model) scheduleBurstToggle() {
+	mean := m.cfg.BurstOff
+	if m.bursting {
+		mean = m.cfg.BurstOn
+	}
+	m.sim.Schedule(m.rng.Exp(1/mean), func(*des.Simulator) {
+		m.bursting = !m.bursting
+		// Resample the pending inter-arrival time at the new rate;
+		// memorylessness makes this the exact modulated process.
+		if m.nextArrival != nil && m.nextArrival.Pending() {
+			m.sim.Cancel(m.nextArrival)
+			m.scheduleArrival()
+		}
+		m.scheduleBurstToggle()
+	})
+}
+
+// schedulePeriodicRejuvenation arms the classical time-based policy.
+func (m *Model) schedulePeriodicRejuvenation() {
+	m.sim.Schedule(m.cfg.RejuvenationInterval, func(*des.Simulator) {
+		m.rejuvenate()
+		m.schedulePeriodicRejuvenation()
+	})
+}
+
+// arrive is paper step 1: a thread arrives and the next arrival is
+// scheduled. During a rejuvenation pause the thread waits in the queue
+// without being admitted to a CPU.
+func (m *Model) arrive() {
+	m.res.Arrived++
+	j := &job{arrival: m.sim.Now(), slot: -1}
+	if m.paused {
+		m.st.queue = append(m.st.queue, j)
+	} else {
+		m.st.enqueue(j)
+	}
+	m.scheduleArrival()
+}
+
+// complete is paper step 8: record the response time, feed the detector,
+// maybe rejuvenate, and stop the replication when the transaction budget
+// is spent.
+func (m *Model) complete(_ *job, rt float64) {
+	m.res.Completed++
+	m.res.RT.Add(rt)
+	if m.OnComplete != nil {
+		m.OnComplete(rt)
+	}
+	if m.detector != nil && m.detector.Observe(rt).Triggered {
+		m.rejuvenate()
+	}
+	if m.res.Completed+m.res.Lost >= m.cfg.Transactions {
+		m.sim.Stop()
+	}
+}
+
+// rejuvenate kills every thread in the system, restores the heap and,
+// when RejuvenationPause is set, takes the station out of service for
+// that long.
+func (m *Model) rejuvenate() {
+	killed := m.st.rejuvenate()
+	m.res.Lost += int64(killed)
+	m.res.Rejuvenations++
+	if m.detector != nil {
+		m.detector.Reset()
+	}
+	if m.cfg.RejuvenationPause > 0 {
+		m.paused = true
+		m.sim.Cancel(m.pauseEnd)
+		m.pauseEnd = m.sim.Schedule(m.cfg.RejuvenationPause, func(*des.Simulator) {
+			m.paused = false
+			m.pauseEnd = nil
+			m.st.tryStart()
+		})
+	}
+	if m.OnRejuvenate != nil {
+		m.OnRejuvenate(m.sim.Now(), killed)
+	}
+	if m.res.Completed+m.res.Lost >= m.cfg.Transactions {
+		m.sim.Stop()
+	}
+}

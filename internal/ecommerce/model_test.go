@@ -1,0 +1,532 @@
+package ecommerce
+
+import (
+	"math"
+	"testing"
+
+	"rejuv/internal/core"
+	"rejuv/internal/mmc"
+	"rejuv/internal/stats"
+)
+
+func pureConfig(lambda float64, txns int64, stream uint64) Config {
+	return Config{
+		ArrivalRate:     lambda,
+		Transactions:    txns,
+		DisableOverhead: true,
+		DisableGC:       true,
+		Seed:            1,
+		Stream:          stream,
+	}
+}
+
+func TestDefaultsArePaperValues(t *testing.T) {
+	cfg := Config{ArrivalRate: 1}.Default()
+	if cfg.Servers != 16 || cfg.ServiceRate != 0.2 || cfg.OverheadThreshold != 50 ||
+		cfg.OverheadFactor != 2.0 || cfg.HeapMB != 3072 || cfg.AllocMB != 10 ||
+		cfg.GCThresholdMB != 100 || cfg.GCPause != 60 || cfg.Transactions != 100_000 {
+		t.Fatalf("defaults = %+v do not match the paper's Section 3", cfg)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		cfg  Config
+	}{
+		{"zero arrival rate", Config{}},
+		{"negative arrival rate", Config{ArrivalRate: -1}},
+		{"NaN arrival rate", Config{ArrivalRate: math.NaN()}},
+		{"overhead factor below 1", Config{ArrivalRate: 1, OverheadFactor: 0.5}},
+		{"heap below threshold", Config{ArrivalRate: 1, HeapMB: 50, GCThresholdMB: 100}},
+		{"negative GC pause", Config{ArrivalRate: 1, GCPause: -1}},
+		{"negative rejuvenation pause", Config{ArrivalRate: 1, RejuvenationPause: -1}},
+		{"negative transactions", Config{ArrivalRate: 1, Transactions: -5}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := New(tt.cfg, nil); err == nil {
+				t.Errorf("invalid config accepted: %+v", tt.cfg)
+			}
+		})
+	}
+}
+
+func TestPureModeMatchesMMcAnalytics(t *testing.T) {
+	// With overhead, GC, and rejuvenation disabled, the model is an
+	// M/M/16 queue; its response-time mean and standard deviation must
+	// match eq. (2) and (3).
+	sys, err := mmc.New(16, 1.6, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pooled stats.Welford
+	for rep := uint64(1); rep <= 3; rep++ {
+		m, err := New(pureConfig(1.6, 100_000, rep), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pooled.Merge(res.RT)
+	}
+	if math.Abs(pooled.Mean()-sys.RTMean())/sys.RTMean() > 0.01 {
+		t.Errorf("simulated mean %v, analytic %v", pooled.Mean(), sys.RTMean())
+	}
+	if math.Abs(pooled.StdDev()-sys.RTStdDev())/sys.RTStdDev() > 0.02 {
+		t.Errorf("simulated sd %v, analytic %v", pooled.StdDev(), sys.RTStdDev())
+	}
+}
+
+func TestPureModeCDFMatchesEq1(t *testing.T) {
+	sys, err := mmc.New(16, 1.6, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(pureConfig(1.6, 200_000, 9), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := []float64{2, 5, 10, 20}
+	counts := make([]int64, len(points))
+	var total int64
+	m.OnComplete = func(rt float64) {
+		total++
+		for i, x := range points {
+			if rt <= x {
+				counts[i]++
+			}
+		}
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range points {
+		emp := float64(counts[i]) / float64(total)
+		if want := sys.RTCDF(x); math.Abs(emp-want) > 0.005 {
+			t.Errorf("CDF(%v): empirical %v, eq.1 %v", x, emp, want)
+		}
+	}
+}
+
+func TestConservationOfTransactions(t *testing.T) {
+	det, err := core.NewSRAA(core.SRAAConfig{
+		SampleSize: 2, Buckets: 2, Depth: 2, Baseline: core.Baseline{Mean: 5, StdDev: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(Config{ArrivalRate: 1.8, Transactions: 50_000, Seed: 3, Stream: 1}, det)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed+res.Lost < 50_000 {
+		t.Fatalf("run ended with %d done, want >= 50000", res.Completed+res.Lost)
+	}
+	// Everything that arrived either finished, died, or is still inside.
+	inside := int64(m.st.active())
+	if res.Arrived != res.Completed+res.Lost+inside {
+		t.Fatalf("conservation violated: arrived %d != completed %d + lost %d + inside %d",
+			res.Arrived, res.Completed, res.Lost, inside)
+	}
+	if int64(res.RT.N()) != res.Completed {
+		t.Fatalf("RT accumulator has %d samples, want %d", res.RT.N(), res.Completed)
+	}
+}
+
+func TestGCFrequencyMatchesHeapArithmetic(t *testing.T) {
+	// Without rejuvenation, one GC happens every
+	// floor((heap - threshold)/alloc) + 1 = 298 service starts.
+	m, err := New(Config{
+		ArrivalRate:     0.5,
+		Transactions:    50_000,
+		DisableOverhead: true,
+		Seed:            5,
+		Stream:          1,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	perCycle := int64((3072-100)/10) + 1
+	want := res.Completed / perCycle
+	if res.GCs < want-2 || res.GCs > want+2 {
+		t.Fatalf("GCs = %d, want ~%d (one per %d transactions)", res.GCs, want, perCycle)
+	}
+}
+
+func TestGCStallsDelayRunningThreads(t *testing.T) {
+	// Every transaction that is running when a GC starts must be
+	// delayed by at least the pause; verify the max RT at low load
+	// reflects the 60 s stall.
+	m, err := New(Config{
+		ArrivalRate:     0.2,
+		Transactions:    5_000,
+		DisableOverhead: true,
+		Seed:            7,
+		Stream:          1,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GCs == 0 {
+		t.Fatal("no GCs at all")
+	}
+	if res.RT.Max() < 60 {
+		t.Fatalf("max RT %v < GC pause; stalls not applied", res.RT.Max())
+	}
+	// Mean must sit slightly above the pure-M/M/c 5 s because stalls
+	// are rare but heavy.
+	if res.AvgRT() < 5 || res.AvgRT() > 8 {
+		t.Fatalf("avg RT %v outside the expected low-load band", res.AvgRT())
+	}
+}
+
+func TestDisableGCRemovesStalls(t *testing.T) {
+	m, err := New(pureConfig(0.2, 5_000, 11), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GCs != 0 {
+		t.Fatalf("GCs = %d with GC disabled", res.GCs)
+	}
+}
+
+func TestRejuvenationKillsBacklogAndCountsLoss(t *testing.T) {
+	var killed []int
+	det, err := core.NewCLTA(core.CLTAConfig{
+		SampleSize: 10, Quantile: 1.96, Baseline: core.Baseline{Mean: 5, StdDev: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(Config{ArrivalRate: 1.8, Transactions: 30_000, Seed: 13, Stream: 1}, det)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.OnRejuvenate = func(_ float64, k int) { killed = append(killed, k) }
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rejuvenations == 0 {
+		t.Fatal("no rejuvenations at high load with an aggressive detector")
+	}
+	if int64(len(killed)) != res.Rejuvenations {
+		t.Fatalf("%d callbacks for %d rejuvenations", len(killed), res.Rejuvenations)
+	}
+	total := int64(0)
+	for _, k := range killed {
+		total += int64(k)
+	}
+	if total != res.Lost {
+		t.Fatalf("callbacks reported %d kills, result says %d", total, res.Lost)
+	}
+	if res.LossFraction() <= 0 || res.LossFraction() >= 1 {
+		t.Fatalf("loss fraction %v out of range", res.LossFraction())
+	}
+}
+
+func TestRejuvenationResetsHeap(t *testing.T) {
+	det, err := core.NewSRAA(core.SRAAConfig{
+		SampleSize: 1, Buckets: 1, Depth: 1, Baseline: core.Baseline{Mean: 5, StdDev: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(Config{ArrivalRate: 1.0, Transactions: 20_000, Seed: 17, Stream: 1}, det)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heapChecked := false
+	m.OnRejuvenate = func(float64, int) {
+		if m.st.heapMB != m.cfg.HeapMB {
+			t.Errorf("heap %v after rejuvenation, want %v", m.st.heapMB, m.cfg.HeapMB)
+		}
+		if m.st.active() != 0 {
+			t.Errorf("%d threads alive after rejuvenation", m.st.active())
+		}
+		if m.st.freeCPUs != m.cfg.Servers {
+			t.Errorf("%d CPUs free after rejuvenation, want %d", m.st.freeCPUs, m.cfg.Servers)
+		}
+		heapChecked = true
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !heapChecked {
+		t.Fatal("no rejuvenation happened; test proved nothing")
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() Result {
+		det, err := core.NewSRAA(core.SRAAConfig{
+			SampleSize: 2, Buckets: 3, Depth: 2, Baseline: core.Baseline{Mean: 5, StdDev: 5},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := New(Config{ArrivalRate: 1.6, Transactions: 20_000, Seed: 19, Stream: 4}, det)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Completed != b.Completed || a.Lost != b.Lost || a.GCs != b.GCs ||
+		a.Rejuvenations != b.Rejuvenations || a.AvgRT() != b.AvgRT() || a.SimTime != b.SimTime {
+		t.Fatalf("identical seeds diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestDifferentStreamsDiffer(t *testing.T) {
+	run := func(stream uint64) Result {
+		m, err := New(pureConfig(1.6, 10_000, stream), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	if run(1).AvgRT() == run(2).AvgRT() {
+		t.Fatal("distinct streams produced identical results")
+	}
+}
+
+func TestModelIsSingleUse(t *testing.T) {
+	m, err := New(pureConfig(1, 1_000, 1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err == nil {
+		t.Fatal("second Run accepted")
+	}
+}
+
+func TestRejuvenationPauseDelaysService(t *testing.T) {
+	// With a large rejuvenation pause, the same trigger pattern must
+	// yield a strictly worse average response time than the
+	// instantaneous variant, since arrivals wait out the pause.
+	run := func(pause float64) Result {
+		det, err := core.NewSRAA(core.SRAAConfig{
+			SampleSize: 1, Buckets: 1, Depth: 1, Baseline: core.Baseline{Mean: 5, StdDev: 5},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := New(Config{
+			ArrivalRate:       1.6,
+			Transactions:      20_000,
+			RejuvenationPause: pause,
+			Seed:              23,
+			Stream:            2,
+		}, det)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Rejuvenations == 0 {
+			t.Fatal("no rejuvenations; pause comparison is vacuous")
+		}
+		return res
+	}
+	instant := run(0)
+	paused := run(45)
+	if paused.AvgRT() <= instant.AvgRT() {
+		t.Fatalf("pause 45 s gave avg RT %v, instantaneous %v; expected worse",
+			paused.AvgRT(), instant.AvgRT())
+	}
+}
+
+func TestOverheadDoublesServiceUnderBacklog(t *testing.T) {
+	// Compare mean RT with and without overhead at a load where GC
+	// stalls routinely push the backlog past 50 threads.
+	run := func(disable bool) Result {
+		m, err := New(Config{
+			ArrivalRate:     1.8,
+			Transactions:    30_000,
+			DisableOverhead: disable,
+			Seed:            29,
+			Stream:          3,
+		}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	with := run(false)
+	without := run(true)
+	if with.AvgRT() <= without.AvgRT() {
+		t.Fatalf("overhead on: %v, off: %v; expected overhead to hurt", with.AvgRT(), without.AvgRT())
+	}
+}
+
+func TestPeriodicRejuvenationFiresOnSchedule(t *testing.T) {
+	m, err := New(Config{
+		ArrivalRate:          1.0,
+		Transactions:         20_000,
+		RejuvenationInterval: 500,
+		Seed:                 47,
+		Stream:               1,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var times []float64
+	m.OnRejuvenate = func(at float64, _ int) { times = append(times, at) }
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rejuvenations == 0 {
+		t.Fatal("periodic policy never fired")
+	}
+	want := int64(res.SimTime / 500)
+	if res.Rejuvenations < want-1 || res.Rejuvenations > want+1 {
+		t.Fatalf("%d rejuvenations over %.0f s, want ~%d", res.Rejuvenations, res.SimTime, want)
+	}
+	for i, at := range times {
+		if got, want := at, 500*float64(i+1); got != want {
+			t.Fatalf("rejuvenation %d at %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestPeriodicComposesWithDetector(t *testing.T) {
+	det, err := core.NewSRAA(core.SRAAConfig{
+		SampleSize: 2, Buckets: 5, Depth: 3, Baseline: core.Baseline{Mean: 5, StdDev: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(Config{
+		ArrivalRate:          1.8,
+		Transactions:         30_000,
+		RejuvenationInterval: 2_000,
+		Seed:                 53,
+		Stream:               1,
+	}, det)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Detector-driven triggers at this load far outnumber the periodic
+	// ones; both must contribute.
+	if res.Rejuvenations <= res.GCs/10 {
+		t.Fatalf("only %d rejuvenations; composition seems broken", res.Rejuvenations)
+	}
+}
+
+func TestPeriodicValidation(t *testing.T) {
+	if _, err := New(Config{ArrivalRate: 1, RejuvenationInterval: -5}, nil); err == nil {
+		t.Fatal("negative interval accepted")
+	}
+}
+
+func TestPureModeKSAgainstEq1(t *testing.T) {
+	// Goodness-of-fit of the whole simulated response-time distribution
+	// against eq. (1), not just moments: a one-sample KS test at the 1%
+	// level. The response times of an M/M/c system are weakly
+	// dependent, which inflates the effective KS statistic slightly, so
+	// the sample is thinned to every 20th completion.
+	sys, err := mmc.New(16, 1.6, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(pureConfig(1.6, 200_000, 21), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sample []float64
+	var i int
+	m.OnComplete = func(rt float64) {
+		if i%20 == 0 {
+			sample = append(sample, rt)
+		}
+		i++
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	d, p, ok, err := stats.KSTest(sample, sys.RTCDF, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("simulated RT distribution rejected against eq. (1): D=%v p=%v n=%d",
+			d, p, len(sample))
+	}
+}
+
+func TestServiceDistributionMeansAgree(t *testing.T) {
+	// All service distributions share the mean 1/mu, so at low load
+	// (no queueing, GC and overhead off) the average response time is
+	// ~5 s regardless of the distribution; variability differs.
+	var sds []float64
+	for _, d := range []ServiceDistribution{ServiceExponential, ServiceErlang2, ServiceHyper2} {
+		cfg := pureConfig(0.5, 100_000, 31)
+		cfg.ServiceDistribution = d
+		m, err := New(cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.AvgRT()-5)/5 > 0.02 {
+			t.Errorf("%s: avg RT %v, want ~5", d, res.AvgRT())
+		}
+		sds = append(sds, res.RT.StdDev())
+	}
+	// CVs 1, 0.71, 2 must order the standard deviations as
+	// erlang2 < exponential < hyper2.
+	if !(sds[1] < sds[0] && sds[0] < sds[2]) {
+		t.Fatalf("sd ordering wrong: erlang2=%v exp=%v hyper2=%v", sds[1], sds[0], sds[2])
+	}
+}
+
+func TestServiceDistributionValidation(t *testing.T) {
+	cfg := Config{ArrivalRate: 1, ServiceDistribution: "weibull"}
+	if _, err := New(cfg, nil); err == nil {
+		t.Fatal("unknown service distribution accepted")
+	}
+}

@@ -1,0 +1,58 @@
+package ecommerce
+
+import (
+	"fmt"
+
+	"rejuv/internal/dist"
+	"rejuv/internal/xrand"
+)
+
+// ServiceDistribution names a CPU processing-time distribution for the
+// distributional-sensitivity ablation. All options share the mean
+// 1/ServiceRate; they differ in variability.
+type ServiceDistribution string
+
+// Supported service-time distributions.
+const (
+	// ServiceExponential is the paper's model (CV 1). The empty string
+	// means the same.
+	ServiceExponential ServiceDistribution = "exponential"
+	// ServiceErlang2 is a two-stage Erlang (CV 1/sqrt(2) ~ 0.71):
+	// less variable service.
+	ServiceErlang2 ServiceDistribution = "erlang2"
+	// ServiceHyper2 is a balanced two-branch hyperexponential with
+	// CV 2: more variable service.
+	ServiceHyper2 ServiceDistribution = "hyper2"
+)
+
+// sampler returns a draw function with mean 1/rate for the selected
+// distribution.
+func (s ServiceDistribution) sampler(rate float64) (func(*xrand.Rand) float64, error) {
+	switch s {
+	case "", ServiceExponential:
+		return func(r *xrand.Rand) float64 { return r.Exp(rate) }, nil
+	case ServiceErlang2:
+		// Two stages at twice the rate keep the mean at 1/rate.
+		er, err := dist.NewErlang(2, 2*rate)
+		if err != nil {
+			return nil, err
+		}
+		return er.Sample, nil
+	case ServiceHyper2:
+		// Balanced-means two-branch hyperexponential with CV = 2:
+		// branch probabilities p and 1-p with rates 2p*rate and
+		// 2(1-p)*rate give mean 1/rate; p solves CV^2 = 4 via
+		// p = (1 + sqrt((c2-1)/(c2+1)))/2 with c2 = 4.
+		const p = 0.8872983346207417 // (1 + sqrt(3/5)) / 2
+		h, err := dist.NewHyperExp(
+			[]float64{p, 1 - p},
+			[]float64{2 * p * rate, 2 * (1 - p) * rate},
+		)
+		if err != nil {
+			return nil, err
+		}
+		return h.Sample, nil
+	default:
+		return nil, fmt.Errorf("ecommerce: unknown service distribution %q", s)
+	}
+}

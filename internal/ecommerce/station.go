@@ -1,0 +1,171 @@
+package ecommerce
+
+import (
+	"rejuv/internal/des"
+	"rejuv/internal/xrand"
+)
+
+// station is the serving machinery of one host: CPUs, FCFS queue, heap
+// and GC state. The single-host Model wraps one station; Cluster wraps
+// several behind a router. The owner supplies the completion callback
+// and decides when to rejuvenate.
+type station struct {
+	cfg     Config
+	sim     *des.Simulator
+	rng     *xrand.Rand
+	service func(*xrand.Rand) float64 // processing-time sampler
+
+	freeCPUs  int
+	queue     []*job // FIFO; live entries are queue[queueHead:]
+	queueHead int
+	running   []*job
+	heapMB    float64
+	gcActive  bool
+	gcEnd     *des.Event
+
+	gcs int64
+
+	// onComplete receives every completed job with its response time.
+	onComplete func(j *job, rt float64)
+}
+
+// newStation returns a station with all CPUs free and a full heap. cfg
+// must already be defaulted and validated.
+func newStation(cfg Config, sim *des.Simulator, rng *xrand.Rand, onComplete func(*job, float64)) *station {
+	sampler, err := cfg.ServiceDistribution.sampler(cfg.ServiceRate)
+	if err != nil {
+		// Unreachable: Validate checked the distribution already.
+		panic(err)
+	}
+	return &station{
+		cfg:        cfg,
+		sim:        sim,
+		rng:        rng,
+		service:    sampler,
+		freeCPUs:   cfg.Servers,
+		heapMB:     cfg.HeapMB,
+		onComplete: onComplete,
+	}
+}
+
+// active returns the number of threads on the station (queued + running),
+// the paper's "threads executing in parallel" count.
+func (s *station) active() int { return s.queueLen() + len(s.running) }
+
+// queueLen returns the number of queued threads.
+func (s *station) queueLen() int { return len(s.queue) - s.queueHead }
+
+// gcCount returns the number of full garbage collections so far.
+func (s *station) gcCount() int64 { return s.gcs }
+
+// enqueue is paper step 2: the thread queues for a CPU.
+func (s *station) enqueue(j *job) {
+	s.queue = append(s.queue, j)
+	s.tryStart()
+}
+
+// tryStart moves queued threads onto free CPUs. Nothing starts during a
+// stop-the-world GC stall.
+func (s *station) tryStart() {
+	for s.freeCPUs > 0 && !s.gcActive && s.queueLen() > 0 {
+		j := s.queue[s.queueHead]
+		s.queue[s.queueHead] = nil
+		s.queueHead++
+		// Reclaim the dead prefix once it dominates the backing array,
+		// keeping dequeue amortized O(1) without unbounded growth.
+		if s.queueHead > 64 && s.queueHead*2 >= len(s.queue) {
+			s.queue = append(s.queue[:0], s.queue[s.queueHead:]...)
+			s.queueHead = 0
+		}
+		s.startService(j)
+	}
+}
+
+// startService is paper steps 3–6: sample the processing time, apply
+// kernel overhead, seize a CPU, allocate memory, and possibly trigger a
+// full GC.
+func (s *station) startService(j *job) {
+	s.freeCPUs--
+	service := s.service(s.rng)
+	if !s.cfg.DisableOverhead && s.active() > s.cfg.OverheadThreshold {
+		service *= s.cfg.OverheadFactor
+	}
+	j.slot = len(s.running)
+	s.running = append(s.running, j)
+	j.completion = s.sim.Schedule(service, func(*des.Simulator) { s.complete(j) })
+
+	if !s.cfg.DisableGC {
+		s.heapMB -= s.cfg.AllocMB
+		if s.heapMB < s.cfg.GCThresholdMB && !s.gcActive {
+			s.startGC()
+		}
+	}
+}
+
+// startGC is paper step 6: a full collection stalls every running thread
+// (including the one whose allocation tripped it) for GCPause seconds;
+// when it finishes the heap is whole again.
+func (s *station) startGC() {
+	s.gcs++
+	s.gcActive = true
+	for _, r := range s.running {
+		s.sim.Reschedule(r.completion, r.completion.Time()+s.cfg.GCPause)
+	}
+	s.gcEnd = s.sim.Schedule(s.cfg.GCPause, func(*des.Simulator) {
+		s.gcActive = false
+		s.gcEnd = nil
+		if !s.cfg.LeakyGC {
+			s.heapMB = s.cfg.HeapMB
+		}
+		s.tryStart()
+	})
+}
+
+// complete is paper step 7: free the CPU, compute the response time,
+// hand the job to the owner, then admit the next queued thread. The
+// owner's callback runs before the next admission so a rejuvenation it
+// performs clears the queue first.
+func (s *station) complete(j *job) {
+	s.removeRunning(j)
+	s.freeCPUs++
+	rt := s.sim.Now() - j.arrival
+	s.onComplete(j, rt)
+	s.tryStart()
+}
+
+// removeRunning drops j from the running set in O(1) by swapping with
+// the last element.
+func (s *station) removeRunning(j *job) {
+	last := len(s.running) - 1
+	other := s.running[last]
+	s.running[j.slot] = other
+	other.slot = j.slot
+	s.running[last] = nil
+	s.running = s.running[:last]
+	j.slot = -1
+	j.completion = nil
+}
+
+// rejuvenate implements the paper's rejuvenation routine on this
+// station: every thread is terminated, CPU and memory queues are
+// cleared, and the heap is restored. It returns the number of killed
+// transactions.
+func (s *station) rejuvenate() int {
+	killed := s.active()
+	for _, r := range s.running {
+		s.sim.Cancel(r.completion)
+		r.completion = nil
+		r.slot = -1
+	}
+	s.running = s.running[:0]
+	s.queue = s.queue[:0]
+	s.queueHead = 0
+	s.freeCPUs = s.cfg.Servers
+	s.heapMB = s.cfg.HeapMB
+	if s.gcEnd != nil {
+		s.sim.Cancel(s.gcEnd)
+		s.gcEnd = nil
+	}
+	s.gcActive = false
+	return killed
+}

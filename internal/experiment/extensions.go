@@ -1,0 +1,233 @@
+package experiment
+
+import (
+	"fmt"
+
+	"rejuv/internal/core"
+	"rejuv/internal/ecommerce"
+)
+
+// This file defines the extension experiments that go beyond the
+// paper's figures: cluster scaling (per the authors' companion work on
+// cluster systems) and burst tolerance (the paper's Section-1 design
+// requirement, which its own evaluation never isolates).
+
+// ClusterSweepConfig describes the cluster-scaling extension figure:
+// cluster-wide average response time and loss versus per-host offered
+// load, for several cluster sizes, each host guarded by the paper's
+// best-trade-off detector and restarts serialized across the cluster.
+type ClusterSweepConfig struct {
+	// Hosts lists the cluster sizes to sweep (e.g. 1, 2, 4).
+	Hosts []int
+	// Loads is the per-host offered load axis in CPUs; zero means
+	// PaperLoads.
+	Loads []float64
+	// Spec is the per-host detector configuration; the zero value
+	// selects SRAA(2,5,3), the paper's Fig. 16 bucketed baseline.
+	Spec Spec
+	// RejuvenationPause is the per-host restart outage in seconds
+	// (zero: 30, a production-plausible JVM restart).
+	RejuvenationPause float64
+	// Transactions per replication and Replications per point; zeroes
+	// select 100,000 and 3.
+	Transactions int64
+	Replications int
+	// Seed is the base random seed.
+	Seed uint64
+}
+
+func (cfg ClusterSweepConfig) defaulted() ClusterSweepConfig {
+	if len(cfg.Hosts) == 0 {
+		cfg.Hosts = []int{1, 2, 4}
+	}
+	if len(cfg.Loads) == 0 {
+		cfg.Loads = PaperLoads()
+	}
+	if cfg.Spec.Algorithm == "" {
+		cfg.Spec = sraaSpec(2, 5, 3)
+	}
+	if cfg.RejuvenationPause == 0 {
+		cfg.RejuvenationPause = 30
+	}
+	if cfg.Transactions == 0 {
+		cfg.Transactions = 100_000
+	}
+	if cfg.Replications == 0 {
+		cfg.Replications = 3
+	}
+	return cfg
+}
+
+// ClusterPoint is one (hosts, load) cell.
+type ClusterPoint struct {
+	Load          float64
+	AvgRT         float64
+	LossFraction  float64
+	Rejuvenations float64 // mean per replication
+	Deferred      float64 // mean per replication
+}
+
+// ClusterSeries is the sweep for one cluster size.
+type ClusterSeries struct {
+	Hosts  int
+	Points []ClusterPoint
+}
+
+// RunClusterSweep executes the cluster-scaling experiment.
+func RunClusterSweep(cfg ClusterSweepConfig) ([]ClusterSeries, error) {
+	cfg = cfg.defaulted()
+	out := make([]ClusterSeries, 0, len(cfg.Hosts))
+	for _, hosts := range cfg.Hosts {
+		series := ClusterSeries{Hosts: hosts, Points: make([]ClusterPoint, 0, len(cfg.Loads))}
+		for li, load := range cfg.Loads {
+			var completed, lost, rejuv, deferred int64
+			var rtWeighted float64
+			for rep := 0; rep < cfg.Replications; rep++ {
+				factory := func(int) (core.Detector, error) { return cfg.Spec.NewDetector() }
+				c, err := ecommerce.NewCluster(ecommerce.ClusterConfig{
+					Hosts:             hosts,
+					ArrivalRate:       float64(hosts) * load * 0.2,
+					RejuvenationPause: cfg.RejuvenationPause,
+					Transactions:      cfg.Transactions,
+					Seed:              cfg.Seed,
+					Stream:            uint64(hosts)*100_000 + uint64(li)*100 + uint64(rep) + 1,
+				}, factory)
+				if err != nil {
+					return nil, fmt.Errorf("experiment: cluster sweep hosts=%d load=%v: %w", hosts, load, err)
+				}
+				res, err := c.Run()
+				if err != nil {
+					return nil, err
+				}
+				rtWeighted += res.RT.Mean() * float64(res.Completed)
+				completed += res.Completed
+				lost += res.Lost
+				rejuv += res.Rejuvenations
+				deferred += res.Deferred
+			}
+			p := ClusterPoint{
+				Load:          load,
+				Rejuvenations: float64(rejuv) / float64(cfg.Replications),
+				Deferred:      float64(deferred) / float64(cfg.Replications),
+			}
+			if completed > 0 {
+				p.AvgRT = rtWeighted / float64(completed)
+			}
+			if done := completed + lost; done > 0 {
+				p.LossFraction = float64(lost) / float64(done)
+			}
+			series.Points = append(series.Points, p)
+		}
+		out = append(out, series)
+	}
+	return out, nil
+}
+
+// BurstSweepConfig describes the burst-tolerance extension figure:
+// false alarms per 100k transactions versus burst factor, with aging
+// disabled so every trigger is spurious.
+type BurstSweepConfig struct {
+	// Factors is the burst-factor axis (1 = no bursts).
+	Factors []float64
+	// Specs are the detector configurations to compare; zero selects
+	// the multi-bucket (2,5,3) vs single-bucket (15,1,1) pair.
+	Specs []Spec
+	// BaseLoad is the quiet-period offered load in CPUs (zero: 4).
+	BaseLoad float64
+	// BurstOn/BurstOff are the mean phase durations in seconds
+	// (zeroes: 60 and 600).
+	BurstOn, BurstOff float64
+	// Transactions per replication and Replications per point; zeroes
+	// select 100,000 and 3.
+	Transactions int64
+	Replications int
+	// Seed is the base random seed.
+	Seed uint64
+}
+
+func (cfg BurstSweepConfig) defaulted() BurstSweepConfig {
+	if len(cfg.Factors) == 0 {
+		cfg.Factors = []float64{1, 1.5, 2, 2.5, 3, 3.5, 4, 4.5, 5}
+	}
+	if len(cfg.Specs) == 0 {
+		cfg.Specs = []Spec{sraaSpec(2, 5, 3), sraaSpec(15, 1, 1)}
+	}
+	if cfg.BaseLoad == 0 {
+		cfg.BaseLoad = 4
+	}
+	if cfg.BurstOn == 0 {
+		cfg.BurstOn = 60
+	}
+	if cfg.BurstOff == 0 {
+		cfg.BurstOff = 600
+	}
+	if cfg.Transactions == 0 {
+		cfg.Transactions = 100_000
+	}
+	if cfg.Replications == 0 {
+		cfg.Replications = 3
+	}
+	return cfg
+}
+
+// BurstPoint is one (spec, factor) cell.
+type BurstPoint struct {
+	Factor             float64
+	FalseAlarmsPer100k float64
+	LossFraction       float64
+}
+
+// BurstSeries is the factor sweep for one detector configuration.
+type BurstSeries struct {
+	Spec   Spec
+	Points []BurstPoint
+}
+
+// RunBurstSweep executes the burst-tolerance experiment.
+func RunBurstSweep(cfg BurstSweepConfig) ([]BurstSeries, error) {
+	cfg = cfg.defaulted()
+	out := make([]BurstSeries, 0, len(cfg.Specs))
+	for _, spec := range cfg.Specs {
+		series := BurstSeries{Spec: spec, Points: make([]BurstPoint, 0, len(cfg.Factors))}
+		for fi, factor := range cfg.Factors {
+			var done, lost, rejuv int64
+			for rep := 0; rep < cfg.Replications; rep++ {
+				det, err := spec.NewDetector()
+				if err != nil {
+					return nil, fmt.Errorf("experiment: burst sweep %s: %w", spec.Label(), err)
+				}
+				mcfg := ecommerce.Config{
+					ArrivalRate:  cfg.BaseLoad * 0.2,
+					DisableGC:    true, // no aging: all triggers are false alarms
+					Transactions: cfg.Transactions,
+					Seed:         cfg.Seed,
+					Stream:       uint64(fi)*1_000 + uint64(rep) + 1,
+				}
+				if factor > 1 {
+					mcfg.BurstFactor = factor
+					mcfg.BurstOn = cfg.BurstOn
+					mcfg.BurstOff = cfg.BurstOff
+				}
+				m, err := ecommerce.New(mcfg, det)
+				if err != nil {
+					return nil, err
+				}
+				res, err := m.Run()
+				if err != nil {
+					return nil, err
+				}
+				done += res.Completed + res.Lost
+				lost += res.Lost
+				rejuv += res.Rejuvenations
+			}
+			p := BurstPoint{Factor: factor}
+			if done > 0 {
+				p.FalseAlarmsPer100k = float64(rejuv) * 100_000 / float64(done)
+				p.LossFraction = float64(lost) / float64(done)
+			}
+			series.Points = append(series.Points, p)
+		}
+		out = append(out, series)
+	}
+	return out, nil
+}

@@ -1,0 +1,106 @@
+package experiment
+
+import "testing"
+
+func TestClusterSweepShape(t *testing.T) {
+	series, err := RunClusterSweep(ClusterSweepConfig{
+		Hosts:        []int{1, 2},
+		Loads:        []float64{2, 8},
+		Transactions: 5_000,
+		Replications: 1,
+		Seed:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("%d series, want 2", len(series))
+	}
+	for _, s := range series {
+		if len(s.Points) != 2 {
+			t.Fatalf("hosts=%d: %d points, want 2", s.Hosts, len(s.Points))
+		}
+		for _, p := range s.Points {
+			if p.AvgRT <= 0 {
+				t.Fatalf("hosts=%d load=%v: avg RT %v", s.Hosts, p.Load, p.AvgRT)
+			}
+			if p.LossFraction < 0 || p.LossFraction > 1 {
+				t.Fatalf("hosts=%d load=%v: loss %v", s.Hosts, p.Load, p.LossFraction)
+			}
+		}
+		// Response time must not improve as per-host load rises.
+		if s.Points[1].AvgRT < s.Points[0].AvgRT {
+			t.Fatalf("hosts=%d: RT fell with load: %v -> %v",
+				s.Hosts, s.Points[0].AvgRT, s.Points[1].AvgRT)
+		}
+	}
+}
+
+func TestClusterSweepDefaults(t *testing.T) {
+	cfg := ClusterSweepConfig{}.defaulted()
+	if len(cfg.Hosts) == 0 || cfg.Spec.Algorithm != SRAA ||
+		cfg.RejuvenationPause != 30 || cfg.Replications == 0 {
+		t.Fatalf("defaults incomplete: %+v", cfg)
+	}
+}
+
+func TestBurstSweepDiscriminates(t *testing.T) {
+	series, err := RunBurstSweep(BurstSweepConfig{
+		Factors:      []float64{1, 3.5},
+		Transactions: 30_000,
+		Replications: 1,
+		Seed:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("%d series, want 2", len(series))
+	}
+	var multi, single BurstSeries
+	for _, s := range series {
+		if s.Spec.K > 1 {
+			multi = s
+		} else {
+			single = s
+		}
+	}
+	if multi.Spec.Algorithm == "" || single.Spec.Algorithm == "" {
+		t.Fatal("default spec pair missing a multi- or single-bucket config")
+	}
+	// At factor 1 (no bursts, no aging) nobody should false-alarm much;
+	// at factor 3.5 the single-bucket config must false-alarm far more
+	// than the multi-bucket one.
+	if multi.Points[1].FalseAlarmsPer100k*10 > single.Points[1].FalseAlarmsPer100k {
+		t.Fatalf("multi %v vs single %v false alarms at factor 3.5",
+			multi.Points[1].FalseAlarmsPer100k, single.Points[1].FalseAlarmsPer100k)
+	}
+	if multi.Points[0].FalseAlarmsPer100k != 0 {
+		t.Fatalf("multi-bucket false-alarmed with no bursts: %v", multi.Points[0].FalseAlarmsPer100k)
+	}
+}
+
+func TestBurstSweepPropagatesErrors(t *testing.T) {
+	_, err := RunBurstSweep(BurstSweepConfig{
+		Specs:        []Spec{{Algorithm: "bogus"}},
+		Factors:      []float64{1},
+		Transactions: 1_000,
+		Replications: 1,
+	})
+	if err == nil {
+		t.Fatal("bogus spec accepted")
+	}
+}
+
+func TestClusterSweepPropagatesErrors(t *testing.T) {
+	_, err := RunClusterSweep(ClusterSweepConfig{
+		Hosts:        []int{1},
+		Loads:        []float64{1},
+		Spec:         Spec{Algorithm: "bogus"},
+		Transactions: 1_000,
+		Replications: 1,
+	})
+	if err == nil {
+		t.Fatal("bogus spec accepted")
+	}
+}

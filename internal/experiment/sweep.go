@@ -1,0 +1,215 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"rejuv/internal/ecommerce"
+	"rejuv/internal/stats"
+)
+
+// SweepConfig describes a load sweep of the e-commerce model.
+type SweepConfig struct {
+	// Loads is the offered load axis in "CPUs" (lambda/mu), as in the
+	// paper's figures. Zero means PaperLoads.
+	Loads []float64
+	// Replications per load point (paper: 5).
+	Replications int
+	// Transactions per replication (paper: 100,000).
+	Transactions int64
+	// Seed is the base random seed; each (load, replication) pair uses
+	// an independent stream derived from it.
+	Seed uint64
+	// Model overrides fields of the e-commerce configuration other than
+	// ArrivalRate, Transactions, Seed and Stream (which the sweep
+	// controls). Leave zero for the paper's system.
+	Model ecommerce.Config
+	// Workers bounds the number of concurrent replications; zero means
+	// GOMAXPROCS.
+	Workers int
+}
+
+// PaperLoads returns the x-axis of the paper's figures: 0.5 to 10.0 CPUs
+// in steps of 0.5.
+func PaperLoads() []float64 {
+	loads := make([]float64, 0, 20)
+	for l := 0.5; l <= 10.0+1e-9; l += 0.5 {
+		loads = append(loads, math.Round(l*2)/2)
+	}
+	return loads
+}
+
+// defaulted returns cfg with zero fields replaced by paper values.
+func (cfg SweepConfig) defaulted() SweepConfig {
+	if len(cfg.Loads) == 0 {
+		cfg.Loads = PaperLoads()
+	}
+	if cfg.Replications == 0 {
+		cfg.Replications = 5
+	}
+	if cfg.Transactions == 0 {
+		cfg.Transactions = 100_000
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	return cfg
+}
+
+// Point is one load point of a series, aggregated over replications.
+type Point struct {
+	// Load is the offered load in CPUs (lambda/mu).
+	Load float64
+	// AvgRT is the mean response time over all completed transactions
+	// of all replications.
+	AvgRT float64
+	// RTStdDev is the standard deviation of the pooled response times.
+	RTStdDev float64
+	// AvgRTStdErr is the standard error of AvgRT across replications,
+	// for confidence intervals.
+	AvgRTStdErr float64
+	// LossFraction is total lost / (lost + completed) over all
+	// replications — the paper's "average fraction of transaction loss".
+	LossFraction float64
+	// Rejuvenations is the mean number of rejuvenations per replication.
+	Rejuvenations float64
+	// GCs is the mean number of full garbage collections per replication.
+	GCs float64
+	// Replications actually run for this point.
+	Replications int
+}
+
+// Series is one curve of a figure: a spec swept over the load axis.
+type Series struct {
+	Spec   Spec
+	Points []Point
+}
+
+// repOutcome carries one replication's result to the aggregator.
+type repOutcome struct {
+	loadIdx int
+	res     ecommerce.Result
+	err     error
+}
+
+// RunSweep runs the spec over the load axis and returns the aggregated
+// series. Replications run concurrently up to cfg.Workers; results are
+// deterministic regardless of scheduling because every replication has
+// its own random stream.
+func RunSweep(cfg SweepConfig, spec Spec) (Series, error) {
+	cfg = cfg.defaulted()
+	mu := cfg.Model.ServiceRate
+	if mu == 0 {
+		mu = 0.2
+	}
+
+	type task struct {
+		loadIdx int
+		rep     int
+	}
+	tasks := make(chan task)
+	outcomes := make(chan repOutcome)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range tasks {
+				res, err := runReplication(cfg, spec, mu, t.loadIdx, t.rep)
+				outcomes <- repOutcome{loadIdx: t.loadIdx, res: res, err: err}
+			}
+		}()
+	}
+	go func() {
+		for li := range cfg.Loads {
+			for rep := 0; rep < cfg.Replications; rep++ {
+				tasks <- task{loadIdx: li, rep: rep}
+			}
+		}
+		close(tasks)
+		wg.Wait()
+		close(outcomes)
+	}()
+
+	agg := make([]pointAgg, len(cfg.Loads))
+	var firstErr error
+	for o := range outcomes {
+		if o.err != nil {
+			if firstErr == nil {
+				firstErr = o.err
+			}
+			continue
+		}
+		agg[o.loadIdx].add(o.res)
+	}
+	if firstErr != nil {
+		return Series{}, firstErr
+	}
+
+	series := Series{Spec: spec, Points: make([]Point, len(cfg.Loads))}
+	for i, load := range cfg.Loads {
+		series.Points[i] = agg[i].finish(load)
+	}
+	return series, nil
+}
+
+// runReplication executes one (load, replication) cell.
+func runReplication(cfg SweepConfig, spec Spec, mu float64, loadIdx, rep int) (ecommerce.Result, error) {
+	det, err := spec.NewDetector()
+	if err != nil {
+		return ecommerce.Result{}, fmt.Errorf("experiment: %s: %w", spec.Label(), err)
+	}
+	model := cfg.Model
+	model.ArrivalRate = cfg.Loads[loadIdx] * mu
+	model.Transactions = cfg.Transactions
+	model.Seed = cfg.Seed
+	// Distinct stream per (load, replication) cell keeps replications
+	// independent and results independent of worker scheduling.
+	model.Stream = uint64(loadIdx)*1_000 + uint64(rep) + 1
+	m, err := ecommerce.New(model, det)
+	if err != nil {
+		return ecommerce.Result{}, fmt.Errorf("experiment: %s at load %v: %w", spec.Label(), cfg.Loads[loadIdx], err)
+	}
+	return m.Run()
+}
+
+// pointAgg pools replication results for one load point.
+type pointAgg struct {
+	rt        stats.Welford // pooled over all transactions
+	repMeans  stats.Welford // across replications, for the standard error
+	completed int64
+	lost      int64
+	rejuv     int64
+	gcs       int64
+	reps      int
+}
+
+func (a *pointAgg) add(r ecommerce.Result) {
+	a.rt.Merge(r.RT)
+	if r.RT.N() > 0 {
+		a.repMeans.Add(r.RT.Mean())
+	}
+	a.completed += r.Completed
+	a.lost += r.Lost
+	a.rejuv += r.Rejuvenations
+	a.gcs += r.GCs
+	a.reps++
+}
+
+func (a *pointAgg) finish(load float64) Point {
+	p := Point{
+		Load:          load,
+		AvgRT:         a.rt.Mean(),
+		RTStdDev:      a.rt.StdDev(),
+		AvgRTStdErr:   a.repMeans.StdErr(),
+		Rejuvenations: float64(a.rejuv) / float64(max(a.reps, 1)),
+		GCs:           float64(a.gcs) / float64(max(a.reps, 1)),
+		Replications:  a.reps,
+	}
+	if done := a.completed + a.lost; done > 0 {
+		p.LossFraction = float64(a.lost) / float64(done)
+	}
+	return p
+}

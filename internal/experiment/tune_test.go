@@ -1,0 +1,132 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTuneCandidatesBudget(t *testing.T) {
+	cfg := TuneConfig{Budget: 12}
+	specs := cfg.Candidates()
+	// 12 = 2^2*3 has 6 divisors; ordered triples with product 12: 18.
+	if len(specs) != 18 {
+		t.Fatalf("%d candidates for budget 12, want 18", len(specs))
+	}
+	seen := make(map[[3]int]bool)
+	for _, s := range specs {
+		if s.N*s.K*s.D != 12 {
+			t.Fatalf("candidate %s breaks the budget", s.Label())
+		}
+		key := [3]int{s.N, s.K, s.D}
+		if seen[key] {
+			t.Fatalf("duplicate candidate %v", key)
+		}
+		seen[key] = true
+	}
+}
+
+func TestTuneCandidatesBudget30MatchesPaperSpace(t *testing.T) {
+	// The paper's Figs. 11-15 explore n*K*D = 30; every configuration
+	// it quotes must appear in the candidate set.
+	specs := TuneConfig{Budget: 30}.Candidates()
+	want := [][3]int{{2, 5, 3}, {30, 1, 1}, {6, 5, 1}, {10, 3, 1}, {3, 2, 5}, {5, 2, 3}, {15, 2, 1}, {1, 5, 6}}
+	for _, w := range want {
+		found := false
+		for _, s := range specs {
+			if s.N == w[0] && s.K == w[1] && s.D == w[2] {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("paper configuration %v missing from candidates", w)
+		}
+	}
+}
+
+func TestTuneCandidatesBox(t *testing.T) {
+	specs := TuneConfig{MaxN: 2, MaxK: 3, MaxD: 4}.Candidates()
+	if len(specs) != 2*3*4 {
+		t.Fatalf("%d candidates for a 2x3x4 box, want 24", len(specs))
+	}
+}
+
+func TestTuneRanksByCost(t *testing.T) {
+	results, err := Tune(TuneConfig{
+		Budget:       4, // tiny space: 4 = (1,1,4),(1,2,2),(1,4,1),(2,1,2),(2,2,1),(4,1,1)
+		Replications: 1,
+		Transactions: 8_000,
+		Seed:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 6 {
+		t.Fatalf("%d results for budget 4, want 6", len(results))
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i].Cost < results[i-1].Cost {
+			t.Fatalf("results not sorted by cost: %v after %v", results[i].Cost, results[i-1].Cost)
+		}
+	}
+	for _, r := range results {
+		if math.IsNaN(r.Cost) || r.HighRT <= 0 {
+			t.Fatalf("degenerate result %+v", r)
+		}
+		if want := 1*r.HighRT + 100*r.LowLoss; math.Abs(r.Cost-want) > 1e-12 {
+			t.Fatalf("cost %v != weighted sum %v", r.Cost, want)
+		}
+	}
+}
+
+func TestTuneLossWeightChangesWinner(t *testing.T) {
+	// With loss priced astronomically, a zero-low-load-loss
+	// configuration must win; with loss free, the best-RT one must.
+	run := func(lossWeight float64) TuneResult {
+		results, err := Tune(TuneConfig{
+			Budget:       15,
+			LossWeight:   lossWeight,
+			Replications: 1,
+			Transactions: 20_000,
+			Seed:         1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return results[0]
+	}
+	lossAverse := run(1e9)
+	if lossAverse.LowLoss != 0 {
+		t.Fatalf("loss-averse winner %s still loses %v at low load",
+			lossAverse.Spec.Label(), lossAverse.LowLoss)
+	}
+	rtOnly := run(1e-9)
+	if rtOnly.HighRT > lossAverse.HighRT {
+		t.Fatalf("RT-only winner %s (RT %v) is slower than the loss-averse one (%v)",
+			rtOnly.Spec.Label(), rtOnly.HighRT, lossAverse.HighRT)
+	}
+}
+
+func TestTuneSARAA(t *testing.T) {
+	results, err := Tune(TuneConfig{
+		Algorithm:    SARAA,
+		Budget:       6,
+		Replications: 1,
+		Transactions: 8_000,
+		Seed:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Spec.Algorithm != SARAA {
+			t.Fatalf("candidate %s is not SARAA", r.Spec.Label())
+		}
+	}
+}
+
+func TestTunePropagatesErrors(t *testing.T) {
+	if _, err := Tune(TuneConfig{Algorithm: "bogus", Budget: 2, Replications: 1, Transactions: 1000}); err == nil {
+		t.Fatal("bogus algorithm accepted")
+	}
+}

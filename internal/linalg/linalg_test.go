@@ -1,0 +1,208 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestSolveKnownSystem(t *testing.T) {
+	// 2x + y = 5, x + 3y = 10 -> x = 1, y = 3.
+	a := FromRows([][]float64{{2, 1}, {1, 3}})
+	x, err := Solve(a, []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(x[0], 1, 1e-12) || !almostEqual(x[1], 3, 1e-12) {
+		t.Fatalf("Solve = %v, want [1 3]", x)
+	}
+}
+
+func TestSolveNeedsPivoting(t *testing.T) {
+	// Zero on the leading diagonal forces a row swap.
+	a := FromRows([][]float64{{0, 1}, {1, 0}})
+	x, err := Solve(a, []float64{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(x[0], 3, 1e-12) || !almostEqual(x[1], 2, 1e-12) {
+		t.Fatalf("Solve = %v, want [3 2]", x)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := Solve(a, []float64{1, 2}); !errors.Is(err, ErrSingular) {
+		t.Fatalf("Solve singular error = %v, want ErrSingular", err)
+	}
+}
+
+func TestSolveRandomRoundTrip(t *testing.T) {
+	// Property: for diagonally dominant A (never singular), A*(solve(A,b)) == b.
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(12)
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			rowSum := 0.0
+			for j := 0; j < n; j++ {
+				if i != j {
+					v := rng.Float64()*2 - 1
+					a.Set(i, j, v)
+					rowSum += math.Abs(v)
+				}
+			}
+			a.Set(i, i, rowSum+1+rng.Float64())
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.Float64()*10 - 5
+		}
+		x, err := Solve(a, b)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		back := a.MulVec(x)
+		for i := range b {
+			if !almostEqual(back[i], b[i], 1e-9) {
+				t.Fatalf("trial %d: A*x = %v, want %v", trial, back, b)
+			}
+		}
+	}
+}
+
+func TestInverse(t *testing.T) {
+	a := FromRows([][]float64{{4, 7}, {2, 6}})
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := a.Mul(inv)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if !almostEqual(id.At(i, j), want, 1e-12) {
+				t.Fatalf("A*inv(A) = %v", id)
+			}
+		}
+	}
+}
+
+func TestMulKnownProduct(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	got := a.Mul(b)
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if got.At(i, j) != want.At(i, j) {
+				t.Fatalf("Mul = %v, want %v", got, want)
+			}
+		}
+	}
+}
+
+func TestMulVecAndVecMul(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	mv := a.MulVec([]float64{1, 1, 1})
+	if mv[0] != 6 || mv[1] != 15 {
+		t.Fatalf("MulVec = %v, want [6 15]", mv)
+	}
+	vm := a.VecMul([]float64{1, 1})
+	if vm[0] != 5 || vm[1] != 7 || vm[2] != 9 {
+		t.Fatalf("VecMul = %v, want [5 7 9]", vm)
+	}
+}
+
+func TestIdentityIsMulNeutral(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	got := a.Mul(Identity(2))
+	for i := range a.Data {
+		if got.Data[i] != a.Data[i] {
+			t.Fatalf("A*I = %v, want %v", got, a)
+		}
+	}
+}
+
+func TestSolveMatrixColumns(t *testing.T) {
+	a := FromRows([][]float64{{2, 0}, {0, 4}})
+	b := FromRows([][]float64{{2, 4}, {4, 8}})
+	x, err := SolveMatrix(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := FromRows([][]float64{{1, 2}, {1, 2}})
+	for i := range want.Data {
+		if !almostEqual(x.Data[i], want.Data[i], 1e-12) {
+			t.Fatalf("SolveMatrix = %v, want %v", x, want)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	c := a.Clone()
+	c.Set(0, 0, 99)
+	if a.At(0, 0) != 1 {
+		t.Fatal("Clone shares storage with the original")
+	}
+}
+
+func TestScale(t *testing.T) {
+	a := FromRows([][]float64{{1, -2}}).Scale(3)
+	if a.At(0, 0) != 3 || a.At(0, 1) != -6 {
+		t.Fatalf("Scale = %v", a)
+	}
+}
+
+func TestDot(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+}
+
+func TestDimensionPanics(t *testing.T) {
+	tests := []struct {
+		name string
+		f    func()
+	}{
+		{"NewMatrix zero rows", func() { NewMatrix(0, 1) }},
+		{"FromRows ragged", func() { FromRows([][]float64{{1}, {1, 2}}) }},
+		{"Mul mismatch", func() {
+			FromRows([][]float64{{1, 2}}).Mul(FromRows([][]float64{{1, 2}}))
+		}},
+		{"MulVec mismatch", func() { FromRows([][]float64{{1, 2}}).MulVec([]float64{1}) }},
+		{"Dot mismatch", func() { Dot([]float64{1}, []float64{1, 2}) }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", tt.name)
+				}
+			}()
+			tt.f()
+		})
+	}
+}
+
+func TestFactorNonSquare(t *testing.T) {
+	if _, err := Factor(NewMatrix(2, 3)); err == nil {
+		t.Fatal("Factor accepted a non-square matrix")
+	}
+}
+
+func TestOnes(t *testing.T) {
+	v := Ones(3)
+	if len(v) != 3 || v[0] != 1 || v[1] != 1 || v[2] != 1 {
+		t.Fatalf("Ones(3) = %v", v)
+	}
+}

@@ -1,0 +1,9 @@
+package mmc
+
+import "rejuv/internal/linalg"
+
+// matrixFromRows adapts a row-slice literal to a linalg.Matrix; it exists
+// so the sub-generators in this package read like the paper's figures.
+func matrixFromRows(rows [][]float64) *linalg.Matrix {
+	return linalg.FromRows(rows)
+}

@@ -1,0 +1,282 @@
+package phasetype
+
+import (
+	"math"
+	"testing"
+
+	"rejuv/internal/dist"
+	"rejuv/internal/linalg"
+)
+
+func TestExponentialPH(t *testing.T) {
+	ph, err := Exponential(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ph.Mean()-5) > 1e-12 {
+		t.Fatalf("mean = %v, want 5", ph.Mean())
+	}
+	if math.Abs(ph.Var()-25) > 1e-9 {
+		t.Fatalf("var = %v, want 25", ph.Var())
+	}
+	ref := dist.Exponential{Rate: 0.2}
+	for _, x := range []float64{0.5, 5, 20} {
+		pdf, err := ph.PDF(x, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(pdf-ref.PDF(x)) > 1e-9 {
+			t.Errorf("PDF(%v) = %v, want %v", x, pdf, ref.PDF(x))
+		}
+		cdf, err := ph.CDF(x, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(cdf-ref.CDF(x)) > 1e-9 {
+			t.Errorf("CDF(%v) = %v, want %v", x, cdf, ref.CDF(x))
+		}
+	}
+}
+
+func TestHypoExpPHMatchesClosedForm(t *testing.T) {
+	ph, err := HypoExp(0.2, 1.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := dist.NewHypoExp(0.2, 1.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ph.Mean()-ref.Mean()) > 1e-10 {
+		t.Fatalf("mean = %v, want %v", ph.Mean(), ref.Mean())
+	}
+	if math.Abs(ph.Var()-ref.Var()) > 1e-9 {
+		t.Fatalf("var = %v, want %v", ph.Var(), ref.Var())
+	}
+	for _, x := range []float64{0.3, 2, 8, 25} {
+		pdf, err := ph.PDF(x, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(pdf-ref.PDF(x)) > 1e-9 {
+			t.Errorf("PDF(%v) = %v, want %v", x, pdf, ref.PDF(x))
+		}
+	}
+}
+
+func TestMixMatchesMixtureDistribution(t *testing.T) {
+	// The paper's response time: Wc exp + (1-Wc) hypoexp.
+	const wc = 0.990981
+	expPH, err := Exponential(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hypoPH, err := HypoExp(0.2, 1.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed, err := Mix(wc, expPH, hypoPH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hypoDist, err := dist.NewHypoExp(0.2, 1.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := dist.NewMixture([]float64{wc, 1 - wc},
+		[]dist.Dist{dist.Exponential{Rate: 0.2}, hypoDist})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mixed.Mean()-ref.Mean()) > 1e-9 {
+		t.Fatalf("mean = %v, want %v", mixed.Mean(), ref.Mean())
+	}
+	if math.Abs(mixed.Var()-ref.Var()) > 1e-9 {
+		t.Fatalf("var = %v, want %v", mixed.Var(), ref.Var())
+	}
+	for _, x := range []float64{1, 5, 12} {
+		cdf, err := mixed.CDF(x, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(cdf-ref.CDF(x)) > 1e-9 {
+			t.Errorf("CDF(%v) = %v, want %v", x, cdf, ref.CDF(x))
+		}
+	}
+}
+
+func TestScaleDividesMeanAndVariance(t *testing.T) {
+	ph, err := HypoExp(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled, err := ph.Scale(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(scaled.Mean()-ph.Mean()/4) > 1e-12 {
+		t.Fatalf("scaled mean = %v, want %v", scaled.Mean(), ph.Mean()/4)
+	}
+	if math.Abs(scaled.Var()-ph.Var()/16) > 1e-12 {
+		t.Fatalf("scaled var = %v, want %v", scaled.Var(), ph.Var()/16)
+	}
+	if _, err := ph.Scale(0); err == nil {
+		t.Fatal("Scale(0) accepted")
+	}
+}
+
+func TestConvolveAddsMoments(t *testing.T) {
+	a, err := Exponential(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Exponential(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := Convolve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sum.Mean()-(1+1.0/3)) > 1e-12 {
+		t.Fatalf("convolved mean = %v, want 4/3", sum.Mean())
+	}
+	if math.Abs(sum.Var()-(1+1.0/9)) > 1e-9 {
+		t.Fatalf("convolved var = %v, want 10/9", sum.Var())
+	}
+	// Convolving two exponentials with distinct rates is the
+	// two-stage hypoexponential.
+	ref, err := dist.NewHypoExp(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0.2, 1, 4} {
+		pdf, err := sum.PDF(x, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(pdf-ref.PDF(x)) > 1e-9 {
+			t.Errorf("PDF(%v) = %v, want %v", x, pdf, ref.PDF(x))
+		}
+	}
+}
+
+func TestSampleMeanMoments(t *testing.T) {
+	// E[X̄n] = E[X]; Var[X̄n] = Var[X]/n — the identities behind the
+	// paper's Fig. 4 construction.
+	base, err := HypoExp(0.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 2, 5, 10} {
+		avg, err := base.SampleMean(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := avg.NumPhases(); got != 2*n {
+			t.Fatalf("n=%d: %d phases, want %d", n, got, 2*n)
+		}
+		if math.Abs(avg.Mean()-base.Mean()) > 1e-9 {
+			t.Errorf("n=%d: mean %v, want %v", n, avg.Mean(), base.Mean())
+		}
+		if math.Abs(avg.Var()-base.Var()/float64(n)) > 1e-9 {
+			t.Errorf("n=%d: var %v, want %v", n, avg.Var(), base.Var()/float64(n))
+		}
+	}
+	if _, err := base.SampleMean(0); err == nil {
+		t.Fatal("SampleMean(0) accepted")
+	}
+}
+
+func TestCDFMonotoneAndNormalized(t *testing.T) {
+	ph, err := HypoExp(1, 0.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	for x := 0.0; x <= 30; x += 0.5 {
+		cdf, err := ph.CDF(x, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cdf < prev-1e-10 {
+			t.Fatalf("CDF decreasing at %v", x)
+		}
+		prev = cdf
+	}
+	if prev < 0.999 {
+		t.Fatalf("CDF(30) = %v, want ~1", prev)
+	}
+	if pdf, _ := ph.PDF(-1, 0); pdf != 0 {
+		t.Fatal("PDF(-1) != 0")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	okT := linalg.FromRows([][]float64{{-1}})
+	tests := []struct {
+		name  string
+		alpha []float64
+		t     *linalg.Matrix
+	}{
+		{"non-square", []float64{1}, linalg.NewMatrix(1, 2)},
+		{"alpha length", []float64{1, 0}, okT},
+		{"alpha sum", []float64{0.5}, okT},
+		{"alpha negative", []float64{-1}, okT},
+		{"diagonal non-negative", []float64{1}, linalg.FromRows([][]float64{{0}})},
+		{"off-diagonal negative", []float64{1, 0},
+			linalg.FromRows([][]float64{{-1, -0.5}, {0, -1}})},
+		{"row sum positive", []float64{1, 0},
+			linalg.FromRows([][]float64{{-1, 2}, {0, -1}})},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := New(tt.alpha, tt.t); err == nil {
+				t.Errorf("New accepted invalid %s", tt.name)
+			}
+		})
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	if _, err := Exponential(0); err == nil {
+		t.Error("Exponential(0) accepted")
+	}
+	if _, err := HypoExp(); err == nil {
+		t.Error("HypoExp() accepted")
+	}
+	if _, err := HypoExp(1, -2); err == nil {
+		t.Error("HypoExp with negative rate accepted")
+	}
+	a, _ := Exponential(1)
+	if _, err := Mix(1.5, a, a); err == nil {
+		t.Error("Mix with p>1 accepted")
+	}
+}
+
+func TestExitVector(t *testing.T) {
+	ph, err := HypoExp(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exit := ph.ExitVector()
+	// Stage 1 exits only into stage 2 (no absorption); stage 2 absorbs
+	// at its full rate.
+	if exit[0] != 0 || exit[1] != 3 {
+		t.Fatalf("exit vector = %v, want [0 3]", exit)
+	}
+}
+
+func TestNewCopiesInputs(t *testing.T) {
+	alpha := []float64{1}
+	tm := linalg.FromRows([][]float64{{-2}})
+	ph, err := New(alpha, tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alpha[0] = 0.3
+	tm.Set(0, 0, -99)
+	if ph.Alpha[0] != 1 || ph.T.At(0, 0) != -2 {
+		t.Fatal("New shares storage with its arguments")
+	}
+}

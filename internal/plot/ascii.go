@@ -1,0 +1,90 @@
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ASCII renders the chart as a text plot of the given size (columns x
+// rows of the plotting area, excluding labels). Each series draws with
+// its own glyph; overlapping points show the later series.
+func (c *Chart) ASCII(width, height int) (string, error) {
+	if err := c.validate(); err != nil {
+		return "", err
+	}
+	if width < 16 {
+		width = 16
+	}
+	if height < 6 {
+		height = 6
+	}
+	xmin, xmax, ymin, ymax := c.bounds()
+	glyphs := []byte{'*', '+', 'o', 'x', '#', '@', '%', '&', '$', '~'}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	plotCell := func(x, y float64, g byte) {
+		cx := int(math.Round((x - xmin) / (xmax - xmin) * float64(width-1)))
+		cy := int(math.Round((y - ymin) / (ymax - ymin) * float64(height-1)))
+		if cx < 0 || cx >= width || cy < 0 {
+			return
+		}
+		if cy >= height {
+			cy = height - 1
+		}
+		grid[height-1-cy][cx] = g
+	}
+	for si, s := range c.Series {
+		g := glyphs[si%len(glyphs)]
+		for i := range s.X {
+			if !finite(s.X[i]) || !finite(s.Y[i]) {
+				continue
+			}
+			// Interpolate toward the next point so curves read as lines.
+			if i+1 < len(s.X) && finite(s.X[i+1]) && finite(s.Y[i+1]) {
+				const steps = 8
+				for t := 0; t < steps; t++ {
+					f := float64(t) / steps
+					plotCell(s.X[i]+(s.X[i+1]-s.X[i])*f, s.Y[i]+(s.Y[i+1]-s.Y[i])*f, g)
+				}
+			}
+			plotCell(s.X[i], s.Y[i], g)
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	labelW := 10
+	for i, row := range grid {
+		// y labels at the top, middle, and bottom rows.
+		label := ""
+		switch i {
+		case 0:
+			label = formatTick(ymax)
+		case height / 2:
+			label = formatTick((ymin + ymax) / 2)
+		case height - 1:
+			label = formatTick(ymin)
+		}
+		fmt.Fprintf(&b, "%*s |%s\n", labelW, label, string(row))
+	}
+	fmt.Fprintf(&b, "%*s +%s\n", labelW, "", strings.Repeat("-", width))
+	lo, hi := formatTick(xmin), formatTick(xmax)
+	pad := width - len(lo) - len(hi)
+	if pad < 1 {
+		pad = 1
+	}
+	fmt.Fprintf(&b, "%*s  %s%s%s\n", labelW, "", lo, strings.Repeat(" ", pad), hi)
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&b, "%*s  x: %s   y: %s\n", labelW, "", c.XLabel, c.YLabel)
+	}
+	for si, s := range c.Series {
+		fmt.Fprintf(&b, "%*s  %c %s\n", labelW, "", glyphs[si%len(glyphs)], s.Name)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,116 @@
+// Package plot renders line charts as SVG and as ASCII, using only the
+// standard library. It exists to regenerate the paper's figures from
+// the experiment results without external plotting dependencies.
+package plot
+
+import (
+	"fmt"
+	"math"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Chart is a set of curves with axis labels.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// YMin/YMax clamp the y-axis when both are set (YMax > YMin);
+	// otherwise the range is computed from the data.
+	YMin, YMax float64
+}
+
+// validate reports structural problems that would render garbage.
+func (c *Chart) validate() error {
+	if len(c.Series) == 0 {
+		return fmt.Errorf("plot: chart %q has no series", c.Title)
+	}
+	for _, s := range c.Series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("plot: series %q has %d x values but %d y values", s.Name, len(s.X), len(s.Y))
+		}
+		if len(s.X) == 0 {
+			return fmt.Errorf("plot: series %q is empty", s.Name)
+		}
+	}
+	return nil
+}
+
+// bounds returns the data range over all series, ignoring NaN/Inf.
+func (c *Chart) bounds() (xmin, xmax, ymin, ymax float64) {
+	xmin, ymin = math.Inf(1), math.Inf(1)
+	xmax, ymax = math.Inf(-1), math.Inf(-1)
+	for _, s := range c.Series {
+		for i := range s.X {
+			x, y := s.X[i], s.Y[i]
+			if !finite(x) || !finite(y) {
+				continue
+			}
+			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+			ymin, ymax = math.Min(ymin, y), math.Max(ymax, y)
+		}
+	}
+	if c.YMax > c.YMin {
+		ymin, ymax = c.YMin, c.YMax
+	}
+	if xmin > xmax { // no finite points at all
+		xmin, xmax = 0, 1
+	}
+	if ymin > ymax {
+		ymin, ymax = 0, 1
+	}
+	if xmin == xmax {
+		xmin, xmax = xmin-0.5, xmax+0.5
+	}
+	if ymin == ymax {
+		ymin, ymax = ymin-0.5, ymax+0.5
+	}
+	return xmin, xmax, ymin, ymax
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// niceTicks returns ~n human-friendly tick positions covering [lo, hi].
+func niceTicks(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		n = 2
+	}
+	span := hi - lo
+	step := math.Pow(10, math.Floor(math.Log10(span/float64(n))))
+	for _, m := range []float64{1, 2, 5, 10, 20, 50} {
+		if span/(step*m) <= float64(n) {
+			step *= m
+			break
+		}
+	}
+	first := math.Ceil(lo/step) * step
+	var ticks []float64
+	for t := first; t <= hi+step*1e-9; t += step {
+		// Snap near-zero ticks to zero to avoid "-1.2e-16" labels.
+		if math.Abs(t) < step*1e-9 {
+			t = 0
+		}
+		ticks = append(ticks, t)
+	}
+	return ticks
+}
+
+// formatTick renders a tick label compactly.
+func formatTick(v float64) string {
+	a := math.Abs(v)
+	switch {
+	case v == 0:
+		return "0"
+	case a >= 0.01 && a < 10000:
+		s := fmt.Sprintf("%.4g", v)
+		return s
+	default:
+		return fmt.Sprintf("%.2g", v)
+	}
+}

@@ -1,0 +1,188 @@
+package plot
+
+import (
+	"encoding/xml"
+	"math"
+	"strings"
+	"testing"
+)
+
+func sampleChart() Chart {
+	return Chart{
+		Title:  "Response time",
+		XLabel: "Offered Load (CPUs)",
+		YLabel: "Average Response Time",
+		Series: []Series{
+			{Name: "SRAA <2,5,3>", X: []float64{1, 2, 3}, Y: []float64{5, 6, 9}},
+			{Name: "CLTA & friends", X: []float64{1, 2, 3}, Y: []float64{5, 5.5, 7}},
+		},
+	}
+}
+
+func TestWriteSVGIsWellFormedXML(t *testing.T) {
+	var b strings.Builder
+	c := sampleChart()
+	if err := c.WriteSVG(&b); err != nil {
+		t.Fatal(err)
+	}
+	// The emitted document must parse as XML even with markup-hostile
+	// series names (escaped <, >, &).
+	dec := xml.NewDecoder(strings.NewReader(b.String()))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("SVG is not well-formed XML: %v\n%s", err, b.String())
+		}
+	}
+	for _, want := range []string{"<svg", "Response time", "Offered Load", "&lt;2,5,3&gt;", "&amp; friends", "<path"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+}
+
+func TestWriteSVGOnePathPerSeries(t *testing.T) {
+	var b strings.Builder
+	c := sampleChart()
+	if err := c.WriteSVG(&b); err != nil {
+		t.Fatal(err)
+	}
+	// Each series draws one polyline path with stroke-width 1.8.
+	if got := strings.Count(b.String(), `stroke-width="1.8"`); got != 2 {
+		t.Fatalf("found %d series paths, want 2", got)
+	}
+}
+
+func TestChartValidation(t *testing.T) {
+	var b strings.Builder
+	empty := Chart{Title: "no series"}
+	if err := empty.WriteSVG(&b); err == nil {
+		t.Error("chart without series accepted")
+	}
+	ragged := Chart{Series: []Series{{Name: "bad", X: []float64{1, 2}, Y: []float64{1}}}}
+	if err := ragged.WriteSVG(&b); err == nil {
+		t.Error("ragged series accepted")
+	}
+	hollow := Chart{Series: []Series{{Name: "empty"}}}
+	if err := hollow.WriteSVG(&b); err == nil {
+		t.Error("empty series accepted")
+	}
+}
+
+func TestBoundsIgnoreNonFinite(t *testing.T) {
+	c := Chart{Series: []Series{{
+		Name: "s",
+		X:    []float64{1, 2, 3, 4},
+		Y:    []float64{5, math.NaN(), math.Inf(1), 8},
+	}}}
+	_, _, ymin, ymax := c.bounds()
+	if ymin != 5 || ymax != 8 {
+		t.Fatalf("bounds = [%v, %v], want [5, 8]", ymin, ymax)
+	}
+}
+
+func TestBoundsDegenerate(t *testing.T) {
+	c := Chart{Series: []Series{{Name: "s", X: []float64{2}, Y: []float64{7}}}}
+	xmin, xmax, ymin, ymax := c.bounds()
+	if !(xmin < 2 && xmax > 2 && ymin < 7 && ymax > 7) {
+		t.Fatalf("degenerate bounds [%v %v %v %v] do not widen", xmin, xmax, ymin, ymax)
+	}
+	allBad := Chart{Series: []Series{{Name: "s", X: []float64{math.NaN()}, Y: []float64{math.NaN()}}}}
+	xmin, xmax, _, _ = allBad.bounds()
+	if xmin >= xmax {
+		t.Fatal("all-NaN series produced an empty range")
+	}
+}
+
+func TestYClamping(t *testing.T) {
+	c := sampleChart()
+	c.YMin, c.YMax = 0, 4 // data exceeds the cap
+	var b strings.Builder
+	if err := c.WriteSVG(&b); err != nil {
+		t.Fatal(err)
+	}
+	_, _, ymin, ymax := c.bounds()
+	if ymin != 0 || ymax != 4 {
+		t.Fatalf("clamped bounds [%v, %v], want [0, 4]", ymin, ymax)
+	}
+}
+
+func TestNiceTicks(t *testing.T) {
+	ticks := niceTicks(0, 10, 10)
+	if len(ticks) < 5 || len(ticks) > 12 {
+		t.Fatalf("niceTicks(0,10) produced %d ticks: %v", len(ticks), ticks)
+	}
+	for i := 1; i < len(ticks); i++ {
+		if ticks[i] <= ticks[i-1] {
+			t.Fatalf("ticks not increasing: %v", ticks)
+		}
+	}
+	if ticks[0] < 0 || ticks[len(ticks)-1] > 10+1e-9 {
+		t.Fatalf("ticks escape the range: %v", ticks)
+	}
+	// A range straddling zero must include a clean zero tick.
+	found := false
+	for _, tk := range niceTicks(-3, 7, 8) {
+		if tk == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no zero tick in a straddling range")
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	tests := []struct {
+		v    float64
+		want string
+	}{
+		{0, "0"},
+		{5, "5"},
+		{2.5, "2.5"},
+		{10000, "1e+04"},
+	}
+	for _, tt := range tests {
+		if got := formatTick(tt.v); got != tt.want {
+			t.Errorf("formatTick(%v) = %q, want %q", tt.v, got, tt.want)
+		}
+	}
+}
+
+func TestASCIIRendering(t *testing.T) {
+	c := sampleChart()
+	out, err := c.ASCII(60, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Response time", "*", "+", "SRAA", "CLTA", "x: Offered Load"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ASCII output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 18 { // title + 15 rows + axis + labels
+		t.Fatalf("ASCII output has %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestASCIIMinimumSize(t *testing.T) {
+	c := sampleChart()
+	out, err := c.ASCII(1, 1) // clamps up instead of failing
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 {
+		t.Fatal("empty output")
+	}
+}
+
+func TestASCIIValidation(t *testing.T) {
+	bad := Chart{}
+	if _, err := bad.ASCII(40, 10); err == nil {
+		t.Fatal("chart without series accepted")
+	}
+}

@@ -1,0 +1,158 @@
+package plot
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// svg layout constants (pixels).
+const (
+	svgWidth     = 860
+	svgHeight    = 560
+	marginLeft   = 70
+	marginRight  = 24
+	marginTop    = 44
+	marginBottom = 52
+	legendRowH   = 18
+)
+
+// palette holds distinguishable series colors; series beyond its length
+// wrap around with a dashed stroke.
+var palette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#9467bd",
+	"#ff7f0e", "#8c564b", "#17becf", "#7f7f7f",
+	"#bcbd22", "#e377c2",
+}
+
+// markers are small shape names cycled per series so curves remain
+// distinguishable in grayscale print, like the paper's figures.
+var markers = []string{"circle", "square", "diamond", "triangle", "cross"}
+
+// WriteSVG renders the chart as a standalone SVG document.
+func (c *Chart) WriteSVG(w io.Writer) error {
+	if err := c.validate(); err != nil {
+		return err
+	}
+	xmin, xmax, ymin, ymax := c.bounds()
+	plotW := float64(svgWidth - marginLeft - marginRight)
+	plotH := float64(svgHeight - marginTop - marginBottom)
+	sx := func(x float64) float64 { return marginLeft + (x-xmin)/(xmax-xmin)*plotW }
+	sy := func(y float64) float64 { return marginTop + plotH - (y-ymin)/(ymax-ymin)*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="Helvetica,Arial,sans-serif">`+"\n",
+		svgWidth, svgHeight, svgWidth, svgHeight)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+
+	// Title and axis labels.
+	fmt.Fprintf(&b, `<text x="%d" y="24" font-size="16" text-anchor="middle">%s</text>`+"\n",
+		svgWidth/2, escape(c.Title))
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="13" text-anchor="middle">%s</text>`+"\n",
+		svgWidth/2, svgHeight-12, escape(c.XLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%d" font-size="13" text-anchor="middle" transform="rotate(-90 16 %d)">%s</text>`+"\n",
+		marginTop+int(plotH)/2, marginTop+int(plotH)/2, escape(c.YLabel))
+
+	// Gridlines and ticks.
+	for _, t := range niceTicks(xmin, xmax, 10) {
+		x := sx(t)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%.1f" stroke="#ddd"/>`+"\n",
+			x, marginTop, x, marginTop+plotH)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			x, marginTop+plotH+16, formatTick(t))
+	}
+	for _, t := range niceTicks(ymin, ymax, 8) {
+		y := sy(t)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ddd"/>`+"\n",
+			marginLeft, y, marginLeft+plotW, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-size="11" text-anchor="end">%s</text>`+"\n",
+			marginLeft-6, y+4, formatTick(t))
+	}
+	// Axes frame.
+	fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%.1f" height="%.1f" fill="none" stroke="#333"/>`+"\n",
+		marginLeft, marginTop, plotW, plotH)
+
+	// Series.
+	for i, s := range c.Series {
+		color := palette[i%len(palette)]
+		dash := ""
+		if i >= len(palette) {
+			dash = ` stroke-dasharray="6 3"`
+		}
+		var path strings.Builder
+		started := false
+		for j := range s.X {
+			if !finite(s.X[j]) || !finite(s.Y[j]) {
+				started = false
+				continue
+			}
+			cmd := "L"
+			if !started {
+				cmd = "M"
+				started = true
+			}
+			fmt.Fprintf(&path, "%s%.2f %.2f ", cmd, sx(s.X[j]), clampF(sy(s.Y[j]), marginTop, marginTop+plotH))
+		}
+		fmt.Fprintf(&b, `<path d="%s" fill="none" stroke="%s" stroke-width="1.8"%s/>`+"\n",
+			strings.TrimSpace(path.String()), color, dash)
+		marker := markers[i%len(markers)]
+		for j := range s.X {
+			if !finite(s.X[j]) || !finite(s.Y[j]) {
+				continue
+			}
+			drawMarker(&b, marker, sx(s.X[j]), clampF(sy(s.Y[j]), marginTop, marginTop+plotH), color)
+		}
+	}
+
+	// Legend, top-left inside the plot area.
+	lx, ly := marginLeft+10, marginTop+8
+	for i, s := range c.Series {
+		color := palette[i%len(palette)]
+		y := ly + i*legendRowH
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`+"\n",
+			lx, y, lx+22, y, color)
+		drawMarker(&b, markers[i%len(markers)], float64(lx+11), float64(y), color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11">%s</text>`+"\n",
+			lx+28, y+4, escape(s.Name))
+	}
+
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// drawMarker emits one series marker centered at (x, y).
+func drawMarker(b *strings.Builder, kind string, x, y float64, color string) {
+	const r = 3.2
+	switch kind {
+	case "square":
+		fmt.Fprintf(b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+			x-r, y-r, 2*r, 2*r, color)
+	case "diamond":
+		fmt.Fprintf(b, `<path d="M%.1f %.1f L%.1f %.1f L%.1f %.1f L%.1f %.1f Z" fill="%s"/>`+"\n",
+			x, y-r-1, x+r+1, y, x, y+r+1, x-r-1, y, color)
+	case "triangle":
+		fmt.Fprintf(b, `<path d="M%.1f %.1f L%.1f %.1f L%.1f %.1f Z" fill="%s"/>`+"\n",
+			x, y-r-1, x+r+1, y+r, x-r-1, y+r, color)
+	case "cross":
+		fmt.Fprintf(b, `<path d="M%.1f %.1f L%.1f %.1f M%.1f %.1f L%.1f %.1f" stroke="%s" stroke-width="1.6"/>`+"\n",
+			x-r, y-r, x+r, y+r, x-r, y+r, x+r, y-r, color)
+	default: // circle
+		fmt.Fprintf(b, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s"/>`+"\n", x, y, r, color)
+	}
+}
+
+func clampF(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

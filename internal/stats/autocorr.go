@@ -1,0 +1,61 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Autocorrelation returns the lag-k sample autocorrelation coefficient of
+// xs using the estimator of Shumway & Stoffer (2000, p. 26), the one the
+// paper applies to its response-time series:
+//
+//	gamma_k = sum_{i=1}^{n-k} (x_{i+k} - xbar)(x_i - xbar) / sum (x_i - xbar)^2
+//
+// It returns an error when lag is out of range or the series is constant
+// (zero variance), rather than a NaN that would poison downstream math.
+func Autocorrelation(xs []float64, lag int) (float64, error) {
+	n := len(xs)
+	if lag < 1 || lag >= n {
+		return 0, fmt.Errorf("stats: lag %d out of range for series of length %d", lag, n)
+	}
+	mean := 0.0
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(n)
+	var num, den float64
+	for i, x := range xs {
+		d := x - mean
+		den += d * d
+		if i+lag < n {
+			num += (xs[i+lag] - mean) * d
+		}
+	}
+	if den == 0 {
+		return 0, fmt.Errorf("stats: autocorrelation of constant series is undefined")
+	}
+	return num / den, nil
+}
+
+// AutocorrelationSignificant reports whether the lag-k autocorrelation of
+// a series of the given length differs significantly from zero at the 95%
+// confidence level, using the paper's threshold 1.96/sqrt(n).
+func AutocorrelationSignificant(coeff float64, n int) bool {
+	return math.Abs(coeff) > 1.96/math.Sqrt(float64(n))
+}
+
+// ACF returns the autocorrelation function of xs for lags 1..maxLag.
+func ACF(xs []float64, maxLag int) ([]float64, error) {
+	if maxLag < 1 || maxLag >= len(xs) {
+		return nil, fmt.Errorf("stats: maxLag %d out of range for series of length %d", maxLag, len(xs))
+	}
+	out := make([]float64, maxLag)
+	for k := 1; k <= maxLag; k++ {
+		c, err := Autocorrelation(xs, k)
+		if err != nil {
+			return nil, err
+		}
+		out[k-1] = c
+	}
+	return out, nil
+}

@@ -1,0 +1,113 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzStdNormQuantileRoundTrip checks CDF(Quantile(p)) == p over the
+// full open interval, including extreme tails.
+func FuzzStdNormQuantileRoundTrip(f *testing.F) {
+	f.Add(0.5)
+	f.Add(0.975)
+	f.Add(1e-12)
+	f.Add(1 - 1e-12)
+	f.Fuzz(func(t *testing.T, p float64) {
+		if !(p > 0 && p < 1) {
+			t.Skip()
+		}
+		q := StdNormQuantile(p)
+		if math.IsNaN(q) {
+			t.Fatalf("quantile(%v) is NaN", p)
+		}
+		back := NormCDF(q, 0, 1)
+		// Absolute tolerance loosens in the far tails where the CDF
+		// saturates in double precision.
+		tol := 1e-11
+		if p < 1e-9 || p > 1-1e-9 {
+			tol = 1e-9
+		}
+		if math.Abs(back-p) > tol {
+			t.Fatalf("CDF(Quantile(%v)) = %v", p, back)
+		}
+	})
+}
+
+// FuzzWelford checks the streaming moments against the naive two-pass
+// computation on arbitrary byte-derived samples.
+func FuzzWelford(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5})
+	f.Add([]byte{0, 0, 0})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) < 2 {
+			t.Skip()
+		}
+		var w Welford
+		xs := make([]float64, len(raw))
+		for i, b := range raw {
+			xs[i] = float64(b) - 128
+			w.Add(xs[i])
+		}
+		mean := 0.0
+		for _, x := range xs {
+			mean += x
+		}
+		mean /= float64(len(xs))
+		variance := 0.0
+		for _, x := range xs {
+			variance += (x - mean) * (x - mean)
+		}
+		variance /= float64(len(xs) - 1)
+		if math.Abs(w.Mean()-mean) > 1e-9 {
+			t.Fatalf("mean %v, naive %v", w.Mean(), mean)
+		}
+		if math.Abs(w.Var()-variance) > 1e-7*(1+variance) {
+			t.Fatalf("var %v, naive %v", w.Var(), variance)
+		}
+	})
+}
+
+// FuzzHistogramTotals checks count conservation: every added value lands
+// in exactly one of {bins, under, over, NaN-absorbed-by-total}.
+func FuzzHistogramTotals(f *testing.F) {
+	f.Add([]byte{10, 200, 255, 0})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		h := NewHistogram(50, 200, 7)
+		for _, b := range raw {
+			h.Add(float64(b))
+		}
+		var binned int64
+		for _, c := range h.Counts {
+			binned += c
+		}
+		if binned+h.Under+h.Over != int64(len(raw)) {
+			t.Fatalf("counts %d + under %d + over %d != %d",
+				binned, h.Under, h.Over, len(raw))
+		}
+	})
+}
+
+// FuzzQuantileWithinRange checks order-statistic bounds: any quantile of
+// a sample lies within [min, max] and is monotone in p.
+func FuzzQuantileWithinRange(f *testing.F) {
+	f.Add([]byte{3, 1, 4, 1, 5}, 0.5)
+	f.Fuzz(func(t *testing.T, raw []byte, p float64) {
+		if len(raw) == 0 || !(p >= 0 && p <= 1) {
+			t.Skip()
+		}
+		xs := make([]float64, len(raw))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, b := range raw {
+			xs[i] = float64(b)
+			lo = math.Min(lo, xs[i])
+			hi = math.Max(hi, xs[i])
+		}
+		q, err := Quantile(xs, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q < lo || q > hi {
+			t.Fatalf("quantile(%v) = %v outside [%v, %v]", p, q, lo, hi)
+		}
+	})
+}

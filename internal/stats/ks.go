@@ -1,0 +1,90 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// KSStatistic returns the one-sample Kolmogorov–Smirnov statistic
+// D = sup_x |F_n(x) - F(x)| of the sample xs against the continuous
+// reference CDF. The input is not modified.
+func KSStatistic(xs []float64, cdf func(float64) float64) (float64, error) {
+	n := len(xs)
+	if n == 0 {
+		return 0, fmt.Errorf("stats: KS statistic of empty sample")
+	}
+	sorted := make([]float64, n)
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	d := 0.0
+	for i, x := range sorted {
+		f := cdf(x)
+		if f < 0 || f > 1 || math.IsNaN(f) {
+			return 0, fmt.Errorf("stats: reference CDF returned %v at %v", f, x)
+		}
+		// The empirical CDF jumps from i/n to (i+1)/n at x; the supremum
+		// against a continuous F is attained at one of the two sides.
+		lo := f - float64(i)/float64(n)
+		hi := float64(i+1)/float64(n) - f
+		d = math.Max(d, math.Max(lo, hi))
+	}
+	return d, nil
+}
+
+// KSPValue returns the asymptotic p-value for a one-sample KS statistic
+// d at sample size n, via the Kolmogorov distribution series
+// Q(t) = 2 Σ_{k>=1} (-1)^{k-1} exp(-2 k² t²) with t = d(√n + 0.12 + 0.11/√n)
+// (Stephens' correction). Accurate enough for the goodness-of-fit
+// checks in this repository.
+func KSPValue(d float64, n int) (float64, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("stats: KS p-value needs a positive sample size, got %d", n)
+	}
+	if d <= 0 {
+		return 1, nil
+	}
+	if d >= 1 {
+		return 0, nil
+	}
+	sn := math.Sqrt(float64(n))
+	t := d * (sn + 0.12 + 0.11/sn)
+	sum := 0.0
+	for k := 1; k <= 100; k++ {
+		term := math.Exp(-2 * float64(k) * float64(k) * t * t)
+		if k%2 == 1 {
+			sum += term
+		} else {
+			sum -= term
+		}
+		if term < 1e-12 {
+			break
+		}
+	}
+	p := 2 * sum
+	switch {
+	case p < 0:
+		return 0, nil
+	case p > 1:
+		return 1, nil
+	}
+	return p, nil
+}
+
+// KSTest runs the one-sample test and reports whether the sample is
+// consistent with the reference CDF at the given significance level
+// (e.g. 0.01): ok is false when the fit is rejected.
+func KSTest(xs []float64, cdf func(float64) float64, alpha float64) (d, p float64, ok bool, err error) {
+	if alpha <= 0 || alpha >= 1 {
+		return 0, 0, false, fmt.Errorf("stats: significance level %v outside (0,1)", alpha)
+	}
+	d, err = KSStatistic(xs, cdf)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	p, err = KSPValue(d, len(xs))
+	if err != nil {
+		return 0, 0, false, err
+	}
+	return d, p, p >= alpha, nil
+}

@@ -1,0 +1,119 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func stdNormCDF(x float64) float64 { return NormCDF(x, 0, 1) }
+
+func TestKSStatisticPerfectFit(t *testing.T) {
+	// A sample placed exactly at the (i+0.5)/n quantiles of the
+	// reference has D = 0.5/n, the smallest achievable value.
+	const n = 100
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = StdNormQuantile((float64(i) + 0.5) / n)
+	}
+	d, err := KSStatistic(xs, stdNormCDF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-0.5/n) > 1e-12 {
+		t.Fatalf("D = %v, want %v", d, 0.5/n)
+	}
+}
+
+func TestKSAcceptsTrueDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	xs := make([]float64, 5_000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	d, p, ok, err := KSTest(xs, stdNormCDF, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("true distribution rejected: D=%v p=%v", d, p)
+	}
+}
+
+func TestKSRejectsWrongDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(89))
+	xs := make([]float64, 5_000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64() + 0.2 // shifted mean
+	}
+	d, p, ok, err := KSTest(xs, stdNormCDF, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatalf("shifted distribution accepted: D=%v p=%v", d, p)
+	}
+}
+
+func TestKSExponentialFit(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	xs := make([]float64, 10_000)
+	for i := range xs {
+		xs[i] = 5 * rng.ExpFloat64()
+	}
+	expCDF := func(x float64) float64 {
+		if x < 0 {
+			return 0
+		}
+		return 1 - math.Exp(-x/5)
+	}
+	_, p, ok, err := KSTest(xs, expCDF, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("exponential sample rejected against its own CDF (p=%v)", p)
+	}
+}
+
+func TestKSPValueMonotoneInD(t *testing.T) {
+	prev := 1.1
+	for _, d := range []float64{0.005, 0.01, 0.02, 0.05, 0.1, 0.3} {
+		p, err := KSPValue(d, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p > prev {
+			t.Fatalf("p-value rose with D at %v: %v > %v", d, p, prev)
+		}
+		if p < 0 || p > 1 {
+			t.Fatalf("p-value %v outside [0,1]", p)
+		}
+		prev = p
+	}
+}
+
+func TestKSPValueEdges(t *testing.T) {
+	if p, _ := KSPValue(0, 100); p != 1 {
+		t.Fatalf("p(0) = %v, want 1", p)
+	}
+	if p, _ := KSPValue(1, 100); p != 0 {
+		t.Fatalf("p(1) = %v, want 0", p)
+	}
+	if _, err := KSPValue(0.1, 0); err == nil {
+		t.Fatal("zero sample size accepted")
+	}
+}
+
+func TestKSErrors(t *testing.T) {
+	if _, err := KSStatistic(nil, stdNormCDF); err == nil {
+		t.Fatal("empty sample accepted")
+	}
+	badCDF := func(float64) float64 { return 2 }
+	if _, err := KSStatistic([]float64{1}, badCDF); err == nil {
+		t.Fatal("invalid reference CDF accepted")
+	}
+	if _, _, _, err := KSTest([]float64{1}, stdNormCDF, 0); err == nil {
+		t.Fatal("alpha 0 accepted")
+	}
+}

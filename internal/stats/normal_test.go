@@ -1,0 +1,128 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestStdNormQuantileKnownValues(t *testing.T) {
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0.5, 0},
+		{0.975, 1.959963984540054},
+		{0.025, -1.959963984540054},
+		{0.95, 1.6448536269514722},
+		{0.9, 1.2815515655446004},
+		{0.99, 2.3263478740408408},
+		{0.999, 3.090232306167813},
+		{1e-10, -6.361340902404056},
+	}
+	for _, tt := range tests {
+		got := StdNormQuantile(tt.p)
+		if math.Abs(got-tt.want) > 1e-12*math.Max(1, math.Abs(tt.want)) {
+			t.Errorf("StdNormQuantile(%v) = %.15f, want %.15f", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestQuantileCDFRoundTrip(t *testing.T) {
+	// Property: CDF(Quantile(p)) == p across the unit interval.
+	if err := quick.Check(func(raw uint32) bool {
+		p := (float64(raw) + 1) / (float64(math.MaxUint32) + 2)
+		q := StdNormQuantile(p)
+		back := NormCDF(q, 0, 1)
+		return math.Abs(back-p) < 1e-12
+	}, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormCDFKnownValues(t *testing.T) {
+	tests := []struct {
+		x, mu, sigma, want float64
+	}{
+		{0, 0, 1, 0.5},
+		{1.96, 0, 1, 0.9750021048517795},
+		{-1, 0, 1, 0.15865525393145707},
+		{10, 5, 5, 0.8413447460685429},
+	}
+	for _, tt := range tests {
+		got := NormCDF(tt.x, tt.mu, tt.sigma)
+		if math.Abs(got-tt.want) > 1e-14 {
+			t.Errorf("NormCDF(%v,%v,%v) = %.16f, want %.16f", tt.x, tt.mu, tt.sigma, got, tt.want)
+		}
+	}
+}
+
+func TestNormPDFIntegratesToOne(t *testing.T) {
+	// Trapezoid over +/- 10 sigma.
+	const steps = 20000
+	mu, sigma := 3.0, 2.0
+	lo, hi := mu-10*sigma, mu+10*sigma
+	h := (hi - lo) / steps
+	sum := 0.0
+	for i := 0; i <= steps; i++ {
+		w := 1.0
+		if i == 0 || i == steps {
+			w = 0.5
+		}
+		sum += w * NormPDF(lo+float64(i)*h, mu, sigma)
+	}
+	if integral := sum * h; math.Abs(integral-1) > 1e-10 {
+		t.Fatalf("pdf integrates to %v, want 1", integral)
+	}
+}
+
+func TestNormPDFSymmetry(t *testing.T) {
+	for _, d := range []float64{0.1, 1, 2.5, 7} {
+		l, r := NormPDF(5-d, 5, 2), NormPDF(5+d, 5, 2)
+		if math.Abs(l-r) > 1e-16 {
+			t.Errorf("pdf asymmetric at +/-%v: %v vs %v", d, l, r)
+		}
+	}
+}
+
+func TestNormPDFIsDerivativeOfCDF(t *testing.T) {
+	const h = 1e-6
+	for _, x := range []float64{-3, -1, 0, 0.5, 2, 4} {
+		num := (NormCDF(x+h, 0, 1) - NormCDF(x-h, 0, 1)) / (2 * h)
+		if math.Abs(num-NormPDF(x, 0, 1)) > 1e-8 {
+			t.Errorf("d/dx CDF at %v = %v, pdf = %v", x, num, NormPDF(x, 0, 1))
+		}
+	}
+}
+
+func TestNormQuantileScaling(t *testing.T) {
+	// Quantile of N(mu, sigma) = mu + sigma * standard quantile.
+	got := NormQuantile(0.975, 5, 5)
+	want := 5 + 5*StdNormQuantile(0.975)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("NormQuantile = %v, want %v", got, want)
+	}
+}
+
+func TestNormalPanicsOnBadArgs(t *testing.T) {
+	tests := []struct {
+		name string
+		f    func()
+	}{
+		{"pdf zero sigma", func() { NormPDF(0, 0, 0) }},
+		{"cdf negative sigma", func() { NormCDF(0, 0, -1) }},
+		{"quantile p=0", func() { StdNormQuantile(0) }},
+		{"quantile p=1", func() { StdNormQuantile(1) }},
+		{"quantile sigma", func() { NormQuantile(0.5, 0, 0) }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", tt.name)
+				}
+			}()
+			tt.f()
+		})
+	}
+}

@@ -1,0 +1,58 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Quantile returns the p-quantile of xs using linear interpolation
+// between order statistics (type-7 estimator, the R default). The input
+// is not modified. It returns an error for an empty slice or p outside
+// [0, 1].
+func Quantile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("stats: quantile of empty slice")
+	}
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("stats: quantile p=%v outside [0,1]", p)
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, p), nil
+}
+
+// Quantiles returns the quantiles of xs at each p in ps, sorting once.
+func Quantiles(xs []float64, ps []float64) ([]float64, error) {
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("stats: quantiles of empty slice")
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		if p < 0 || p > 1 {
+			return nil, fmt.Errorf("stats: quantile p=%v outside [0,1]", p)
+		}
+		out[i] = quantileSorted(sorted, p)
+	}
+	return out, nil
+}
+
+func quantileSorted(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 1 {
+		return sorted[0]
+	}
+	h := p * float64(n-1)
+	lo := int(h)
+	if lo >= n-1 {
+		return sorted[n-1]
+	}
+	frac := h - float64(lo)
+	return sorted[lo] + frac*(sorted[lo+1]-sorted[lo])
+}
+
+// Median returns the 50th percentile of xs.
+func Median(xs []float64) (float64, error) { return Quantile(xs, 0.5) }

@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestQuantileKnownValues(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1},
+		{0.25, 2},
+		{0.5, 3},
+		{0.75, 4},
+		{1, 5},
+		{0.125, 1.5}, // interpolation between order statistics
+	}
+	for _, tt := range tests {
+		got, err := Quantile(xs, tt.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestQuantileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Quantile(xs, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestQuantileSingleElement(t *testing.T) {
+	for _, p := range []float64{0, 0.3, 1} {
+		got, err := Quantile([]float64{42}, p)
+		if err != nil || got != 42 {
+			t.Fatalf("Quantile single = %v, %v", got, err)
+		}
+	}
+}
+
+func TestQuantileErrors(t *testing.T) {
+	if _, err := Quantile(nil, 0.5); err == nil {
+		t.Error("empty slice accepted")
+	}
+	if _, err := Quantile([]float64{1}, -0.1); err == nil {
+		t.Error("negative p accepted")
+	}
+	if _, err := Quantile([]float64{1}, 1.1); err == nil {
+		t.Error("p > 1 accepted")
+	}
+}
+
+func TestQuantileMonotoneInP(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	prev := math.Inf(-1)
+	for p := 0.0; p <= 1.0001; p += 0.01 {
+		q, err := Quantile(xs, math.Min(p, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q < prev {
+			t.Fatalf("quantile decreased at p=%v: %v < %v", p, q, prev)
+		}
+		prev = q
+	}
+}
+
+func TestQuantilesMatchesQuantile(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = rng.Float64() * 100
+	}
+	ps := []float64{0.1, 0.5, 0.9, 0.99}
+	batch, err := Quantiles(xs, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range ps {
+		single, err := Quantile(xs, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch[i] != single {
+			t.Fatalf("Quantiles[%v] = %v, Quantile = %v", p, batch[i], single)
+		}
+	}
+}
+
+func TestMedianOfSortedRange(t *testing.T) {
+	xs := make([]float64, 101)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	// Shuffle to prove sorting happens internally.
+	rand.New(rand.NewSource(16)).Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	m, err := Median(xs)
+	if err != nil || m != 50 {
+		t.Fatalf("Median = %v, %v; want 50", m, err)
+	}
+	if sort.Float64sAreSorted(xs) {
+		t.Log("input happened to be sorted after shuffle (unlikely)")
+	}
+}

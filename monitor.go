@@ -1,0 +1,129 @@
+package rejuv
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Trigger describes one rejuvenation trigger raised by a Monitor.
+type Trigger struct {
+	// Time is when the trigger fired.
+	Time time.Time
+	// Decision is the detector decision that fired it.
+	Decision Decision
+	// Observations is the total number of observations the monitor had
+	// consumed when the trigger fired.
+	Observations uint64
+	// Suppressed reports that the trigger fell inside the cooldown
+	// window and the callback was not invoked for it.
+	Suppressed bool
+}
+
+// MonitorConfig configures a Monitor.
+type MonitorConfig struct {
+	// Detector makes the trigger decisions. Required. The monitor owns
+	// it after construction: do not observe through it directly.
+	Detector Detector
+	// OnTrigger runs — synchronously, under the monitor's lock — when
+	// the detector triggers outside the cooldown window. Required.
+	// Keep it short: start the actual rejuvenation asynchronously.
+	OnTrigger func(Trigger)
+	// Cooldown suppresses further triggers for this long after one
+	// fires, giving the rejuvenated system time to return to normal
+	// before it can be condemned again. Zero disables suppression.
+	Cooldown time.Duration
+	// Now supplies the time; nil means time.Now. Tests inject a fake.
+	Now func() time.Time
+}
+
+// MonitorStats is a snapshot of monitor counters.
+type MonitorStats struct {
+	Observations uint64
+	Triggers     uint64
+	Suppressed   uint64
+	LastTrigger  time.Time
+}
+
+// Monitor adapts a Detector for concurrent production use: any goroutine
+// may report observations, and the trigger callback fires when the
+// detector decides to rejuvenate, rate-limited by a cooldown.
+type Monitor struct {
+	cfg MonitorConfig
+
+	mu    sync.Mutex
+	stats MonitorStats
+}
+
+// NewMonitor validates the configuration and returns a monitor.
+func NewMonitor(cfg MonitorConfig) (*Monitor, error) {
+	if cfg.Detector == nil {
+		return nil, fmt.Errorf("rejuv: monitor needs a detector")
+	}
+	if cfg.OnTrigger == nil {
+		return nil, fmt.Errorf("rejuv: monitor needs an OnTrigger callback")
+	}
+	if cfg.Cooldown < 0 {
+		return nil, fmt.Errorf("rejuv: monitor cooldown must be non-negative, got %v", cfg.Cooldown)
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Monitor{cfg: cfg}, nil
+}
+
+// Observe reports one observation of the monitored metric. Safe for
+// concurrent use.
+func (m *Monitor) Observe(x float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats.Observations++
+	d := m.cfg.Detector.Observe(x)
+	if !d.Triggered {
+		return
+	}
+	now := m.cfg.Now()
+	t := Trigger{Time: now, Decision: d, Observations: m.stats.Observations}
+	if m.cfg.Cooldown > 0 && !m.stats.LastTrigger.IsZero() &&
+		now.Sub(m.stats.LastTrigger) < m.cfg.Cooldown {
+		m.stats.Suppressed++
+		t.Suppressed = true
+		return
+	}
+	m.stats.Triggers++
+	m.stats.LastTrigger = now
+	m.cfg.OnTrigger(t)
+}
+
+// ObserveDuration reports a duration observation in seconds, the natural
+// unit for response times.
+func (m *Monitor) ObserveDuration(d time.Duration) {
+	m.Observe(d.Seconds())
+}
+
+// Reset restores the underlying detector to its initial state (for
+// example after an externally initiated restart). Counters are kept.
+func (m *Monitor) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cfg.Detector.Reset()
+}
+
+// Stats returns a snapshot of the monitor counters.
+func (m *Monitor) Stats() MonitorStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// Middleware wraps an http.Handler so every request's wall-clock service
+// time is observed — the paper's core prescription: monitor the metric
+// the customer experiences, not proxies like CPU or memory.
+func (m *Monitor) Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := m.cfg.Now()
+		next.ServeHTTP(w, r)
+		m.Observe(m.cfg.Now().Sub(start).Seconds())
+	})
+}

@@ -1,0 +1,165 @@
+package rejuv_test
+
+import (
+	"math"
+	"testing"
+
+	"rejuv"
+)
+
+func TestSimulateSmoke(t *testing.T) {
+	det, err := rejuv.NewSARAA(rejuv.SARAAConfig{
+		InitialSampleSize: 2, Buckets: 5, Depth: 3,
+		Baseline: rejuv.Baseline{Mean: 5, StdDev: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rejuv.Simulate(rejuv.SimulationConfig{
+		ArrivalRate:  1.8,
+		Transactions: 20_000,
+		Seed:         1,
+	}, det)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed+res.Lost < 20_000 {
+		t.Fatalf("only %d transactions done", res.Completed+res.Lost)
+	}
+	if res.Rejuvenations == 0 {
+		t.Fatal("no rejuvenations at high load")
+	}
+	if math.IsNaN(res.AvgRT()) || res.AvgRT() <= 0 {
+		t.Fatalf("avg RT = %v", res.AvgRT())
+	}
+}
+
+func TestSimulateNilDetectorDisablesRejuvenation(t *testing.T) {
+	res, err := rejuv.Simulate(rejuv.SimulationConfig{
+		ArrivalRate:  0.5,
+		Transactions: 5_000,
+		Seed:         2,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rejuvenations != 0 || res.Lost != 0 {
+		t.Fatalf("nil detector produced %d rejuvenations, %d lost", res.Rejuvenations, res.Lost)
+	}
+}
+
+func TestSimulateInvalidConfig(t *testing.T) {
+	if _, err := rejuv.Simulate(rejuv.SimulationConfig{}, nil); err == nil {
+		t.Fatal("zero arrival rate accepted")
+	}
+}
+
+func TestNewSimulationHooks(t *testing.T) {
+	m, err := rejuv.NewSimulation(rejuv.SimulationConfig{
+		ArrivalRate:  1.0,
+		Transactions: 2_000,
+		Seed:         3,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	m.OnComplete = func(rt float64) {
+		if rt <= 0 {
+			t.Errorf("non-positive response time %v", rt)
+		}
+		count++
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(count) != res.Completed {
+		t.Fatalf("hook saw %d completions, result says %d", count, res.Completed)
+	}
+}
+
+func TestSimulateCluster(t *testing.T) {
+	res, err := rejuv.SimulateCluster(rejuv.ClusterConfig{
+		Hosts:        2,
+		ArrivalRate:  2 * 1.6,
+		Transactions: 10_000,
+		Seed:         4,
+	}, func(host int) (rejuv.Detector, error) {
+		return rejuv.NewSRAA(rejuv.SRAAConfig{
+			SampleSize: 2, Buckets: 5, Depth: 3,
+			Baseline: rejuv.Baseline{Mean: 5, StdDev: 5},
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerHost) != 2 {
+		t.Fatalf("%d per-host results, want 2", len(res.PerHost))
+	}
+	if res.Completed+res.Lost < 10_000 {
+		t.Fatalf("only %d transactions done", res.Completed+res.Lost)
+	}
+}
+
+func TestNewStaticDetectorIsPerObservation(t *testing.T) {
+	det, err := rejuv.NewStaticDetector(1, 1, rejuv.Baseline{Mean: 5, StdDev: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Static = SRAA with n=1: every observation evaluates.
+	if d := det.Observe(100); !d.Evaluated {
+		t.Fatal("static detector did not evaluate a single observation")
+	}
+}
+
+func TestPublicConstructorsValidate(t *testing.T) {
+	bad := rejuv.Baseline{} // zero StdDev
+	if _, err := rejuv.NewSRAA(rejuv.SRAAConfig{SampleSize: 1, Buckets: 1, Depth: 1, Baseline: bad}); err == nil {
+		t.Error("NewSRAA accepted a zero baseline")
+	}
+	if _, err := rejuv.NewSARAA(rejuv.SARAAConfig{InitialSampleSize: 1, Buckets: 1, Depth: 1, Baseline: bad}); err == nil {
+		t.Error("NewSARAA accepted a zero baseline")
+	}
+	if _, err := rejuv.NewCLTA(rejuv.CLTAConfig{SampleSize: 30, Quantile: 1.96, Baseline: bad}); err == nil {
+		t.Error("NewCLTA accepted a zero baseline")
+	}
+	if _, err := rejuv.NewAdaptive(0, nil); err == nil {
+		t.Error("NewAdaptive accepted warmup 0")
+	}
+	if _, err := rejuv.NewEWMA(2, 3, rejuv.Baseline{Mean: 5, StdDev: 5}); err == nil {
+		t.Error("NewEWMA accepted weight 2")
+	}
+	if _, err := rejuv.NewCUSUM(-1, 4, rejuv.Baseline{Mean: 5, StdDev: 5}); err == nil {
+		t.Error("NewCUSUM accepted negative slack")
+	}
+	if _, err := rejuv.NewShewhart(0, rejuv.Baseline{Mean: 5, StdDev: 5}); err == nil {
+		t.Error("NewShewhart accepted zero limit")
+	}
+}
+
+func TestDetectorInterfaceSatisfied(t *testing.T) {
+	base := rejuv.Baseline{Mean: 5, StdDev: 5}
+	builders := []func() (rejuv.Detector, error){
+		func() (rejuv.Detector, error) {
+			return rejuv.NewSRAA(rejuv.SRAAConfig{SampleSize: 1, Buckets: 1, Depth: 1, Baseline: base})
+		},
+		func() (rejuv.Detector, error) {
+			return rejuv.NewSARAA(rejuv.SARAAConfig{InitialSampleSize: 1, Buckets: 1, Depth: 1, Baseline: base})
+		},
+		func() (rejuv.Detector, error) {
+			return rejuv.NewCLTA(rejuv.CLTAConfig{SampleSize: 5, Quantile: 1.96, Baseline: base})
+		},
+		func() (rejuv.Detector, error) { return rejuv.NewShewhart(3, base) },
+		func() (rejuv.Detector, error) { return rejuv.NewEWMA(0.2, 3, base) },
+		func() (rejuv.Detector, error) { return rejuv.NewCUSUM(0.5, 4, base) },
+	}
+	for i, build := range builders {
+		det, err := build()
+		if err != nil {
+			t.Fatalf("builder %d: %v", i, err)
+		}
+		det.Observe(1)
+		det.Reset()
+	}
+}
