@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"rejuv/internal/aging"
+	"rejuv/internal/num"
 )
 
 func main() {
@@ -53,7 +54,7 @@ func main() {
 
 	rate, cost, err := m.OptimalRejuvenationRate(*costFailed, *costRejuv, *maxRate)
 	fatalIf(err)
-	if rate == 0 {
+	if num.Zero(rate) {
 		fmt.Printf("\nrejuvenation does not pay at these costs (optimal rate 0, cost %.4f)\n", cost)
 		return
 	}

@@ -196,7 +196,7 @@ func runFig5(out string, sim bool, seed uint64) error {
 			return err
 		}
 		if err := chart.WriteSVG(svg); err != nil {
-			svg.Close()
+			_ = svg.Close()
 			return err
 		}
 		if err := svg.Close(); err != nil {
@@ -304,7 +304,7 @@ func writeChartFiles(out, id string, chart *plot.Chart, csv string) error {
 		return err
 	}
 	if err := chart.WriteSVG(svgFile); err != nil {
-		svgFile.Close()
+		_ = svgFile.Close()
 		return err
 	}
 	if err := svgFile.Close(); err != nil {
@@ -321,7 +321,7 @@ func writeFigure(out string, res experiment.FigureResult) (*plot.Chart, error) {
 		return nil, err
 	}
 	if err := res.WriteCSV(csvFile); err != nil {
-		csvFile.Close()
+		_ = csvFile.Close()
 		return nil, err
 	}
 	if err := csvFile.Close(); err != nil {
@@ -332,7 +332,7 @@ func writeFigure(out string, res experiment.FigureResult) (*plot.Chart, error) {
 		return nil, err
 	}
 	if err := res.WriteDetailedCSV(detailFile); err != nil {
-		detailFile.Close()
+		_ = detailFile.Close()
 		return nil, err
 	}
 	if err := detailFile.Close(); err != nil {
@@ -357,7 +357,7 @@ func writeFigure(out string, res experiment.FigureResult) (*plot.Chart, error) {
 		return nil, err
 	}
 	if err := chart.WriteSVG(svgFile); err != nil {
-		svgFile.Close()
+		_ = svgFile.Close()
 		return nil, err
 	}
 	if err := svgFile.Close(); err != nil {

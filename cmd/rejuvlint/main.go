@@ -1,0 +1,150 @@
+// Command rejuvlint runs the repository's static-analysis suite
+// (internal/lint) over the module and reports findings with
+// file:line:col positions. It exits non-zero when anything is found, so
+// it can gate scripts/check.sh and CI alike.
+//
+// Usage:
+//
+//	rejuvlint [-rules determinism,floatcmp,...] [-list] [-v] [patterns]
+//
+// Patterns are package directories relative to the current module:
+// "./..." (the default) lints every package, "./internal/des/..." a
+// subtree, and "./cmd/figures" a single package. Findings are suppressed
+// per line with a mandatory justification:
+//
+//	//lint:allow <rule> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"rejuv/internal/lint"
+)
+
+func main() {
+	var (
+		rules = flag.String("rules", "", "comma-separated rule names to run (default: all)")
+		list  = flag.Bool("list", false, "list available rules and exit")
+		verb  = flag.Bool("v", false, "also report packages with type-check problems")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers, err := selectAnalyzers(*rules)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rejuvlint:", err)
+		os.Exit(2)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.LoadModule(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rejuvlint:", err)
+		os.Exit(2)
+	}
+	pkgs, err = filterPackages(pkgs, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rejuvlint:", err)
+		os.Exit(2)
+	}
+	if *verb {
+		for _, p := range pkgs {
+			for _, terr := range p.TypeErrors {
+				fmt.Fprintf(os.Stderr, "rejuvlint: %s: type-check: %v\n", p.Path, terr)
+			}
+		}
+	}
+
+	diags := lint.Run(pkgs, analyzers)
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		pos := d.Pos
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+				pos.Filename = rel
+			}
+		}
+		fmt.Printf("%s: %s: %s\n", pos, d.Rule, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "rejuvlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// selectAnalyzers resolves the -rules flag against the registry.
+func selectAnalyzers(spec string) ([]*lint.Analyzer, error) {
+	all := lint.Analyzers()
+	if spec == "" {
+		return all, nil
+	}
+	byName := make(map[string]*lint.Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*lint.Analyzer
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown rule %q (use -list)", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// filterPackages keeps the packages matching any of the patterns,
+// resolved relative to the current directory.
+func filterPackages(pkgs []*lint.Package, patterns []string) ([]*lint.Package, error) {
+	cwd, err := os.Getwd()
+	if err != nil {
+		return nil, err
+	}
+	type matcher struct {
+		dir     string
+		subtree bool
+	}
+	matchers := make([]matcher, 0, len(patterns))
+	for _, pat := range patterns {
+		subtree := false
+		if pat == "..." || strings.HasSuffix(pat, "/...") {
+			subtree = true
+			pat = strings.TrimSuffix(strings.TrimSuffix(pat, "..."), "/")
+			if pat == "" {
+				pat = "."
+			}
+		}
+		abs, err := filepath.Abs(filepath.Join(cwd, pat))
+		if err != nil {
+			return nil, err
+		}
+		matchers = append(matchers, matcher{dir: abs, subtree: subtree})
+	}
+	var out []*lint.Package
+	for _, p := range pkgs {
+		for _, m := range matchers {
+			if p.Dir == m.dir || (m.subtree && strings.HasPrefix(p.Dir, m.dir+string(filepath.Separator))) {
+				out = append(out, p)
+				break
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no packages match %v", patterns)
+	}
+	return out, nil
+}

@@ -41,7 +41,7 @@ func (h *agingHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	n := h.served.Add(1)
 	delay := h.base + time.Duration(n/100)*h.leak
 	time.Sleep(delay)
-	fmt.Fprintln(w, "ok")
+	_, _ = fmt.Fprintln(w, "ok")
 }
 
 // restart is the rejuvenation action: in production this would recycle
@@ -90,7 +90,7 @@ func main() {
 		start := time.Now()
 		resp, err := client.Get(srv.URL)
 		fatalIf(err)
-		resp.Body.Close()
+		_ = resp.Body.Close()
 		if d := time.Since(start); d > worst {
 			worst = d
 		}

@@ -18,6 +18,7 @@ import (
 	"math"
 
 	"rejuv/internal/ctmc"
+	"rejuv/internal/num"
 )
 
 // States of the Huang et al. model.
@@ -54,7 +55,7 @@ type Model struct {
 // Validate reports whether the model's rates are usable.
 func (m Model) Validate() error {
 	check := func(name string, v float64, allowZero bool) error {
-		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 || (!allowZero && v == 0) {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 || (!allowZero && num.Zero(v)) {
 			return fmt.Errorf("aging: %s rate %v must be positive and finite", name, v)
 		}
 		return nil

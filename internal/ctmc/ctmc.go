@@ -13,6 +13,7 @@ import (
 	"math"
 
 	"rejuv/internal/linalg"
+	"rejuv/internal/num"
 )
 
 // transition is one directed rate in the chain.
@@ -76,7 +77,7 @@ func (c *Chain) MustAddRate(from, to int, rate float64) {
 func (c *Chain) ExitRate(state int) float64 { return c.exitRate[state] }
 
 // IsAbsorbing reports whether the state has no outgoing transitions.
-func (c *Chain) IsAbsorbing(state int) bool { return c.exitRate[state] == 0 }
+func (c *Chain) IsAbsorbing(state int) bool { return num.Zero(c.exitRate[state]) }
 
 // Generator returns the dense generator matrix Q with Q[i][j] the rate
 // i->j and Q[i][i] = -sum of row i.
@@ -112,7 +113,7 @@ func (c *Chain) stepDTMC(dst, src []float64, lambda float64) {
 	}
 	for i, ts := range c.out {
 		pi := src[i]
-		if pi == 0 {
+		if num.Zero(pi) {
 			continue
 		}
 		for _, t := range ts {
@@ -136,12 +137,12 @@ func (c *Chain) Transient(pi0 []float64, t, eps float64) ([]float64, error) {
 		eps = 1e-12
 	}
 	out := make([]float64, c.n)
-	if t == 0 {
+	if num.Zero(t) {
 		copy(out, pi0)
 		return out, nil
 	}
 	lambda := c.uniformizationRate()
-	if lambda == 0 {
+	if num.Zero(lambda) {
 		// No transitions anywhere: distribution never moves.
 		copy(out, pi0)
 		return out, nil
@@ -207,13 +208,13 @@ func (c *Chain) TransientBatch(pi0 []float64, ts []float64, eps float64) ([][]fl
 		}
 	}
 	lambda := c.uniformizationRate()
-	if lambda == 0 || maxT == 0 {
+	if num.Zero(lambda) || num.Zero(maxT) {
 		for i, t := range ts {
 			if t >= 0 {
 				copy(out[i], pi0)
 			}
 		}
-		if lambda == 0 {
+		if num.Zero(lambda) {
 			return out, nil
 		}
 	}
@@ -236,7 +237,7 @@ func (c *Chain) TransientBatch(pi0 []float64, ts []float64, eps float64) ([][]fl
 		lg, _ := math.Lgamma(float64(k + 1))
 		done := true
 		for i := range ts {
-			if lts[i] == 0 {
+			if num.Zero(lts[i]) {
 				// Zero horizon: all mass on k = 0.
 				if k == 0 {
 					copy(out[i], cur)

@@ -12,6 +12,8 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+
+	"rejuv/internal/num"
 )
 
 // Handler is the callback invoked when an event fires. The simulator
@@ -41,7 +43,7 @@ type eventQueue []*Event
 func (q eventQueue) Len() int { return len(q) }
 
 func (q eventQueue) Less(i, j int) bool {
-	if q[i].time != q[j].time {
+	if !num.Same(q[i].time, q[j].time) {
 		return q[i].time < q[j].time
 	}
 	return q[i].seq < q[j].seq

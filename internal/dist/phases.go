@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"rejuv/internal/num"
 	"rejuv/internal/xrand"
 )
 
@@ -37,7 +38,7 @@ func (e Erlang) PDF(x float64) float64 {
 	if x < 0 {
 		return 0
 	}
-	if x == 0 {
+	if num.Zero(x) {
 		if e.K == 1 {
 			return e.Rate
 		}
@@ -139,7 +140,7 @@ func (h HypoExp) coeffs() ([]float64, bool) {
 				continue
 			}
 			d := rj - ri
-			if d == 0 {
+			if num.Zero(d) {
 				return nil, false
 			}
 			a *= rj / d
@@ -156,7 +157,7 @@ func (h HypoExp) coeffs() ([]float64, bool) {
 // lambda = (c-1)*mu in the paper's eq. (1).
 func pdf2(a, b, x float64) float64 {
 	d := b - a
-	if d == 0 {
+	if num.Zero(d) {
 		return a * a * x * math.Exp(-a*x)
 	}
 	return -a * b * math.Exp(-a*x) * math.Expm1(-d*x) / d
@@ -167,7 +168,7 @@ func pdf2(a, b, x float64) float64 {
 func cdf2(a, b, x float64) float64 {
 	d := b - a
 	var s float64
-	if d == 0 {
+	if num.Zero(d) {
 		s = (1 + a*x) * math.Exp(-a*x)
 	} else {
 		s = math.Exp(-a*x) * (1 - a*math.Expm1(-d*x)/d)
@@ -247,7 +248,7 @@ func (h HypoExp) Sample(r *xrand.Rand) float64 {
 
 func allEqual(xs []float64) bool {
 	for _, x := range xs[1:] {
-		if x != xs[0] {
+		if !num.Same(x, xs[0]) {
 			return false
 		}
 	}

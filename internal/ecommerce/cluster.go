@@ -6,6 +6,7 @@ import (
 
 	"rejuv/internal/core"
 	"rejuv/internal/des"
+	"rejuv/internal/num"
 	"rejuv/internal/xrand"
 )
 
@@ -244,7 +245,7 @@ func (c *Cluster) rejuvenate(h int) {
 		c.sim.Stop()
 		return
 	}
-	if c.cfg.RejuvenationPause == 0 {
+	if num.Zero(c.cfg.RejuvenationPause) {
 		c.startNextPending()
 		return
 	}

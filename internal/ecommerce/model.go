@@ -18,6 +18,7 @@ import (
 
 	"rejuv/internal/core"
 	"rejuv/internal/des"
+	"rejuv/internal/num"
 	"rejuv/internal/stats"
 	"rejuv/internal/xrand"
 )
@@ -105,25 +106,25 @@ func (cfg Config) Default() Config {
 	if cfg.Servers == 0 {
 		cfg.Servers = 16
 	}
-	if cfg.ServiceRate == 0 {
+	if num.Zero(cfg.ServiceRate) {
 		cfg.ServiceRate = 0.2
 	}
 	if cfg.OverheadThreshold == 0 {
 		cfg.OverheadThreshold = 50
 	}
-	if cfg.OverheadFactor == 0 {
+	if num.Zero(cfg.OverheadFactor) {
 		cfg.OverheadFactor = 2.0
 	}
-	if cfg.HeapMB == 0 {
+	if num.Zero(cfg.HeapMB) {
 		cfg.HeapMB = 3072
 	}
-	if cfg.AllocMB == 0 {
+	if num.Zero(cfg.AllocMB) {
 		cfg.AllocMB = 10
 	}
-	if cfg.GCThresholdMB == 0 {
+	if num.Zero(cfg.GCThresholdMB) {
 		cfg.GCThresholdMB = 100
 	}
-	if cfg.GCPause == 0 {
+	if num.Zero(cfg.GCPause) {
 		cfg.GCPause = 60
 	}
 	if cfg.Transactions == 0 {

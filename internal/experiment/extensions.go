@@ -5,6 +5,7 @@ import (
 
 	"rejuv/internal/core"
 	"rejuv/internal/ecommerce"
+	"rejuv/internal/num"
 )
 
 // This file defines the extension experiments that go beyond the
@@ -46,7 +47,7 @@ func (cfg ClusterSweepConfig) defaulted() ClusterSweepConfig {
 	if cfg.Spec.Algorithm == "" {
 		cfg.Spec = sraaSpec(2, 5, 3)
 	}
-	if cfg.RejuvenationPause == 0 {
+	if num.Zero(cfg.RejuvenationPause) {
 		cfg.RejuvenationPause = 30
 	}
 	if cfg.Transactions == 0 {
@@ -152,13 +153,13 @@ func (cfg BurstSweepConfig) defaulted() BurstSweepConfig {
 	if len(cfg.Specs) == 0 {
 		cfg.Specs = []Spec{sraaSpec(2, 5, 3), sraaSpec(15, 1, 1)}
 	}
-	if cfg.BaseLoad == 0 {
+	if num.Zero(cfg.BaseLoad) {
 		cfg.BaseLoad = 4
 	}
-	if cfg.BurstOn == 0 {
+	if num.Zero(cfg.BurstOn) {
 		cfg.BurstOn = 60
 	}
-	if cfg.BurstOff == 0 {
+	if num.Zero(cfg.BurstOff) {
 		cfg.BurstOff = 600
 	}
 	if cfg.Transactions == 0 {

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"rejuv/internal/ecommerce"
+	"rejuv/internal/num"
 	"rejuv/internal/stats"
 )
 
@@ -101,7 +102,7 @@ type repOutcome struct {
 func RunSweep(cfg SweepConfig, spec Spec) (Series, error) {
 	cfg = cfg.defaulted()
 	mu := cfg.Model.ServiceRate
-	if mu == 0 {
+	if num.Zero(mu) {
 		mu = 0.2
 	}
 

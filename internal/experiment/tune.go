@@ -3,6 +3,8 @@ package experiment
 import (
 	"fmt"
 	"sort"
+
+	"rejuv/internal/num"
 )
 
 // TuneConfig describes a grid search for algorithm parameters — the
@@ -40,16 +42,16 @@ func (cfg TuneConfig) defaulted() TuneConfig {
 	if cfg.Algorithm == "" {
 		cfg.Algorithm = SRAA
 	}
-	if cfg.HighLoad == 0 {
+	if num.Zero(cfg.HighLoad) {
 		cfg.HighLoad = 9.0
 	}
-	if cfg.LowLoad == 0 {
+	if num.Zero(cfg.LowLoad) {
 		cfg.LowLoad = 0.5
 	}
-	if cfg.RTWeight == 0 {
+	if num.Zero(cfg.RTWeight) {
 		cfg.RTWeight = 1
 	}
-	if cfg.LossWeight == 0 {
+	if num.Zero(cfg.LossWeight) {
 		cfg.LossWeight = 100
 	}
 	if cfg.Replications == 0 {
@@ -151,7 +153,7 @@ func Tune(cfg TuneConfig) ([]TuneResult, error) {
 		results = append(results, r)
 	}
 	sort.Slice(results, func(i, j int) bool {
-		if results[i].Cost != results[j].Cost {
+		if !num.Same(results[i].Cost, results[j].Cost) {
 			return results[i].Cost < results[j].Cost
 		}
 		return results[i].Spec.Label() < results[j].Spec.Label()

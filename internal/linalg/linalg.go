@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"math"
 	"strings"
+
+	"rejuv/internal/num"
 )
 
 // ErrSingular is returned when a factorization or solve meets a matrix
@@ -91,7 +93,7 @@ func (m *Matrix) Mul(other *Matrix) *Matrix {
 	for i := 0; i < m.Rows; i++ {
 		for k := 0; k < m.Cols; k++ {
 			a := m.At(i, k)
-			if a == 0 {
+			if num.Zero(a) {
 				continue
 			}
 			row := other.Data[k*other.Cols : (k+1)*other.Cols]
@@ -130,7 +132,7 @@ func (m *Matrix) VecMul(x []float64) []float64 {
 	}
 	out := make([]float64, m.Cols)
 	for i, xi := range x {
-		if xi == 0 {
+		if num.Zero(xi) {
 			continue
 		}
 		row := m.Data[i*m.Cols : (i+1)*m.Cols]
@@ -181,7 +183,7 @@ func Factor(a *Matrix) (*LU, error) {
 				pivot, pivotVal = r, v
 			}
 		}
-		if pivotVal == 0 {
+		if num.Zero(pivotVal) {
 			return nil, ErrSingular
 		}
 		if pivot != col {
@@ -196,7 +198,7 @@ func Factor(a *Matrix) (*LU, error) {
 		for r := col + 1; r < n; r++ {
 			f := lu.At(r, col) * inv
 			lu.Set(r, col, f)
-			if f == 0 {
+			if num.Zero(f) {
 				continue
 			}
 			for j := col + 1; j < n; j++ {
@@ -233,7 +235,7 @@ func (f *LU) Solve(b []float64) ([]float64, error) {
 			s -= f.lu.At(i, j) * x[j]
 		}
 		d := f.lu.At(i, i)
-		if d == 0 {
+		if num.Zero(d) {
 			return nil, ErrSingular
 		}
 		x[i] = s / d

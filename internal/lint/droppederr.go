@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DroppedErrAnalyzer flags call statements whose error result vanishes.
+// A failed write that nobody checks is how a truncated CSV or SVG lands
+// in results/ looking complete. Exemptions, all of which cannot fail or
+// only feed terminal chatter:
+//
+//   - fmt.Print, fmt.Printf, fmt.Println (standard output logging)
+//   - fmt.Fprint* to os.Stdout, os.Stderr, *strings.Builder, *bytes.Buffer
+//   - methods on strings.Builder and bytes.Buffer (documented nil error)
+//
+// An explicit `_ = f()` is visible in review and is not flagged.
+var DroppedErrAnalyzer = &Analyzer{
+	Name: "droppederr",
+	Doc:  "forbid silently discarded error returns",
+	Run:  runDroppedErr,
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func runDroppedErr(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			tv, ok := p.Info.Types[call.Fun]
+			if !ok || tv.IsType() { // unknown callee or a conversion
+				return true
+			}
+			sig, ok := tv.Type.(*types.Signature)
+			if !ok { // builtin
+				return true
+			}
+			if !returnsError(sig) || exemptCall(p, call) {
+				return true
+			}
+			diags = append(diags, p.diagf(call.Pos(), "droppederr",
+				"error returned by %s is silently dropped; check it or discard explicitly with _ =",
+				types.ExprString(call.Fun)))
+			return true
+		})
+	}
+	return diags
+}
+
+func returnsError(sig *types.Signature) bool {
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if types.Identical(res.At(i).Type(), errorType) {
+			return true
+		}
+	}
+	return false
+}
+
+// exemptCall reports whether the call's error is unconditionally nil or
+// mere terminal chatter (see the analyzer doc).
+func exemptCall(p *Package, call *ast.CallExpr) bool {
+	obj := calleeObject(p, call)
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	if recv := sig.Recv(); recv != nil {
+		return isInfallibleWriter(recv.Type())
+	}
+	if fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+		return false
+	}
+	switch fn.Name() {
+	case "Print", "Printf", "Println":
+		return true
+	case "Fprint", "Fprintf", "Fprintln":
+		if len(call.Args) == 0 {
+			return false
+		}
+		w := call.Args[0]
+		if isStdStream(p, w) {
+			return true
+		}
+		return isInfallibleWriter(p.Info.TypeOf(w))
+	}
+	return false
+}
+
+// calleeObject resolves the function object a call refers to, if any.
+func calleeObject(p *Package, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return p.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		return p.Info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// isInfallibleWriter reports whether t is strings.Builder or
+// bytes.Buffer (possibly behind a pointer): their Write methods are
+// documented to always return a nil error.
+func isInfallibleWriter(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	pkg, name := named.Obj().Pkg().Path(), named.Obj().Name()
+	return (pkg == "strings" && name == "Builder") || (pkg == "bytes" && name == "Buffer")
+}
+
+// isStdStream reports whether the expression is exactly os.Stdout or
+// os.Stderr.
+func isStdStream(p *Package, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	v, ok := p.Info.Uses[sel.Sel].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Pkg().Path() != "os" {
+		return false
+	}
+	return v.Name() == "Stdout" || v.Name() == "Stderr"
+}

@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatCmpAnalyzer forbids == and != between floating-point operands.
+// Exact float equality is almost always a rounding-error bug in
+// statistics code; the few intentional sentinel checks live behind the
+// audited helpers in internal/num or carry a //lint:allow justification.
+var FloatCmpAnalyzer = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "forbid ==/!= between floating-point operands",
+	Run:  runFloatCmp,
+}
+
+func runFloatCmp(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			tx := p.Info.Types[be.X]
+			ty := p.Info.Types[be.Y]
+			// A comparison folded entirely at compile time is exact by
+			// construction and cannot drift at run time.
+			if tx.Value != nil && ty.Value != nil {
+				return true
+			}
+			if !isFloat(tx.Type) && !isFloat(ty.Type) {
+				return true
+			}
+			diags = append(diags, p.diagf(be.OpPos, "floatcmp",
+				"floating-point %s comparison; use internal/num (num.Zero, num.Eq) or justify with //lint:allow floatcmp",
+				be.Op))
+			return true
+		})
+	}
+	return diags
+}
+
+// isFloat reports whether t is (or is based on) a floating-point type.
+// Unknown types — e.g. when an import failed to resolve — answer false,
+// so partial type information produces false negatives, never noise.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}

@@ -1,0 +1,152 @@
+// Package lint implements rejuvlint, the repository's static-analysis
+// suite. It is built on the standard library only (go/ast, go/parser,
+// go/token, go/types) and enforces the invariants the paper's evaluation
+// depends on: simulation code must be deterministic (no wall-clock time,
+// no ambient randomness), numerical code must not compare floats with
+// ==/!=, errors must not be dropped silently, and nothing that feeds the
+// results/ artifacts may depend on map iteration order.
+//
+// A finding can be suppressed per line with a justification comment:
+//
+//	//lint:allow <rule> <reason>
+//
+// placed either at the end of the offending line or on the line directly
+// above it. The reason is mandatory; a malformed, unknown, or unused
+// directive is itself reported (rule "lint") so suppressions cannot rot.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+// String renders the finding as file:line:col: rule: message.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Rule, d.Message)
+}
+
+// Analyzer is one named rule over a type-checked package.
+type Analyzer struct {
+	// Name is the rule identifier used in output and in //lint:allow.
+	Name string
+	// Doc is a one-line description for -list output.
+	Doc string
+	// Run reports every finding in the package, pre-suppression.
+	Run func(p *Package) []Diagnostic
+}
+
+// Analyzers returns the full rule registry in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		DeterminismAnalyzer,
+		FloatCmpAnalyzer,
+		DroppedErrAnalyzer,
+		MapIterAnalyzer,
+		SeedFlowAnalyzer,
+	}
+}
+
+// Package is one parsed, type-checked package ready for analysis.
+// Type-checking is best-effort: TypeErrors collects anything the checker
+// reported, and analyzers skip expressions whose types are unknown rather
+// than guessing.
+type Package struct {
+	// Path is the import path ("rejuv/internal/des").
+	Path string
+	// Rel is the module-relative directory ("internal/des", "" for root).
+	Rel string
+	// Dir is the directory the files were read from.
+	Dir string
+	// Fset positions all Files.
+	Fset *token.FileSet
+	// Files holds the non-test source files.
+	Files []*ast.File
+	// Pkg and Info carry the (possibly partial) type information.
+	Pkg  *types.Package
+	Info *types.Info
+	// TypeErrors holds type-checker errors, kept for -v diagnostics.
+	TypeErrors []error
+}
+
+// position resolves a token.Pos against the package's file set.
+func (p *Package) position(pos token.Pos) token.Position {
+	return p.Fset.Position(pos)
+}
+
+// diagf builds a Diagnostic for the given rule at pos.
+func (p *Package) diagf(pos token.Pos, rule, format string, args ...any) Diagnostic {
+	return Diagnostic{Pos: p.position(pos), Rule: rule, Message: fmt.Sprintf(format, args...)}
+}
+
+// Run applies the given analyzers to every package, honors //lint:allow
+// suppressions, validates the directives themselves, and returns all
+// surviving findings sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	selected := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		selected[a.Name] = true
+	}
+	known := make(map[string]bool)
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	// Custom analyzer sets (tests) may include rules outside the default
+	// registry; their directives are still well-formed.
+	for name := range selected {
+		known[name] = true
+	}
+
+	var out []Diagnostic
+	for _, p := range pkgs {
+		allows, directiveDiags := collectAllows(p, known)
+		out = append(out, directiveDiags...)
+		for _, a := range analyzers {
+			for _, d := range a.Run(p) {
+				if allows.suppress(d) {
+					continue
+				}
+				out = append(out, d)
+			}
+		}
+		// An allow for a selected rule that never fired is dead weight
+		// (or a typo'd line) and must be removed.
+		for _, dir := range allows.all {
+			if selected[dir.rule] && !dir.used {
+				out = append(out, Diagnostic{
+					Pos:  dir.pos,
+					Rule: directiveRule,
+					Message: fmt.Sprintf("unnecessary //lint:allow %s: no %s finding on this or the next line",
+						dir.rule, dir.rule),
+				})
+			}
+		}
+	}
+	sortDiagnostics(out)
+	return out
+}
+
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+}

@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapIterAnalyzer flags `range` over a map whose loop body writes
+// output. Go randomizes map iteration order, so any bytes emitted from
+// inside such a loop — a CSV row, an SVG element, a table line — land in
+// a different order every run, silently breaking the reproducibility of
+// the results/ artifacts. Collect the keys, sort them, and range over
+// the sorted slice instead.
+var MapIterAnalyzer = &Analyzer{
+	Name: "mapiter",
+	Doc:  "forbid map iteration that feeds output without sorted keys",
+	Run:  runMapIter,
+}
+
+// outputFuncs are package-level functions that emit bytes.
+var outputFuncs = map[string]map[string]bool{
+	"fmt": {
+		"Fprint": true, "Fprintf": true, "Fprintln": true,
+		"Print": true, "Printf": true, "Println": true,
+	},
+	"io": {"WriteString": true},
+	"os": {"WriteFile": true},
+}
+
+// outputMethods are method names that emit bytes on writers, builders,
+// and encoders.
+var outputMethods = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+	"WriteAll":    true,
+}
+
+func runMapIter(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := p.Info.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, ok := t.Underlying().(*types.Map); !ok {
+				return true
+			}
+			if out := firstOutputCall(p, rs.Body); out != nil {
+				diags = append(diags, p.diagf(rs.For, "mapiter",
+					"map iteration order feeds output via %s; range over sorted keys instead",
+					types.ExprString(out.Fun)))
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// firstOutputCall returns an output-emitting call inside the loop body,
+// or nil.
+func firstOutputCall(p *Package, body *ast.BlockStmt) *ast.CallExpr {
+	var found *ast.CallExpr
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := calleeObject(p, call).(*types.Func)
+		if !ok {
+			return true
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok {
+			return true
+		}
+		if sig.Recv() != nil {
+			if outputMethods[fn.Name()] {
+				found = call
+			}
+			return true
+		}
+		if fn.Pkg() != nil && outputFuncs[fn.Pkg().Path()][fn.Name()] {
+			found = call
+		}
+		return true
+	})
+	return found
+}

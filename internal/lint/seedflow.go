@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SeedFlowAnalyzer polices RNG construction in the cmd/ and examples/
+// entry points: a seed must be a constant or a value plumbed from flags
+// and configuration, never fresh entropy like time.Now().UnixNano() or
+// os.Getpid(). An entry point that seeds itself from the environment
+// produces figures nobody can regenerate.
+var SeedFlowAnalyzer = &Analyzer{
+	Name: "seedflow",
+	Doc:  "forbid RNG seeds derived from calls instead of constants or flags",
+	Run:  runSeedFlow,
+}
+
+// seedFuncs maps (package path suffix or exact path) -> constructor name
+// -> indexes of the seed arguments to validate.
+var seedFuncs = map[string]map[string][]int{
+	"internal/xrand": {
+		"New":       {0},
+		"NewStream": {0, 1},
+	},
+	"math/rand": {
+		"NewSource": {0},
+		"Seed":      {0},
+	},
+	"math/rand/v2": {
+		"NewPCG": {0, 1},
+	},
+}
+
+func runSeedFlow(p *Package) []Diagnostic {
+	if !strings.HasPrefix(p.Rel, "cmd/") && !strings.HasPrefix(p.Rel, "examples/") {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := calleeObject(p, call).(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			args := seedArgIndexes(fn.Pkg().Path(), fn.Name())
+			for _, i := range args {
+				if i >= len(call.Args) {
+					continue
+				}
+				arg := call.Args[i]
+				if seedIsPlumbed(p, arg) {
+					continue
+				}
+				diags = append(diags, p.diagf(arg.Pos(), "seedflow",
+					"RNG seed %s derives from a call; seeds must be constants or flag-plumbed values so runs are reproducible",
+					types.ExprString(arg)))
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+func seedArgIndexes(pkgPath, name string) []int {
+	for key, funcs := range seedFuncs {
+		if pkgPath == key || strings.HasSuffix(pkgPath, "/"+key) {
+			return funcs[name]
+		}
+	}
+	return nil
+}
+
+// seedIsPlumbed reports whether the expression is a constant or built
+// purely from stored values — identifiers, fields, dereferences, index
+// expressions, arithmetic, conversions. Any embedded non-conversion call
+// (time.Now().UnixNano(), os.Getpid(), rand.Int63()) disqualifies it:
+// fresh values at seed time are exactly what breaks reproducibility.
+func seedIsPlumbed(p *Package, e ast.Expr) bool {
+	if tv, ok := p.Info.Types[e]; ok && tv.Value != nil {
+		return true // constant expression
+	}
+	switch e := e.(type) {
+	case *ast.BasicLit, *ast.Ident:
+		return true
+	case *ast.SelectorExpr:
+		return seedIsPlumbed(p, e.X)
+	case *ast.ParenExpr:
+		return seedIsPlumbed(p, e.X)
+	case *ast.StarExpr:
+		return seedIsPlumbed(p, e.X)
+	case *ast.UnaryExpr:
+		return seedIsPlumbed(p, e.X)
+	case *ast.IndexExpr:
+		return seedIsPlumbed(p, e.X) && seedIsPlumbed(p, e.Index)
+	case *ast.BinaryExpr:
+		return seedIsPlumbed(p, e.X) && seedIsPlumbed(p, e.Y)
+	case *ast.CallExpr:
+		if tv, ok := p.Info.Types[e.Fun]; ok && tv.IsType() {
+			// A conversion like uint64(x) is as pure as its operand.
+			for _, a := range e.Args {
+				if !seedIsPlumbed(p, a) {
+					return false
+				}
+			}
+			return true
+		}
+		return false
+	}
+	return false
+}

@@ -1,0 +1,99 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"strings"
+)
+
+// directiveRule is the pseudo-rule under which problems with the
+// //lint:allow directives themselves are reported. It is deliberately
+// not suppressible: a broken suppression must be fixed, not suppressed.
+const directiveRule = "lint"
+
+// allowPrefix is the directive marker. Like //go:build it must follow
+// the comment slashes with no space.
+const allowPrefix = "//lint:allow"
+
+// allowDirective is one parsed //lint:allow comment.
+type allowDirective struct {
+	rule   string
+	reason string
+	pos    token.Position
+	used   bool
+}
+
+// allowIndex maps file -> line -> directives that may suppress findings
+// on that line. A directive is registered on its own line and the next,
+// so it works both as a trailing comment and on the line above.
+type allowIndex struct {
+	byLine map[string]map[int][]*allowDirective
+	all    []*allowDirective
+}
+
+// suppress reports whether d is covered by a directive, marking the
+// directive used. Directive problems themselves are never suppressed.
+func (ai *allowIndex) suppress(d Diagnostic) bool {
+	if d.Rule == directiveRule {
+		return false
+	}
+	for _, dir := range ai.byLine[d.Pos.Filename][d.Pos.Line] {
+		if dir.rule == d.Rule {
+			dir.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectAllows parses every //lint:allow directive in the package and
+// validates it against the known rule set. Malformed or unknown-rule
+// directives are returned as findings.
+func collectAllows(p *Package, known map[string]bool) (*allowIndex, []Diagnostic) {
+	ai := &allowIndex{byLine: make(map[string]map[int][]*allowDirective)}
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				pos := p.position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					diags = append(diags, Diagnostic{
+						Pos:  pos,
+						Rule: directiveRule,
+						Message: "malformed //lint:allow: want \"//lint:allow <rule> <reason>\" " +
+							"with a non-empty reason",
+					})
+					continue
+				}
+				rule := fields[0]
+				if !known[rule] {
+					diags = append(diags, Diagnostic{
+						Pos:     pos,
+						Rule:    directiveRule,
+						Message: fmt.Sprintf("unknown rule %q in //lint:allow", rule),
+					})
+					continue
+				}
+				dir := &allowDirective{
+					rule:   rule,
+					reason: strings.Join(fields[1:], " "),
+					pos:    pos,
+				}
+				ai.all = append(ai.all, dir)
+				lines := ai.byLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]*allowDirective)
+					ai.byLine[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], dir)
+				lines[pos.Line+1] = append(lines[pos.Line+1], dir)
+			}
+		}
+	}
+	return ai, diags
+}

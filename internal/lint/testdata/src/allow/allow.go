@@ -1,0 +1,22 @@
+// Package golden exercises the directive checks: malformed, unknown,
+// and unused //lint:allow comments are themselves findings.
+package golden
+
+func directives(a, b float64) float64 {
+	//lint:allow floatcmp
+	// want "lint: malformed //lint:allow"
+	total := 0.0
+
+	//lint:allow nosuchrule the rule name has a typo
+	// want "lint: unknown rule"
+	total += a
+
+	//lint:allow floatcmp the comparison below was deleted long ago
+	// want "lint: unnecessary //lint:allow floatcmp"
+	total += b
+
+	if a == b { //lint:allow floatcmp used directives are not reported
+		total++
+	}
+	return total
+}

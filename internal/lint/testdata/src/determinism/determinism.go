@@ -1,0 +1,33 @@
+// Package golden exercises the determinism analyzer. Its fake import
+// path places it under internal/des, inside the policed scope.
+package golden
+
+import (
+	"math/rand" // want "determinism: import of math/rand"
+	"os"
+	"time"
+)
+
+// clock trips every banned wall-clock construct.
+func clock() time.Duration {
+	t := time.Now()               // want "determinism: time.Now in simulation package"
+	time.Sleep(time.Nanosecond)   // want "determinism: time.Sleep in simulation package"
+	<-time.After(time.Nanosecond) // want "determinism: time.After in simulation package"
+	return time.Since(t)          // want "determinism: time.Since in simulation package"
+}
+
+// entropy trips the ambient-entropy bans.
+func entropy() int {
+	_ = os.Getenv("SEED") // want "determinism: os.Getenv in simulation package"
+	_ = rand.Int()
+	return os.Getpid() // want "determinism: os.Getpid in simulation package"
+}
+
+// allowed shows a justified suppression.
+func allowed() int {
+	return os.Getpid() //lint:allow determinism pid labels a debug artifact, never enters results
+}
+
+// duration is fine: the time package itself is not banned, only its
+// wall-clock and timer functions.
+func duration() time.Duration { return 3 * time.Second }

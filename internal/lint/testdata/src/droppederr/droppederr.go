@@ -1,0 +1,33 @@
+// Package golden exercises the droppederr analyzer.
+package golden
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func emit(w *os.File) {
+	fmt.Fprintf(w, "x")  // want "droppederr: error returned by fmt.Fprintf is silently dropped"
+	w.Close()            // want "droppederr: error returned by w.Close is silently dropped"
+	fmt.Fprintln(w, "y") // want "droppederr: error returned by fmt.Fprintln is silently dropped"
+	w.Sync()             //lint:allow droppederr best-effort flush in a demo
+	_ = w.Close()        // explicit discard is visible in review
+	if err := w.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "close:", err) // stderr chatter is exempt
+	}
+}
+
+// infallible writers and terminal chatter are exempt.
+func exempt() string {
+	var b strings.Builder
+	var buf bytes.Buffer
+	fmt.Fprintf(&b, "x")
+	fmt.Fprintf(&buf, "y")
+	b.WriteString("z")
+	buf.WriteByte('!')
+	fmt.Println("progress")
+	fmt.Fprintln(os.Stdout, "more progress")
+	return b.String() + buf.String()
+}

@@ -1,0 +1,29 @@
+// Package golden exercises the floatcmp analyzer.
+package golden
+
+const tolerance = 1e-9
+
+func compare(a, b float64, f float32, xs []float64) bool {
+	if a == b { // want "floatcmp: floating-point == comparison"
+		return true
+	}
+	if a != 0 { // want "floatcmp: floating-point != comparison"
+		return false
+	}
+	if float64(f) == a { // want "floatcmp: floating-point == comparison"
+		return true
+	}
+	if xs[0] == xs[1] { // want "floatcmp: floating-point == comparison"
+		return true
+	}
+	return a == 0 //lint:allow floatcmp zero is the unset sentinel here
+}
+
+// ints shows integer comparisons pass untouched.
+func ints(i, j int) bool { return i == j }
+
+// constants shows compile-time-folded comparisons pass untouched.
+func constants() bool { return tolerance == 1e-9 }
+
+// ordered shows <, <=, >, >= pass untouched: only equality is fragile.
+func ordered(a, b float64) bool { return a < b || a >= b }

@@ -1,0 +1,42 @@
+// Package golden exercises the mapiter analyzer.
+package golden
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+func dump(m map[string]float64, w *os.File) string {
+	for k, v := range m { // want "mapiter: map iteration order feeds output"
+		fmt.Fprintf(w, "%s=%g\n", k, v)
+	}
+
+	var b strings.Builder
+	for k := range m { // want "mapiter: map iteration order feeds output"
+		b.WriteString(k)
+	}
+
+	// Collecting keys and sorting them is the prescribed pattern.
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%g\n", k, m[k])
+	}
+
+	// Order-insensitive reduction followed by output is fine.
+	sum := 0.0
+	for _, v := range m {
+		sum += v
+	}
+	fmt.Fprintf(w, "total=%g\n", sum)
+
+	for k, v := range m { //lint:allow mapiter map holds exactly one entry by construction
+		fmt.Fprintf(w, "%s=%g\n", k, v)
+	}
+	return b.String()
+}

@@ -1,0 +1,25 @@
+// Package golden exercises the seedflow analyzer. Its fake import path
+// places it under cmd/, where entry-point seeding is policed.
+package golden
+
+import (
+	"math/rand"
+	"os"
+	"time"
+
+	"rejuv/internal/xrand"
+)
+
+func build(seed uint64, seeds []uint64) {
+	_ = xrand.New(1)                    // constant
+	_ = xrand.New(seed)                 // flag-plumbed value
+	_ = xrand.New(seed + 17)            // arithmetic over plumbed values
+	_ = xrand.NewStream(seed, seeds[0]) // stored values
+	_ = rand.NewSource(int64(seed))     // conversion of a plumbed value
+
+	_ = xrand.New(uint64(os.Getpid()))                   // want "seedflow: RNG seed"
+	_ = rand.NewSource(time.Now().UnixNano())            // want "seedflow: RNG seed"
+	_ = xrand.NewStream(seed, uint64(time.Now().Unix())) // want "seedflow: RNG seed"
+
+	_ = rand.NewSource(time.Now().UnixNano()) //lint:allow seedflow throwaway demo stream, not used for results
+}

@@ -11,6 +11,7 @@ import (
 	"math"
 
 	"rejuv/internal/dist"
+	"rejuv/internal/num"
 	"rejuv/internal/phasetype"
 	"rejuv/internal/stats"
 )
@@ -107,7 +108,7 @@ func (s System) RTQuantile(p float64) (float64, error) {
 	if p < 0 || p >= 1 {
 		return 0, fmt.Errorf("mmc: quantile level %v outside [0,1)", p)
 	}
-	if p == 0 {
+	if num.Zero(p) {
 		return 0, nil
 	}
 	lo, hi := 0.0, 1.0

@@ -1,0 +1,57 @@
+// Package num holds the repository's audited floating-point comparison
+// helpers. The floatcmp lint rule forbids raw == and != between floats
+// everywhere else, so every exact comparison the codebase genuinely
+// needs lives here, behind a name that states its intent:
+//
+//   - Zero(x): exact test against the 0 sentinel (unset config field,
+//     empty rate, zero horizon). Exactness is the point — the value was
+//     stored as a literal zero, not computed.
+//   - Same(a, b): exact value equality for tie-breaking and duplicate
+//     detection, where treating nearby values as equal would be wrong
+//     (event-queue ordering, sort comparators, constant-series checks).
+//   - Eq(a, b, tol) / Close(a, b): tolerant equality for computed
+//     quantities, using a relative tolerance that falls back to an
+//     absolute one near zero.
+package num
+
+import "math"
+
+// DefaultTol is the tolerance used by Close: roughly a thousand ULPs at
+// magnitude one, loose enough to absorb benign rounding and tight
+// enough to catch real divergence.
+const DefaultTol = 1e-12
+
+// Zero reports whether x is exactly +0 or -0. Use it for sentinel
+// checks ("field not set", "no rate configured"), never for testing
+// whether a computation came out as zero — use Close(x, 0) or a
+// magnitude threshold for that.
+func Zero(x float64) bool {
+	return x == 0 //lint:allow floatcmp audited exact sentinel comparison
+}
+
+// Same reports exact value equality (NaN is not Same as anything,
+// matching ==). Use it where approximate equality would change
+// semantics: comparator tie-breaks, deduplication, detecting a
+// constant series.
+func Same(a, b float64) bool {
+	return a == b //lint:allow floatcmp audited exact tie-break comparison
+}
+
+// Eq reports whether a and b agree within tol, measured relative to the
+// larger magnitude, or absolutely when both are smaller than one.
+// NaN never equals anything; equal infinities are equal.
+func Eq(a, b, tol float64) bool {
+	if Same(a, b) {
+		return true // covers equal infinities and exact hits
+	}
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return false // unequal infinities are infinitely far apart
+	}
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return math.Abs(a-b) <= tol*scale
+}
+
+// Close is Eq with DefaultTol.
+func Close(a, b float64) bool {
+	return Eq(a, b, DefaultTol)
+}

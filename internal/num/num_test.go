@@ -1,0 +1,56 @@
+package num
+
+import (
+	"math"
+	"testing"
+)
+
+func TestZero(t *testing.T) {
+	if !Zero(0) || !Zero(math.Copysign(0, -1)) {
+		t.Error("Zero must accept +0 and -0")
+	}
+	for _, x := range []float64{1e-300, -1e-300, 1, math.NaN(), math.Inf(1)} {
+		if Zero(x) {
+			t.Errorf("Zero(%v) = true", x)
+		}
+	}
+}
+
+func TestSame(t *testing.T) {
+	if !Same(1.5, 1.5) {
+		t.Error("Same(1.5, 1.5) = false")
+	}
+	if Same(1.5, 1.5+1e-15) {
+		t.Error("Same must be exact")
+	}
+	if Same(math.NaN(), math.NaN()) {
+		t.Error("NaN is not Same as NaN")
+	}
+	if !Same(math.Inf(1), math.Inf(1)) {
+		t.Error("equal infinities are Same")
+	}
+}
+
+func TestEq(t *testing.T) {
+	cases := []struct {
+		a, b, tol float64
+		want      bool
+	}{
+		{1, 1 + 1e-13, 1e-12, true},
+		{1, 1 + 1e-11, 1e-12, false},
+		{1e12, 1e12 * (1 + 1e-13), 1e-12, true}, // relative at large magnitude
+		{0, 1e-13, 1e-12, true},                 // absolute near zero
+		{0, 1e-11, 1e-12, false},
+		{math.Inf(1), math.Inf(1), 1e-12, true},
+		{math.Inf(1), math.Inf(-1), 1e-12, false},
+		{math.NaN(), math.NaN(), 1e-12, false},
+	}
+	for _, c := range cases {
+		if got := Eq(c.a, c.b, c.tol); got != c.want {
+			t.Errorf("Eq(%v, %v, %v) = %v, want %v", c.a, c.b, c.tol, got, c.want)
+		}
+	}
+	if !Close(1, 1+1e-14) || Close(1, 1+1e-9) {
+		t.Error("Close must apply DefaultTol")
+	}
+}

@@ -6,6 +6,8 @@ package plot
 import (
 	"fmt"
 	"math"
+
+	"rejuv/internal/num"
 )
 
 // Series is one named curve.
@@ -65,10 +67,10 @@ func (c *Chart) bounds() (xmin, xmax, ymin, ymax float64) {
 	if ymin > ymax {
 		ymin, ymax = 0, 1
 	}
-	if xmin == xmax {
+	if num.Same(xmin, xmax) {
 		xmin, xmax = xmin-0.5, xmax+0.5
 	}
-	if ymin == ymax {
+	if num.Same(ymin, ymax) {
 		ymin, ymax = ymin-0.5, ymax+0.5
 	}
 	return xmin, xmax, ymin, ymax
@@ -105,7 +107,7 @@ func niceTicks(lo, hi float64, n int) []float64 {
 func formatTick(v float64) string {
 	a := math.Abs(v)
 	switch {
-	case v == 0:
+	case num.Zero(v):
 		return "0"
 	case a >= 0.01 && a < 10000:
 		s := fmt.Sprintf("%.4g", v)

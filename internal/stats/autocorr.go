@@ -3,6 +3,8 @@ package stats
 import (
 	"fmt"
 	"math"
+
+	"rejuv/internal/num"
 )
 
 // Autocorrelation returns the lag-k sample autocorrelation coefficient of
@@ -23,18 +25,18 @@ func Autocorrelation(xs []float64, lag int) (float64, error) {
 		mean += x
 	}
 	mean /= float64(n)
-	var num, den float64
+	var cov, den float64
 	for i, x := range xs {
 		d := x - mean
 		den += d * d
 		if i+lag < n {
-			num += (xs[i+lag] - mean) * d
+			cov += (xs[i+lag] - mean) * d
 		}
 	}
-	if den == 0 {
+	if num.Zero(den) {
 		return 0, fmt.Errorf("stats: autocorrelation of constant series is undefined")
 	}
-	return num / den, nil
+	return cov / den, nil
 }
 
 // AutocorrelationSignificant reports whether the lag-k autocorrelation of

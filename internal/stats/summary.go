@@ -3,6 +3,8 @@ package stats
 import (
 	"fmt"
 	"math"
+
+	"rejuv/internal/num"
 )
 
 // Summary is a compact description of a sample, convenient for tables.
@@ -46,7 +48,7 @@ func MeanCI(w *Welford, level float64) (lo, hi float64) {
 // paper's. It returns 0 when both are zero.
 func RelDiff(a, b float64) float64 {
 	den := math.Max(math.Abs(a), math.Abs(b))
-	if den == 0 {
+	if num.Zero(den) {
 		return 0
 	}
 	return math.Abs(a-b) / den

@@ -1,0 +1,26 @@
+package rejuv_test
+
+import (
+	"testing"
+
+	"rejuv/internal/lint"
+)
+
+// TestLintClean runs the full rejuvlint suite over every package of the
+// module, in-process, and fails on any finding. This is what keeps the
+// determinism and numerical-hygiene rules load-bearing: a PR that
+// sneaks time.Now into the simulator or an unsorted map range into a
+// results/ writer fails `go test ./...`, not just an optional lint step.
+func TestLintClean(t *testing.T) {
+	pkgs, err := lint.LoadModule(".")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	diags := lint.Run(pkgs, lint.Analyzers())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Fatalf("%d lint finding(s); reproduce with: go run ./cmd/rejuvlint ./...", len(diags))
+	}
+}

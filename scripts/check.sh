@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# check.sh runs the full verification ladder for this repository:
+# build, go vet, the rejuvlint static-analysis suite, the test suite, a
+# race-detector pass, and a short fuzz smoke of the existing fuzz
+# targets so they are exercised beyond their seed corpora.
+#
+# Usage: scripts/check.sh
+#   FUZZTIME=5s scripts/check.sh   # longer fuzz smoke (default 3s/target)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== rejuvlint ./..."
+go run ./cmd/rejuvlint ./...
+
+echo "== go test ./..."
+go test ./...
+
+echo "== go test -race -short ./... (short race pass)"
+go test -race -short -count=1 ./...
+
+echo "== fuzz smoke (${FUZZTIME:-3s} per target)"
+for pkg in ./internal/core ./internal/stats; do
+    for target in $(go test -list '^Fuzz' "$pkg" | grep '^Fuzz'); do
+        echo "-- fuzz $pkg $target"
+        go test -run='^$' -fuzz="^${target}\$" -fuzztime="${FUZZTIME:-3s}" "$pkg"
+    done
+done
+
+echo "ALL CHECKS PASSED"
