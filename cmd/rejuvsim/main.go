@@ -8,6 +8,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -15,8 +16,17 @@ import (
 
 	"rejuv/internal/ecommerce"
 	"rejuv/internal/experiment"
+	"rejuv/internal/metrics"
 	"rejuv/internal/stats"
 )
+
+// metricsRecord is one JSON line of the -metrics dump: the full registry
+// snapshot at virtual time T seconds into replication Rep.
+type metricsRecord struct {
+	Rep     int                      `json:"rep"`
+	T       float64                  `json:"t"`
+	Metrics []metrics.SeriesSnapshot `json:"metrics"`
+}
 
 func main() {
 	var (
@@ -40,8 +50,19 @@ func main() {
 		noGC     = flag.Bool("no-gc", false, "disable the memory/GC aging mechanism")
 		noOvh    = flag.Bool("no-overhead", false, "disable the kernel-overhead mechanism")
 		verbose  = flag.Bool("v", false, "print each replication")
+		metricsP = flag.String("metrics", "", "write metrics snapshots to this file as JSON lines, one per sampling instant")
+		metricsI = flag.Float64("metrics-interval", 500, "virtual-time seconds between -metrics snapshots")
 	)
 	flag.Parse()
+
+	var dump *json.Encoder
+	var dumpFile *os.File
+	if *metricsP != "" {
+		f, err := os.Create(*metricsP)
+		fatalIf(err)
+		dumpFile = f
+		dump = json.NewEncoder(f)
+	}
 
 	spec := experiment.Spec{
 		Algorithm: experiment.Algorithm(*algo),
@@ -76,8 +97,22 @@ func main() {
 			Stream:            uint64(rep) + 1,
 		}, det)
 		fatalIf(err)
+		var reg *metrics.Registry
+		if dump != nil {
+			reg = metrics.NewRegistry()
+			model.Instrument(reg)
+			repNo := rep + 1
+			fatalIf(model.Tick(*metricsI, func(at float64) {
+				fatalIf(dump.Encode(metricsRecord{Rep: repNo, T: at, Metrics: reg.Snapshot()}))
+			}))
+		}
 		res, err := model.Run()
 		fatalIf(err)
+		if dump != nil {
+			// Final snapshot so the end-of-replication state is always
+			// present even when the run ends between grid points.
+			fatalIf(dump.Encode(metricsRecord{Rep: rep + 1, T: res.SimTime, Metrics: reg.Snapshot()}))
+		}
 		if *verbose {
 			fmt.Printf("  rep %d: avg RT %.3f s, loss %.6f, %d rejuvenations, %d GCs, %.0f s simulated\n",
 				rep+1, res.AvgRT(), res.LossFraction(), res.Rejuvenations, res.GCs, res.SimTime)
@@ -98,6 +133,10 @@ func main() {
 	fmt.Printf("transaction loss:      %.6f (%d of %d)\n", lossFrac, lost, completed+lost)
 	fmt.Printf("rejuvenations:         %d   full GCs: %d\n", rejuv, gcs)
 	fmt.Printf("wall time:             %v\n", elapsed.Round(time.Millisecond))
+	if dumpFile != nil {
+		fatalIf(dumpFile.Close())
+		fmt.Printf("metrics:               %s (every %.0f s of virtual time)\n", *metricsP, *metricsI)
+	}
 }
 
 func fatalIf(err error) {

@@ -31,11 +31,42 @@
 // middleware), and a trigger callback fires — subject to a cooldown —
 // when the detector calls for rejuvenation.
 //
+// # Observability
+//
+// The package answers not only "should we rejuvenate?" but also "why?".
+// The data flows through one pipeline: observations enter a Detector,
+// the Monitor turns decisions into triggers, and two optional sinks
+// record what happened.
+//
+//   - A Collector publishes monitor and detector state into a metrics
+//     Registry — counters for observations, evaluations, triggers and
+//     suppressions, a latency histogram of the observed metric, and
+//     gauges for the detector's internals (bucket level and fill,
+//     sample size, current target). Registry.Handler serves the whole
+//     registry in Prometheus text exposition format (or JSON) from
+//     /metrics, so the paper's bucket dynamics are visible on a
+//     dashboard in real time.
+//   - A TraceLog keeps a bounded ring of TraceEntry records, one per
+//     detector evaluation, capturing the inputs behind each decision:
+//     the sample mean, the target it was compared against, and the
+//     bucket state that resulted. After a trigger fires,
+//     TraceLog.TriggerContext returns the evaluations that led up to
+//     it — the evidence for the rejuvenation, ready to dump as JSON
+//     lines.
+//
+// Detectors expose their internals through the Instrumented interface
+// (DetectorInternals); custom detectors can implement it to light up
+// the same gauges and trace fields.
+//
 // # Simulation
 //
 // Simulate runs the paper's e-commerce system model (Section 3): a
 // 16-CPU FCFS queue with kernel-overhead and garbage-collection aging
 // and a rejuvenation hook, which is how the algorithms are evaluated.
 // The cmd/figures tool regenerates every figure of the paper's
-// evaluation on top of it.
+// evaluation on top of it. The simulator plugs into the same
+// observability pipeline: cmd/rejuvsim -metrics samples the full
+// registry on a virtual-time grid and writes JSON-lines series of
+// queue length, heap, GC stalls, detector bucket occupancy and
+// rejuvenation counts.
 package rejuv

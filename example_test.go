@@ -2,6 +2,7 @@ package rejuv_test
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"rejuv"
@@ -106,6 +107,84 @@ func ExampleNewMonitor() {
 	// Output:
 	// rejuvenate! (observation 2)
 	// triggers: 1, suppressed by cooldown: 4
+}
+
+// A Collector publishes monitor and detector state into a metrics
+// Registry, which renders in Prometheus text exposition format: scrape
+// it from /metrics via Registry.Handler.
+func ExampleNewCollector() {
+	detector, err := rejuv.NewSRAA(rejuv.SRAAConfig{
+		SampleSize: 2, Buckets: 2, Depth: 1,
+		Baseline: rejuv.Baseline{Mean: 5, StdDev: 5},
+	})
+	if err != nil {
+		panic(err)
+	}
+	registry := rejuv.NewRegistry()
+	monitor, err := rejuv.NewMonitor(rejuv.MonitorConfig{
+		Detector:  detector,
+		OnTrigger: func(rejuv.Trigger) {},
+		Collector: rejuv.NewCollector(registry, rejuv.Label{Name: "algo", Value: "SRAA"}),
+		Now:       func() time.Time { return time.Unix(0, 0) },
+	})
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < 6; i++ {
+		monitor.Observe(100) // sustained degradation: 3 exceeding samples
+	}
+	var b strings.Builder
+	if err := registry.WritePrometheus(&b); err != nil {
+		panic(err)
+	}
+	for _, line := range strings.Split(b.String(), "\n") {
+		if strings.HasPrefix(line, "rejuv_detector_bucket_") ||
+			strings.HasPrefix(line, "rejuv_observations_total{") {
+			fmt.Println(line)
+		}
+	}
+	// Output:
+	// rejuv_detector_bucket_fill{algo="SRAA"} 1
+	// rejuv_detector_bucket_level{algo="SRAA"} 1
+	// rejuv_observations_total{algo="SRAA"} 6
+}
+
+// A TraceLog records every evaluated detector decision; after a trigger
+// fires, TriggerContext explains it: the sample means that walked the
+// buckets up to the threshold crossing.
+func ExampleNewTraceLog() {
+	detector, err := rejuv.NewSRAA(rejuv.SRAAConfig{
+		SampleSize: 2, Buckets: 2, Depth: 1,
+		Baseline: rejuv.Baseline{Mean: 5, StdDev: 5},
+	})
+	if err != nil {
+		panic(err)
+	}
+	trace := rejuv.NewTraceLog(64)
+	monitor, err := rejuv.NewMonitor(rejuv.MonitorConfig{
+		Detector:  detector,
+		OnTrigger: func(rejuv.Trigger) {},
+		Trace:     trace,
+		Now:       func() time.Time { return time.Unix(0, 0) },
+	})
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < 16 && monitor.Stats().Triggers == 0; i++ {
+		monitor.Observe(100)
+	}
+	for _, e := range trace.TriggerContext(3) {
+		suffix := ""
+		if e.Triggered {
+			suffix = "  TRIGGER"
+		}
+		fmt.Printf("obs=%d mean=%g target=%g level=%d fill=%d%s\n",
+			e.Observation, e.SampleMean, e.Target, e.Level, e.Fill, suffix)
+	}
+	// Output:
+	// obs=4 mean=100 target=5 level=1 fill=0
+	// obs=6 mean=100 target=10 level=1 fill=1
+	// obs=8 mean=100 target=10 level=0 fill=0  TRIGGER
 }
 
 // Simulate runs the paper's e-commerce system model; here at a low load

@@ -11,16 +11,33 @@
 // program prints the observed response-time profile around each
 // rejuvenation.
 //
+// The server also exposes the full observability surface:
+//
+//   - /metrics serves the rejuv metrics registry in Prometheus text
+//     exposition format (add ?format=json for a JSON snapshot): the
+//     request-latency histogram, trigger counters, and the detector's
+//     bucket-occupancy gauges.
+//   - /debug/pprof/ serves the standard Go profiling endpoints when the
+//     -pprof flag is set.
+//
+// After the load run the program scrapes its own /metrics and prints the
+// detector series, then dumps the trace-log context that explains the
+// last trigger: the sample means that walked the buckets to overflow.
+//
 // Run with:
 //
-//	go run ./examples/httpserver
+//	go run ./examples/httpserver [-pprof]
 package main
 
 import (
+	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"net/http/pprof"
 	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -49,6 +66,9 @@ func (h *agingHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 func (h *agingHandler) restart() { h.served.Store(0) }
 
 func main() {
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+	flag.Parse()
+
 	handler := &agingHandler{base: 2 * time.Millisecond, leak: 2 * time.Millisecond}
 
 	// SLA baseline: the healthy service answers in ~2 ms with little
@@ -62,11 +82,15 @@ func main() {
 	})
 	fatalIf(err)
 
+	registry := rejuv.NewRegistry()
+	trace := rejuv.NewTraceLog(256)
 	var mu sync.Mutex
 	var rejuvenations []int64 // request count at each trigger
 	monitor, err := rejuv.NewMonitor(rejuv.MonitorConfig{
-		Detector: detector,
-		Cooldown: 50 * time.Millisecond,
+		Detector:  detector,
+		Cooldown:  50 * time.Millisecond,
+		Collector: rejuv.NewCollector(registry, rejuv.Label{Name: "algo", Value: "SARAA"}),
+		Trace:     trace,
 		OnTrigger: func(t rejuv.Trigger) {
 			mu.Lock()
 			rejuvenations = append(rejuvenations, int64(t.Observations))
@@ -78,10 +102,26 @@ func main() {
 	})
 	fatalIf(err)
 
-	srv := httptest.NewServer(monitor.Middleware(handler))
+	mux := http.NewServeMux()
+	mux.Handle("/", monitor.Middleware(handler))
+	mux.Handle("/metrics", registry.Handler())
+	if *pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+
+	srv := httptest.NewServer(mux)
 	defer srv.Close()
-	fmt.Printf("serving on %s with an injected aging fault (+%v per 100 requests)\n\n",
+	fmt.Printf("serving on %s with an injected aging fault (+%v per 100 requests)\n",
 		srv.URL, handler.leak)
+	fmt.Printf("metrics at %s/metrics", srv.URL)
+	if *pprofOn {
+		fmt.Printf(", profiles at %s/debug/pprof/", srv.URL)
+	}
+	fmt.Print("\n\n")
 
 	client := srv.Client()
 	const requests = 1200
@@ -103,7 +143,36 @@ func main() {
 		fmt.Println("warning: aging was never detected — check the baseline")
 		os.Exit(1)
 	}
-	fmt.Println("response time stayed bounded because the monitor watched the metric")
+
+	// Scrape our own /metrics and show the detector's state as a
+	// Prometheus scraper would see it.
+	fmt.Println("\n/metrics excerpt (detector and trigger series):")
+	resp, err := client.Get(srv.URL + "/metrics")
+	fatalIf(err)
+	body, err := io.ReadAll(resp.Body)
+	fatalIf(err)
+	_ = resp.Body.Close()
+	for _, line := range strings.Split(string(body), "\n") {
+		if strings.HasPrefix(line, "rejuv_detector_") ||
+			strings.HasPrefix(line, "rejuv_triggers_total") ||
+			strings.HasPrefix(line, "rejuv_observed_metric_count") {
+			fmt.Println("  " + line)
+		}
+	}
+
+	// The trace log explains the last trigger: each line is one detector
+	// evaluation with its inputs — the evidence behind the decision.
+	fmt.Println("\ntrace context of the last trigger (sample means vs. targets):")
+	for _, e := range trace.TriggerContext(4) {
+		mark := ""
+		if e.Triggered {
+			mark = "  << trigger"
+		}
+		fmt.Printf("  obs %4d: mean %6.1f ms vs target %6.1f ms, bucket level %d fill %d%s\n",
+			e.Observation, e.SampleMean*1000, e.Target*1000, e.Level, e.Fill, mark)
+	}
+
+	fmt.Println("\nresponse time stayed bounded because the monitor watched the metric")
 	fmt.Println("customers experience, not CPU or memory proxies.")
 }
 

@@ -73,10 +73,12 @@ func (c *CLTA) Observe(x float64) Decision {
 	if !done {
 		return Decision{}
 	}
+	target := c.Target()
 	return Decision{
-		Triggered:  mean > c.Target(),
+		Triggered:  mean > target,
 		Evaluated:  true,
 		SampleMean: mean,
+		Target:     target,
 	}
 }
 

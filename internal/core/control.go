@@ -37,7 +37,8 @@ func (s *Shewhart) Target() float64 {
 
 // Observe feeds one observation.
 func (s *Shewhart) Observe(x float64) Decision {
-	return Decision{Triggered: x > s.Target(), Evaluated: true, SampleMean: x}
+	target := s.Target()
+	return Decision{Triggered: x > target, Evaluated: true, SampleMean: x, Target: target}
 }
 
 // Reset is a no-op: the chart is memoryless.
@@ -80,12 +81,13 @@ func (e *EWMA) Statistic() float64 { return e.z }
 // Observe feeds one observation.
 func (e *EWMA) Observe(x float64) Decision {
 	e.z = (1-e.weight)*e.z + e.weight*x
-	if e.z > e.Target() {
+	target := e.Target()
+	if e.z > target {
 		z := e.z
 		e.Reset()
-		return Decision{Triggered: true, Evaluated: true, SampleMean: z}
+		return Decision{Triggered: true, Evaluated: true, SampleMean: z, Target: target}
 	}
-	return Decision{Evaluated: true, SampleMean: e.z}
+	return Decision{Evaluated: true, SampleMean: e.z, Target: target}
 }
 
 // Reset restores the statistic to the baseline mean.
@@ -126,9 +128,9 @@ func (c *CUSUM) Observe(x float64) Decision {
 	if c.s > c.threshold {
 		s := c.s
 		c.Reset()
-		return Decision{Triggered: true, Evaluated: true, SampleMean: s}
+		return Decision{Triggered: true, Evaluated: true, SampleMean: s, Target: c.threshold}
 	}
-	return Decision{Evaluated: true, SampleMean: c.s}
+	return Decision{Evaluated: true, SampleMean: c.s, Target: c.threshold}
 }
 
 // Reset zeroes the cumulative sum.

@@ -50,6 +50,11 @@ type Decision struct {
 	Evaluated bool
 	// SampleMean is the completed sample mean; valid only when Evaluated.
 	SampleMean float64
+	// Target is the threshold SampleMean was compared against when the
+	// decision was made (before any post-trigger reset); valid only when
+	// Evaluated. For EWMA and CUSUM it is the control limit their chart
+	// statistic was compared against.
+	Target float64
 	// Level is the current bucket pointer N after the step (0 for
 	// detectors without buckets).
 	Level int

@@ -87,8 +87,8 @@ func (s *SARAA) Observe(x float64) Decision {
 	if !done {
 		return Decision{Level: s.buckets.level, Fill: s.buckets.fill}
 	}
-	exceeded := mean > s.Target()
-	event := s.buckets.step(exceeded)
+	target := s.Target()
+	event := s.buckets.step(mean > target)
 	switch event {
 	case bucketOverflow, bucketUnderflow:
 		// Recompute the sample size for the new current bucket.
@@ -100,6 +100,7 @@ func (s *SARAA) Observe(x float64) Decision {
 		Triggered:  event == bucketTrigger,
 		Evaluated:  true,
 		SampleMean: mean,
+		Target:     target,
 		Level:      s.buckets.level,
 		Fill:       s.buckets.fill,
 	}

@@ -71,12 +71,13 @@ func (s *SRAA) Observe(x float64) Decision {
 	if !done {
 		return Decision{Level: s.buckets.level, Fill: s.buckets.fill}
 	}
-	exceeded := mean > s.Target()
-	event := s.buckets.step(exceeded)
+	target := s.Target()
+	event := s.buckets.step(mean > target)
 	return Decision{
 		Triggered:  event == bucketTrigger,
 		Evaluated:  true,
 		SampleMean: mean,
+		Target:     target,
 		Level:      s.buckets.level,
 		Fill:       s.buckets.fill,
 	}

@@ -78,6 +78,7 @@ type Simulator struct {
 	seq     uint64
 	queue   eventQueue
 	stopped bool
+	met     *simMetrics // nil unless Instrument was called
 }
 
 // New returns a simulator at virtual time zero.
@@ -99,6 +100,7 @@ func (s *Simulator) ScheduleAt(t float64, h Handler) *Event {
 	e := &Event{time: t, seq: s.seq, handler: h}
 	s.seq++
 	heap.Push(&s.queue, e)
+	s.noteScheduled()
 	return e
 }
 
@@ -118,6 +120,7 @@ func (s *Simulator) Cancel(e *Event) {
 		return
 	}
 	heap.Remove(&s.queue, e.index)
+	s.noteCancelled()
 }
 
 // Reschedule moves a pending event to absolute time t, preserving its
@@ -156,6 +159,7 @@ func (s *Simulator) Step() bool {
 		panic(fmt.Sprintf("des: time went backwards: %v -> %v", s.now, e.time))
 	}
 	s.now = e.time
+	s.noteFired()
 	e.handler(s)
 	return true
 }

@@ -232,6 +232,11 @@ type Model struct {
 	res Result
 	ran bool
 
+	// met is nil unless Instrument was called; ticks holds the periodic
+	// callbacks registered via Tick, armed when Run starts.
+	met   *modelMetrics
+	ticks []tick
+
 	// OnComplete, when non-nil, receives the response time of every
 	// completed transaction; the autocorrelation study uses it to
 	// record the full series.
@@ -275,6 +280,9 @@ func (m *Model) Run() (Result, error) {
 	}
 	if m.cfg.RejuvenationInterval > 0 {
 		m.schedulePeriodicRejuvenation()
+	}
+	for _, tk := range m.ticks {
+		m.scheduleTick(tk)
 	}
 	m.sim.Run()
 	m.res.GCs = m.st.gcCount()
@@ -331,6 +339,7 @@ func (m *Model) arrive() {
 	j := &job{arrival: m.sim.Now(), slot: -1}
 	if m.paused {
 		m.st.queue = append(m.st.queue, j)
+		m.st.noteState()
 	} else {
 		m.st.enqueue(j)
 	}
@@ -343,11 +352,18 @@ func (m *Model) arrive() {
 func (m *Model) complete(_ *job, rt float64) {
 	m.res.Completed++
 	m.res.RT.Add(rt)
+	if m.met != nil {
+		m.met.rt.Observe(rt)
+	}
 	if m.OnComplete != nil {
 		m.OnComplete(rt)
 	}
-	if m.detector != nil && m.detector.Observe(rt).Triggered {
-		m.rejuvenate()
+	if m.detector != nil {
+		triggered := m.detector.Observe(rt).Triggered
+		m.publishDetector()
+		if triggered {
+			m.rejuvenate()
+		}
 	}
 	if m.res.Completed+m.res.Lost >= m.cfg.Transactions {
 		m.sim.Stop()
@@ -361,8 +377,13 @@ func (m *Model) rejuvenate() {
 	killed := m.st.rejuvenate()
 	m.res.Lost += int64(killed)
 	m.res.Rejuvenations++
+	if m.met != nil {
+		m.met.rejuvenations.Inc()
+		m.met.lost.Add(uint64(killed))
+	}
 	if m.detector != nil {
 		m.detector.Reset()
+		m.publishDetector()
 	}
 	if m.cfg.RejuvenationPause > 0 {
 		m.paused = true

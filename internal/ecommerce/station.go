@@ -25,6 +25,9 @@ type station struct {
 
 	gcs int64
 
+	// met is nil unless the owning model was instrumented.
+	met *stationMetrics
+
 	// onComplete receives every completed job with its response time.
 	onComplete func(j *job, rt float64)
 }
@@ -62,6 +65,7 @@ func (s *station) gcCount() int64 { return s.gcs }
 func (s *station) enqueue(j *job) {
 	s.queue = append(s.queue, j)
 	s.tryStart()
+	s.noteState()
 }
 
 // tryStart moves queued threads onto free CPUs. Nothing starts during a
@@ -108,6 +112,9 @@ func (s *station) startService(j *job) {
 func (s *station) startGC() {
 	s.gcs++
 	s.gcActive = true
+	if s.met != nil {
+		s.met.gcStalls.Inc()
+	}
 	for _, r := range s.running {
 		s.sim.Reschedule(r.completion, r.completion.Time()+s.cfg.GCPause)
 	}
@@ -118,6 +125,7 @@ func (s *station) startGC() {
 			s.heapMB = s.cfg.HeapMB
 		}
 		s.tryStart()
+		s.noteState()
 	})
 }
 
@@ -128,9 +136,13 @@ func (s *station) startGC() {
 func (s *station) complete(j *job) {
 	s.removeRunning(j)
 	s.freeCPUs++
+	if s.met != nil {
+		s.met.completed.Inc()
+	}
 	rt := s.sim.Now() - j.arrival
 	s.onComplete(j, rt)
 	s.tryStart()
+	s.noteState()
 }
 
 // removeRunning drops j from the running set in O(1) by swapping with
@@ -167,5 +179,6 @@ func (s *station) rejuvenate() int {
 		s.gcEnd = nil
 	}
 	s.gcActive = false
+	s.noteState()
 	return killed
 }

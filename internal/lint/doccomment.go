@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// DocCommentAnalyzer enforces the documentation contract: every
+// non-main package has a package comment, and every exported top-level
+// identifier — functions, methods on exported types, and the names bound
+// by type, const, and var declarations — carries a doc comment. For
+// grouped const and var declarations the group's doc comment covers
+// every name in the group, matching the convention of the standard
+// library. Undocumented exported API is how a repository's public
+// surface drifts away from its README; this rule makes godoc the single
+// source of truth.
+var DocCommentAnalyzer = &Analyzer{
+	Name: "doccomment",
+	Doc:  "require doc comments on packages and exported identifiers",
+	Run:  runDocComment,
+}
+
+func runDocComment(p *Package) []Diagnostic {
+	if len(p.Files) == 0 || p.Files[0].Name.Name == "main" {
+		// Commands document themselves through their -h output and the
+		// package comment convention does not bind package main.
+		return nil
+	}
+	var diags []Diagnostic
+	hasPkgDoc := false
+	for _, f := range p.Files {
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			hasPkgDoc = true
+		}
+		for _, decl := range f.Decls {
+			diags = append(diags, checkDecl(p, decl)...)
+		}
+	}
+	if !hasPkgDoc {
+		diags = append(diags, p.diagf(p.Files[0].Name.Pos(), "doccomment",
+			"package %s has no package comment on any file", p.Files[0].Name.Name))
+	}
+	return diags
+}
+
+// checkDecl reports every undocumented exported name a top-level
+// declaration introduces.
+func checkDecl(p *Package, decl ast.Decl) []Diagnostic {
+	var diags []Diagnostic
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !ast.IsExported(d.Name.Name) || hasDoc(d.Doc) {
+			return nil
+		}
+		if recv := receiverTypeName(d); recv != "" {
+			if !ast.IsExported(recv) {
+				// Methods on unexported types are internal plumbing.
+				return nil
+			}
+			return []Diagnostic{p.diagf(d.Name.Pos(), "doccomment",
+				"exported method %s.%s has no doc comment", recv, d.Name.Name)}
+		}
+		return []Diagnostic{p.diagf(d.Name.Pos(), "doccomment",
+			"exported function %s has no doc comment", d.Name.Name)}
+	case *ast.GenDecl:
+		groupDoc := hasDoc(d.Doc)
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if ast.IsExported(s.Name.Name) && !hasDoc(s.Doc) && !groupDoc {
+					diags = append(diags, p.diagf(s.Name.Pos(), "doccomment",
+						"exported type %s has no doc comment", s.Name.Name))
+				}
+			case *ast.ValueSpec:
+				if groupDoc || hasDoc(s.Doc) {
+					continue
+				}
+				for _, name := range s.Names {
+					if ast.IsExported(name.Name) {
+						diags = append(diags, p.diagf(name.Pos(), "doccomment",
+							"exported %s %s has no doc comment", kindOf(d), name.Name))
+					}
+				}
+			}
+		}
+	}
+	return diags
+}
+
+// hasDoc reports whether a comment group carries actual text.
+func hasDoc(cg *ast.CommentGroup) bool {
+	return cg != nil && strings.TrimSpace(cg.Text()) != ""
+}
+
+// receiverTypeName returns the base type name of a method receiver, or
+// "" for plain functions.
+func receiverTypeName(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return ""
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver T[P]
+		t = idx.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// kindOf names a GenDecl's keyword for the diagnostic message.
+func kindOf(d *ast.GenDecl) string {
+	switch d.Tok.String() {
+	case "const":
+		return "constant"
+	case "var":
+		return "variable"
+	}
+	return d.Tok.String()
+}

@@ -23,6 +23,8 @@ var goldenCases = []struct {
 	{"mapiter", "rejuv/internal/golden/mapiter", []string{"mapiter"}},
 	{"seedflow", "rejuv/cmd/golden", []string{"seedflow"}},
 	{"allow", "rejuv/internal/golden/allow", []string{"floatcmp"}},
+	{"doccomment", "rejuv/internal/golden/doccomment", []string{"doccomment"}},
+	{"doccomment_nopkg", "rejuv/internal/golden/nopkg", []string{"doccomment"}},
 }
 
 // TestGolden checks every analyzer against its testdata package: each

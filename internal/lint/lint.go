@@ -53,6 +53,7 @@ func Analyzers() []*Analyzer {
 		DroppedErrAnalyzer,
 		MapIterAnalyzer,
 		SeedFlowAnalyzer,
+		DocCommentAnalyzer,
 	}
 }
 

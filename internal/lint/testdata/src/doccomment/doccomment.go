@@ -1,0 +1,54 @@
+// Package doccomment is the golden input for the doccomment rule.
+package doccomment
+
+import "strings"
+
+// Documented is fine: the comment is right here.
+type Documented struct{}
+
+type Naked struct{} // want "doccomment: exported type Naked has no doc comment"
+
+type hidden struct{}
+
+// Grouped declarations are covered by the group comment.
+const (
+	GroupedA = 1
+	GroupedB = 2
+)
+
+const Bare = 3 // want "doccomment: exported constant Bare has no doc comment"
+
+var Loose = "x" // want "doccomment: exported variable Loose has no doc comment"
+
+// Covered has a group comment even though it is alone.
+var Covered = "y"
+
+var unexported = 0
+
+// Fine is documented.
+func Fine() {}
+
+func Missing() {} // want "doccomment: exported function Missing has no doc comment"
+
+func internalHelper() {}
+
+// Method is documented.
+func (Documented) Method() {}
+
+func (d *Documented) Undocumented() {} // want "doccomment: exported method Documented.Undocumented has no doc comment"
+
+func (hidden) Exported() {} // a method on an unexported type is plumbing
+
+// use keeps the imports and helpers alive.
+func use() {
+	_ = strings.TrimSpace("")
+	_ = hidden{}
+	_ = unexported
+	internalHelper()
+}
+
+// Types in a documented group are covered by the group comment.
+type (
+	InGroup  struct{}
+	InGroup2 struct{}
+)

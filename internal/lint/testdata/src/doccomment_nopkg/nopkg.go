@@ -1,0 +1,4 @@
+package nopkg // want "doccomment: package nopkg has no package comment on any file"
+
+// Exported is documented; only the package comment is missing.
+func Exported() {}

@@ -1,0 +1,198 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// This file renders a Registry: Prometheus text exposition format 0.0.4
+// (the format every scraper understands), a JSON snapshot for
+// programmatic dumps (cmd/rejuvsim writes one per sampling tick), and an
+// http.Handler serving both. Output order is deterministic: series are
+// sorted by name and label signature at registration, never by map
+// iteration.
+
+// SeriesSnapshot is the point-in-time value of one registered series, as
+// rendered into JSON dumps. Value carries counters (as a float) and
+// gauges; Count, Sum and Buckets carry histograms.
+type SeriesSnapshot struct {
+	// Name is the metric name.
+	Name string `json:"name"`
+	// Labels is the sorted label set, omitted when empty.
+	Labels []Label `json:"labels,omitempty"`
+	// Kind is the exposition type: "counter", "gauge" or "histogram".
+	Kind string `json:"kind"`
+	// Value is the counter or gauge value; unused for histograms.
+	Value float64 `json:"value"`
+	// Count is the histogram observation count.
+	Count uint64 `json:"count,omitempty"`
+	// Sum is the histogram observation sum.
+	Sum float64 `json:"sum,omitempty"`
+	// Buckets holds the cumulative histogram buckets excluding +Inf.
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// MarshalJSON renders the label pair as a two-element array
+// ["name","value"] rather than an object, keeping dumps compact and the
+// field order deterministic.
+func (l Label) MarshalJSON() ([]byte, error) {
+	return json.Marshal([2]string{l.Name, l.Value})
+}
+
+// UnmarshalJSON parses the ["name","value"] form written by MarshalJSON.
+func (l *Label) UnmarshalJSON(data []byte) error {
+	var pair [2]string
+	if err := json.Unmarshal(data, &pair); err != nil {
+		return err
+	}
+	l.Name, l.Value = pair[0], pair[1]
+	return nil
+}
+
+// Snapshot returns the current value of every registered series in
+// deterministic (name, label signature) order. Values are read
+// atomically per instrument; the set as a whole is weakly consistent
+// under concurrent updates.
+func (r *Registry) Snapshot() []SeriesSnapshot {
+	sers := r.snapshotSeries()
+	out := make([]SeriesSnapshot, 0, len(sers))
+	for _, s := range sers {
+		snap := SeriesSnapshot{Name: s.name, Labels: s.labels, Kind: s.kind.String()}
+		switch s.kind {
+		case KindCounter:
+			snap.Value = float64(s.counter.Value())
+		case KindGauge:
+			snap.Value = s.gauge.Value()
+		case KindHistogram:
+			snap.Count = s.histogram.Count()
+			snap.Sum = s.histogram.Sum()
+			snap.Buckets = s.histogram.Buckets()
+		}
+		out = append(out, snap)
+	}
+	return out
+}
+
+// WriteJSON writes the Snapshot as one JSON array with no trailing
+// newline, so callers can embed it in larger records (rejuvsim wraps it
+// in a per-tick object).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	data, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+// WritePrometheus writes the registry in Prometheus text exposition
+// format 0.0.4: a # HELP and # TYPE header per metric name, then one
+// line per series, with histograms expanded into cumulative _bucket
+// series plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	ew := &errWriter{w: w}
+	lastName := ""
+	for _, s := range r.snapshotSeries() {
+		if s.name != lastName {
+			lastName = s.name
+			if s.help != "" {
+				ew.printf("# HELP %s %s\n", s.name, escapeHelp(s.help))
+			}
+			ew.printf("# TYPE %s %s\n", s.name, s.kind)
+		}
+		switch s.kind {
+		case KindCounter:
+			ew.printf("%s %d\n", seriesKey(s.name, s.labels), s.counter.Value())
+		case KindGauge:
+			ew.printf("%s %s\n", seriesKey(s.name, s.labels), formatFloat(s.gauge.Value()))
+		case KindHistogram:
+			h := s.histogram
+			for _, b := range h.Buckets() {
+				ew.printf("%s %d\n",
+					seriesKey(s.name+"_bucket", withLE(s.labels, formatFloat(b.UpperBound))),
+					b.CumulativeCount)
+			}
+			ew.printf("%s %d\n", seriesKey(s.name+"_bucket", withLE(s.labels, "+Inf")), h.Count())
+			ew.printf("%s %s\n", seriesKey(s.name+"_sum", s.labels), formatFloat(h.Sum()))
+			ew.printf("%s %d\n", seriesKey(s.name+"_count", s.labels), h.Count())
+		}
+	}
+	return ew.err
+}
+
+// Handler returns an http.Handler serving the registry: Prometheus text
+// by default, the JSON snapshot when the request carries ?format=json.
+// Mount it at /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			//lint:allow droppederr a failed scrape write is the scraper's problem
+			r.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		//lint:allow droppederr a failed scrape write is the scraper's problem
+		r.WritePrometheus(w)
+	})
+}
+
+// withLE appends the histogram "le" label, keeping it last as the
+// exposition convention expects. The value arrives pre-formatted so
+// "+Inf" needs no special casing.
+func withLE(labels []Label, le string) []Label {
+	out := make([]Label, 0, len(labels)+1)
+	out = append(out, labels...)
+	return append(out, Label{Name: "le", Value: le})
+}
+
+// formatFloat renders a float the way Prometheus clients do: shortest
+// representation that round-trips.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel quotes a label value, escaping backslash, quote and
+// newline per the exposition format.
+func escapeLabel(v string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}
+
+// escapeHelp escapes backslash and newline in HELP text.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// errWriter folds the first write error so exposition code stays linear.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+// printf formats into the writer unless an earlier write already failed.
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}

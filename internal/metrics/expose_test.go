@@ -1,0 +1,110 @@
+package metrics
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// buildRegistry assembles the fixture registry shared by the exposition
+// golden tests: one of each instrument kind, with and without labels.
+func buildRegistry() *Registry {
+	r := NewRegistry()
+	c := r.Counter("rejuv_triggers_total", "rejuvenation triggers", Label{Name: "detector", Value: "SRAA"})
+	c.Add(3)
+	g := r.Gauge("rejuv_bucket_level", "current bucket pointer N")
+	g.SetInt(2)
+	h := r.Histogram("request_seconds", "request latency", []float64{0.1, 0.5, 1})
+	for _, v := range []float64{0.05, 0.05, 0.3, 2} {
+		h.Observe(v)
+	}
+	esc := r.Gauge("weird", "help with \\ and\nnewline", Label{Name: "path", Value: `a"b\c`})
+	esc.Set(1)
+	return r
+}
+
+// TestWritePrometheusGolden pins the exact text exposition: header
+// lines, deterministic series order, cumulative buckets, +Inf, label
+// escaping.
+func TestWritePrometheusGolden(t *testing.T) {
+	var b strings.Builder
+	if err := buildRegistry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP rejuv_bucket_level current bucket pointer N
+# TYPE rejuv_bucket_level gauge
+rejuv_bucket_level 2
+# HELP rejuv_triggers_total rejuvenation triggers
+# TYPE rejuv_triggers_total counter
+rejuv_triggers_total{detector="SRAA"} 3
+# HELP request_seconds request latency
+# TYPE request_seconds histogram
+request_seconds_bucket{le="0.1"} 2
+request_seconds_bucket{le="0.5"} 3
+request_seconds_bucket{le="1"} 3
+request_seconds_bucket{le="+Inf"} 4
+request_seconds_sum 2.4
+request_seconds_count 4
+# HELP weird help with \\ and\nnewline
+# TYPE weird gauge
+weird{path="a\"b\\c"} 1
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	var b strings.Builder
+	if err := buildRegistry().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "\n") {
+		t.Error("WriteJSON emitted a newline; dumps must be embeddable in JSON-lines records")
+	}
+	var snaps []SeriesSnapshot
+	if err := json.Unmarshal([]byte(b.String()), &snaps); err != nil {
+		t.Fatalf("round-trip: %v\n%s", err, b.String())
+	}
+	if len(snaps) != 4 {
+		t.Fatalf("got %d series, want 4", len(snaps))
+	}
+	// Deterministic order: sorted by name then label signature.
+	wantNames := []string{"rejuv_bucket_level", "rejuv_triggers_total", "request_seconds", "weird"}
+	for i, w := range wantNames {
+		if snaps[i].Name != w {
+			t.Errorf("series %d = %s, want %s", i, snaps[i].Name, w)
+		}
+	}
+	hist := snaps[2]
+	if hist.Kind != "histogram" || hist.Count != 4 || len(hist.Buckets) != 3 {
+		t.Errorf("histogram snapshot wrong: %+v", hist)
+	}
+	if snaps[3].Labels[0].Name != "path" || snaps[3].Labels[0].Value != `a"b\c` {
+		t.Errorf("label did not round-trip: %+v", snaps[3].Labels)
+	}
+}
+
+func TestHandlerFormats(t *testing.T) {
+	h := buildRegistry().Handler()
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("text content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), `rejuv_triggers_total{detector="SRAA"} 3`) {
+		t.Errorf("text body missing counter:\n%s", rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics?format=json", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("json content type = %q", ct)
+	}
+	var snaps []SeriesSnapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snaps); err != nil {
+		t.Fatalf("json body: %v", err)
+	}
+}

@@ -1,0 +1,188 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"rejuv/internal/num"
+)
+
+func TestCounterAndGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	g := r.Gauge("g", "a gauge")
+	g.Set(1.5)
+	g.Add(-0.25)
+	if got := g.Value(); !num.Close(got, 1.25) {
+		t.Fatalf("gauge = %v, want 1.25", got)
+	}
+	g.SetInt(7)
+	if got := g.Value(); !num.Close(got, 7) {
+		t.Fatalf("gauge = %v, want 7", got)
+	}
+}
+
+func TestRegistryIdempotentAndConflicts(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "help", Label{Name: "host", Value: "0"})
+	b := r.Counter("x_total", "ignored on re-registration", Label{Name: "host", Value: "0"})
+	if a != b {
+		t.Fatal("same identity returned distinct counters")
+	}
+	other := r.Counter("x_total", "help", Label{Name: "host", Value: "1"})
+	if a == other {
+		t.Fatal("distinct label values shared a counter")
+	}
+	// Label order must not matter for identity.
+	h1 := r.Gauge("y", "", Label{Name: "a", Value: "1"}, Label{Name: "b", Value: "2"})
+	h2 := r.Gauge("y", "", Label{Name: "b", Value: "2"}, Label{Name: "a", Value: "1"})
+	if h1 != h2 {
+		t.Fatal("label order changed series identity")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("x_total", "", Label{Name: "host", Value: "0"})
+}
+
+// TestConcurrentUpdates exercises every instrument from many goroutines;
+// run under -race this is the package's data-race gate, and the final
+// counts must still be exact because updates are atomic.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hits_total", "")
+	g := r.Gauge("level", "")
+	h := r.Histogram("lat", "", []float64{1, 2, 4})
+
+	const (
+		workers   = 8
+		perWorker = 5000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i % 5))
+				// Concurrent registration of the same identity must be safe too.
+				r.Counter("hits_total", "")
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	const total = workers * perWorker
+	if got := c.Value(); got != total {
+		t.Errorf("counter = %d, want %d", got, total)
+	}
+	if got := g.Value(); !num.Close(got, total) {
+		t.Errorf("gauge = %v, want %d", got, total)
+	}
+	if got := h.Count(); got != total {
+		t.Errorf("histogram count = %d, want %d", got, total)
+	}
+	// Each worker observes 0,1,2,3,4 cyclically: sum = perWorker/5 * 10.
+	wantSum := float64(workers) * float64(perWorker) / 5 * 10
+	if got := h.Sum(); !num.Close(got, wantSum) {
+		t.Errorf("histogram sum = %v, want %v", got, wantSum)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the inclusive-upper-bound ("le")
+// semantics on exact boundary values.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	bounds := []float64{0.5, 1, 2.5}
+	cases := []struct {
+		value float64
+		want  []uint64 // cumulative counts per bound after observing value
+		inf   uint64
+	}{
+		{value: 0.25, want: []uint64{1, 1, 1}},
+		{value: 0.5, want: []uint64{1, 1, 1}}, // on the bound: counted (le)
+		{value: 0.500001, want: []uint64{0, 1, 1}},
+		{value: 1, want: []uint64{0, 1, 1}},
+		{value: 2.5, want: []uint64{0, 0, 1}},
+		{value: 2.5000001, want: []uint64{0, 0, 0}, inf: 1},
+		{value: math.Inf(1), want: []uint64{0, 0, 0}, inf: 1},
+		{value: -1, want: []uint64{1, 1, 1}},
+	}
+	for _, tc := range cases {
+		h, err := newHistogram(bounds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Observe(tc.value)
+		buckets := h.Buckets()
+		for i, b := range buckets {
+			if !num.Same(b.UpperBound, bounds[i]) {
+				t.Errorf("value %v: bucket %d bound = %v, want %v", tc.value, i, b.UpperBound, bounds[i])
+			}
+			if b.CumulativeCount != tc.want[i] {
+				t.Errorf("value %v: cumulative count at le=%v is %d, want %d",
+					tc.value, b.UpperBound, b.CumulativeCount, tc.want[i])
+			}
+		}
+		wantTotal := tc.want[len(tc.want)-1] + tc.inf
+		if h.Count() != wantTotal {
+			t.Errorf("value %v: total count %d, want %d", tc.value, h.Count(), wantTotal)
+		}
+	}
+}
+
+func TestHistogramDropsNaN(t *testing.T) {
+	h, err := newHistogram([]float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Observe(math.NaN())
+	if h.Count() != 0 {
+		t.Fatalf("NaN was counted: count = %d", h.Count())
+	}
+}
+
+func TestHistogramRejectsBadBounds(t *testing.T) {
+	for _, bounds := range [][]float64{
+		nil,
+		{},
+		{1, 1},
+		{2, 1},
+		{math.NaN()},
+		{math.Inf(1)},
+	} {
+		if _, err := newHistogram(bounds); err == nil {
+			t.Errorf("bounds %v accepted", bounds)
+		}
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	lin := LinearBuckets(1, 0.5, 4)
+	wantLin := []float64{1, 1.5, 2, 2.5}
+	for i := range wantLin {
+		if !num.Close(lin[i], wantLin[i]) {
+			t.Errorf("linear bucket %d = %v, want %v", i, lin[i], wantLin[i])
+		}
+	}
+	exp := ExponentialBuckets(0.001, 2, 4)
+	wantExp := []float64{0.001, 0.002, 0.004, 0.008}
+	for i := range wantExp {
+		if !num.Close(exp[i], wantExp[i]) {
+			t.Errorf("exponential bucket %d = %v, want %v", i, exp[i], wantExp[i])
+		}
+	}
+	if _, err := newHistogram(DefLatencyBuckets); err != nil {
+		t.Errorf("DefLatencyBuckets invalid: %v", err)
+	}
+}

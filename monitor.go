@@ -36,14 +36,28 @@ type MonitorConfig struct {
 	Cooldown time.Duration
 	// Now supplies the time; nil means time.Now. Tests inject a fake.
 	Now func() time.Time
+	// Collector, when non-nil, publishes every observation and decision
+	// into a metrics Registry: counts, an observed-value histogram,
+	// cooldown state and detector internals. See NewCollector.
+	Collector *Collector
+	// Trace, when non-nil, records every evaluated detector decision
+	// (one TraceEntry per completed sample) into the ring buffer, so a
+	// fired trigger can be explained after the fact. See NewTraceLog.
+	Trace *TraceLog
 }
 
-// MonitorStats is a snapshot of monitor counters.
+// MonitorStats is a snapshot of monitor counters, taken atomically
+// under the monitor lock by Stats.
 type MonitorStats struct {
+	// Observations counts every value fed to Observe.
 	Observations uint64
-	Triggers     uint64
-	Suppressed   uint64
-	LastTrigger  time.Time
+	// Triggers counts triggers delivered to OnTrigger.
+	Triggers uint64
+	// Suppressed counts triggers eaten by the cooldown window.
+	Suppressed uint64
+	// LastTrigger is the time of the most recent delivered (not
+	// suppressed) trigger; it is the zero time before the first one.
+	LastTrigger time.Time
 }
 
 // Monitor adapts a Detector for concurrent production use: any goroutine
@@ -80,20 +94,57 @@ func (m *Monitor) Observe(x float64) {
 	defer m.mu.Unlock()
 	m.stats.Observations++
 	d := m.cfg.Detector.Observe(x)
-	if !d.Triggered {
-		return
+	if !d.Triggered && m.cfg.Collector == nil && m.cfg.Trace == nil {
+		return // the common un-instrumented fast path needs no clock
 	}
 	now := m.cfg.Now()
-	t := Trigger{Time: now, Decision: d, Observations: m.stats.Observations}
-	if m.cfg.Cooldown > 0 && !m.stats.LastTrigger.IsZero() &&
-		now.Sub(m.stats.LastTrigger) < m.cfg.Cooldown {
-		m.stats.Suppressed++
-		t.Suppressed = true
-		return
+	suppressed := d.Triggered && m.inCooldown(now)
+	if d.Triggered {
+		if suppressed {
+			m.stats.Suppressed++
+		} else {
+			m.stats.Triggers++
+			m.stats.LastTrigger = now
+		}
 	}
-	m.stats.Triggers++
-	m.stats.LastTrigger = now
-	m.cfg.OnTrigger(t)
+	if c := m.cfg.Collector; c != nil {
+		c.observe(x, d, m.cfg.Detector, suppressed, m.inCooldown(now))
+	}
+	if tl := m.cfg.Trace; tl != nil && d.Evaluated {
+		tl.Record(m.traceEntry(now, x, d, suppressed))
+	}
+	if d.Triggered && !suppressed {
+		m.cfg.OnTrigger(Trigger{Time: now, Decision: d, Observations: m.stats.Observations})
+	}
+}
+
+// inCooldown reports whether now falls inside the cooldown window of
+// the last delivered trigger. Callers hold m.mu.
+func (m *Monitor) inCooldown(now time.Time) bool {
+	return m.cfg.Cooldown > 0 && !m.stats.LastTrigger.IsZero() &&
+		now.Sub(m.stats.LastTrigger) < m.cfg.Cooldown
+}
+
+// traceEntry assembles the trace record for one evaluated decision,
+// folding in detector internals when available. Callers hold m.mu.
+func (m *Monitor) traceEntry(now time.Time, x float64, d Decision, suppressed bool) TraceEntry {
+	e := TraceEntry{
+		Observation: m.stats.Observations,
+		Time:        now,
+		Value:       x,
+		SampleMean:  d.SampleMean,
+		Target:      d.Target,
+		Level:       d.Level,
+		Fill:        d.Fill,
+		Triggered:   d.Triggered,
+		Suppressed:  suppressed,
+	}
+	if in, ok := m.cfg.Detector.(Instrumented); ok {
+		snap := in.Internals()
+		e.SampleSize = snap.SampleSize
+		e.Statistic = snap.Statistic
+	}
+	return e
 }
 
 // ObserveDuration reports a duration observation in seconds, the natural
@@ -110,7 +161,11 @@ func (m *Monitor) Reset() {
 	m.cfg.Detector.Reset()
 }
 
-// Stats returns a snapshot of the monitor counters.
+// Stats returns a snapshot of the monitor counters. The copy is taken
+// under the monitor lock, so all fields — including LastTrigger — are
+// mutually consistent: they describe one instant, even while other
+// goroutines keep observing. The snapshot does not change after it is
+// returned; call Stats again for fresh values.
 func (m *Monitor) Stats() MonitorStats {
 	m.mu.Lock()
 	defer m.mu.Unlock()

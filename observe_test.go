@@ -1,0 +1,245 @@
+package rejuv_test
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rejuv"
+)
+
+// collectorValue digs one series value out of a registry snapshot.
+func collectorValue(t *testing.T, reg *rejuv.Registry, name string) float64 {
+	t.Helper()
+	for _, s := range reg.Snapshot() {
+		if s.Name == name {
+			return s.Value
+		}
+	}
+	t.Fatalf("series %s not registered", name)
+	return 0
+}
+
+func TestCollectorPublishesMonitorState(t *testing.T) {
+	det, err := rejuv.NewSRAA(rejuv.SRAAConfig{
+		SampleSize: 2, Buckets: 2, Depth: 1,
+		Baseline: rejuv.Baseline{Mean: 5, StdDev: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := rejuv.NewRegistry()
+	now := time.Unix(1000, 0)
+	m, err := rejuv.NewMonitor(rejuv.MonitorConfig{
+		Detector:  det,
+		OnTrigger: func(rejuv.Trigger) {},
+		Collector: rejuv.NewCollector(reg),
+		Cooldown:  time.Minute,
+		Now:       func() time.Time { return now },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m.Observe(100) // half a sample: no evaluation yet
+	if got := collectorValue(t, reg, "rejuv_observations_total"); got != 1 {
+		t.Errorf("observations = %v, want 1", got)
+	}
+	if got := collectorValue(t, reg, "rejuv_samples_evaluated_total"); got != 0 {
+		t.Errorf("evaluations = %v, want 0", got)
+	}
+	if got := collectorValue(t, reg, "rejuv_detector_sample_fill"); got != 1 {
+		t.Errorf("sample fill = %v, want 1", got)
+	}
+
+	m.Observe(100) // completes a sample; mean 100 > target 5 fills the bucket
+	if got := collectorValue(t, reg, "rejuv_samples_evaluated_total"); got != 1 {
+		t.Errorf("evaluations = %v, want 1", got)
+	}
+	if got := collectorValue(t, reg, "rejuv_detector_last_sample_mean"); got != 100 {
+		t.Errorf("last sample mean = %v, want 100", got)
+	}
+	// mean 100 against target mu + 0*sigma = 5: distance 95.
+	if got := collectorValue(t, reg, "rejuv_detector_mean_minus_target"); got != 95 {
+		t.Errorf("mean minus target = %v, want 95", got)
+	}
+
+	// Walk the detector to a trigger: each pair of 100s is one exceeding
+	// sample; (D+1) overflows per bucket, K buckets.
+	for i := 0; i < 20 && collectorValue(t, reg, "rejuv_triggers_total") == 0; i++ {
+		m.Observe(100)
+	}
+	if got := collectorValue(t, reg, "rejuv_triggers_total"); got != 1 {
+		t.Fatalf("triggers = %v, want 1", got)
+	}
+	if got := collectorValue(t, reg, "rejuv_cooldown_active"); got != 1 {
+		t.Errorf("cooldown gauge = %v, want 1 right after a trigger", got)
+	}
+	// After the trigger the detector has reset.
+	if got := collectorValue(t, reg, "rejuv_detector_bucket_level"); got != 0 {
+		t.Errorf("bucket level = %v, want 0 after reset", got)
+	}
+
+	// A second trigger inside the cooldown is suppressed.
+	for i := 0; i < 20 && collectorValue(t, reg, "rejuv_triggers_suppressed_total") == 0; i++ {
+		m.Observe(100)
+	}
+	if got := collectorValue(t, reg, "rejuv_triggers_suppressed_total"); got != 1 {
+		t.Errorf("suppressed = %v, want 1", got)
+	}
+
+	// The histogram saw every observation.
+	var found bool
+	for _, s := range reg.Snapshot() {
+		if s.Name == "rejuv_observed_metric" {
+			found = true
+			if s.Count != uint64(m.Stats().Observations) {
+				t.Errorf("histogram count %d, want %d", s.Count, m.Stats().Observations)
+			}
+		}
+	}
+	if !found {
+		t.Error("observed-metric histogram not registered")
+	}
+}
+
+func TestTraceLogExplainsTrigger(t *testing.T) {
+	det, err := rejuv.NewSARAA(rejuv.SARAAConfig{
+		InitialSampleSize: 2, Buckets: 2, Depth: 1,
+		Baseline: rejuv.Baseline{Mean: 5, StdDev: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := rejuv.NewTraceLog(8)
+	now := time.Unix(2000, 0)
+	m, err := rejuv.NewMonitor(rejuv.MonitorConfig{
+		Detector:  det,
+		OnTrigger: func(rejuv.Trigger) {},
+		Trace:     trace,
+		Now:       func() time.Time { return now },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40 && m.Stats().Triggers == 0; i++ {
+		m.Observe(100)
+	}
+	if m.Stats().Triggers == 0 {
+		t.Fatal("detector never triggered")
+	}
+
+	ctx := trace.TriggerContext(3)
+	if len(ctx) == 0 {
+		t.Fatal("no trigger context recorded")
+	}
+	last := ctx[len(ctx)-1]
+	if !last.Triggered {
+		t.Fatalf("context does not end in a trigger: %+v", last)
+	}
+	if last.SampleMean != 100 {
+		t.Errorf("trigger sample mean = %v, want 100", last.SampleMean)
+	}
+	if last.SampleMean <= last.Target {
+		t.Errorf("trace records mean %v not exceeding target %v: cannot explain the trigger",
+			last.SampleMean, last.Target)
+	}
+	if last.Value != 100 || last.Observation == 0 || !last.Time.Equal(now) {
+		t.Errorf("entry inputs wrong: %+v", last)
+	}
+
+	// JSON-lines dump: one parseable object per line.
+	var b strings.Builder
+	if err := trace.Dump(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(b.String(), "\n"), "\n")
+	if len(lines) != trace.Len() {
+		t.Fatalf("dump has %d lines, trace has %d entries", len(lines), trace.Len())
+	}
+	for _, line := range lines {
+		var e rejuv.TraceEntry
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("unparseable trace line %q: %v", line, err)
+		}
+	}
+}
+
+func TestTraceLogRingOverwritesOldest(t *testing.T) {
+	l := rejuv.NewTraceLog(3)
+	for i := 1; i <= 5; i++ {
+		l.Record(rejuv.TraceEntry{Observation: uint64(i)})
+	}
+	if l.Len() != 3 {
+		t.Fatalf("len = %d, want 3", l.Len())
+	}
+	if l.Total() != 5 {
+		t.Fatalf("total = %d, want 5", l.Total())
+	}
+	got := l.Entries()
+	for i, want := range []uint64{3, 4, 5} {
+		if got[i].Observation != want {
+			t.Fatalf("entries = %+v, want observations 3,4,5 oldest-first", got)
+		}
+	}
+	if ctx := l.TriggerContext(2); ctx != nil {
+		t.Fatalf("trigger context without triggers = %+v, want nil", ctx)
+	}
+}
+
+// TestMonitorStatsRace drives Observe, Stats, and a trace/collector
+// reader concurrently; under -race this pins the documented guarantee
+// that Stats is a consistent locked snapshot (the LastTrigger field in
+// particular is only read under the lock).
+func TestMonitorStatsRace(t *testing.T) {
+	det, err := rejuv.NewCLTA(rejuv.CLTAConfig{
+		SampleSize: 5, Quantile: 1.96,
+		Baseline: rejuv.Baseline{Mean: 5, StdDev: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := rejuv.NewRegistry()
+	trace := rejuv.NewTraceLog(16)
+	m, err := rejuv.NewMonitor(rejuv.MonitorConfig{
+		Detector:  det,
+		OnTrigger: func(rejuv.Trigger) {},
+		Cooldown:  time.Microsecond,
+		Collector: rejuv.NewCollector(reg),
+		Trace:     trace,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				m.Observe(100)
+			}
+		}()
+	}
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				s := m.Stats()
+				if s.Triggers > 0 && s.LastTrigger.IsZero() {
+					t.Error("triggers counted but LastTrigger still zero")
+					return
+				}
+				_ = trace.Entries()
+				_ = reg.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if s := m.Stats(); s.Observations != 8000 {
+		t.Fatalf("observations = %d, want 8000", s.Observations)
+	}
+}

@@ -24,6 +24,9 @@ go test ./...
 echo "== go test -race -short ./... (short race pass)"
 go test -race -short -count=1 ./...
 
+echo "== go test -race ./internal/metrics . (observability race pass)"
+go test -race -count=1 ./internal/metrics .
+
 echo "== fuzz smoke (${FUZZTIME:-3s} per target)"
 for pkg in ./internal/core ./internal/stats; do
     for target in $(go test -list '^Fuzz' "$pkg" | grep '^Fuzz'); do

@@ -1,0 +1,155 @@
+package rejuv
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// TraceEntry is one recorded detector decision with the inputs that
+// produced it, so a fired trigger can be explained after the fact:
+// which sample mean, compared against which target, moved which bucket.
+type TraceEntry struct {
+	// Observation is the monitor's observation count when the decision
+	// was made (1-based).
+	Observation uint64 `json:"observation"`
+	// Time is the wall-clock time of the decision, from
+	// MonitorConfig.Now.
+	Time time.Time `json:"time"`
+	// Value is the raw observation that completed the sample.
+	Value float64 `json:"value"`
+	// SampleMean is the completed sample mean the detector evaluated.
+	SampleMean float64 `json:"sample_mean"`
+	// Target is the threshold SampleMean was compared against.
+	Target float64 `json:"target"`
+	// Level is the bucket pointer N after the step (0 for detectors
+	// without buckets).
+	Level int `json:"level"`
+	// Fill is the ball count d after the step (0 for detectors without
+	// buckets).
+	Fill int `json:"fill"`
+	// SampleSize is the sample size in effect after the step, when the
+	// detector is Instrumented (0 otherwise).
+	SampleSize int `json:"sample_size,omitempty"`
+	// Statistic is the chart statistic after the step for EWMA/CUSUM
+	// detectors, when Instrumented.
+	Statistic float64 `json:"statistic,omitempty"`
+	// Triggered reports that this decision called for rejuvenation.
+	Triggered bool `json:"triggered,omitempty"`
+	// Suppressed reports that the trigger fell inside the cooldown
+	// window and was not delivered.
+	Suppressed bool `json:"suppressed,omitempty"`
+}
+
+// DefaultTraceCapacity is the ring size NewTraceLog uses when given a
+// non-positive capacity.
+const DefaultTraceCapacity = 1024
+
+// TraceLog is a fixed-capacity ring buffer of detector decisions.
+// Attach one via MonitorConfig.Trace and the monitor records every
+// evaluated decision (one entry per completed sample, not per raw
+// observation); when the ring is full the oldest entries are
+// overwritten. All methods are safe for concurrent use.
+type TraceLog struct {
+	mu      sync.Mutex
+	entries []TraceEntry
+	next    int    // ring write position once the ring is full
+	total   uint64 // entries ever recorded
+}
+
+// NewTraceLog returns a trace log keeping the most recent capacity
+// entries (DefaultTraceCapacity when capacity <= 0).
+func NewTraceLog(capacity int) *TraceLog {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &TraceLog{entries: make([]TraceEntry, 0, capacity)}
+}
+
+// Record appends one entry, overwriting the oldest once the ring is
+// full. Monitors call it automatically; it is exported so replay and
+// analysis tooling can build logs from recorded data.
+func (l *TraceLog) Record(e TraceEntry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.total++
+	if len(l.entries) < cap(l.entries) {
+		l.entries = append(l.entries, e)
+		return
+	}
+	l.entries[l.next] = e
+	l.next++
+	if l.next == len(l.entries) {
+		l.next = 0
+	}
+}
+
+// Len returns the number of entries currently retained.
+func (l *TraceLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}
+
+// Total returns the number of entries ever recorded, including those
+// already overwritten.
+func (l *TraceLog) Total() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Entries returns a copy of the retained entries, oldest first.
+func (l *TraceLog) Entries() []TraceEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.snapshotLocked()
+}
+
+// snapshotLocked copies the ring in oldest-first order; l.mu is held.
+func (l *TraceLog) snapshotLocked() []TraceEntry {
+	out := make([]TraceEntry, 0, len(l.entries))
+	if len(l.entries) == cap(l.entries) {
+		out = append(out, l.entries[l.next:]...)
+		out = append(out, l.entries[:l.next]...)
+		return out
+	}
+	return append(out, l.entries...)
+}
+
+// TriggerContext returns the most recent triggered entry together with
+// up to k-1 entries leading into it, oldest first — the minimal
+// explanation of why the detector fired. It returns nil when no
+// retained entry triggered.
+func (l *TraceLog) TriggerContext(k int) []TraceEntry {
+	if k <= 0 {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	all := l.snapshotLocked()
+	for i := len(all) - 1; i >= 0; i-- {
+		if !all[i].Triggered {
+			continue
+		}
+		start := i - k + 1
+		if start < 0 {
+			start = 0
+		}
+		return all[start : i+1]
+	}
+	return nil
+}
+
+// Dump writes the retained entries as JSON lines (one object per line,
+// oldest first), the format jq and log pipelines expect.
+func (l *TraceLog) Dump(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, e := range l.Entries() {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
