@@ -14,10 +14,12 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"os/exec"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -98,20 +100,24 @@ func main() {
 	}
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 0, 64*1024), 1024*1024)
-	line := 0
-	for scanner.Scan() {
-		line++
-		text := strings.TrimSpace(scanner.Text())
-		if text == "" || strings.HasPrefix(text, "#") {
-			continue
+	// Label the observe loop so CPU profiles attribute parsing and
+	// detector evaluation to this phase.
+	pprof.Do(context.Background(), pprof.Labels("rejuv_phase", "observe-loop"), func(context.Context) {
+		line := 0
+		for scanner.Scan() {
+			line++
+			text := strings.TrimSpace(scanner.Text())
+			if text == "" || strings.HasPrefix(text, "#") {
+				continue
+			}
+			v, err := strconv.ParseFloat(text, 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rejuvmon: line %d: %q is not a number\n", line, text)
+				os.Exit(1)
+			}
+			monitor.Observe(v)
 		}
-		v, err := strconv.ParseFloat(text, 64)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "rejuvmon: line %d: %q is not a number\n", line, text)
-			os.Exit(1)
-		}
-		monitor.Observe(v)
-	}
+	})
 	fatalIf(scanner.Err())
 	s := monitor.Stats()
 	if !*quiet {

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -16,6 +17,7 @@ import (
 
 	"rejuv/internal/ecommerce"
 	"rejuv/internal/experiment"
+	"rejuv/internal/journal"
 	"rejuv/internal/metrics"
 	"rejuv/internal/stats"
 )
@@ -52,6 +54,9 @@ func main() {
 		verbose  = flag.Bool("v", false, "print each replication")
 		metricsP = flag.String("metrics", "", "write metrics snapshots to this file as JSON lines, one per sampling instant")
 		metricsI = flag.Float64("metrics-interval", 500, "virtual-time seconds between -metrics snapshots")
+		journalP = flag.String("journal", "", "record a flight-recorder journal of observations, decisions, rejuvenations and GCs to this file (inspect with rejuvtrace)")
+		journalF = flag.String("journal-format", "binary", "journal codec: binary or jsonl")
+		journalK = flag.Bool("journal-events", false, "also journal every DES kernel event (verbose: hundreds of records per transaction)")
 	)
 	flag.Parse()
 
@@ -77,6 +82,35 @@ func main() {
 	fmt.Printf("%s  load=%.2f CPUs (lambda=%.3f/s, mu=0.2/s, c=16)  %d x %d transactions\n",
 		spec.Label(), *load, lambda, *reps, *txns)
 
+	// The journal header stores the full detector spec so rejuvtrace
+	// -verify can rebuild the detector and replay the decision stream.
+	var jw *journal.Writer
+	var journalBuf *bufio.Writer
+	var journalFile *os.File
+	if *journalP != "" {
+		specJSON, err := json.Marshal(spec)
+		fatalIf(err)
+		meta := journal.Meta{
+			CreatedBy: "rejuvsim",
+			Detector:  spec.Label(),
+			Spec:      string(specJSON),
+			Seed:      *seed,
+			Notes:     fmt.Sprintf("load=%.4g txns=%d reps=%d", *load, *txns, *reps),
+		}
+		f, err := os.Create(*journalP)
+		fatalIf(err)
+		journalFile = f
+		journalBuf = bufio.NewWriter(f)
+		switch *journalF {
+		case "binary":
+			jw = journal.NewWriter(journalBuf, meta)
+		case "jsonl":
+			jw = journal.NewJSONWriter(journalBuf, meta)
+		default:
+			fatalIf(fmt.Errorf("unknown -journal-format %q (want binary or jsonl)", *journalF))
+		}
+	}
+
 	var pooled stats.Welford
 	var completed, lost, rejuv, gcs int64
 	start := time.Now()
@@ -97,6 +131,13 @@ func main() {
 			Stream:            uint64(rep) + 1,
 		}, det)
 		fatalIf(err)
+		if jw != nil {
+			jw.RepStart(0, rep+1, *seed, uint64(rep)+1)
+			model.Journal(jw)
+			if *journalK {
+				model.JournalKernel(jw)
+			}
+		}
 		var reg *metrics.Registry
 		if dump != nil {
 			reg = metrics.NewRegistry()
@@ -136,6 +177,12 @@ func main() {
 	if dumpFile != nil {
 		fatalIf(dumpFile.Close())
 		fmt.Printf("metrics:               %s (every %.0f s of virtual time)\n", *metricsP, *metricsI)
+	}
+	if jw != nil {
+		fatalIf(jw.Err())
+		fatalIf(journalBuf.Flush())
+		fatalIf(journalFile.Close())
+		fmt.Printf("journal:               %s (%d records, %s)\n", *journalP, jw.Seq(), *journalF)
 	}
 }
 

@@ -1,0 +1,268 @@
+// Command rejuvtrace inspects flight-recorder journals written by
+// rejuvsim -journal, the rejuv library or examples/httpserver: it
+// renders an ASCII (or CSV) timeline of the decisions around each
+// rejuvenation trigger, aggregates per-phase statistics, verifies the
+// journal by deterministic replay, and diffs two journals.
+//
+// Examples:
+//
+//	rejuvtrace run.jnl                  timeline around each trigger
+//	rejuvtrace -window 16 run.jnl       more context per trigger
+//	rejuvtrace -phases run.jnl          per-phase statistics only
+//	rejuvtrace -csv run.jnl             machine-readable timeline
+//	rejuvtrace -verify run.jnl          replay and verify determinism
+//	rejuvtrace -diff a.jnl b.jnl        first divergence between runs
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"rejuv/internal/core"
+	"rejuv/internal/experiment"
+	"rejuv/internal/journal"
+)
+
+func main() {
+	var (
+		window  = flag.Int("window", 8, "decision records of context shown per trigger")
+		csv     = flag.Bool("csv", false, "emit the trigger windows as CSV instead of an ASCII timeline")
+		phases  = flag.Bool("phases", false, "print per-phase statistics only")
+		verify  = flag.Bool("verify", false, "rebuild the detector from the journal's spec and verify the decision stream by replay")
+		diff    = flag.Bool("diff", false, "compare two journals and report the first diverging decision")
+		maxEv   = flag.Int("triggers", 0, "show at most this many triggers (0 = all)")
+		barCols = flag.Int("bar", 24, "width of the sample-mean bar in the ASCII timeline (0 disables)")
+	)
+	flag.Parse()
+
+	switch {
+	case *diff:
+		if flag.NArg() != 2 {
+			fatal(fmt.Errorf("-diff needs exactly two journal files, got %d", flag.NArg()))
+		}
+		runDiff(flag.Arg(0), flag.Arg(1), *window)
+	case flag.NArg() != 1:
+		fmt.Fprintln(os.Stderr, "usage: rejuvtrace [flags] journal-file")
+		flag.PrintDefaults()
+		os.Exit(2)
+	case *verify:
+		runVerify(flag.Arg(0))
+	default:
+		meta, format, records := load(flag.Arg(0))
+		a := journal.Analyze(meta, format, records, *window)
+		printSummary(a)
+		if *phases {
+			printPhases(a.Phases())
+			return
+		}
+		events := a.Events
+		if *maxEv > 0 && len(events) > *maxEv {
+			fmt.Printf("(showing first %d of %d triggers; raise -triggers)\n", *maxEv, len(events))
+			events = events[:*maxEv]
+		}
+		if *csv {
+			printCSV(events)
+		} else {
+			for _, ev := range events {
+				printTimeline(ev, *barCols)
+			}
+			printPhases(a.Phases())
+		}
+	}
+}
+
+// load decodes a journal file completely.
+func load(path string) (journal.Meta, journal.Format, []journal.Record) {
+	f, err := os.Open(path)
+	fatalIfErr(err)
+	defer f.Close()
+	jr, err := journal.NewReader(f)
+	fatalIfErr(err)
+	records, err := jr.ReadAll()
+	fatalIfErr(err)
+	return jr.Meta(), jr.Format(), records
+}
+
+// printSummary renders the journal header and record census.
+func printSummary(a journal.Analysis) {
+	m := a.Meta
+	fmt.Printf("journal: %s", orUnknown(m.Detector))
+	if m.CreatedBy != "" {
+		fmt.Printf("  (recorded by %s)", m.CreatedBy)
+	}
+	fmt.Println()
+	if m.Notes != "" || m.Seed != 0 {
+		fmt.Printf("         seed=%d  %s\n", m.Seed, m.Notes)
+	}
+	fmt.Printf("%d records, %d reps, %.6g s of virtual time\n", a.Records, a.Reps, a.Duration)
+	fmt.Printf("observations %d   decisions %d   triggers %d (+%d suppressed)   resets %d\n",
+		a.Observations, a.Decisions, a.Triggers, a.Suppressed, a.Resets)
+	fmt.Printf("rejuvenations %d (killed %d)   GCs %d   kernel events %d\n\n",
+		a.Rejuvenations, a.Killed, a.GCs, a.KernelEvents)
+}
+
+// printTimeline renders one trigger's context window as an ASCII table
+// with a sample-mean bar scaled to the window's maximum.
+func printTimeline(ev journal.TriggerEvent, barCols int) {
+	fmt.Printf("trigger #%d  rep %d  t=%.6g s  (seq %d)\n", ev.Index, ev.Rep, ev.Time, ev.Seq)
+	if !math.IsNaN(ev.TimeToTrigger) {
+		fmt.Printf("  first exceedance t=%.6g s -> trigger after %.6g s\n", ev.FirstExceedance, ev.TimeToTrigger)
+	}
+	if ev.Suppressed > 0 || ev.GCs > 0 {
+		fmt.Printf("  in phase: %d suppressed trigger(s), %d full GC(s)\n", ev.Suppressed, ev.GCs)
+	}
+	if len(ev.Dwell) > 0 {
+		parts := make([]string, len(ev.Dwell))
+		for lvl, d := range ev.Dwell {
+			parts[lvl] = fmt.Sprintf("L%d %.4gs", lvl, d)
+		}
+		fmt.Printf("  bucket dwell: %s\n", strings.Join(parts, "  "))
+	}
+	maxMean := 0.0
+	for _, r := range ev.Window {
+		if r.SampleMean > maxMean {
+			maxMean = r.SampleMean
+		}
+	}
+	fmt.Printf("  %12s %10s %10s %4s %4s  %s\n", "t(s)", "mean", "target", "lvl", "fill", "")
+	for _, r := range ev.Window {
+		flagStr := ""
+		switch {
+		case r.Triggered && r.Suppressed:
+			flagStr = "TRIGGER (suppressed)"
+		case r.Triggered:
+			flagStr = "TRIGGER"
+		}
+		bar := ""
+		if barCols > 0 && maxMean > 0 && r.SampleMean > 0 {
+			n := int(r.SampleMean / maxMean * float64(barCols))
+			if n > barCols {
+				n = barCols
+			}
+			bar = strings.Repeat("#", n) + " "
+		}
+		fmt.Printf("  %12.6g %10.4g %10.4g %4d %4d  %s%s\n",
+			r.Time, r.SampleMean, r.Target, r.Level, r.Fill, bar, flagStr)
+	}
+	fmt.Println()
+}
+
+// printCSV renders the trigger windows as CSV, one row per decision.
+func printCSV(events []journal.TriggerEvent) {
+	fmt.Println("trigger,rep,seq,t,sample_mean,target,level,fill,triggered,suppressed")
+	for _, ev := range events {
+		for _, r := range ev.Window {
+			fmt.Printf("%d,%d,%d,%.9g,%.9g,%.9g,%d,%d,%t,%t\n",
+				ev.Index, ev.Rep, r.Seq, r.Time, r.SampleMean, r.Target,
+				r.Level, r.Fill, r.Triggered, r.Suppressed)
+		}
+	}
+}
+
+// printPhases renders the aggregate phase statistics.
+func printPhases(ps journal.PhaseStats) {
+	fmt.Printf("phases: %d trigger(s), %d suppressed in total\n", ps.Triggers, ps.SuppressedTotal)
+	if ps.TimeToTrigger.N > 0 {
+		t := ps.TimeToTrigger
+		fmt.Printf("time from first exceedance to trigger: min %.6g s  mean %.6g s  max %.6g s  (n=%d)\n",
+			t.Min, t.Mean, t.Max, t.N)
+	}
+	if len(ps.DwellMean) > 0 {
+		parts := make([]string, len(ps.DwellMean))
+		for lvl, d := range ps.DwellMean {
+			parts[lvl] = fmt.Sprintf("L%d %.4gs", lvl, d)
+		}
+		fmt.Printf("mean bucket dwell per phase: %s\n", strings.Join(parts, "  "))
+	}
+}
+
+// runVerify replays the journal against a detector rebuilt from its
+// embedded spec and reports the verdict. Exit status 1 on divergence.
+func runVerify(path string) {
+	f, err := os.Open(path)
+	fatalIfErr(err)
+	defer f.Close()
+	jr, err := journal.NewReader(f)
+	fatalIfErr(err)
+	meta := jr.Meta()
+	if meta.Spec == "" {
+		fatal(fmt.Errorf("journal %s has no embedded detector spec; record it with rejuvsim -journal", path))
+	}
+	var spec experiment.Spec
+	fatalIfErr(json.Unmarshal([]byte(meta.Spec), &spec))
+	factory := func() (core.Detector, error) {
+		det, err := spec.NewDetector()
+		if err == nil && det == nil {
+			return nil, fmt.Errorf("spec %q builds no detector", spec.Label())
+		}
+		return det, err
+	}
+	rep, err := journal.Replay(jr, factory)
+	fatalIfErr(err)
+	fmt.Printf("replayed %s: %d reps, %d observations, %d decisions, %d triggers, %d resets\n",
+		spec.Label(), rep.Reps, rep.Observations, rep.Decisions, rep.Triggers, rep.Resets)
+	if rep.Identical() {
+		fmt.Println("verdict: decision stream is byte-identical under replay")
+		return
+	}
+	fmt.Println("verdict: DIVERGED:", rep.Mismatch.Error())
+	os.Exit(1)
+}
+
+// runDiff compares two journals and reports where they part ways.
+func runDiff(pathA, pathB string, window int) {
+	metaA, _, recsA := load(pathA)
+	metaB, _, recsB := load(pathB)
+	rep := journal.Diff(metaA, recsA, metaB, recsB, window)
+	fmt.Printf("A: %s  %d decisions, %d triggers, %.6g s\n",
+		orUnknown(metaA.Detector), rep.A.Decisions, rep.A.Triggers, rep.A.Duration)
+	fmt.Printf("B: %s  %d decisions, %d triggers, %.6g s\n",
+		orUnknown(metaB.Detector), rep.B.Decisions, rep.B.Triggers, rep.B.Duration)
+	fmt.Printf("%d leading decisions identical\n", rep.CommonDecisions)
+	if rep.Divergence == nil {
+		if rep.A.Decisions == rep.B.Decisions {
+			fmt.Println("journals agree on every decision")
+		} else {
+			fmt.Println("one journal is a strict prefix of the other; no divergence within the common prefix")
+		}
+		return
+	}
+	d := rep.Divergence
+	fmt.Printf("first divergence at decision ordinal %d:\n", d.Ordinal)
+	fmt.Printf("  A: %s\n  B: %s\n", diffLine(d.A), diffLine(d.B))
+	os.Exit(1)
+}
+
+// diffLine renders every detector-owned field of a decision record, so
+// the divergence is visible even when it sits in the sample-size or
+// chart-statistic internals.
+func diffLine(r journal.Record) string {
+	return fmt.Sprintf("t=%.9g mean=%.9g target=%.9g lvl=%d fill=%d n=%d/%d stat=%.9g triggered=%t",
+		r.Time, r.SampleMean, r.Target, r.Level, r.Fill,
+		r.SampleFill, r.SampleSize, r.Statistic, r.Triggered)
+}
+
+// orUnknown substitutes a placeholder for an empty detector label.
+func orUnknown(s string) string {
+	if s == "" {
+		return "(unknown detector)"
+	}
+	return s
+}
+
+// fatalIfErr aborts on err.
+func fatalIfErr(err error) {
+	if err != nil {
+		fatal(err)
+	}
+}
+
+// fatal prints err and exits.
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rejuvtrace:", err)
+	os.Exit(1)
+}

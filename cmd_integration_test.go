@@ -157,6 +157,94 @@ func TestCmdRejuvmonRejectsGarbage(t *testing.T) {
 	}
 }
 
+// TestCmdRejuvtrace records a journal with rejuvsim, then drives every
+// rejuvtrace mode against it: the ASCII timeline, the CSV dump, the
+// phase statistics, replay verification, and a -diff against a second
+// journal recorded with a different detector.
+func TestCmdRejuvtrace(t *testing.T) {
+	dir := t.TempDir()
+	jnlA := filepath.Join(dir, "saraa.jnl")
+	jnlB := filepath.Join(dir, "sraa.jnl")
+	out := runCmd(t, "rejuvsim", "",
+		"-algo", "SARAA", "-n", "2", "-k", "5", "-d", "3",
+		"-load", "9", "-reps", "2", "-txns", "5000", "-journal", jnlA)
+	if !strings.Contains(out, "journal:") {
+		t.Fatalf("rejuvsim did not report the journal:\n%s", out)
+	}
+	runCmd(t, "rejuvsim", "",
+		"-algo", "SRAA", "-n", "2", "-k", "5", "-d", "3",
+		"-load", "9", "-reps", "2", "-txns", "5000", "-journal", jnlB)
+
+	timeline := runCmd(t, "rejuvtrace", "", "-window", "6", "-triggers", "2", jnlA)
+	for _, want := range []string{
+		"SARAA (n=2, K=5, D=3)", "recorded by rejuvsim",
+		"trigger #1", "TRIGGER", "first exceedance", "bucket dwell",
+		"time from first exceedance to trigger:",
+	} {
+		if !strings.Contains(timeline, want) {
+			t.Errorf("rejuvtrace timeline missing %q:\n%s", want, timeline)
+		}
+	}
+
+	csv := runCmd(t, "rejuvtrace", "", "-csv", jnlA)
+	if !strings.Contains(csv, "trigger,rep,seq,t,sample_mean,target,level,fill,triggered,suppressed") {
+		t.Errorf("rejuvtrace -csv missing header:\n%.400s", csv)
+	}
+	if !strings.Contains(csv, ",true,false") {
+		t.Errorf("rejuvtrace -csv has no trigger rows:\n%.400s", csv)
+	}
+
+	phases := runCmd(t, "rejuvtrace", "", "-phases", jnlA)
+	if !strings.Contains(phases, "phases:") || !strings.Contains(phases, "mean bucket dwell per phase:") {
+		t.Errorf("rejuvtrace -phases output:\n%s", phases)
+	}
+
+	verify := runCmd(t, "rejuvtrace", "", "-verify", jnlA)
+	if !strings.Contains(verify, "byte-identical under replay") {
+		t.Fatalf("rejuvtrace -verify did not verify:\n%s", verify)
+	}
+
+	// Same seed, different detectors: the decision streams must part
+	// ways, and -diff reports it with exit status 1.
+	cmd := exec.Command(cmdPath(t, "rejuvtrace"), "-diff", jnlA, jnlB)
+	diffOut, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("rejuvtrace -diff of different detectors exited 0:\n%s", diffOut)
+	}
+	for _, want := range []string{"leading decisions identical", "first divergence at decision ordinal"} {
+		if !strings.Contains(string(diffOut), want) {
+			t.Errorf("rejuvtrace -diff missing %q:\n%s", want, diffOut)
+		}
+	}
+
+	// A journal diffed against itself has no divergence and exits 0.
+	selfDiff := runCmd(t, "rejuvtrace", "", "-diff", jnlA, jnlA)
+	if !strings.Contains(selfDiff, "journals agree on every decision") {
+		t.Errorf("rejuvtrace self-diff output:\n%s", selfDiff)
+	}
+}
+
+// TestCmdRejuvsimJSONLJournal pins the jsonl codec end to end: rejuvsim
+// writes it, rejuvtrace auto-detects and verifies it.
+func TestCmdRejuvsimJSONLJournal(t *testing.T) {
+	jnl := filepath.Join(t.TempDir(), "run.jsonl")
+	runCmd(t, "rejuvsim", "",
+		"-algo", "CUSUM", "-quantile", "5", "-weight", "0.5",
+		"-load", "9", "-reps", "1", "-txns", "3000",
+		"-journal", jnl, "-journal-format", "jsonl")
+	head, err := os.ReadFile(jnl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(head), "{") {
+		t.Fatalf("jsonl journal does not start with a JSON header: %.80q", head)
+	}
+	verify := runCmd(t, "rejuvtrace", "", "-verify", jnl)
+	if !strings.Contains(verify, "byte-identical under replay") {
+		t.Fatalf("rejuvtrace -verify on jsonl journal:\n%s", verify)
+	}
+}
+
 func TestCmdAgingcalc(t *testing.T) {
 	out := runCmd(t, "agingcalc", "")
 	for _, want := range []string{"mean time to failure", "availability", "cost-optimal rejuvenation rate"} {

@@ -53,6 +53,12 @@
 //     TraceLog.TriggerContext returns the evaluations that led up to
 //     it — the evidence for the rejuvenation, ready to dump as JSON
 //     lines.
+//   - A JournalWriter (the flight recorder) appends every observation,
+//     decision and control action to a durable event journal.
+//     ReplayJournal re-runs a fresh detector over the recorded
+//     observations and verifies the decision stream byte-identical,
+//     and cmd/rejuvtrace renders timelines, per-phase statistics and
+//     diffs from the file.
 //
 // Detectors expose their internals through the Instrumented interface
 // (DetectorInternals); custom detectors can implement it to light up

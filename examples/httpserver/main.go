@@ -30,6 +30,8 @@
 package main
 
 import (
+	"bufio"
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
@@ -67,6 +69,7 @@ func (h *agingHandler) restart() { h.served.Store(0) }
 
 func main() {
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+	journalP := flag.String("journal", "", "record a flight-recorder journal of every observation and decision to this file (inspect with rejuvtrace)")
 	flag.Parse()
 
 	handler := &agingHandler{base: 2 * time.Millisecond, leak: 2 * time.Millisecond}
@@ -82,8 +85,33 @@ func main() {
 	})
 	fatalIf(err)
 
+	// The journal records every observation and decision; after the run
+	// it is verified by replay and can be inspected with rejuvtrace.
+	var jw *rejuv.JournalWriter
+	var journalBuf *bytes.Buffer
+	var journalFile *os.File
+	var journalOut *bufio.Writer
+	if *journalP != "" {
+		meta := rejuv.JournalMeta{
+			CreatedBy: "examples/httpserver",
+			Detector:  "SARAA (n=4, K=3, D=4)",
+			Notes:     "injected aging fault, +2ms per 100 requests",
+		}
+		if *journalP == "-" {
+			journalBuf = &bytes.Buffer{}
+			jw = rejuv.NewJournalWriter(journalBuf, meta)
+		} else {
+			f, err := os.Create(*journalP)
+			fatalIf(err)
+			journalFile = f
+			journalOut = bufio.NewWriter(f)
+			jw = rejuv.NewJournalWriter(journalOut, meta)
+		}
+	}
+
 	registry := rejuv.NewRegistry()
 	trace := rejuv.NewTraceLog(256)
+	trace.Instrument(registry)
 	var mu sync.Mutex
 	var rejuvenations []int64 // request count at each trigger
 	monitor, err := rejuv.NewMonitor(rejuv.MonitorConfig{
@@ -91,6 +119,7 @@ func main() {
 		Cooldown:  50 * time.Millisecond,
 		Collector: rejuv.NewCollector(registry, rejuv.Label{Name: "algo", Value: "SARAA"}),
 		Trace:     trace,
+		Journal:   jw,
 		OnTrigger: func(t rejuv.Trigger) {
 			mu.Lock()
 			rejuvenations = append(rejuvenations, int64(t.Observations))
@@ -170,6 +199,44 @@ func main() {
 		}
 		fmt.Printf("  obs %4d: mean %6.1f ms vs target %6.1f ms, bucket level %d fill %d%s\n",
 			e.Observation, e.SampleMean*1000, e.Target*1000, e.Level, e.Fill, mark)
+	}
+
+	// Close out the journal and prove the decision stream replays
+	// byte-identically — the flight recorder is trustworthy evidence.
+	if jw != nil {
+		fatalIf(jw.Err())
+		var journalData io.Reader
+		switch {
+		case journalBuf != nil:
+			journalData = bytes.NewReader(journalBuf.Bytes())
+		default:
+			fatalIf(journalOut.Flush())
+			fatalIf(journalFile.Close())
+			f, err := os.Open(*journalP)
+			fatalIf(err)
+			defer f.Close()
+			journalData = f
+		}
+		jr, err := rejuv.NewJournalReader(journalData)
+		fatalIf(err)
+		rep, err := rejuv.ReplayJournal(jr, func() (rejuv.Detector, error) {
+			return rejuv.NewSARAA(rejuv.SARAAConfig{
+				InitialSampleSize: 4, Buckets: 3, Depth: 4,
+				Baseline: rejuv.Baseline{Mean: 0.002, StdDev: 0.001},
+			})
+		})
+		fatalIf(err)
+		fmt.Printf("\njournal: %d observations, %d decisions recorded", rep.Observations, rep.Decisions)
+		if journalFile != nil {
+			fmt.Printf(" to %s (inspect with rejuvtrace)", *journalP)
+		}
+		fmt.Println()
+		if rep.Identical() {
+			fmt.Println("journal replay: decision stream verified byte-identical")
+		} else {
+			fmt.Println("journal replay DIVERGED:", rep.Mismatch.Error())
+			os.Exit(1)
+		}
 	}
 
 	fmt.Println("\nresponse time stayed bounded because the monitor watched the metric")

@@ -1,0 +1,129 @@
+package rejuv
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// fr builds a monitor with a fake clock and a binary journal attached.
+func frMonitor(t *testing.T, buf *bytes.Buffer, cooldown time.Duration) (*Monitor, *fakeClock) {
+	t.Helper()
+	det, err := NewSRAA(SRAAConfig{SampleSize: 2, Buckets: 3, Depth: 2,
+		Baseline: Baseline{Mean: 5, StdDev: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	m, err := NewMonitor(MonitorConfig{
+		Detector:  det,
+		OnTrigger: func(Trigger) {},
+		Cooldown:  cooldown,
+		Now:       clk.now,
+		Journal:   NewJournalWriter(buf, JournalMeta{CreatedBy: "flightrecorder_test"}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, clk
+}
+
+// fakeClock steps one second per observation.
+type fakeClock struct{ t time.Time }
+
+// now returns the current fake time and advances it.
+func (c *fakeClock) now() time.Time {
+	c.t = c.t.Add(time.Second)
+	return c.t
+}
+
+// TestMonitorJournalReplays drives a monitor through enough bad
+// observations to trigger, then replays the journal: the decision
+// stream must verify byte-identically, with timestamps relative to the
+// first observation.
+func TestMonitorJournalReplays(t *testing.T) {
+	var buf bytes.Buffer
+	m, _ := frMonitor(t, &buf, 0)
+	for i := 0; i < 40; i++ {
+		m.Observe(50) // far above target: fill the buckets
+	}
+	m.Reset()
+
+	jr, err := NewJournalReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("NewJournalReader: %v", err)
+	}
+	if jr.Meta().CreatedBy != "flightrecorder_test" {
+		t.Errorf("meta round-trip: %+v", jr.Meta())
+	}
+	rep, err := ReplayJournal(jr, func() (Detector, error) {
+		return NewSRAA(SRAAConfig{SampleSize: 2, Buckets: 3, Depth: 2,
+			Baseline: Baseline{Mean: 5, StdDev: 5}})
+	})
+	if err != nil {
+		t.Fatalf("ReplayJournal: %v", err)
+	}
+	if !rep.Identical() {
+		t.Fatalf("monitor journal did not replay identically: %v", rep.Mismatch.Error())
+	}
+	if rep.Observations != 40 || rep.Triggers == 0 || rep.Resets != 1 {
+		t.Errorf("replay report: %+v", rep)
+	}
+}
+
+// TestMonitorJournalRecordsSuppression pins that cooldown-suppressed
+// triggers are journaled as suppressed — and that replay still
+// verifies, because suppression is carried over, not recomputed.
+func TestMonitorJournalRecordsSuppression(t *testing.T) {
+	var buf bytes.Buffer
+	// The fake clock ticks 1s per observation; a long cooldown
+	// suppresses every trigger after the first.
+	m, _ := frMonitor(t, &buf, time.Hour)
+	for i := 0; i < 80; i++ {
+		m.Observe(50)
+	}
+
+	jr, err := NewJournalReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := jr.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var delivered, suppressed int
+	firstT := -1.0
+	for _, r := range recs {
+		if firstT < 0 && r.Kind == JournalKindObserve {
+			firstT = r.Time
+		}
+		if r.Triggered {
+			if r.Suppressed {
+				suppressed++
+			} else {
+				delivered++
+			}
+		}
+	}
+	if delivered != 1 || suppressed == 0 {
+		t.Errorf("journaled %d delivered, %d suppressed triggers; want 1 and >0", delivered, suppressed)
+	}
+	if firstT != 0 {
+		t.Errorf("first journaled observation at t=%v, want 0 (epoch-relative)", firstT)
+	}
+
+	jr2, err := NewJournalReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ReplayJournal(jr2, func() (Detector, error) {
+		return NewSRAA(SRAAConfig{SampleSize: 2, Buckets: 3, Depth: 2,
+			Baseline: Baseline{Mean: 5, StdDev: 5}})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Identical() {
+		t.Fatalf("suppressed-trigger journal did not replay: %v", rep.Mismatch.Error())
+	}
+}

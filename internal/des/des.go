@@ -10,9 +10,12 @@ package des
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
+	"runtime/pprof"
 
+	"rejuv/internal/journal"
 	"rejuv/internal/num"
 )
 
@@ -78,7 +81,8 @@ type Simulator struct {
 	seq     uint64
 	queue   eventQueue
 	stopped bool
-	met     *simMetrics // nil unless Instrument was called
+	met     *simMetrics     // nil unless Instrument was called
+	jw      *journal.Writer // nil unless Journal was called
 }
 
 // New returns a simulator at virtual time zero.
@@ -101,6 +105,7 @@ func (s *Simulator) ScheduleAt(t float64, h Handler) *Event {
 	s.seq++
 	heap.Push(&s.queue, e)
 	s.noteScheduled()
+	s.journalScheduled(t)
 	return e
 }
 
@@ -121,6 +126,7 @@ func (s *Simulator) Cancel(e *Event) {
 	}
 	heap.Remove(&s.queue, e.index)
 	s.noteCancelled()
+	s.journalCancelled()
 }
 
 // Reschedule moves a pending event to absolute time t, preserving its
@@ -160,18 +166,26 @@ func (s *Simulator) Step() bool {
 	}
 	s.now = e.time
 	s.noteFired()
+	s.journalFired()
 	e.handler(s)
 	return true
 }
+
+// eventLoopLabels tags the run loop in CPU profiles so samples inside
+// Run/RunUntil (and everything the handlers call, detector evaluation
+// included) can be filtered with `-tagfocus des_phase=event-loop`.
+var eventLoopLabels = pprof.Labels("des_phase", "event-loop")
 
 // Run fires events in time order until the queue drains or Stop is
 // called. It returns the number of events fired.
 func (s *Simulator) Run() int {
 	s.stopped = false
 	fired := 0
-	for !s.stopped && s.Step() {
-		fired++
-	}
+	pprof.Do(context.Background(), eventLoopLabels, func(context.Context) {
+		for !s.stopped && s.Step() {
+			fired++
+		}
+	})
 	return fired
 }
 
@@ -181,10 +195,12 @@ func (s *Simulator) Run() int {
 func (s *Simulator) RunUntil(horizon float64) int {
 	s.stopped = false
 	fired := 0
-	for !s.stopped && len(s.queue) > 0 && s.queue[0].time <= horizon {
-		s.Step()
-		fired++
-	}
+	pprof.Do(context.Background(), eventLoopLabels, func(context.Context) {
+		for !s.stopped && len(s.queue) > 0 && s.queue[0].time <= horizon {
+			s.Step()
+			fired++
+		}
+	})
 	if !s.stopped && s.now < horizon {
 		s.now = horizon
 	}

@@ -1,0 +1,37 @@
+package des
+
+import "rejuv/internal/journal"
+
+// Journal attaches a flight-recorder writer to the kernel: every event
+// scheduled, fired or cancelled is recorded with the current virtual
+// time (and, for schedules, the time the event will fire at). This is
+// the most verbose journaling layer — a 100k-transaction replication
+// emits several hundred thousand kernel records — so it is wired to an
+// explicit opt-in flag (rejuvsim -journal-events) rather than to the
+// model-level journal. Pass nil to detach.
+//
+// The journal writer's binary encode path performs no allocations, so
+// an attached journal adds only the cost of buffered writes to the
+// event loop.
+func (s *Simulator) Journal(jw *journal.Writer) { s.jw = jw }
+
+// journalScheduled records one scheduled event.
+func (s *Simulator) journalScheduled(at float64) {
+	if s.jw != nil {
+		s.jw.SimScheduled(s.now, at)
+	}
+}
+
+// journalFired records one fired event.
+func (s *Simulator) journalFired() {
+	if s.jw != nil {
+		s.jw.SimFired(s.now)
+	}
+}
+
+// journalCancelled records one cancelled event.
+func (s *Simulator) journalCancelled() {
+	if s.jw != nil {
+		s.jw.SimCancelled(s.now)
+	}
+}

@@ -18,6 +18,7 @@ import (
 
 	"rejuv/internal/core"
 	"rejuv/internal/des"
+	"rejuv/internal/journal"
 	"rejuv/internal/num"
 	"rejuv/internal/stats"
 	"rejuv/internal/xrand"
@@ -237,6 +238,9 @@ type Model struct {
 	met   *modelMetrics
 	ticks []tick
 
+	// jw is nil unless Journal was called.
+	jw *journal.Writer
+
 	// OnComplete, when non-nil, receives the response time of every
 	// completed transaction; the autocorrelation study uses it to
 	// record the full series.
@@ -359,9 +363,13 @@ func (m *Model) complete(_ *job, rt float64) {
 		m.OnComplete(rt)
 	}
 	if m.detector != nil {
-		triggered := m.detector.Observe(rt).Triggered
+		if m.jw != nil {
+			m.jw.Observe(m.sim.Now(), rt)
+		}
+		d := m.detector.Observe(rt)
+		m.journalDecision(d)
 		m.publishDetector()
-		if triggered {
+		if d.Triggered {
 			m.rejuvenate()
 		}
 	}
@@ -381,8 +389,14 @@ func (m *Model) rejuvenate() {
 		m.met.rejuvenations.Inc()
 		m.met.lost.Add(uint64(killed))
 	}
+	if m.jw != nil {
+		m.jw.Rejuvenation(m.sim.Now(), killed)
+	}
 	if m.detector != nil {
 		m.detector.Reset()
+		if m.jw != nil {
+			m.jw.Reset(m.sim.Now())
+		}
 		m.publishDetector()
 	}
 	if m.cfg.RejuvenationPause > 0 {

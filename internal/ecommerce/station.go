@@ -2,6 +2,7 @@ package ecommerce
 
 import (
 	"rejuv/internal/des"
+	"rejuv/internal/journal"
 	"rejuv/internal/xrand"
 )
 
@@ -25,8 +26,10 @@ type station struct {
 
 	gcs int64
 
-	// met is nil unless the owning model was instrumented.
+	// met is nil unless the owning model was instrumented; jw is nil
+	// unless it was journaled.
 	met *stationMetrics
+	jw  *journal.Writer
 
 	// onComplete receives every completed job with its response time.
 	onComplete func(j *job, rt float64)
@@ -115,6 +118,9 @@ func (s *station) startGC() {
 	if s.met != nil {
 		s.met.gcStalls.Inc()
 	}
+	if s.jw != nil {
+		s.jw.GCStart(s.sim.Now(), s.heapMB)
+	}
 	for _, r := range s.running {
 		s.sim.Reschedule(r.completion, r.completion.Time()+s.cfg.GCPause)
 	}
@@ -123,6 +129,9 @@ func (s *station) startGC() {
 		s.gcEnd = nil
 		if !s.cfg.LeakyGC {
 			s.heapMB = s.cfg.HeapMB
+		}
+		if s.jw != nil {
+			s.jw.GCEnd(s.sim.Now(), s.heapMB)
 		}
 		s.tryStart()
 		s.noteState()

@@ -1,0 +1,318 @@
+package journal
+
+import (
+	"math"
+)
+
+// This file turns a journal into the numbers and timelines the
+// cmd/rejuvtrace CLI renders: per-trigger context windows, per-phase
+// statistics (time from first target exceedance to trigger, bucket
+// dwell times, suppressed-trigger counts) and diffs between two
+// journals (e.g. SRAA vs SARAA on the same seed).
+
+// TriggerEvent is one delivered trigger with the context that explains
+// it. A "phase" is the stretch from the previous trigger (or the start
+// of the replication) to this trigger.
+type TriggerEvent struct {
+	// Index is the 1-based trigger ordinal across the journal.
+	Index int
+	// Rep is the replication the trigger fired in (0 when the journal
+	// has no replication markers).
+	Rep int
+	// Seq and Time locate the triggering decision record.
+	Seq  uint64
+	Time float64
+	// Window holds the decision records leading up to and including the
+	// trigger, oldest first, bounded by the analysis window.
+	Window []Record
+	// FirstExceedance is the time of the phase's first evaluated
+	// decision whose sample mean exceeded its target; NaN when the
+	// trigger fired without a prior exceedance in the window of the
+	// phase (cannot happen for bucket detectors).
+	FirstExceedance float64
+	// TimeToTrigger is Time - FirstExceedance, the paper's
+	// time-to-trigger metric for this phase; NaN when FirstExceedance
+	// is NaN.
+	TimeToTrigger float64
+	// Dwell maps bucket level -> virtual seconds the detector spent at
+	// that level during the phase (indexed by level, zero-padded).
+	Dwell []float64
+	// Suppressed counts triggers eaten by the cooldown during the phase.
+	Suppressed int
+	// GCs counts full garbage collections during the phase.
+	GCs int
+}
+
+// Analysis is the digest of one journal.
+type Analysis struct {
+	// Meta is the journal header.
+	Meta Meta
+	// Format is the codec the journal was read in.
+	Format Format
+	// Records counts all records.
+	Records int
+	// Reps counts replication markers (0 for unmarked journals).
+	Reps int
+	// Observations, Decisions, Resets, Rejuvenations, GCs and
+	// KernelEvents count records by family.
+	Observations  int
+	Decisions     int
+	Resets        int
+	Rejuvenations int
+	GCs           int
+	KernelEvents  int
+	// Triggers counts delivered (non-suppressed) triggering decisions;
+	// Suppressed counts cooldown-eaten ones.
+	Triggers   int
+	Suppressed int
+	// Killed totals transactions terminated by rejuvenations.
+	Killed int
+	// Duration is the largest timestamp seen, per replication summed
+	// across reps boundaries (time restarts at each RepStart).
+	Duration float64
+	// Events holds one entry per delivered trigger, in journal order.
+	Events []TriggerEvent
+}
+
+// Analyze digests records into trigger timelines and phase statistics.
+// window bounds how many decision records each trigger retains as
+// context (minimum 1, the trigger itself).
+func Analyze(meta Meta, format Format, records []Record, window int) Analysis {
+	if window < 1 {
+		window = 1
+	}
+	a := Analysis{Meta: meta, Format: format, Records: len(records)}
+
+	// Phase state, reset at each delivered trigger and each rep start.
+	var (
+		rep        int
+		repBase    float64 // duration accumulated over finished reps
+		lastT      float64 // largest time in current rep
+		recent     []Record
+		firstExc   = math.NaN()
+		dwell      []float64
+		dwellLevel int
+		dwellSince = math.NaN()
+		suppressed int
+		phaseGCs   int
+	)
+	resetPhase := func() {
+		firstExc = math.NaN()
+		dwell = nil
+		dwellLevel = 0
+		dwellSince = math.NaN()
+		suppressed = 0
+		phaseGCs = 0
+	}
+	accumulateDwell := func(t float64) {
+		if math.IsNaN(dwellSince) {
+			return
+		}
+		for len(dwell) <= dwellLevel {
+			dwell = append(dwell, 0)
+		}
+		dwell[dwellLevel] += t - dwellSince
+	}
+
+	for _, r := range records {
+		if r.Time > lastT {
+			lastT = r.Time
+		}
+		switch r.Kind {
+		case KindRepStart:
+			a.Reps++
+			rep = r.Rep
+			repBase += lastT
+			lastT = 0
+			recent = recent[:0]
+			resetPhase()
+		case KindObserve:
+			a.Observations++
+		case KindDecision:
+			a.Decisions++
+			recent = append(recent, r)
+			if len(recent) > window {
+				recent = recent[len(recent)-window:]
+			}
+			if math.IsNaN(firstExc) && r.SampleMean > r.Target {
+				firstExc = r.Time
+			}
+			accumulateDwell(r.Time)
+			dwellLevel = r.Level
+			dwellSince = r.Time
+			switch {
+			case r.Triggered && r.Suppressed:
+				a.Suppressed++
+				suppressed++
+			case r.Triggered:
+				a.Triggers++
+				ev := TriggerEvent{
+					Index:           a.Triggers,
+					Rep:             rep,
+					Seq:             r.Seq,
+					Time:            r.Time,
+					Window:          append([]Record(nil), recent...),
+					FirstExceedance: firstExc,
+					TimeToTrigger:   r.Time - firstExc,
+					Dwell:           dwell,
+					Suppressed:      suppressed,
+					GCs:             phaseGCs,
+				}
+				a.Events = append(a.Events, ev)
+				resetPhase()
+			}
+		case KindReset:
+			a.Resets++
+			resetPhase()
+		case KindRejuvenation:
+			a.Rejuvenations++
+			a.Killed += r.Killed
+		case KindGCStart:
+			a.GCs++
+			phaseGCs++
+		case KindGCEnd:
+			// counted at start
+		case KindSimScheduled, KindSimFired, KindSimCancelled:
+			a.KernelEvents++
+		}
+	}
+	a.Duration = repBase + lastT
+	return a
+}
+
+// PhaseStats aggregates the per-phase metrics across all triggers of an
+// analysis: the distribution of time-to-trigger and the mean virtual
+// time spent at each bucket level.
+type PhaseStats struct {
+	// Triggers counts the phases aggregated.
+	Triggers int
+	// TimeToTrigger holds min/mean/max seconds from first target
+	// exceedance to trigger, over phases where an exceedance was seen.
+	TimeToTrigger MinMeanMax
+	// DwellMean is the mean virtual seconds per bucket level across
+	// phases, indexed by level.
+	DwellMean []float64
+	// SuppressedTotal counts cooldown-eaten triggers across all phases.
+	SuppressedTotal int
+}
+
+// MinMeanMax is a three-point summary of a non-empty sample; all fields
+// are NaN when N is zero.
+type MinMeanMax struct {
+	// N is the sample size.
+	N int
+	// Min, Mean and Max summarize the sample.
+	Min, Mean, Max float64
+}
+
+// add folds one value into the summary.
+func (s *MinMeanMax) add(v float64) {
+	if s.N == 0 {
+		s.Min, s.Max = v, v
+	} else {
+		s.Min = math.Min(s.Min, v)
+		s.Max = math.Max(s.Max, v)
+	}
+	// Mean holds the running sum until finalized by Phases.
+	s.Mean += v
+	s.N++
+}
+
+// Phases computes the aggregate phase statistics of the analysis.
+func (a Analysis) Phases() PhaseStats {
+	ps := PhaseStats{Triggers: len(a.Events)}
+	ps.TimeToTrigger = MinMeanMax{Min: math.NaN(), Mean: math.NaN(), Max: math.NaN()}
+	var ttt MinMeanMax
+	var dwellSum []float64
+	for _, ev := range a.Events {
+		ps.SuppressedTotal += ev.Suppressed
+		if !math.IsNaN(ev.TimeToTrigger) {
+			ttt.add(ev.TimeToTrigger)
+		}
+		for lvl, d := range ev.Dwell {
+			for len(dwellSum) <= lvl {
+				dwellSum = append(dwellSum, 0)
+			}
+			dwellSum[lvl] += d
+		}
+	}
+	if ttt.N > 0 {
+		ttt.Mean /= float64(ttt.N)
+		ps.TimeToTrigger = ttt
+	}
+	if len(a.Events) > 0 {
+		ps.DwellMean = make([]float64, len(dwellSum))
+		for i, s := range dwellSum {
+			ps.DwellMean[i] = s / float64(len(a.Events))
+		}
+	}
+	return ps
+}
+
+// DiffReport compares two journals decision by decision, the tool for
+// questions like "where did SARAA commit earlier than SRAA on the same
+// seed".
+type DiffReport struct {
+	// A and B are the two analyses.
+	A, B Analysis
+	// CommonDecisions counts leading decisions identical in both
+	// journals (canonical byte comparison, suppression masked).
+	CommonDecisions int
+	// Divergence describes the first differing decision pair; nil when
+	// one stream is a prefix of the other.
+	Divergence *DecisionDiff
+}
+
+// DecisionDiff is the first differing decision pair of a diff.
+type DecisionDiff struct {
+	// Ordinal is the 0-based index into both decision streams.
+	Ordinal int
+	// A and B are the differing records.
+	A, B Record
+}
+
+// Diff analyzes both record streams and locates the first decision
+// where they part ways.
+func Diff(metaA Meta, a []Record, metaB Meta, b []Record, window int) DiffReport {
+	rep := DiffReport{
+		A: Analyze(metaA, FormatBinary, a, window),
+		B: Analyze(metaB, FormatBinary, b, window),
+	}
+	da, db := decisions(a), decisions(b)
+	n := len(da)
+	if len(db) < n {
+		n = len(db)
+	}
+	for i := 0; i < n; i++ {
+		if !sameDecision(da[i], db[i]) {
+			rep.Divergence = &DecisionDiff{Ordinal: i, A: da[i], B: db[i]}
+			return rep
+		}
+		rep.CommonDecisions++
+	}
+	return rep
+}
+
+// decisions filters the decision records of a stream.
+func decisions(records []Record) []Record {
+	var out []Record
+	for _, r := range records {
+		if r.Kind == KindDecision {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// sameDecision compares two decision records on detector-owned fields
+// plus timestamp, masking the cooldown-owned suppression flag.
+func sameDecision(x, y Record) bool {
+	x.Suppressed, y.Suppressed = false, false
+	x.Seq, y.Seq = 0, 0
+	if math.Float64bits(x.Time) != math.Float64bits(y.Time) {
+		return false
+	}
+	bx := appendDecisionFields(nil, &x)
+	by := appendDecisionFields(nil, &y)
+	return string(bx) == string(by)
+}

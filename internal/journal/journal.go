@@ -1,0 +1,218 @@
+// Package journal is the flight recorder of this repository: an
+// append-only event journal that records every simulation event,
+// detector evaluation and control action with a virtual timestamp, a
+// sequence number and a typed payload, so the causal chain behind every
+// rejuvenation decision — heap growth, GC stall, response-time
+// excursion, bucket walk, trigger — survives the run that produced it.
+//
+// Two codecs share one record model. The binary codec is the production
+// format: length-prefixed little-endian records with a zero-allocation
+// encode path, so recording never perturbs the simulation or the
+// benchmarks that time it. The JSON-lines codec is the debug format:
+// one object per line, greppable and jq-able. Readers auto-detect the
+// codec from the first bytes of the stream.
+//
+// On top of the codec the package provides deterministic replay
+// (replay.go): a journal plus the detector specification reconstructs
+// the exact detector state trajectory, and Replay asserts that the
+// replayed decision stream is byte-identical to the recorded one. The
+// analysis layer (analyze.go) extracts trigger timelines, per-phase
+// statistics and journal diffs for the cmd/rejuvtrace CLI.
+package journal
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Format discriminates the two codecs of the journal.
+type Format int
+
+// Journal codecs. Binary is the production format; JSONL is the
+// greppable debug format. Readers auto-detect from the stream head.
+const (
+	// FormatBinary is the length-prefixed little-endian codec.
+	FormatBinary Format = iota
+	// FormatJSONL is the one-JSON-object-per-line debug codec.
+	FormatJSONL
+)
+
+// String returns the format's flag-value spelling ("bin" or "jsonl").
+func (f Format) String() string {
+	switch f {
+	case FormatBinary:
+		return "bin"
+	case FormatJSONL:
+		return "jsonl"
+	}
+	return fmt.Sprintf("Format(%d)", int(f))
+}
+
+// Kind identifies the typed payload of one record.
+type Kind byte
+
+// Record kinds. Zero is invalid so a zeroed record is detectably empty.
+const (
+	// KindRepStart marks the beginning of one replication: the detector
+	// is fresh and the virtual clock restarts.
+	KindRepStart Kind = iota + 1
+	// KindObserve is one observation of the monitored metric fed to the
+	// detector (a completed transaction's response time, or a timed
+	// request in production).
+	KindObserve
+	// KindDecision is one evaluated detector decision, with the detector
+	// internals captured immediately after the step.
+	KindDecision
+	// KindReset is an externally initiated detector reset (the model's
+	// post-rejuvenation reset, or Monitor.Reset).
+	KindReset
+	// KindRejuvenation is the control action: the system was rejuvenated,
+	// killing the recorded number of in-flight transactions.
+	KindRejuvenation
+	// KindGCStart marks the onset of a stop-the-world full GC stall.
+	KindGCStart
+	// KindGCEnd marks the end of a full GC stall.
+	KindGCEnd
+	// KindSimScheduled is a DES kernel event pushed onto the queue; the
+	// payload carries the virtual time it is scheduled to fire at.
+	KindSimScheduled
+	// KindSimFired is a DES kernel event whose handler ran.
+	KindSimFired
+	// KindSimCancelled is a DES kernel event removed before firing.
+	KindSimCancelled
+)
+
+// kindNames maps kinds to their stable JSONL spellings.
+var kindNames = [...]string{
+	KindRepStart:     "rep_start",
+	KindObserve:      "observe",
+	KindDecision:     "decision",
+	KindReset:        "reset",
+	KindRejuvenation: "rejuvenation",
+	KindGCStart:      "gc_start",
+	KindGCEnd:        "gc_end",
+	KindSimScheduled: "sim_scheduled",
+	KindSimFired:     "sim_fired",
+	KindSimCancelled: "sim_cancelled",
+}
+
+// maxKind is the highest valid kind; the decoder rejects anything above.
+const maxKind = KindSimCancelled
+
+// Valid reports whether k is a known record kind.
+func (k Kind) Valid() bool { return k >= KindRepStart && k <= maxKind }
+
+// String returns the stable name of the kind ("observe", "decision", ...).
+func (k Kind) String() string {
+	if k.Valid() {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", byte(k))
+}
+
+// MarshalJSON renders the kind by name, keeping JSONL journals readable.
+func (k Kind) MarshalJSON() ([]byte, error) {
+	if !k.Valid() {
+		return nil, fmt.Errorf("journal: cannot marshal invalid kind %d", byte(k))
+	}
+	return json.Marshal(k.String())
+}
+
+// UnmarshalJSON parses the name form written by MarshalJSON.
+func (k *Kind) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err != nil {
+		return err
+	}
+	for kk := KindRepStart; kk <= maxKind; kk++ {
+		if kindNames[kk] == name {
+			*k = kk
+			return nil
+		}
+	}
+	return fmt.Errorf("journal: unknown record kind %q", name)
+}
+
+// Meta is the journal header: everything needed to interpret and replay
+// the records that follow. The writer serializes it as JSON in both
+// codecs (the header is written once, so readability beats compactness).
+type Meta struct {
+	// CreatedBy names the producing tool ("rejuvsim", "httpserver", ...).
+	CreatedBy string `json:"created_by,omitempty"`
+	// Detector is the human-readable detector label, e.g.
+	// "SRAA (n=2, K=5, D=3)".
+	Detector string `json:"detector,omitempty"`
+	// Spec is an opaque, tool-defined detector specification that lets
+	// replay reconstruct the detector; cmd/rejuvsim stores the JSON
+	// encoding of its experiment.Spec here.
+	Spec string `json:"spec,omitempty"`
+	// Seed is the base random seed of the run.
+	Seed uint64 `json:"seed,omitempty"`
+	// Notes carries free-form key=value annotations (load, txns, ...).
+	Notes string `json:"notes,omitempty"`
+}
+
+// Record is one journal entry. It is the union of all payloads; Kind
+// selects which fields are meaningful. Seq is assigned by the writer and
+// strictly increases within a journal; Time is the virtual (or, for
+// production monitors, monotonic wall-clock) timestamp in seconds.
+type Record struct {
+	// Kind selects the payload.
+	Kind Kind `json:"kind"`
+	// Seq is the journal-wide sequence number, starting at 0.
+	Seq uint64 `json:"seq"`
+	// Time is the timestamp in seconds.
+	Time float64 `json:"t"`
+
+	// Rep is the 1-based replication number (KindRepStart).
+	Rep int `json:"rep,omitempty"`
+	// Seed is the replication's random seed (KindRepStart).
+	Seed uint64 `json:"seed,omitempty"`
+	// Stream is the replication's random stream (KindRepStart).
+	Stream uint64 `json:"stream,omitempty"`
+
+	// Value is the observed metric (KindObserve).
+	Value float64 `json:"value,omitempty"`
+
+	// Evaluated, Triggered and Suppressed mirror the decision flags
+	// (KindDecision). Suppressed is set by the cooldown layer, not the
+	// detector, and is excluded from replay byte comparison.
+	Evaluated  bool `json:"evaluated,omitempty"`
+	Triggered  bool `json:"triggered,omitempty"`
+	Suppressed bool `json:"suppressed,omitempty"`
+	// SampleMean, Target, Level, Fill, SampleSize, SampleFill and
+	// Statistic capture the decision and the detector internals after
+	// the step (KindDecision).
+	SampleMean float64 `json:"sample_mean,omitempty"`
+	Target     float64 `json:"target,omitempty"`
+	Level      int     `json:"level,omitempty"`
+	Fill       int     `json:"fill,omitempty"`
+	SampleSize int     `json:"sample_size,omitempty"`
+	SampleFill int     `json:"sample_fill,omitempty"`
+	Statistic  float64 `json:"statistic,omitempty"`
+
+	// Killed is the number of in-flight transactions a rejuvenation
+	// terminated (KindRejuvenation).
+	Killed int `json:"killed,omitempty"`
+
+	// HeapMB is the remaining heap at a GC boundary (KindGCStart,
+	// KindGCEnd).
+	HeapMB float64 `json:"heap_mb,omitempty"`
+
+	// EventTime is the virtual time a kernel event was scheduled to fire
+	// at (KindSimScheduled).
+	EventTime float64 `json:"event_time,omitempty"`
+}
+
+// magic identifies a binary journal stream; the version byte follows it.
+var magic = [4]byte{'R', 'J', 'N', 'L'}
+
+// Version is the binary codec version written after the magic.
+const Version = 1
+
+// MaxRecordLen bounds one binary record, protecting readers against
+// corrupt or hostile length prefixes.
+const MaxRecordLen = 1 << 20
+
+// MaxMetaLen bounds the serialized header, for the same reason.
+const MaxMetaLen = 1 << 20

@@ -1,0 +1,263 @@
+package journal
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Reader decodes a journal stream, auto-detecting the codec from the
+// first bytes: a binary journal starts with the RJNL magic, anything
+// else is treated as JSON lines. The decoder is defensive — length
+// prefixes are bounded, kinds validated, truncation reported — because
+// journals outlive the process that wrote them and may arrive damaged.
+type Reader struct {
+	br     *bufio.Reader
+	format Format
+	meta   Meta
+}
+
+// NewReader wraps r and reads the journal header. It fails on a missing
+// or malformed header rather than guessing.
+func NewReader(r io.Reader) (*Reader, error) {
+	jr := &Reader{br: bufio.NewReaderSize(r, 64<<10)}
+	head, err := jr.br.Peek(len(magic))
+	if err != nil {
+		return nil, fmt.Errorf("journal: reading stream head: %w", err)
+	}
+	if bytes.Equal(head, magic[:]) {
+		jr.format = FormatBinary
+		if err := jr.readBinaryHeader(); err != nil {
+			return nil, err
+		}
+		return jr, nil
+	}
+	jr.format = FormatJSONL
+	if err := jr.readJSONHeader(); err != nil {
+		return nil, err
+	}
+	return jr, nil
+}
+
+// readBinaryHeader consumes magic, version and the meta block.
+func (jr *Reader) readBinaryHeader() error {
+	var head [len(magic) + 1]byte
+	if _, err := io.ReadFull(jr.br, head[:]); err != nil {
+		return fmt.Errorf("journal: reading binary header: %w", err)
+	}
+	if v := head[len(magic)]; v != Version {
+		return fmt.Errorf("journal: unsupported binary version %d (this reader speaks %d)", v, Version)
+	}
+	n, err := binary.ReadUvarint(jr.br)
+	if err != nil {
+		return fmt.Errorf("journal: reading meta length: %w", err)
+	}
+	if n > MaxMetaLen {
+		return fmt.Errorf("journal: meta block of %d bytes exceeds limit %d", n, MaxMetaLen)
+	}
+	data := make([]byte, n)
+	if _, err := io.ReadFull(jr.br, data); err != nil {
+		return fmt.Errorf("journal: reading meta block: %w", err)
+	}
+	if err := json.Unmarshal(data, &jr.meta); err != nil {
+		return fmt.Errorf("journal: decoding meta: %w", err)
+	}
+	return nil
+}
+
+// readJSONHeader consumes the first line as the meta object.
+func (jr *Reader) readJSONHeader() error {
+	line, err := jr.readLine()
+	if err != nil {
+		return fmt.Errorf("journal: reading JSONL meta line: %w", err)
+	}
+	if err := json.Unmarshal(line, &jr.meta); err != nil {
+		return fmt.Errorf("journal: decoding JSONL meta: %w", err)
+	}
+	return nil
+}
+
+// Meta returns the journal header.
+func (jr *Reader) Meta() Meta { return jr.meta }
+
+// Format returns the detected codec.
+func (jr *Reader) Format() Format { return jr.format }
+
+// Next returns the next record, or io.EOF at a clean end of stream. A
+// truncated or corrupt record returns a descriptive non-EOF error.
+func (jr *Reader) Next() (Record, error) {
+	if jr.format == FormatJSONL {
+		return jr.nextJSON()
+	}
+	return jr.nextBinary()
+}
+
+// ReadAll drains the journal into a slice, stopping at clean EOF.
+func (jr *Reader) ReadAll() ([]Record, error) {
+	var out []Record
+	for {
+		r, err := jr.Next()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+}
+
+// nextJSON decodes one JSONL record line.
+func (jr *Reader) nextJSON() (Record, error) {
+	line, err := jr.readLine()
+	if err != nil {
+		if errors.Is(err, io.EOF) && len(bytes.TrimSpace(line)) == 0 {
+			return Record{}, io.EOF
+		}
+		if !errors.Is(err, io.EOF) {
+			return Record{}, fmt.Errorf("journal: reading JSONL record: %w", err)
+		}
+	}
+	if len(bytes.TrimSpace(line)) == 0 {
+		return Record{}, io.EOF
+	}
+	var r Record
+	if err := json.Unmarshal(line, &r); err != nil {
+		return Record{}, fmt.Errorf("journal: decoding JSONL record: %w", err)
+	}
+	if !r.Kind.Valid() {
+		return Record{}, fmt.Errorf("journal: JSONL record with invalid kind %d", byte(r.Kind))
+	}
+	return r, nil
+}
+
+// readLine reads one newline-terminated line without the terminator,
+// tolerating an unterminated final line.
+func (jr *Reader) readLine() ([]byte, error) {
+	line, err := jr.br.ReadBytes('\n')
+	return bytes.TrimSuffix(line, []byte{'\n'}), err
+}
+
+// nextBinary decodes one length-prefixed binary record.
+func (jr *Reader) nextBinary() (Record, error) {
+	n, err := binary.ReadUvarint(jr.br)
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return Record{}, io.EOF
+		}
+		return Record{}, fmt.Errorf("journal: reading record length: %w", err)
+	}
+	if n > MaxRecordLen {
+		return Record{}, fmt.Errorf("journal: record of %d bytes exceeds limit %d", n, MaxRecordLen)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(jr.br, payload); err != nil {
+		return Record{}, fmt.Errorf("journal: truncated record (%d bytes expected): %w", n, err)
+	}
+	return decodeBinary(payload)
+}
+
+// decodeBinary parses one binary record payload.
+func decodeBinary(payload []byte) (Record, error) {
+	c := cursor{b: payload}
+	var r Record
+	r.Kind = Kind(c.u8())
+	if !r.Kind.Valid() {
+		return Record{}, fmt.Errorf("journal: invalid record kind %d", byte(r.Kind))
+	}
+	r.Seq = c.uvarint()
+	r.Time = c.f64()
+	switch r.Kind {
+	case KindRepStart:
+		r.Rep = int(c.uvarint())
+		r.Seed = c.uvarint()
+		r.Stream = c.uvarint()
+	case KindObserve:
+		r.Value = c.f64()
+	case KindDecision:
+		flags := c.u8()
+		r.Evaluated = flags&flagEvaluated != 0
+		r.Triggered = flags&flagTriggered != 0
+		r.Suppressed = flags&flagSuppressed != 0
+		r.SampleMean = c.f64()
+		r.Target = c.f64()
+		r.Level = int(c.uvarint())
+		r.Fill = int(c.uvarint())
+		r.SampleSize = int(c.uvarint())
+		r.SampleFill = int(c.uvarint())
+		r.Statistic = c.f64()
+	case KindReset, KindSimFired, KindSimCancelled:
+		// no payload
+	case KindRejuvenation:
+		r.Killed = int(c.uvarint())
+	case KindGCStart, KindGCEnd:
+		r.HeapMB = c.f64()
+	case KindSimScheduled:
+		r.EventTime = c.f64()
+	}
+	if c.err != nil {
+		return Record{}, fmt.Errorf("journal: %s record: %w", r.Kind, c.err)
+	}
+	if c.off != len(c.b) {
+		return Record{}, fmt.Errorf("journal: %s record carries %d trailing bytes", r.Kind, len(c.b)-c.off)
+	}
+	return r, nil
+}
+
+// cursor walks a record payload, latching the first decode error so the
+// per-field reads stay linear.
+type cursor struct {
+	b   []byte
+	off int
+	err error
+}
+
+// u8 reads one byte.
+func (c *cursor) u8() byte {
+	if c.err != nil {
+		return 0
+	}
+	if c.off >= len(c.b) {
+		c.err = errTruncated
+		return 0
+	}
+	v := c.b[c.off]
+	c.off++
+	return v
+}
+
+// uvarint reads one unsigned varint.
+func (c *cursor) uvarint() uint64 {
+	if c.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(c.b[c.off:])
+	if n <= 0 {
+		c.err = errTruncated
+		return 0
+	}
+	c.off += n
+	return v
+}
+
+// f64 reads one little-endian IEEE-754 double.
+func (c *cursor) f64() float64 {
+	if c.err != nil {
+		return 0
+	}
+	if c.off+8 > len(c.b) {
+		c.err = errTruncated
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(c.b[c.off:]))
+	c.off += 8
+	return v
+}
+
+// errTruncated reports a payload shorter than its kind requires.
+var errTruncated = errors.New("truncated payload")

@@ -1,0 +1,191 @@
+package journal
+
+import (
+	"context"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"runtime/pprof"
+
+	"rejuv/internal/core"
+)
+
+// This file implements deterministic replay: feeding the journaled
+// observation stream through a freshly constructed detector must
+// reproduce the journaled decision stream byte for byte. Because every
+// detector is a deterministic state machine (core package contract),
+// any divergence means the journal, the detector construction, or the
+// platform broke the determinism guarantee — which makes Replay the
+// strongest determinism test in the repository.
+
+// ReplayReport summarizes one replay verification pass.
+type ReplayReport struct {
+	// Reps counts replications encountered (KindRepStart records; one
+	// implicit replication when a journal has none).
+	Reps int
+	// Observations counts observation records fed to the detector.
+	Observations int
+	// Decisions counts decision records compared.
+	Decisions int
+	// Triggers counts recorded decisions that triggered.
+	Triggers int
+	// Resets counts externally initiated detector resets applied.
+	Resets int
+	// Mismatch describes the first divergence, nil when the streams are
+	// byte-identical.
+	Mismatch *Mismatch
+}
+
+// Identical reports whether the replayed decision stream matched the
+// recorded one byte for byte.
+func (r ReplayReport) Identical() bool { return r.Mismatch == nil }
+
+// Mismatch pinpoints the first divergence between the recorded and
+// replayed decision streams.
+type Mismatch struct {
+	// Seq is the sequence number of the recorded record at the
+	// divergence point.
+	Seq uint64
+	// Time is its timestamp.
+	Time float64
+	// Reason classifies the divergence.
+	Reason string
+	// Recorded and Replayed are the hex encodings of the canonical
+	// decision payloads that differed (empty for structural mismatches
+	// such as a missing decision record).
+	Recorded, Replayed string
+}
+
+// Error renders the mismatch as a one-line diagnosis.
+func (m *Mismatch) Error() string {
+	s := fmt.Sprintf("journal: replay diverged at seq %d (t=%.6g): %s", m.Seq, m.Time, m.Reason)
+	if m.Recorded != "" || m.Replayed != "" {
+		s += fmt.Sprintf(" (recorded %s, replayed %s)", m.Recorded, m.Replayed)
+	}
+	return s
+}
+
+// Replay feeds every journaled observation through detectors built by
+// factory and verifies the resulting decision stream against the
+// journaled one. factory is invoked once per replication (each
+// KindRepStart record, plus once up front for journals without
+// replication markers), mirroring how the recording run constructed a
+// fresh detector per replication.
+//
+// The comparison is byte-level: both sides are encoded with the
+// canonical binary decision layout (appendDecisionFields) and must
+// match exactly. The Suppressed flag is copied from the recorded
+// record before encoding, because suppression is decided by the
+// cooldown layer above the detector and is not reproducible from the
+// observation stream alone; every detector-owned field must match.
+//
+// Replay stops at the first divergence and reports it; a nil error with
+// report.Identical() true is the determinism proof.
+func Replay(jr *Reader, factory func() (core.Detector, error)) (ReplayReport, error) {
+	var report ReplayReport
+	var replayErr error
+	// Label the replay loop so CPU profiles attribute detector
+	// evaluation time to this phase.
+	pprof.Do(context.Background(), pprof.Labels("rejuv_phase", "detector-replay"), func(context.Context) {
+		report, replayErr = replay(jr, factory)
+	})
+	return report, replayErr
+}
+
+// replay is the unlabeled body of Replay.
+func replay(jr *Reader, factory func() (core.Detector, error)) (ReplayReport, error) {
+	var report ReplayReport
+	det, err := factory()
+	if err != nil {
+		return report, fmt.Errorf("journal: replay factory: %w", err)
+	}
+	if det == nil {
+		return report, fmt.Errorf("journal: replay factory returned a nil detector")
+	}
+	report.Reps = 1
+	sawRepStart := false
+
+	// pending holds the replayed decision awaiting its recorded
+	// counterpart; decision records always follow their observation in
+	// writer order.
+	var pending *Record
+
+	for {
+		rec, err := jr.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return report, err
+		}
+		switch rec.Kind {
+		case KindRepStart:
+			if pending != nil {
+				report.Mismatch = structuralMismatch(rec, "replication started while a replayed decision awaited its recorded counterpart")
+				return report, nil
+			}
+			if sawRepStart || report.Observations > 0 || report.Decisions > 0 {
+				report.Reps++
+			}
+			sawRepStart = true
+			if det, err = factory(); err != nil {
+				return report, fmt.Errorf("journal: replay factory (rep %d): %w", rec.Rep, err)
+			}
+		case KindObserve:
+			if pending != nil {
+				report.Mismatch = structuralMismatch(rec, "observation arrived while a replayed decision awaited its recorded counterpart")
+				return report, nil
+			}
+			report.Observations++
+			d := det.Observe(rec.Value)
+			if d.Evaluated || d.Triggered {
+				var in core.Internals
+				if instr, ok := det.(core.Instrumented); ok {
+					in = instr.Internals()
+				}
+				r := DecisionRecord(rec.Time, d, in, false)
+				pending = &r
+			}
+		case KindDecision:
+			report.Decisions++
+			if rec.Triggered {
+				report.Triggers++
+			}
+			if pending == nil {
+				report.Mismatch = structuralMismatch(rec, "recorded decision has no replayed counterpart (replayed detector did not evaluate)")
+				return report, nil
+			}
+			// Suppression belongs to the cooldown layer, not the
+			// detector; carry it over so the byte comparison covers
+			// exactly the detector-owned fields.
+			pending.Suppressed = rec.Suppressed
+			pending.Time = rec.Time
+			recBytes := appendDecisionFields(nil, &rec)
+			repBytes := appendDecisionFields(nil, pending)
+			if string(recBytes) != string(repBytes) {
+				report.Mismatch = &Mismatch{
+					Seq:      rec.Seq,
+					Time:     rec.Time,
+					Reason:   "decision payloads differ",
+					Recorded: hex.EncodeToString(recBytes),
+					Replayed: hex.EncodeToString(repBytes),
+				}
+				return report, nil
+			}
+			pending = nil
+		case KindReset:
+			report.Resets++
+			det.Reset()
+		}
+	}
+	if pending != nil {
+		report.Mismatch = &Mismatch{Reason: "replayed decision at end of journal has no recorded counterpart"}
+	}
+	return report, nil
+}
+
+// structuralMismatch builds a mismatch for stream-shape divergences.
+func structuralMismatch(rec Record, reason string) *Mismatch {
+	return &Mismatch{Seq: rec.Seq, Time: rec.Time, Reason: reason}
+}

@@ -1,0 +1,231 @@
+package journal_test
+
+// Replay determinism, the acceptance test of the flight recorder: for
+// every detector family, journaling a simulation run and replaying the
+// journal through a freshly built detector must reproduce the decision
+// stream byte for byte, on several seeds, regardless of GOMAXPROCS.
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"rejuv/internal/core"
+	"rejuv/internal/ecommerce"
+	"rejuv/internal/journal"
+)
+
+// replayCase pairs a detector family with its factory. The factory is
+// used both to build the recording detector and, independently, the
+// replaying ones — mirroring how a debugging session reconstructs the
+// detector from the journal's spec.
+type replayCase struct {
+	name    string
+	factory func() (core.Detector, error)
+}
+
+// replayCases covers all eight detector families of the core package.
+func replayCases() []replayCase {
+	base := core.Baseline{Mean: 5, StdDev: 5}
+	return []replayCase{
+		{"SRAA", func() (core.Detector, error) {
+			return core.NewSRAA(core.SRAAConfig{SampleSize: 2, Buckets: 5, Depth: 3, Baseline: base})
+		}},
+		{"SARAA", func() (core.Detector, error) {
+			return core.NewSARAA(core.SARAAConfig{InitialSampleSize: 2, Buckets: 5, Depth: 3, Baseline: base})
+		}},
+		{"Static", func() (core.Detector, error) { // SRAA with n=1, the paper's static algorithm
+			return core.NewSRAA(core.SRAAConfig{SampleSize: 1, Buckets: 5, Depth: 3, Baseline: base})
+		}},
+		{"CLTA", func() (core.Detector, error) {
+			return core.NewCLTA(core.CLTAConfig{SampleSize: 10, Quantile: 1.645, Baseline: base})
+		}},
+		{"Shewhart", func() (core.Detector, error) {
+			return core.NewShewhart(3, base)
+		}},
+		{"EWMA", func() (core.Detector, error) {
+			return core.NewEWMA(0.2, 3, base)
+		}},
+		{"CUSUM", func() (core.Detector, error) {
+			return core.NewCUSUM(0.5, 5, base)
+		}},
+		{"Adaptive", func() (core.Detector, error) {
+			return core.NewAdaptive(50, func(b core.Baseline) (core.Detector, error) {
+				return core.NewSRAA(core.SRAAConfig{SampleSize: 2, Buckets: 5, Depth: 3, Baseline: b})
+			})
+		}},
+	}
+}
+
+// recordReplications runs one model replication per seed, all into a
+// single journal framed by RepStart records, and returns the encoded
+// journal. A fresh detector is built per replication, exactly what
+// Replay reconstructs.
+func recordReplications(t *testing.T, tc replayCase, seeds []uint64) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	jw := journal.NewWriter(&buf, journal.Meta{
+		CreatedBy: "replay_test",
+		Detector:  tc.name,
+	})
+	for rep, seed := range seeds {
+		det, err := tc.factory()
+		if err != nil {
+			t.Fatalf("%s: factory: %v", tc.name, err)
+		}
+		m, err := ecommerce.New(ecommerce.Config{
+			ArrivalRate:  3.0, // load 0.94: aging bites, triggers happen
+			Transactions: 3000,
+			Seed:         seed,
+			Stream:       uint64(rep),
+		}, det)
+		if err != nil {
+			t.Fatalf("%s: model: %v", tc.name, err)
+		}
+		jw.RepStart(0, rep, seed, uint64(rep))
+		m.Journal(jw)
+		if _, err := m.Run(); err != nil {
+			t.Fatalf("%s: run: %v", tc.name, err)
+		}
+	}
+	if err := jw.Err(); err != nil {
+		t.Fatalf("%s: journal writer: %v", tc.name, err)
+	}
+	return buf.Bytes()
+}
+
+// TestReplayDeterminismAllDetectors is the determinism proof required
+// of the flight recorder: live vs replayed Decision streams are
+// byte-identical for all eight detector families on three seeds each.
+func TestReplayDeterminismAllDetectors(t *testing.T) {
+	seeds := []uint64{1, 2, 3}
+	for _, tc := range replayCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			data := recordReplications(t, tc, seeds)
+			jr, err := journal.NewReader(bytes.NewReader(data))
+			if err != nil {
+				t.Fatalf("NewReader: %v", err)
+			}
+			rep, err := journal.Replay(jr, tc.factory)
+			if err != nil {
+				t.Fatalf("Replay: %v", err)
+			}
+			if !rep.Identical() {
+				t.Fatalf("replay diverged: %v", rep.Mismatch.Error())
+			}
+			if rep.Reps != len(seeds) {
+				t.Errorf("replayed %d replications, want %d", rep.Reps, len(seeds))
+			}
+			if rep.Observations == 0 || rep.Decisions == 0 {
+				t.Errorf("vacuous replay: %d observations, %d decisions", rep.Observations, rep.Decisions)
+			}
+			t.Logf("%s: %d observations, %d decisions, %d triggers, %d resets — byte-identical",
+				tc.name, rep.Observations, rep.Decisions, rep.Triggers, rep.Resets)
+		})
+	}
+}
+
+// TestReplayDetectsTamperedJournal makes sure the verifier is not
+// vacuously green: flipping one decision's sample-mean bit must be
+// reported as a divergence.
+func TestReplayDetectsTamperedJournal(t *testing.T) {
+	tc := replayCases()[0] // SRAA
+	data := recordReplications(t, tc, []uint64{1})
+
+	// Decode, corrupt the first decision record, re-encode.
+	jr, err := journal.NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := jr.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := false
+	var buf bytes.Buffer
+	jw := journal.NewWriter(&buf, jr.Meta())
+	for _, r := range recs {
+		if !tampered && r.Kind == journal.KindDecision {
+			r.SampleMean += 0.25
+			tampered = true
+		}
+		jw.Record(r)
+	}
+	if !tampered {
+		t.Fatal("journal had no decision records to tamper with")
+	}
+
+	jr2, err := journal.NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := journal.Replay(jr2, tc.factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Identical() {
+		t.Fatal("replay verifier accepted a tampered journal")
+	}
+}
+
+// TestReplayJournalIdenticalAcrossGOMAXPROCS re-records the same
+// configuration under GOMAXPROCS=1 and under the default setting: the
+// journals must be byte-identical, pinning that scheduler parallelism
+// cannot leak into the virtual-time event order.
+func TestReplayJournalIdenticalAcrossGOMAXPROCS(t *testing.T) {
+	tc := replayCases()[1] // SARAA, the paper's headline algorithm
+	seeds := []uint64{7, 11}
+
+	def := recordReplications(t, tc, seeds)
+
+	prev := runtime.GOMAXPROCS(1)
+	single := recordReplications(t, tc, seeds)
+	runtime.GOMAXPROCS(prev)
+
+	if !bytes.Equal(def, single) {
+		t.Fatalf("journal bytes differ between GOMAXPROCS=%d (%d bytes) and GOMAXPROCS=1 (%d bytes)",
+			prev, len(def), len(single))
+	}
+}
+
+// TestKernelJournaling smoke-tests the verbose kernel layer: with
+// JournalKernel attached the journal carries scheduled/fired records
+// and still replays cleanly (replay ignores kernel records).
+func TestKernelJournaling(t *testing.T) {
+	tc := replayCases()[0]
+	det, err := tc.factory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	jw := journal.NewWriter(&buf, journal.Meta{CreatedBy: "replay_test"})
+	m, err := ecommerce.New(ecommerce.Config{
+		ArrivalRate: 3.0, Transactions: 500, Seed: 5,
+	}, det)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Journal(jw)
+	m.JournalKernel(jw)
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := jw.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if jw.Count(journal.KindSimScheduled) == 0 || jw.Count(journal.KindSimFired) == 0 {
+		t.Fatalf("kernel journaling recorded no kernel events: scheduled=%d fired=%d",
+			jw.Count(journal.KindSimScheduled), jw.Count(journal.KindSimFired))
+	}
+	jr, err := journal.NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := journal.Replay(jr, tc.factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Identical() {
+		t.Fatalf("replay of kernel-journaled run diverged: %v", rep.Mismatch.Error())
+	}
+}

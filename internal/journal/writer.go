@@ -1,0 +1,352 @@
+package journal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"rejuv/internal/core"
+)
+
+// Writer appends records to an underlying io.Writer in one of the two
+// codecs. The binary encode path performs no allocations per record (a
+// reused scratch buffer plus at most two Write calls), so journaling can
+// be left on in benchmarked paths. Errors are sticky: the first failed
+// write latches into Err and subsequent records are dropped, because a
+// flight recorder must never turn an I/O failure into a simulation
+// failure.
+//
+// Writers are not safe for concurrent use; the Monitor serializes its
+// records under the monitor lock, and the simulators are single-
+// threaded by construction.
+type Writer struct {
+	w      io.Writer
+	format Format
+	seq    uint64
+	err    error
+
+	buf    []byte                          // reused binary payload scratch
+	lenBuf [binary.MaxVarintLen64]byte     // reused length-prefix scratch
+	counts [maxKind + 1]uint64             // records written per kind
+	enc    *json.Encoder                   // JSONL codec only
+}
+
+// NewWriter returns a binary-codec writer and immediately writes the
+// header (magic, version, meta). The caller owns w and any buffering:
+// wrap files in a bufio.Writer and flush it after the run.
+func NewWriter(w io.Writer, meta Meta) *Writer {
+	jw := &Writer{w: w, format: FormatBinary, buf: make([]byte, 0, 128)}
+	jw.writeHeader(meta)
+	return jw
+}
+
+// NewJSONWriter returns a JSON-lines-codec writer (the debug format) and
+// immediately writes the meta header line.
+func NewJSONWriter(w io.Writer, meta Meta) *Writer {
+	jw := &Writer{w: w, format: FormatJSONL, enc: json.NewEncoder(w)}
+	jw.err = jw.enc.Encode(meta)
+	return jw
+}
+
+// writeHeader emits the binary header: magic, version byte, uvarint
+// meta length, meta JSON.
+func (jw *Writer) writeHeader(meta Meta) {
+	data, err := json.Marshal(meta)
+	if err != nil {
+		jw.err = fmt.Errorf("journal: encoding meta: %w", err)
+		return
+	}
+	b := jw.buf[:0]
+	b = append(b, magic[:]...)
+	b = append(b, Version)
+	b = binary.AppendUvarint(b, uint64(len(data)))
+	b = append(b, data...)
+	jw.write(b)
+	jw.buf = b[:0]
+}
+
+// Err returns the first write or encoding error, or nil.
+func (jw *Writer) Err() error { return jw.err }
+
+// Seq returns the sequence number the next record will carry.
+func (jw *Writer) Seq() uint64 { return jw.seq }
+
+// Count returns how many records of the given kind have been written.
+func (jw *Writer) Count(k Kind) uint64 {
+	if !k.Valid() {
+		return 0
+	}
+	return jw.counts[k]
+}
+
+// Record appends one fully populated record. The record's Seq is
+// overwritten with the writer's running sequence number. The typed
+// emitters below are the preferred interface; Record exists so analysis
+// tooling can rewrite journals.
+func (jw *Writer) Record(r Record) {
+	if jw.err != nil || !r.Kind.Valid() {
+		return
+	}
+	r.Seq = jw.nextSeq(r.Kind)
+	if jw.format == FormatJSONL {
+		jw.err = jw.enc.Encode(r)
+		return
+	}
+	b := jw.begin(r.Kind, r.Seq, r.Time)
+	b = appendPayload(b, &r)
+	jw.finish(b)
+}
+
+// RepStart marks the beginning of replication rep with its seed/stream.
+func (jw *Writer) RepStart(t float64, rep int, seed, stream uint64) {
+	if jw.err != nil {
+		return
+	}
+	seq := jw.nextSeq(KindRepStart)
+	if jw.format == FormatJSONL {
+		jw.err = jw.enc.Encode(Record{Kind: KindRepStart, Seq: seq, Time: t, Rep: rep, Seed: seed, Stream: stream})
+		return
+	}
+	b := jw.begin(KindRepStart, seq, t)
+	b = binary.AppendUvarint(b, uint64(rep))
+	b = binary.AppendUvarint(b, seed)
+	b = binary.AppendUvarint(b, stream)
+	jw.finish(b)
+}
+
+// Observe records one observation of the monitored metric.
+func (jw *Writer) Observe(t, value float64) {
+	if jw.err != nil {
+		return
+	}
+	seq := jw.nextSeq(KindObserve)
+	if jw.format == FormatJSONL {
+		jw.err = jw.enc.Encode(Record{Kind: KindObserve, Seq: seq, Time: t, Value: value})
+		return
+	}
+	b := jw.begin(KindObserve, seq, t)
+	b = appendF64(b, value)
+	jw.finish(b)
+}
+
+// Decision records one evaluated detector decision together with the
+// internals snapshot taken immediately after the step.
+func (jw *Writer) Decision(t float64, d core.Decision, in core.Internals, suppressed bool) {
+	if jw.err != nil {
+		return
+	}
+	r := DecisionRecord(t, d, in, suppressed)
+	r.Seq = jw.nextSeq(KindDecision)
+	if jw.format == FormatJSONL {
+		jw.err = jw.enc.Encode(r)
+		return
+	}
+	b := jw.begin(KindDecision, r.Seq, t)
+	b = appendDecisionFields(b, &r)
+	jw.finish(b)
+}
+
+// Reset records an externally initiated detector reset.
+func (jw *Writer) Reset(t float64) {
+	if jw.err != nil {
+		return
+	}
+	seq := jw.nextSeq(KindReset)
+	if jw.format == FormatJSONL {
+		jw.err = jw.enc.Encode(Record{Kind: KindReset, Seq: seq, Time: t})
+		return
+	}
+	jw.finish(jw.begin(KindReset, seq, t))
+}
+
+// Rejuvenation records the control action: the system was rejuvenated,
+// killing the given number of in-flight transactions.
+func (jw *Writer) Rejuvenation(t float64, killed int) {
+	if jw.err != nil {
+		return
+	}
+	seq := jw.nextSeq(KindRejuvenation)
+	if jw.format == FormatJSONL {
+		jw.err = jw.enc.Encode(Record{Kind: KindRejuvenation, Seq: seq, Time: t, Killed: killed})
+		return
+	}
+	b := jw.begin(KindRejuvenation, seq, t)
+	b = binary.AppendUvarint(b, uint64(killed))
+	jw.finish(b)
+}
+
+// GCStart records the onset of a full GC stall at the given heap level.
+func (jw *Writer) GCStart(t, heapMB float64) { jw.gc(KindGCStart, t, heapMB) }
+
+// GCEnd records the end of a full GC stall at the given heap level.
+func (jw *Writer) GCEnd(t, heapMB float64) { jw.gc(KindGCEnd, t, heapMB) }
+
+// gc emits one GC boundary record.
+func (jw *Writer) gc(kind Kind, t, heapMB float64) {
+	if jw.err != nil {
+		return
+	}
+	seq := jw.nextSeq(kind)
+	if jw.format == FormatJSONL {
+		jw.err = jw.enc.Encode(Record{Kind: kind, Seq: seq, Time: t, HeapMB: heapMB})
+		return
+	}
+	b := jw.begin(kind, seq, t)
+	b = appendF64(b, heapMB)
+	jw.finish(b)
+}
+
+// SimScheduled records a kernel event pushed onto the queue, scheduled
+// to fire at virtual time at.
+func (jw *Writer) SimScheduled(t, at float64) {
+	if jw.err != nil {
+		return
+	}
+	seq := jw.nextSeq(KindSimScheduled)
+	if jw.format == FormatJSONL {
+		jw.err = jw.enc.Encode(Record{Kind: KindSimScheduled, Seq: seq, Time: t, EventTime: at})
+		return
+	}
+	b := jw.begin(KindSimScheduled, seq, t)
+	b = appendF64(b, at)
+	jw.finish(b)
+}
+
+// SimFired records a kernel event whose handler ran.
+func (jw *Writer) SimFired(t float64) { jw.simPlain(KindSimFired, t) }
+
+// SimCancelled records a kernel event removed before firing.
+func (jw *Writer) SimCancelled(t float64) { jw.simPlain(KindSimCancelled, t) }
+
+// simPlain emits a payload-free kernel event record.
+func (jw *Writer) simPlain(kind Kind, t float64) {
+	if jw.err != nil {
+		return
+	}
+	seq := jw.nextSeq(kind)
+	if jw.format == FormatJSONL {
+		jw.err = jw.enc.Encode(Record{Kind: kind, Seq: seq, Time: t})
+		return
+	}
+	jw.finish(jw.begin(kind, seq, t))
+}
+
+// nextSeq hands out the next sequence number and counts the record.
+func (jw *Writer) nextSeq(k Kind) uint64 {
+	seq := jw.seq
+	jw.seq++
+	jw.counts[k]++
+	return seq
+}
+
+// begin starts a binary record payload in the reused scratch buffer:
+// kind byte, uvarint seq, float64 time.
+func (jw *Writer) begin(kind Kind, seq uint64, t float64) []byte {
+	b := jw.buf[:0]
+	b = append(b, byte(kind))
+	b = binary.AppendUvarint(b, seq)
+	b = appendF64(b, t)
+	return b
+}
+
+// finish length-prefixes the payload and writes it, retaining the
+// (possibly grown) scratch buffer for the next record.
+func (jw *Writer) finish(payload []byte) {
+	n := binary.PutUvarint(jw.lenBuf[:], uint64(len(payload)))
+	jw.write(jw.lenBuf[:n])
+	jw.write(payload)
+	jw.buf = payload[:0]
+}
+
+// write forwards to the underlying writer unless an error has latched.
+func (jw *Writer) write(p []byte) {
+	if jw.err != nil {
+		return
+	}
+	_, jw.err = jw.w.Write(p)
+}
+
+// DecisionRecord assembles the canonical decision record for one
+// evaluated decision, shared by the writer and the replay verifier so
+// both sides encode identically.
+func DecisionRecord(t float64, d core.Decision, in core.Internals, suppressed bool) Record {
+	return Record{
+		Kind:       KindDecision,
+		Time:       t,
+		Evaluated:  d.Evaluated,
+		Triggered:  d.Triggered,
+		Suppressed: suppressed,
+		SampleMean: d.SampleMean,
+		Target:     d.Target,
+		Level:      d.Level,
+		Fill:       d.Fill,
+		SampleSize: in.SampleSize,
+		SampleFill: in.SampleFill,
+		Statistic:  in.Statistic,
+	}
+}
+
+// Decision flag bits of the binary codec.
+const (
+	flagEvaluated  = 1 << 0
+	flagTriggered  = 1 << 1
+	flagSuppressed = 1 << 2
+)
+
+// appendDecisionFields encodes the decision payload (after the common
+// kind/seq/time prefix): flags byte, sample mean, target, level, fill,
+// sample size, sample fill, statistic. This is the byte stream the
+// replay verifier compares, so its layout is part of the determinism
+// contract (DESIGN §10).
+func appendDecisionFields(b []byte, r *Record) []byte {
+	var flags byte
+	if r.Evaluated {
+		flags |= flagEvaluated
+	}
+	if r.Triggered {
+		flags |= flagTriggered
+	}
+	if r.Suppressed {
+		flags |= flagSuppressed
+	}
+	b = append(b, flags)
+	b = appendF64(b, r.SampleMean)
+	b = appendF64(b, r.Target)
+	b = binary.AppendUvarint(b, uint64(r.Level))
+	b = binary.AppendUvarint(b, uint64(r.Fill))
+	b = binary.AppendUvarint(b, uint64(r.SampleSize))
+	b = binary.AppendUvarint(b, uint64(r.SampleFill))
+	b = appendF64(b, r.Statistic)
+	return b
+}
+
+// appendPayload encodes the kind-specific payload of r; the common
+// prefix (kind, seq, time) is already in b.
+func appendPayload(b []byte, r *Record) []byte {
+	switch r.Kind {
+	case KindRepStart:
+		b = binary.AppendUvarint(b, uint64(r.Rep))
+		b = binary.AppendUvarint(b, r.Seed)
+		b = binary.AppendUvarint(b, r.Stream)
+	case KindObserve:
+		b = appendF64(b, r.Value)
+	case KindDecision:
+		b = appendDecisionFields(b, r)
+	case KindReset, KindSimFired, KindSimCancelled:
+		// no payload
+	case KindRejuvenation:
+		b = binary.AppendUvarint(b, uint64(r.Killed))
+	case KindGCStart, KindGCEnd:
+		b = appendF64(b, r.HeapMB)
+	case KindSimScheduled:
+		b = appendF64(b, r.EventTime)
+	}
+	return b
+}
+
+// appendF64 appends the little-endian IEEE-754 bits of v.
+func appendF64(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}

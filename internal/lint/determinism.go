@@ -18,6 +18,7 @@ var deterministicScopes = []string{
 	"internal/experiment",
 	"internal/stats",
 	"internal/ctmc",
+	"internal/journal",
 }
 
 // bannedImports are entropy or wall-clock sources that must never be

@@ -108,3 +108,39 @@ func TestHandlerFormats(t *testing.T) {
 		t.Fatalf("json body: %v", err)
 	}
 }
+
+// TestHandlerJSONContentTypeOverHTTP is the regression test for the
+// JSON path's Content-Type: it must survive a real HTTP round trip
+// (headers set after the first body write would be silently dropped by
+// net/http, which a ResponseRecorder does not catch).
+func TestHandlerJSONContentTypeOverHTTP(t *testing.T) {
+	srv := httptest.NewServer(buildRegistry().Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/metrics?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("json content type over HTTP = %q, want application/json", ct)
+	}
+	var snaps []SeriesSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snaps); err != nil {
+		t.Fatalf("json body over HTTP: %v", err)
+	}
+	if len(snaps) == 0 {
+		t.Error("json snapshot over HTTP is empty")
+	}
+
+	// Any other format value falls back to the Prometheus text
+	// exposition, never to an unlabeled body.
+	resp2, err := srv.Client().Get(srv.URL + "/metrics?format=yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if ct := resp2.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("fallback content type = %q, want text/plain", ct)
+	}
+}

@@ -44,6 +44,12 @@ type MonitorConfig struct {
 	// (one TraceEntry per completed sample) into the ring buffer, so a
 	// fired trigger can be explained after the fact. See NewTraceLog.
 	Trace *TraceLog
+	// Journal, when non-nil, records every observation and every
+	// evaluated decision to the flight recorder, with timestamps in
+	// seconds relative to the monitor's first observation. The journal
+	// can later be replayed with ReplayJournal to verify the decision
+	// stream. See NewJournalWriter.
+	Journal *JournalWriter
 }
 
 // MonitorStats is a snapshot of monitor counters, taken atomically
@@ -68,6 +74,9 @@ type Monitor struct {
 
 	mu    sync.Mutex
 	stats MonitorStats
+	// epoch anchors journal timestamps at the first observation; the
+	// zero value means no observation was journaled yet.
+	epoch time.Time
 }
 
 // NewMonitor validates the configuration and returns a monitor.
@@ -94,7 +103,7 @@ func (m *Monitor) Observe(x float64) {
 	defer m.mu.Unlock()
 	m.stats.Observations++
 	d := m.cfg.Detector.Observe(x)
-	if !d.Triggered && m.cfg.Collector == nil && m.cfg.Trace == nil {
+	if !d.Triggered && m.cfg.Collector == nil && m.cfg.Trace == nil && m.cfg.Journal == nil {
 		return // the common un-instrumented fast path needs no clock
 	}
 	now := m.cfg.Now()
@@ -112,6 +121,20 @@ func (m *Monitor) Observe(x float64) {
 	}
 	if tl := m.cfg.Trace; tl != nil && d.Evaluated {
 		tl.Record(m.traceEntry(now, x, d, suppressed))
+	}
+	if jw := m.cfg.Journal; jw != nil {
+		if m.epoch.IsZero() {
+			m.epoch = now
+		}
+		t := now.Sub(m.epoch).Seconds()
+		jw.Observe(t, x)
+		if d.Evaluated || d.Triggered {
+			var in DetectorInternals
+			if instr, ok := m.cfg.Detector.(Instrumented); ok {
+				in = instr.Internals()
+			}
+			jw.Decision(t, d, in, suppressed)
+		}
 	}
 	if d.Triggered && !suppressed {
 		m.cfg.OnTrigger(Trigger{Time: now, Decision: d, Observations: m.stats.Observations})
@@ -159,6 +182,9 @@ func (m *Monitor) Reset() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.cfg.Detector.Reset()
+	if jw := m.cfg.Journal; jw != nil && !m.epoch.IsZero() {
+		jw.Reset(m.cfg.Now().Sub(m.epoch).Seconds())
+	}
 }
 
 // Stats returns a snapshot of the monitor counters. The copy is taken

@@ -189,6 +189,50 @@ func TestTraceLogRingOverwritesOldest(t *testing.T) {
 	}
 }
 
+// TestTraceLogDroppedCountsUnreadOverwrites pins the semantics of
+// rejuv_tracelog_dropped_total: only overwrites of entries that no
+// snapshot ever returned count as drops — a full ring whose content is
+// being read is not losing evidence.
+func TestTraceLogDroppedCountsUnreadOverwrites(t *testing.T) {
+	reg := rejuv.NewRegistry()
+	l := rejuv.NewTraceLog(3)
+	l.Instrument(reg)
+
+	for i := 1; i <= 3; i++ {
+		l.Record(rejuv.TraceEntry{Observation: uint64(i)})
+	}
+	if l.Dropped() != 0 {
+		t.Fatalf("dropped=%d before any overwrite", l.Dropped())
+	}
+
+	// Entry 1 was never snapshotted; overwriting it is a drop.
+	l.Record(rejuv.TraceEntry{Observation: 4})
+	if l.Dropped() != 1 {
+		t.Fatalf("dropped=%d after unread overwrite, want 1", l.Dropped())
+	}
+
+	// A snapshot marks the retained entries (2,3,4) as read, so the
+	// next three overwrites are not drops.
+	_ = l.Entries()
+	for i := 5; i <= 7; i++ {
+		l.Record(rejuv.TraceEntry{Observation: uint64(i)})
+	}
+	if l.Dropped() != 1 {
+		t.Fatalf("dropped=%d after overwriting read entries, want still 1", l.Dropped())
+	}
+
+	// Entry 5 (recorded after the snapshot) is unread; dropping it
+	// counts again.
+	l.Record(rejuv.TraceEntry{Observation: 8})
+	if l.Dropped() != 2 {
+		t.Fatalf("dropped=%d, want 2", l.Dropped())
+	}
+
+	if got := collectorValue(t, reg, "rejuv_tracelog_dropped_total"); got != 2 {
+		t.Errorf("rejuv_tracelog_dropped_total=%v, want 2", got)
+	}
+}
+
 // TestMonitorStatsRace drives Observe, Stats, and a trace/collector
 // reader concurrently; under -race this pins the documented guarantee
 // that Stats is a consistent locked snapshot (the LastTrigger field in

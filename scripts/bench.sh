@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# bench.sh runs the repository's benchmark suite and distills the
+# output into a machine-readable JSON baseline: one entry per
+# benchmark, mapping to its ns/op plus every custom metric the
+# benchmark reports (RT@<load>CPUs, loss@<load>CPUs, tailPct, B/op,
+# allocs/op, ...). Optimisation PRs regenerate the file and diff it
+# against the committed BENCH_baseline.json to prove their claims.
+#
+# Usage: scripts/bench.sh [output.json]
+#   BENCHTIME=1x   iterations per benchmark (go test -benchtime)
+#   BENCH='.'      benchmark filter regexp   (go test -bench)
+#   PKGS='...'     packages to benchmark
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_baseline.json}"
+BENCH="${BENCH:-.}"
+BENCHTIME="${BENCHTIME:-1x}"
+PKGS="${PKGS:-. ./internal/core ./internal/des ./internal/journal ./internal/metrics ./internal/stats}"
+
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+# -run '^$' skips tests; benchmarks print one line each:
+#   BenchmarkName-8  iters  1234 ns/op  8.75 RT@9CPUs:SRAA(...)
+# shellcheck disable=SC2086
+go test -run '^$' -bench "$BENCH" -benchtime "$BENCHTIME" $PKGS | tee "$TMP"
+
+awk -v goversion="$(go env GOVERSION)" '
+BEGIN {
+    printf "{\n  \"go\": \"%s\",\n  \"benchtime\": \"'"$BENCHTIME"'\",\n  \"benchmarks\": {\n", goversion
+    n = 0
+}
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)      # strip the GOMAXPROCS suffix
+    ns = "null"; metrics = ""
+    for (i = 3; i < NF; i += 2) {   # (value, unit) pairs after the iteration count
+        val = $i; unit = $(i + 1)
+        if (unit == "ns/op") {
+            ns = val
+        } else {
+            metrics = metrics sprintf("%s\"%s\": %s", (metrics == "" ? "" : ", "), unit, val)
+        }
+    }
+    if (n++) printf ",\n"
+    printf "    \"%s\": {\"ns_per_op\": %s", name, ns
+    if (metrics != "") printf ", \"metrics\": {%s}", metrics
+    printf "}"
+}
+END { printf "\n  }\n}\n" }
+' "$TMP" > "$OUT"
+
+echo "wrote $OUT ($(grep -c 'ns_per_op' "$OUT") benchmarks)"

@@ -27,8 +27,13 @@ go test -race -short -count=1 ./...
 echo "== go test -race ./internal/metrics . (observability race pass)"
 go test -race -count=1 ./internal/metrics .
 
+echo "== flight-recorder replay determinism (all detectors, 3 seeds)"
+go test -run 'TestReplayDeterminism|TestReplayJournalIdenticalAcrossGOMAXPROCS' -count=1 -v ./internal/journal | grep -E '^(=== RUN|--- (PASS|FAIL)|ok|FAIL)' || {
+    echo "replay determinism pass FAILED"; exit 1;
+}
+
 echo "== fuzz smoke (${FUZZTIME:-3s} per target)"
-for pkg in ./internal/core ./internal/stats; do
+for pkg in ./internal/core ./internal/stats ./internal/journal; do
     for target in $(go test -list '^Fuzz' "$pkg" | grep '^Fuzz'); do
         echo "-- fuzz $pkg $target"
         go test -run='^$' -fuzz="^${target}\$" -fuzztime="${FUZZTIME:-3s}" "$pkg"

@@ -56,6 +56,12 @@ type TraceLog struct {
 	entries []TraceEntry
 	next    int    // ring write position once the ring is full
 	total   uint64 // entries ever recorded
+	readTo  uint64 // highest ordinal included in any snapshot so far
+	dropped uint64 // entries overwritten before any snapshot saw them
+
+	// droppedCtr mirrors dropped into a metrics registry when
+	// Instrument was called; nil otherwise.
+	droppedCtr *MetricCounter
 }
 
 // NewTraceLog returns a trace log keeping the most recent capacity
@@ -78,11 +84,41 @@ func (l *TraceLog) Record(e TraceEntry) {
 		l.entries = append(l.entries, e)
 		return
 	}
+	// Entries carry 1-based ordinals; the one being overwritten is the
+	// oldest retained, ordinal total - capacity. If no snapshot ever
+	// included it, its evidence is lost for good — count the drop so
+	// operators can tell "the ring was big enough" from "we lost
+	// decisions nobody looked at".
+	if overwritten := l.total - uint64(len(l.entries)); overwritten > l.readTo {
+		l.dropped++
+		if l.droppedCtr != nil {
+			l.droppedCtr.Inc()
+		}
+	}
 	l.entries[l.next] = e
 	l.next++
 	if l.next == len(l.entries) {
 		l.next = 0
 	}
+}
+
+// Dropped returns the number of entries that were overwritten before
+// any snapshot (Entries, TriggerContext or Dump) had seen them.
+func (l *TraceLog) Dropped() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
+}
+
+// Instrument registers rejuv_tracelog_dropped_total in reg and
+// increments it whenever the ring overwrites a never-snapshotted
+// entry. Call it once, before the log is attached to a monitor.
+func (l *TraceLog) Instrument(reg *Registry, labels ...Label) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.droppedCtr = reg.Counter("rejuv_tracelog_dropped_total",
+		"trace entries overwritten before any snapshot read them", labels...)
+	l.droppedCtr.Add(l.dropped)
 }
 
 // Len returns the number of entries currently retained.
@@ -104,6 +140,7 @@ func (l *TraceLog) Total() uint64 {
 func (l *TraceLog) Entries() []TraceEntry {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	l.readTo = l.total
 	return l.snapshotLocked()
 }
 
@@ -128,6 +165,7 @@ func (l *TraceLog) TriggerContext(k int) []TraceEntry {
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	l.readTo = l.total
 	all := l.snapshotLocked()
 	for i := len(all) - 1; i >= 0; i-- {
 		if !all[i].Triggered {
