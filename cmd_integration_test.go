@@ -5,12 +5,50 @@ package rejuv_test
 // output. These protect the CLI surface the documentation promises.
 
 import (
+	"flag"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
+
+// updateGolden regenerates the golden stdout files under testdata/cli
+// instead of comparing against them:
+//
+//	go test -run TestCmd -update-golden .
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/cli golden files")
+
+// assertGolden compares got against testdata/cli/<name>.golden, or
+// rewrites the file under -update-golden. Golden tests pin the exact
+// output of deterministic CLI surfaces on pinned seeds, so any change —
+// intended or not — shows up as a reviewable diff.
+func assertGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", "cli", name+".golden")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run go test -update-golden .): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s output diverged from %s.\ngot:\n%s\nwant:\n%s", name, path, got, want)
+	}
+}
+
+// elapsedRE matches the wall-clock suffix figures prints per figure;
+// golden comparisons normalize it because it is the one
+// non-deterministic token in the output.
+var elapsedRE = regexp.MustCompile(`in [0-9ms.]+s?\)`)
 
 // buildCmds compiles every command once per test binary invocation.
 var builtCmds struct {
@@ -252,4 +290,41 @@ func TestCmdAgingcalc(t *testing.T) {
 			t.Errorf("agingcalc output missing %q:\n%s", want, out)
 		}
 	}
+}
+
+// Golden stdout tests: the four analytic/tuning CLI surfaces are pure
+// functions of their flags (and pinned seeds), so their entire output
+// is pinned byte for byte.
+
+func TestCmdMMCalcGolden(t *testing.T) {
+	out := runCmd(t, "mmcalc", "", "-tails", "-chain", "-density", "-n", "2,5", "-x", "5")
+	assertGolden(t, "mmcalc", out)
+}
+
+func TestCmdAgingcalcGolden(t *testing.T) {
+	assertGolden(t, "agingcalc", runCmd(t, "agingcalc", ""))
+}
+
+// TestCmdTuneGolden pins the full ranking table of a small grid search
+// on a pinned seed — an end-to-end check that the sweep pipeline
+// (model, detector, replication engine, aggregation) is deterministic,
+// since any drift in any pooled statistic reorders or rewrites the
+// table.
+func TestCmdTuneGolden(t *testing.T) {
+	out := runCmd(t, "tune", "", "-budget", "4", "-reps", "2", "-txns", "3000", "-seed", "7", "-top", "5")
+	assertGolden(t, "tune", out)
+}
+
+// TestCmdFiguresGolden pins figure 16 in quick mode on a pinned seed:
+// the stdout table (with the elapsed-time token normalized) and the
+// exact bytes of the CSV artifact.
+func TestCmdFiguresGolden(t *testing.T) {
+	dir := t.TempDir()
+	out := runCmd(t, "figures", "", "-fig", "16", "-quick", "-seed", "3", "-out", dir)
+	assertGolden(t, "figures_fig16", elapsedRE.ReplaceAllString(out, "in Xs)"))
+	csv, err := os.ReadFile(filepath.Join(dir, "fig16.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGolden(t, "figures_fig16_csv", string(csv))
 }

@@ -1,0 +1,183 @@
+package conformance
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"rejuv/internal/stats"
+)
+
+// Engine is the parallel replication engine: it fans independent
+// replication bodies out over a worker pool and folds their results
+// back strictly in replication order. Because the fold order is fixed,
+// pooled floating-point statistics (Welford merges, appended sample
+// vectors) are bit-identical for any worker count — determinism is a
+// property of the engine, not of GOMAXPROCS.
+//
+// The zero value is ready to use: it runs on up to GOMAXPROCS workers
+// with the default early-stop batch size.
+type Engine struct {
+	// Workers caps the worker pool; zero or negative means GOMAXPROCS.
+	Workers int
+	// Batch is the early-stop granularity of Collect: the stopping rule
+	// is consulted only at multiples of Batch replications, so the
+	// replication count a run settles on is a pure function of the
+	// bodies' results — never of scheduling. Zero means DefaultBatch.
+	Batch int
+}
+
+// DefaultBatch is the early-stop granularity used when Engine.Batch is
+// zero. It is a fixed constant on purpose: deriving it from the worker
+// count would make the replication count machine-dependent.
+const DefaultBatch = 8
+
+// workers returns the effective worker-pool size.
+func (e Engine) workers() int {
+	if e.Workers > 0 {
+		return e.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// batch returns the effective early-stop granularity.
+func (e Engine) batch() int {
+	if e.Batch > 0 {
+		return e.Batch
+	}
+	return DefaultBatch
+}
+
+// Run executes body for every replication index in [0, reps) on the
+// engine's worker pool and calls fold exactly once per replication, in
+// ascending replication order, on the calling goroutine. The first
+// error — from body or fold, in replication order — stops the run and
+// is returned wrapped with its replication index. Bodies must be
+// independent: they may not share mutable state, and any randomness
+// must come from per-replication seeds derived from the index.
+func Run[T any](e Engine, reps int, body func(rep int) (T, error), fold func(rep int, v T) error) error {
+	if reps <= 0 {
+		return nil
+	}
+	w := e.workers()
+	if w > reps {
+		w = reps
+	}
+	if w == 1 {
+		// Sequential fast path: identical semantics, no goroutines.
+		for rep := 0; rep < reps; rep++ {
+			v, err := body(rep)
+			if err != nil {
+				return fmt.Errorf("conformance: replication %d: %w", rep, err)
+			}
+			if err := fold(rep, v); err != nil {
+				return fmt.Errorf("conformance: folding replication %d: %w", rep, err)
+			}
+		}
+		return nil
+	}
+
+	type cell struct {
+		v   T
+		err error
+	}
+	// One buffered channel per replication: workers never block on
+	// delivery, and the caller receives strictly in index order.
+	results := make([]chan cell, reps)
+	for i := range results {
+		results[i] = make(chan cell, 1)
+	}
+	jobs := make(chan int)
+	var abort atomic.Bool
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := range jobs {
+				if abort.Load() {
+					results[rep] <- cell{err: fmt.Errorf("aborted")}
+					continue
+				}
+				v, err := body(rep)
+				results[rep] <- cell{v: v, err: err}
+			}
+		}()
+	}
+	go func() {
+		for rep := 0; rep < reps; rep++ {
+			jobs <- rep
+		}
+		close(jobs)
+	}()
+	// On early return the abort flag turns the remaining bodies into
+	// no-ops; result cells are buffered, so workers and the feeder
+	// always run to completion without blocking.
+	defer func() {
+		abort.Store(true)
+		wg.Wait()
+	}()
+
+	for rep := 0; rep < reps; rep++ {
+		c := <-results[rep]
+		if c.err != nil {
+			return fmt.Errorf("conformance: replication %d: %w", rep, c.err)
+		}
+		if err := fold(rep, c.v); err != nil {
+			return fmt.Errorf("conformance: folding replication %d: %w", rep, err)
+		}
+	}
+	return nil
+}
+
+// Pool accumulates per-replication samples into one pooled estimate.
+type Pool struct {
+	// Values holds every collected sample value in replication order.
+	Values []float64
+	// Moments is the streaming pooled mean/variance over Values.
+	Moments stats.Welford
+	// Reps counts the replications folded in.
+	Reps int
+}
+
+// add folds one replication's values into the pool.
+func (p *Pool) add(vs []float64) {
+	p.Values = append(p.Values, vs...)
+	for _, v := range vs {
+		p.Moments.Add(v)
+	}
+	p.Reps++
+}
+
+// Collect runs up to maxReps replications of body on the engine,
+// pooling their sample vectors in replication order, and consults the
+// early-stop predicate at fixed Batch boundaries: after each complete
+// batch, enough is called with the pool so far and collection stops as
+// soon as it returns true. Because batches have a fixed size and the
+// fold order is fixed, the set of replications a run consumes depends
+// only on the bodies' outputs — two machines with different core
+// counts collect identical pools.
+func (e Engine) Collect(maxReps int, body func(rep int) ([]float64, error), enough func(*Pool) bool) (*Pool, error) {
+	pool := &Pool{}
+	if maxReps <= 0 {
+		return pool, nil
+	}
+	b := e.batch()
+	for start := 0; start < maxReps; start += b {
+		n := b
+		if start+n > maxReps {
+			n = maxReps - start
+		}
+		err := Run(e, n,
+			func(rep int) ([]float64, error) { return body(start + rep) },
+			func(_ int, vs []float64) error { pool.add(vs); return nil })
+		if err != nil {
+			return nil, err
+		}
+		if enough != nil && enough(pool) {
+			break
+		}
+	}
+	return pool, nil
+}

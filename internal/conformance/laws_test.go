@@ -1,0 +1,272 @@
+package conformance
+
+import (
+	"math"
+	"testing"
+
+	"rejuv/internal/core"
+	"rejuv/internal/stats"
+	"rejuv/internal/xrand"
+)
+
+// Metamorphic laws: transformation properties every detector family
+// must satisfy, each verified on pinned traces and — through
+// RunJournaled — doubling as a flight-recorder replay determinism
+// proof. The laws compare discrete decision fields (Triggered,
+// Evaluated, Level, Fill); float fields may differ in the last ulp
+// across algebraically equal computations.
+
+// lawBase is the paper's healthy baseline (mean 5 s, stddev 5 s).
+var lawBase = core.Baseline{Mean: 5, StdDev: 5}
+
+// mustIdentical asserts a replay determinism proof.
+func mustIdentical(t *testing.T, name string, rep interface{ Identical() bool }) {
+	t.Helper()
+	if !rep.Identical() {
+		t.Fatalf("%s: journal replay diverged", name)
+	}
+}
+
+// lawSeeds returns the pinned seed matrix, reduced under -short.
+func lawSeeds() []uint64 {
+	if testing.Short() {
+		return []uint64{11}
+	}
+	return []uint64{11, 12, 13}
+}
+
+// TestLawScaleInvariance: affine-transforming observations and baseline
+// together (x -> a*x + b, a > 0) must leave the discrete decision
+// stream unchanged for every family — detectors are scale-free in the
+// units of the metric. Both runs are journaled and replay-verified.
+func TestLawScaleInvariance(t *testing.T) {
+	transforms := [][2]float64{{1000, 250}, {0.001, -3}}
+	for _, fam := range Families(lawBase) {
+		t.Run(fam.Name, func(t *testing.T) {
+			for _, seed := range lawSeeds() {
+				trace := RampTrace(seed, 900, 150, 0.02, lawBase)
+				ref, rep, err := RunJournaled(fam.Name, fam.New, trace)
+				if err != nil {
+					t.Fatal(err)
+				}
+				mustIdentical(t, fam.Name, rep)
+				if FirstTrigger(ref) < 0 {
+					t.Fatalf("seed %d: reference run never triggered; law is vacuous", seed)
+				}
+				for _, ab := range transforms {
+					a, b := ab[0], ab[1]
+					scaled, rep, err := RunJournaled(fam.Name, fam.Scaled(a, b), Affine(trace, a, b))
+					if err != nil {
+						t.Fatal(err)
+					}
+					mustIdentical(t, fam.Name, rep)
+					if i, same := SameDecisions(ref, scaled, false); !same {
+						t.Fatalf("seed %d transform (%v,%v): decision streams diverge at observation %d: %+v vs %+v",
+							seed, a, b, i, ref[i], scaled[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// evaluationBlocks returns the half-open index ranges [start, end] of
+// observations consumed by each evaluated sample, read off a decision
+// stream: a block ends at each Evaluated decision and the next block
+// starts right after it.
+func evaluationBlocks(ds []core.Decision) [][2]int {
+	var blocks [][2]int
+	start := 0
+	for i, d := range ds {
+		if d.Evaluated {
+			blocks = append(blocks, [2]int{start, i + 1})
+			start = i + 1
+		}
+	}
+	return blocks
+}
+
+// TestLawPermutationInvariance: for sample-window detectors (SRAA,
+// SARAA, CLTA), shuffling observations inside one evaluation window
+// leaves the discrete decision stream unchanged — the window mean is
+// permutation-symmetric, and no state updates happen mid-window.
+func TestLawPermutationInvariance(t *testing.T) {
+	for _, fam := range Families(lawBase) {
+		if fam.Windowed < 2 || fam.Stateful {
+			continue // per-observation or cross-window detectors are out of scope
+		}
+		t.Run(fam.Name, func(t *testing.T) {
+			for _, seed := range lawSeeds() {
+				trace := RampTrace(seed, 600, 150, 0.01, lawBase)
+				ref, rep, err := RunJournaled(fam.Name, fam.New, trace)
+				if err != nil {
+					t.Fatal(err)
+				}
+				mustIdentical(t, fam.Name, rep)
+				blocks := evaluationBlocks(ref)
+				if len(blocks) == 0 {
+					t.Fatalf("seed %d: no evaluated samples; law is vacuous", seed)
+				}
+				// Shuffle inside every window with a pinned permutation
+				// stream, then rerun.
+				r := xrand.NewStream(seed, 4242)
+				permuted := append([]float64(nil), trace...)
+				for _, blk := range blocks {
+					n := blk[1] - blk[0]
+					if n < 2 {
+						continue
+					}
+					p := r.Perm(n)
+					for i, j := range p {
+						permuted[blk[0]+i] = trace[blk[0]+j]
+					}
+				}
+				got, rep, err := RunJournaled(fam.Name, fam.New, permuted)
+				if err != nil {
+					t.Fatal(err)
+				}
+				mustIdentical(t, fam.Name, rep)
+				if i, same := SameDecisions(ref, got, false); !same {
+					t.Fatalf("seed %d: decision streams diverge at observation %d after in-window permutation: %+v vs %+v",
+						seed, i, ref[i], got[i])
+				}
+				// Sample means agree up to floating-point reassociation.
+				for i := range ref {
+					if ref[i].Evaluated && math.Abs(ref[i].SampleMean-got[i].SampleMean) > 1e-9*(1+math.Abs(ref[i].SampleMean)) {
+						t.Fatalf("seed %d: sample mean at %d moved from %v to %v under permutation",
+							seed, i, ref[i].SampleMean, got[i].SampleMean)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestLawMonotoneSensitivity: a pointwise-worse trace (every
+// observation at least as large) must not trigger later than the
+// original, for every family. The degradation bump starts well past
+// the adaptive warmup so learned baselines coincide.
+func TestLawMonotoneSensitivity(t *testing.T) {
+	const onset = 200
+	for _, fam := range Families(lawBase) {
+		t.Run(fam.Name, func(t *testing.T) {
+			for _, seed := range lawSeeds() {
+				trace := RampTrace(seed, 900, onset, 0.008, lawBase)
+				worse := append([]float64(nil), trace...)
+				for i := onset; i < len(worse); i++ {
+					worse[i] += 1.5 * lawBase.StdDev
+				}
+				ref, rep, err := RunJournaled(fam.Name, fam.New, trace)
+				if err != nil {
+					t.Fatal(err)
+				}
+				mustIdentical(t, fam.Name, rep)
+				got, rep, err := RunJournaled(fam.Name, fam.New, worse)
+				if err != nil {
+					t.Fatal(err)
+				}
+				mustIdentical(t, fam.Name, rep)
+				iRef, iWorse := FirstTrigger(ref), FirstTrigger(got)
+				if iWorse < 0 {
+					t.Fatalf("seed %d: pointwise-worse trace never triggered", seed)
+				}
+				if iRef >= 0 && iWorse > iRef {
+					t.Fatalf("seed %d: worse trace triggered at %d, original already at %d", seed, iWorse, iRef)
+				}
+			}
+		})
+	}
+}
+
+// TestLawSARAAAccelerates: with identical bucket geometry and initial
+// sample size, SARAA must trigger no later (in observations) than SRAA
+// on degrading traces — shrinking samples and lowered per-level targets
+// are an acceleration, the core claim behind the paper's Tables 2-4.
+func TestLawSARAAAccelerates(t *testing.T) {
+	newSRAA := func() (core.Detector, error) {
+		return core.NewSRAA(core.SRAAConfig{SampleSize: 6, Buckets: 5, Depth: 3, Baseline: lawBase})
+	}
+	newSARAA := func() (core.Detector, error) {
+		return core.NewSARAA(core.SARAAConfig{InitialSampleSize: 6, Buckets: 5, Depth: 3, Baseline: lawBase})
+	}
+	for _, slope := range []float64{0.002, 0.005, 0.01, 0.02} {
+		for _, seed := range lawSeeds() {
+			n := 2000 + int(3/slope)
+			trace := RampTrace(seed, n, 100, slope, lawBase)
+			sraa, rep, err := RunJournaled("SRAA", newSRAA, trace)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mustIdentical(t, "SRAA", rep)
+			saraa, rep, err := RunJournaled("SARAA", newSARAA, trace)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mustIdentical(t, "SARAA", rep)
+			iSRAA, iSARAA := FirstTrigger(sraa), FirstTrigger(saraa)
+			if iSARAA < 0 {
+				t.Fatalf("slope %v seed %d: SARAA never triggered", slope, seed)
+			}
+			if iSRAA >= 0 && iSARAA > iSRAA {
+				t.Errorf("slope %v seed %d: SARAA triggered at %d, after SRAA at %d", slope, seed, iSARAA, iSRAA)
+			}
+		}
+	}
+}
+
+// TestLawCLTAQuantile pins CLTA's quantile arithmetic three ways: the
+// target formula mu + N*sigma/sqrt(n) against an independent
+// computation, the nominal false-alarm probability against 1 - Phi(N),
+// and the empirical per-sample trigger rate on healthy normal traffic
+// against its binomial confidence band at the suite's Bonferroni-
+// corrected level (exact, because the mean of n exact normals is
+// exactly normal).
+func TestLawCLTAQuantile(t *testing.T) {
+	const n = 10
+	q := stats.StdNormQuantile(0.975)
+	det, err := core.NewCLTA(core.CLTAConfig{SampleSize: n, Quantile: q, Baseline: lawBase})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTarget := lawBase.Mean + q*lawBase.StdDev/math.Sqrt(n)
+	if math.Abs(det.Target()-wantTarget) > 1e-12 {
+		t.Fatalf("CLTA target %v, want %v", det.Target(), wantTarget)
+	}
+	wantFA := 1 - stats.NormCDF(q, 0, 1)
+	if math.Abs(det.FalseAlarmProbability()-wantFA) > 1e-12 {
+		t.Fatalf("CLTA false-alarm probability %v, want 1-Phi(N) = %v", det.FalseAlarmProbability(), wantFA)
+	}
+
+	samples := 5_000
+	if testing.Short() {
+		samples = 1_500
+	}
+	trace := SteadyTrace(31, samples*n, lawBase)
+	ds, rep, err := RunJournaled("CLTA", func() (core.Detector, error) {
+		return core.NewCLTA(core.CLTAConfig{SampleSize: n, Quantile: q, Baseline: lawBase})
+	}, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustIdentical(t, "CLTA", rep)
+	evals, trigs := 0, 0
+	for _, d := range ds {
+		if d.Evaluated {
+			evals++
+		}
+		if d.Triggered {
+			trigs++
+		}
+	}
+	if evals != samples {
+		t.Fatalf("evaluated %d samples, want %d", evals, samples)
+	}
+	alpha := mustAlpha(t)
+	z := stats.StdNormQuantile(1 - alpha/2)
+	rate := float64(trigs) / float64(evals)
+	band := z * math.Sqrt(wantFA*(1-wantFA)/float64(evals))
+	t.Logf("CLTA empirical false-alarm rate %.4f vs nominal %.4f ± %.4f (%d/%d, alpha=%.2e)", rate, wantFA, band, trigs, evals, alpha)
+	if math.Abs(rate-wantFA) > band {
+		t.Fatalf("CLTA empirical false-alarm rate %v outside %v ± %v (%d/%d)", rate, wantFA, band, trigs, evals)
+	}
+}

@@ -1,0 +1,69 @@
+package conformance
+
+import (
+	"rejuv/internal/core"
+	"rejuv/internal/xrand"
+)
+
+// Synthetic observation traces for the metamorphic laws. All traces are
+// normal because the laws are about detector mechanics, not about the
+// response-time law — the oracles own distributional fidelity. Every
+// trace is a pure function of its seed.
+
+// traceStream is the xrand stream id reserved for law traces, distinct
+// from the simulation streams the oracles use.
+const traceStream = 7001
+
+// SteadyTrace returns n observations of healthy behaviour:
+// iid N(base.Mean, base.StdDev) draws from the pinned seed.
+func SteadyTrace(seed uint64, n int, base core.Baseline) []float64 {
+	r := xrand.NewStream(seed, traceStream)
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = base.Mean + base.StdDev*r.Norm()
+	}
+	return xs
+}
+
+// RampTrace returns n observations whose mean degrades linearly after
+// the onset index: observation i > onset has mean
+// base.Mean + slope*(i-onset)*base.StdDev. This is the gradual-aging
+// shape behind the paper's Tables 2-4, with slope controlling how many
+// observations one extra baseline standard deviation takes.
+func RampTrace(seed uint64, n, onset int, slope float64, base core.Baseline) []float64 {
+	r := xrand.NewStream(seed, traceStream)
+	xs := make([]float64, n)
+	for i := range xs {
+		mean := base.Mean
+		if i > onset {
+			mean += slope * float64(i-onset) * base.StdDev
+		}
+		xs[i] = mean + base.StdDev*r.Norm()
+	}
+	return xs
+}
+
+// StepTrace returns n observations whose mean jumps by
+// shift*base.StdDev at the onset index and stays there — the abrupt
+// degradation shape.
+func StepTrace(seed uint64, n, onset int, shift float64, base core.Baseline) []float64 {
+	r := xrand.NewStream(seed, traceStream)
+	xs := make([]float64, n)
+	for i := range xs {
+		mean := base.Mean
+		if i >= onset {
+			mean += shift * base.StdDev
+		}
+		xs[i] = mean + base.StdDev*r.Norm()
+	}
+	return xs
+}
+
+// Affine returns the trace mapped through x -> a*x + b.
+func Affine(xs []float64, a, b float64) []float64 {
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = a*x + b
+	}
+	return ys
+}

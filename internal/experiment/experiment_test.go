@@ -163,21 +163,37 @@ func TestRunSweepShape(t *testing.T) {
 }
 
 func TestRunSweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	// The conformance engine folds replication results in cell order,
+	// so every aggregated field — including the order-sensitive pooled
+	// Welford moments RTStdDev and AvgRTStdErr — must be bit-identical
+	// for any worker count.
+	pointBits := func(p Point) [6]uint64 {
+		return [6]uint64{
+			math.Float64bits(p.AvgRT),
+			math.Float64bits(p.RTStdDev),
+			math.Float64bits(p.AvgRTStdErr),
+			math.Float64bits(p.LossFraction),
+			math.Float64bits(p.Rejuvenations),
+			math.Float64bits(p.GCs),
+		}
+	}
 	cfg := quickSweep()
 	cfg.Workers = 1
-	a, err := RunSweep(cfg, sraaSpec(2, 5, 3))
+	ref, err := RunSweep(cfg, sraaSpec(2, 5, 3))
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg.Workers = 4
-	b, err := RunSweep(cfg, sraaSpec(2, 5, 3))
-	if err != nil {
-		t.Fatal(err)
-	}
-	for i := range a.Points {
-		if a.Points[i].AvgRT != b.Points[i].AvgRT || a.Points[i].LossFraction != b.Points[i].LossFraction {
-			t.Fatalf("point %d differs across worker counts: %+v vs %+v",
-				i, a.Points[i], b.Points[i])
+	for _, workers := range []int{3, 7} {
+		cfg.Workers = workers
+		got, err := RunSweep(cfg, sraaSpec(2, 5, 3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ref.Points {
+			if pointBits(got.Points[i]) != pointBits(ref.Points[i]) {
+				t.Fatalf("workers=%d: point %d differs bitwise from workers=1: %+v vs %+v",
+					workers, i, got.Points[i], ref.Points[i])
+			}
 		}
 	}
 }

@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"sync"
 
+	"rejuv/internal/conformance"
 	"rejuv/internal/ecommerce"
 	"rejuv/internal/num"
 	"rejuv/internal/stats"
@@ -88,17 +88,12 @@ type Series struct {
 	Points []Point
 }
 
-// repOutcome carries one replication's result to the aggregator.
-type repOutcome struct {
-	loadIdx int
-	res     ecommerce.Result
-	err     error
-}
-
 // RunSweep runs the spec over the load axis and returns the aggregated
-// series. Replications run concurrently up to cfg.Workers; results are
-// deterministic regardless of scheduling because every replication has
-// its own random stream.
+// series. Replications run concurrently up to cfg.Workers on the
+// conformance replication engine; results are bit-for-bit deterministic
+// regardless of worker count because every replication has its own
+// random stream and the engine folds results in cell order (pooled
+// floating-point moments are sensitive to merge order).
 func RunSweep(cfg SweepConfig, spec Spec) (Series, error) {
 	cfg = cfg.defaulted()
 	mu := cfg.Model.ServiceRate
@@ -106,47 +101,22 @@ func RunSweep(cfg SweepConfig, spec Spec) (Series, error) {
 		mu = 0.2
 	}
 
-	type task struct {
-		loadIdx int
-		rep     int
-	}
-	tasks := make(chan task)
-	outcomes := make(chan repOutcome)
-	var wg sync.WaitGroup
-	for w := 0; w < cfg.Workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for t := range tasks {
-				res, err := runReplication(cfg, spec, mu, t.loadIdx, t.rep)
-				outcomes <- repOutcome{loadIdx: t.loadIdx, res: res, err: err}
-			}
-		}()
-	}
-	go func() {
-		for li := range cfg.Loads {
-			for rep := 0; rep < cfg.Replications; rep++ {
-				tasks <- task{loadIdx: li, rep: rep}
-			}
-		}
-		close(tasks)
-		wg.Wait()
-		close(outcomes)
-	}()
-
+	// The flattened (load, replication) grid runs on the conformance
+	// replication engine: bodies execute concurrently, but results fold
+	// back in cell order, so the pooled Welford moments of every point
+	// are bit-identical for any worker count.
 	agg := make([]pointAgg, len(cfg.Loads))
-	var firstErr error
-	for o := range outcomes {
-		if o.err != nil {
-			if firstErr == nil {
-				firstErr = o.err
-			}
-			continue
-		}
-		agg[o.loadIdx].add(o.res)
-	}
-	if firstErr != nil {
-		return Series{}, firstErr
+	cells := len(cfg.Loads) * cfg.Replications
+	err := conformance.Run(conformance.Engine{Workers: cfg.Workers}, cells,
+		func(cell int) (ecommerce.Result, error) {
+			return runReplication(cfg, spec, mu, cell/cfg.Replications, cell%cfg.Replications)
+		},
+		func(cell int, res ecommerce.Result) error {
+			agg[cell/cfg.Replications].add(res)
+			return nil
+		})
+	if err != nil {
+		return Series{}, err
 	}
 
 	series := Series{Spec: spec, Points: make([]Point, len(cfg.Loads))}

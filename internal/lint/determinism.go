@@ -19,6 +19,7 @@ var deterministicScopes = []string{
 	"internal/stats",
 	"internal/ctmc",
 	"internal/journal",
+	"internal/conformance",
 }
 
 // bannedImports are entropy or wall-clock sources that must never be

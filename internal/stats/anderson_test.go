@@ -1,0 +1,166 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// pettittA2 is the classic tie-free two-sample formula
+// A² = 1/(mn) Σ_{i=1}^{N-1} (M_i·N - m·i)²/(i·(N-i)), where M_i counts
+// how many of the first sample fall among the i smallest pooled values.
+// The production ADTwoSampleStatistic must agree exactly with it
+// whenever the pooled sample has no ties.
+func pettittA2(xs, ys []float64) float64 {
+	m, n := len(xs), len(ys)
+	N := m + n
+	type tag struct {
+		v     float64
+		first bool
+	}
+	pooled := make([]tag, 0, N)
+	for _, x := range xs {
+		pooled = append(pooled, tag{x, true})
+	}
+	for _, y := range ys {
+		pooled = append(pooled, tag{y, false})
+	}
+	for i := 1; i < N; i++ {
+		for j := i; j > 0 && pooled[j].v < pooled[j-1].v; j-- {
+			pooled[j], pooled[j-1] = pooled[j-1], pooled[j]
+		}
+	}
+	sum := 0.0
+	Mi := 0
+	for i := 1; i < N; i++ {
+		if pooled[i-1].first {
+			Mi++
+		}
+		d := float64(Mi*N - m*i)
+		sum += d * d / float64(i*(N-i))
+	}
+	return sum / float64(m*n)
+}
+
+func TestADMatchesPettittOnTieFreeData(t *testing.T) {
+	rng := rand.New(rand.NewSource(57))
+	for trial := 0; trial < 20; trial++ {
+		m, n := 3+rng.Intn(40), 3+rng.Intn(40)
+		xs := make([]float64, m)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		for i := range ys {
+			ys[i] = rng.NormFloat64() + rng.Float64()
+		}
+		got, err := ADTwoSampleStatistic(xs, ys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := pettittA2(xs, ys)
+		if math.Abs(got-want) > 1e-10*(1+want) {
+			t.Fatalf("trial %d: discrete form %v, Pettitt form %v", trial, got, want)
+		}
+	}
+}
+
+func TestADIdenticalSamplesScoreZero(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	ys := []float64{9, 5, 1, 4, 1, 2, 6, 3}
+	a2, err := ADTwoSampleStatistic(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a2) > 1e-12 {
+		t.Fatalf("identical multisets scored A² = %v, want 0", a2)
+	}
+}
+
+func TestADTiesStayFinite(t *testing.T) {
+	xs := []float64{1, 1, 1, 2, 2, 3}
+	ys := []float64{1, 2, 2, 2, 3, 3}
+	a2, err := ADTwoSampleStatistic(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(a2) || math.IsInf(a2, 0) || a2 < 0 {
+		t.Fatalf("tied samples scored A² = %v", a2)
+	}
+}
+
+// The asymptotic limit law puts its 95th percentile at 2.492, its 99th
+// at 3.857, and its median near 0.7785 (Anderson & Darling 1952;
+// Marsaglia & Marsaglia 2004).
+func TestADPValueKnownQuantiles(t *testing.T) {
+	cases := []struct {
+		a2, want, tol float64
+	}{
+		{2.492, 0.05, 2e-3},
+		{3.857, 0.01, 1e-3},
+		{0.7785, 0.50, 5e-3},
+		{1.248, 0.25, 1e-2},
+	}
+	for _, c := range cases {
+		p, err := ADPValue(c.a2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(p-c.want) > c.tol {
+			t.Errorf("ADPValue(%v) = %v, want %v ± %v", c.a2, p, c.want, c.tol)
+		}
+	}
+	if p, _ := ADPValue(0); p != 1 {
+		t.Errorf("ADPValue(0) = %v, want 1", p)
+	}
+	if p, _ := ADPValue(50); p < 0 || p > 1e-9 {
+		t.Errorf("ADPValue(50) = %v, want ~0", p)
+	}
+	if _, err := ADPValue(math.NaN()); err == nil {
+		t.Error("NaN statistic accepted")
+	}
+}
+
+func TestADTestAcceptsSameRejectsShifted(t *testing.T) {
+	rng := rand.New(rand.NewSource(271))
+	xs := make([]float64, 3_000)
+	ys := make([]float64, 3_000)
+	zs := make([]float64, 3_000)
+	for i := range xs {
+		xs[i] = rng.ExpFloat64()
+		ys[i] = rng.ExpFloat64()
+		zs[i] = rng.ExpFloat64() + 0.15
+	}
+	_, p, ok, err := ADTwoSampleTest(xs, ys, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("same-law samples rejected (p=%v)", p)
+	}
+	_, p, ok, err = ADTwoSampleTest(xs, zs, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatalf("shifted samples accepted (p=%v)", p)
+	}
+}
+
+func TestADErrors(t *testing.T) {
+	if _, err := ADTwoSampleStatistic(nil, []float64{1}); err == nil {
+		t.Error("empty first sample accepted")
+	}
+	if _, err := ADTwoSampleStatistic([]float64{1}, nil); err == nil {
+		t.Error("empty second sample accepted")
+	}
+	if _, err := ADTwoSampleStatistic([]float64{math.NaN()}, []float64{1}); err == nil {
+		t.Error("NaN accepted")
+	}
+	if _, err := ADTwoSampleStatistic([]float64{1}, []float64{math.Inf(1)}); err == nil {
+		t.Error("Inf accepted")
+	}
+	if _, _, _, err := ADTwoSampleTest([]float64{1}, []float64{2}, 1.5); err == nil {
+		t.Error("alpha outside (0,1) accepted")
+	}
+}

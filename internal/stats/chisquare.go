@@ -1,0 +1,250 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"rejuv/internal/num"
+)
+
+// This file implements the chi-square goodness-of-fit test used by the
+// conformance suite to pin the simulator's empirical response-time
+// distribution against the paper's closed forms. The chi-square CDF is
+// computed from the regularized incomplete gamma function, implemented
+// with the classical series/continued-fraction split (Abramowitz &
+// Stegun 6.5, evaluated as in Numerical Recipes).
+
+// maxGammaIter bounds the series and continued-fraction iterations of
+// the regularized incomplete gamma function; both converge in tens of
+// iterations for every argument the tests produce, so hitting the bound
+// signals an invalid input rather than slow convergence.
+const maxGammaIter = 500
+
+// GammaP returns the regularized lower incomplete gamma function
+// P(a, x) = γ(a, x)/Γ(a) for a > 0, x >= 0. P(a, ·) is the CDF of the
+// Gamma(shape a, scale 1) distribution; the chi-square CDF with k
+// degrees of freedom is P(k/2, x/2).
+func GammaP(a, x float64) (float64, error) {
+	p, _, err := regIncGamma(a, x)
+	return p, err
+}
+
+// GammaQ returns the regularized upper incomplete gamma function
+// Q(a, x) = 1 - P(a, x), computed directly (not as 1-P) when x is in the
+// continued-fraction regime, so small tail probabilities keep relative
+// accuracy.
+func GammaQ(a, x float64) (float64, error) {
+	_, q, err := regIncGamma(a, x)
+	return q, err
+}
+
+// regIncGamma returns both regularized incomplete gamma functions.
+// For x < a+1 the series for P converges fastest; otherwise the
+// continued fraction for Q does. The other half is obtained by
+// complement, which is accurate because the split point keeps the
+// directly computed half away from 1.
+func regIncGamma(a, x float64) (p, q float64, err error) {
+	switch {
+	case math.IsNaN(a) || math.IsNaN(x):
+		return 0, 0, fmt.Errorf("stats: incomplete gamma of NaN argument (a=%v, x=%v)", a, x)
+	case a <= 0 || math.IsInf(a, 0):
+		return 0, 0, fmt.Errorf("stats: incomplete gamma shape %v must be positive and finite", a)
+	case x < 0:
+		return 0, 0, fmt.Errorf("stats: incomplete gamma evaluated at negative x=%v", x)
+	case num.Zero(x):
+		return 0, 1, nil
+	case math.IsInf(x, 1):
+		return 1, 0, nil
+	}
+	if x < a+1 {
+		p, err = gammaPSeries(a, x)
+		return p, 1 - p, err
+	}
+	q, err = gammaQContinuedFraction(a, x)
+	return 1 - q, q, err
+}
+
+// gammaPSeries evaluates P(a, x) by the power series
+// γ(a,x) = e^-x x^a Σ_{n>=0} x^n Γ(a)/Γ(a+1+n), valid (and fast) for
+// x < a+1.
+func gammaPSeries(a, x float64) (float64, error) {
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1 / a
+	del := sum
+	for i := 0; i < maxGammaIter; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*1e-15 {
+			v := sum * math.Exp(-x+a*math.Log(x)-lg)
+			return math.Min(math.Max(v, 0), 1), nil
+		}
+	}
+	return 0, fmt.Errorf("stats: incomplete gamma series did not converge (a=%v, x=%v)", a, x)
+}
+
+// gammaQContinuedFraction evaluates Q(a, x) by the Lentz-style continued
+// fraction Γ(a,x)/Γ(a) = e^-x x^a / (x+1-a - 1(1-a)/(x+3-a - ...)),
+// valid for x >= a+1.
+func gammaQContinuedFraction(a, x float64) (float64, error) {
+	const tiny = 1e-300
+	lg, _ := math.Lgamma(a)
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i <= maxGammaIter; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-15 {
+			v := h * math.Exp(-x+a*math.Log(x)-lg)
+			return math.Min(math.Max(v, 0), 1), nil
+		}
+	}
+	return 0, fmt.Errorf("stats: incomplete gamma continued fraction did not converge (a=%v, x=%v)", a, x)
+}
+
+// ChiSquareCDF returns P(X <= x) for a chi-square random variable with
+// df degrees of freedom.
+func ChiSquareCDF(x float64, df int) (float64, error) {
+	if df <= 0 {
+		return 0, fmt.Errorf("stats: chi-square needs positive degrees of freedom, got %d", df)
+	}
+	if math.IsNaN(x) {
+		return 0, fmt.Errorf("stats: chi-square CDF of NaN")
+	}
+	if x <= 0 {
+		return 0, nil
+	}
+	return GammaP(float64(df)/2, x/2)
+}
+
+// ChiSquareGOF runs the chi-square goodness-of-fit test of observed
+// category counts against expected category probabilities. It returns
+// the statistic Σ (O_i - E_i)²/E_i with E_i = n·probs[i], the degrees
+// of freedom k-1, and the upper-tail p-value. Every expected
+// probability must be positive and the probabilities must sum to one;
+// callers bin continuous samples with ChiSquareBinned.
+func ChiSquareGOF(obs []int64, probs []float64) (stat float64, df int, p float64, err error) {
+	k := len(obs)
+	if k < 2 {
+		return 0, 0, 0, fmt.Errorf("stats: chi-square needs at least 2 categories, got %d", k)
+	}
+	if len(probs) != k {
+		return 0, 0, 0, fmt.Errorf("stats: %d observed categories but %d expected probabilities", k, len(probs))
+	}
+	var n int64
+	for i, o := range obs {
+		if o < 0 {
+			return 0, 0, 0, fmt.Errorf("stats: negative count %d in category %d", o, i)
+		}
+		n += o
+	}
+	if n == 0 {
+		return 0, 0, 0, fmt.Errorf("stats: chi-square of an empty sample")
+	}
+	sum := 0.0
+	for i, pr := range probs {
+		if !(pr > 0) || math.IsInf(pr, 0) {
+			return 0, 0, 0, fmt.Errorf("stats: expected probability %v in category %d must be positive and finite", pr, i)
+		}
+		sum += pr
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		return 0, 0, 0, fmt.Errorf("stats: expected probabilities sum to %v, want 1", sum)
+	}
+	for i, o := range obs {
+		e := float64(n) * probs[i]
+		d := float64(o) - e
+		stat += d * d / e
+	}
+	df = k - 1
+	p, err = GammaQ(float64(df)/2, stat/2)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return stat, df, p, nil
+}
+
+// BinCounts counts how many values fall into each of the len(edges)+1
+// cells defined by the strictly increasing edges: (-inf, edges[0]],
+// (edges[0], edges[1]], ..., (edges[last], +inf). It errors on NaN
+// values or non-increasing edges.
+func BinCounts(xs, edges []float64) ([]int64, error) {
+	if len(edges) == 0 {
+		return nil, fmt.Errorf("stats: binning needs at least one edge")
+	}
+	for i, e := range edges {
+		if math.IsNaN(e) {
+			return nil, fmt.Errorf("stats: bin edge %d is NaN", i)
+		}
+		if i > 0 && e <= edges[i-1] {
+			return nil, fmt.Errorf("stats: bin edges must be strictly increasing, got %v after %v", e, edges[i-1])
+		}
+	}
+	counts := make([]int64, len(edges)+1)
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			return nil, fmt.Errorf("stats: binning a NaN observation")
+		}
+		// First edge >= x: sort.SearchFloat64s finds insertion point for
+		// x among the edges, which is exactly the cell index for the
+		// (lo, hi] convention when we skip equal edges.
+		i := sort.SearchFloat64s(edges, x)
+		// SearchFloat64s returns the first index with edges[i] >= x; x
+		// equal to an edge belongs to the cell below it.
+		counts[i]++
+	}
+	return counts, nil
+}
+
+// ChiSquareBinned bins the sample at the given edges, derives the
+// expected cell probabilities from the reference CDF, and runs the
+// chi-square goodness-of-fit test. The CDF must be a proper
+// distribution function: non-decreasing across the edges with every
+// cell receiving positive mass.
+func ChiSquareBinned(xs, edges []float64, cdf func(float64) float64) (stat float64, df int, p float64, err error) {
+	obs, err := BinCounts(xs, edges)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	probs := make([]float64, len(edges)+1)
+	prev := 0.0
+	for i, e := range edges {
+		f := cdf(e)
+		if math.IsNaN(f) || f < 0 || f > 1 || f < prev {
+			return 0, 0, 0, fmt.Errorf("stats: reference CDF returned %v at edge %v (previous %v)", f, e, prev)
+		}
+		probs[i] = f - prev
+		prev = f
+	}
+	probs[len(edges)] = 1 - prev
+	return ChiSquareGOF(obs, probs)
+}
+
+// ChiSquareTest runs the binned goodness-of-fit test and reports whether
+// the sample is consistent with the reference CDF at significance level
+// alpha: ok is false when the fit is rejected.
+func ChiSquareTest(xs, edges []float64, cdf func(float64) float64, alpha float64) (stat, p float64, ok bool, err error) {
+	if alpha <= 0 || alpha >= 1 {
+		return 0, 0, false, fmt.Errorf("stats: significance level %v outside (0,1)", alpha)
+	}
+	stat, _, p, err = ChiSquareBinned(xs, edges, cdf)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	return stat, p, p >= alpha, nil
+}

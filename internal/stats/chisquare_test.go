@@ -1,0 +1,183 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Known chi-square quantiles: P(X² <= q) for the tabulated 95th/99th
+// percentile points of standard references.
+func TestChiSquareCDFKnownQuantiles(t *testing.T) {
+	cases := []struct {
+		x    float64
+		df   int
+		want float64
+	}{
+		{3.841459, 1, 0.95},
+		{5.991465, 2, 0.95},
+		{18.307038, 10, 0.95},
+		{6.634897, 1, 0.99},
+		{23.209251, 10, 0.99},
+		{124.342113, 100, 0.95},
+	}
+	for _, c := range cases {
+		got, err := ChiSquareCDF(c.x, c.df)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-c.want) > 1e-6 {
+			t.Errorf("ChiSquareCDF(%v, %d) = %v, want %v", c.x, c.df, got, c.want)
+		}
+	}
+}
+
+// GammaP has closed forms at half-integer and integer shapes:
+// P(1/2, x) = erf(sqrt(x)) and P(1, x) = 1 - e^-x.
+func TestGammaPClosedForms(t *testing.T) {
+	for _, x := range []float64{1e-6, 0.01, 0.3, 1, 2.5, 10, 40} {
+		p, err := GammaP(0.5, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := math.Erf(math.Sqrt(x)); math.Abs(p-want) > 1e-12 {
+			t.Errorf("GammaP(0.5, %v) = %v, want erf(sqrt(x)) = %v", x, p, want)
+		}
+		p, err = GammaP(1, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := 1 - math.Exp(-x); math.Abs(p-want) > 1e-12 {
+			t.Errorf("GammaP(1, %v) = %v, want 1-e^-x = %v", x, p, want)
+		}
+	}
+}
+
+func TestGammaPQComplementAndEdges(t *testing.T) {
+	for _, a := range []float64{0.3, 1, 2.5, 17} {
+		for _, x := range []float64{0.01, 0.9, a, a + 5, 60} {
+			p, err := GammaP(a, x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			q, err := GammaQ(a, x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(p+q-1) > 1e-12 {
+				t.Errorf("P+Q = %v at a=%v x=%v", p+q, a, x)
+			}
+		}
+	}
+	if p, err := GammaP(2, 0); err != nil || p != 0 {
+		t.Errorf("GammaP(2, 0) = %v, %v; want 0, nil", p, err)
+	}
+	if p, err := GammaP(2, math.Inf(1)); err != nil || p != 1 {
+		t.Errorf("GammaP(2, +Inf) = %v, %v; want 1, nil", p, err)
+	}
+	for _, bad := range [][2]float64{{0, 1}, {-1, 1}, {1, -0.5}, {math.NaN(), 1}, {1, math.NaN()}, {math.Inf(1), 1}} {
+		if _, err := GammaP(bad[0], bad[1]); err == nil {
+			t.Errorf("GammaP(%v, %v) accepted", bad[0], bad[1])
+		}
+	}
+}
+
+func TestChiSquareGOFHandComputed(t *testing.T) {
+	// obs = [8, 12] against fair halves: E = 10 each, stat = 2*(2^2)/10
+	// = 0.8, df = 1, p = Q(1/2, 0.4) = erfc(sqrt(0.4)).
+	stat, df, p, err := ChiSquareGOF([]int64{8, 12}, []float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(stat-0.8) > 1e-12 || df != 1 {
+		t.Fatalf("stat = %v df = %d, want 0.8, 1", stat, df)
+	}
+	if want := math.Erfc(math.Sqrt(0.4)); math.Abs(p-want) > 1e-12 {
+		t.Fatalf("p = %v, want erfc(sqrt(0.4)) = %v", p, want)
+	}
+	// A perfect fit has statistic 0 and p-value 1.
+	_, _, p, err = ChiSquareGOF([]int64{25, 25, 50}, []float64{0.25, 0.25, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 1 {
+		t.Fatalf("perfect fit p = %v, want 1", p)
+	}
+}
+
+func TestChiSquareGOFErrors(t *testing.T) {
+	if _, _, _, err := ChiSquareGOF([]int64{5}, []float64{1}); err == nil {
+		t.Error("single category accepted")
+	}
+	if _, _, _, err := ChiSquareGOF([]int64{5, 5}, []float64{0.5}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, _, _, err := ChiSquareGOF([]int64{-1, 5}, []float64{0.5, 0.5}); err == nil {
+		t.Error("negative count accepted")
+	}
+	if _, _, _, err := ChiSquareGOF([]int64{0, 0}, []float64{0.5, 0.5}); err == nil {
+		t.Error("empty sample accepted")
+	}
+	if _, _, _, err := ChiSquareGOF([]int64{5, 5}, []float64{0.5, 0.6}); err == nil {
+		t.Error("probabilities summing past 1 accepted")
+	}
+	if _, _, _, err := ChiSquareGOF([]int64{5, 5}, []float64{0, 1}); err == nil {
+		t.Error("zero expected probability accepted")
+	}
+}
+
+func TestBinCounts(t *testing.T) {
+	counts, err := BinCounts([]float64{-3, 0, 0.5, 1, 1.5, 99}, []float64{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (-inf,0]: -3, 0. (0,1]: 0.5, 1. (1,inf): 1.5, 99.
+	want := []int64{2, 2, 2}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("counts = %v, want %v", counts, want)
+		}
+	}
+	if _, err := BinCounts([]float64{1}, nil); err == nil {
+		t.Error("no edges accepted")
+	}
+	if _, err := BinCounts([]float64{1}, []float64{2, 2}); err == nil {
+		t.Error("non-increasing edges accepted")
+	}
+	if _, err := BinCounts([]float64{math.NaN()}, []float64{0}); err == nil {
+		t.Error("NaN observation accepted")
+	}
+}
+
+// A large N(0,1) sample tested against its own distribution should be
+// accepted; a shifted one should be rejected.
+func TestChiSquareTestPower(t *testing.T) {
+	rng := rand.New(rand.NewSource(421))
+	xs := make([]float64, 8_000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	// 20 equiprobable cells from the standard normal quantiles.
+	edges := make([]float64, 19)
+	for i := range edges {
+		edges[i] = StdNormQuantile(float64(i+1) / 20)
+	}
+	_, p, ok, err := ChiSquareTest(xs, edges, stdNormCDF, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("true distribution rejected (p=%v)", p)
+	}
+	shifted := make([]float64, len(xs))
+	for i, x := range xs {
+		shifted[i] = x + 0.15
+	}
+	_, p, ok, err = ChiSquareTest(shifted, edges, stdNormCDF, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatalf("shifted distribution accepted (p=%v)", p)
+	}
+}

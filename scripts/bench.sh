@@ -7,15 +7,34 @@
 # against the committed BENCH_baseline.json to prove their claims.
 #
 # Usage: scripts/bench.sh [output.json]
+#        scripts/bench.sh -compare BENCH_baseline.json [output.json]
 #   BENCHTIME=1x   iterations per benchmark (go test -benchtime)
 #   BENCH='.'      benchmark filter regexp   (go test -bench)
 #   PKGS='...'     packages to benchmark
+#   THRESHOLD=20   -compare: max tolerated ns/op regression, in percent
+#
+# In -compare mode the suite runs as usual, results land in the output
+# file (default BENCH_current.json so the baseline is never clobbered),
+# and a per-benchmark ns/op delta table against the given baseline is
+# printed. Any benchmark slower than THRESHOLD percent fails the run
+# with exit status 1 — wire it after a perf PR to prove no regression.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_baseline.json}"
+BASELINE=""
+if [ "${1:-}" = "-compare" ]; then
+    BASELINE="${2:?usage: bench.sh -compare BASELINE.json [output.json]}"
+    [ -r "$BASELINE" ] || { echo "bench.sh: baseline $BASELINE not readable" >&2; exit 2; }
+    OUT="${3:-BENCH_current.json}"
+    if [ "$OUT" = "$BASELINE" ]; then
+        echo "bench.sh: refusing to overwrite the baseline $BASELINE" >&2; exit 2
+    fi
+else
+    OUT="${1:-BENCH_baseline.json}"
+fi
 BENCH="${BENCH:-.}"
 BENCHTIME="${BENCHTIME:-1x}"
+THRESHOLD="${THRESHOLD:-20}"
 PKGS="${PKGS:-. ./internal/core ./internal/des ./internal/journal ./internal/metrics ./internal/stats}"
 
 TMP="$(mktemp)"
@@ -52,3 +71,45 @@ END { printf "\n  }\n}\n" }
 ' "$TMP" > "$OUT"
 
 echo "wrote $OUT ($(grep -c 'ns_per_op' "$OUT") benchmarks)"
+
+[ -n "$BASELINE" ] || exit 0
+
+# extract_ns prints "name ns_per_op" pairs from a bench JSON file,
+# sorted by name for join(1).
+extract_ns() {
+    sed -n 's/^    "\([^"]*\)": {"ns_per_op": \([0-9.]*\).*/\1 \2/p' "$1" | sort
+}
+
+BASE_NS="$(mktemp)"; CUR_NS="$(mktemp)"
+trap 'rm -f "$TMP" "$BASE_NS" "$CUR_NS"' EXIT
+extract_ns "$BASELINE" > "$BASE_NS"
+extract_ns "$OUT" > "$CUR_NS"
+
+added=$(join -v2 "$BASE_NS" "$CUR_NS" | awk '{print $1}')
+removed=$(join -v1 "$BASE_NS" "$CUR_NS" | awk '{print $1}')
+[ -z "$added" ] || printf 'new benchmark (no baseline): %s\n' $added
+[ -z "$removed" ] || printf 'benchmark missing from this run: %s\n' $removed
+
+echo
+echo "ns/op deltas vs $BASELINE (threshold ${THRESHOLD}%):"
+join "$BASE_NS" "$CUR_NS" | awk -v thr="$THRESHOLD" '
+BEGIN {
+    printf "%-60s %14s %14s %9s\n", "benchmark", "baseline", "current", "delta%"
+    worst = 0; fails = 0
+}
+{
+    base = $2; cur = $3
+    delta = (base > 0) ? (cur - base) * 100 / base : 0
+    flag = ""
+    if (delta > thr) { flag = "  REGRESSION"; fails++ }
+    if (delta > worst) worst = delta
+    printf "%-60s %14.1f %14.1f %+8.1f%%%s\n", $1, base, cur, delta, flag
+}
+END {
+    printf "\nworst delta: %+.1f%% (threshold %s%%)\n", worst, thr
+    if (fails > 0) {
+        printf "%d benchmark(s) regressed past the threshold\n", fails
+        exit 1
+    }
+}
+'

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # check.sh runs the full verification ladder for this repository:
-# build, go vet, the rejuvlint static-analysis suite, the test suite, a
-# race-detector pass, and a short fuzz smoke of the existing fuzz
-# targets so they are exercised beyond their seed corpora.
+# build, go vet, the rejuvlint static-analysis suite, the test suite
+# (shuffled, to surface test-order dependence), race-detector passes
+# (including the statistical conformance suite), and a short fuzz smoke
+# of the existing fuzz targets so they are exercised beyond their seed
+# corpora.
 #
 # Usage: scripts/check.sh
 #   FUZZTIME=5s scripts/check.sh   # longer fuzz smoke (default 3s/target)
@@ -18,14 +20,17 @@ go vet ./...
 echo "== rejuvlint ./..."
 go run ./cmd/rejuvlint ./...
 
-echo "== go test ./..."
-go test ./...
+echo "== go test -shuffle=on ./..."
+go test -shuffle=on -count=1 ./...
 
 echo "== go test -race -short ./... (short race pass)"
 go test -race -short -count=1 ./...
 
 echo "== go test -race ./internal/metrics . (observability race pass)"
 go test -race -count=1 ./internal/metrics .
+
+echo "== go test -race ./internal/conformance (conformance race pass)"
+go test -race -count=1 ./internal/conformance
 
 echo "== flight-recorder replay determinism (all detectors, 3 seeds)"
 go test -run 'TestReplayDeterminism|TestReplayJournalIdenticalAcrossGOMAXPROCS' -count=1 -v ./internal/journal | grep -E '^(=== RUN|--- (PASS|FAIL)|ok|FAIL)' || {
