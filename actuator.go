@@ -1,0 +1,315 @@
+package rejuv
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"rejuv/internal/xrand"
+)
+
+// This file is the actuation half of the rejuvenation pipeline: the
+// Monitor decides WHEN to rejuvenate, the Actuator makes the restart
+// actually HAPPEN — with a per-attempt timeout, bounded retries under
+// capped exponential backoff with deterministic jitter, and a terminal
+// escalation hook when every attempt fails. A rejuvenation action is an
+// RPC to a process supervisor or orchestrator, and those calls hang,
+// flake and die like any other; an actuator that silently fails turns a
+// performance problem into an outage.
+
+// ActuatorConfig configures an Actuator.
+type ActuatorConfig struct {
+	// Do performs one rejuvenation attempt (restart the worker pool,
+	// kill the pod, flush the cache). Required. It must honour ctx
+	// cancellation: the per-attempt Timeout is delivered through it.
+	Do func(ctx context.Context) error
+	// Timeout bounds each attempt; the attempt's context is cancelled
+	// when it expires and the attempt counts as failed. Zero means no
+	// per-attempt timeout.
+	Timeout time.Duration
+	// MaxAttempts bounds the retry loop per execution. Zero means the
+	// default of 3.
+	MaxAttempts int
+	// Backoff is the delay before the second attempt; each further
+	// retry doubles it, capped at MaxBackoff. Zero means the default of
+	// 1s.
+	Backoff time.Duration
+	// MaxBackoff caps the exponential growth. Zero means the default of
+	// 30s.
+	MaxBackoff time.Duration
+	// Seed seeds the deterministic backoff jitter (half the nominal
+	// delay is kept, the other half is drawn uniformly), so retry storms
+	// decorrelate across replicas yet replay identically under one
+	// seed.
+	Seed uint64
+	// OnGiveUp, when non-nil, runs after the final failed attempt of an
+	// execution — the escalation point: page a human, mark the node
+	// unschedulable. It receives the terminal error.
+	OnGiveUp func(err error)
+	// Now supplies the time; nil means time.Now. Tests inject a fake.
+	Now func() time.Time
+	// Sleep implements the backoff wait; nil means a real timer honoring
+	// ctx. Tests and simulations inject a virtual clock.
+	Sleep func(ctx context.Context, d time.Duration) error
+	// Journal, when non-nil, records the execution timeline: one
+	// act_start per execution, one act_attempt per attempt (with its
+	// outcome and the backoff chosen after it), and act_give_up on
+	// terminal failure — rendered by rejuvtrace as a retry timeline.
+	// The journal writer is not safe for concurrent use: when the
+	// actuator shares a writer with a Monitor, invoke Execute
+	// synchronously from OnTrigger (which runs under the monitor lock),
+	// not via the async Trigger helper.
+	Journal *JournalWriter
+	// Epoch anchors journal timestamps (seconds since Epoch). Zero means
+	// the first execution anchors it — pass the monitor's first
+	// observation time to keep the two timelines aligned.
+	Epoch time.Time
+	// Metrics, when non-nil, registers the actuator series:
+	//
+	//	rejuv_actuator_executions_total  executions started
+	//	rejuv_actuator_attempts_total    individual attempts
+	//	rejuv_actuator_retries_total     failed attempts that were retried
+	//	rejuv_actuator_giveups_total     executions that exhausted retries
+	//	rejuv_actuator_coalesced_total   Trigger calls skipped because an
+	//	                                 execution was already in flight
+	Metrics *Registry
+	// MetricLabels are attached to every actuator series.
+	MetricLabels []Label
+}
+
+// ActuatorStats is a snapshot of actuator counters.
+type ActuatorStats struct {
+	// Executions counts Execute calls (including those via Trigger).
+	Executions uint64
+	// Attempts counts individual Do invocations.
+	Attempts uint64
+	// Retries counts failed attempts that were followed by another.
+	Retries uint64
+	// Successes counts executions that ended in a successful attempt.
+	Successes uint64
+	// GiveUps counts executions that exhausted MaxAttempts.
+	GiveUps uint64
+	// Coalesced counts Trigger calls absorbed by an in-flight execution.
+	Coalesced uint64
+}
+
+// Actuator executes a rejuvenation action with retries, backoff and
+// give-up escalation. Use Trigger as a Monitor's OnTrigger callback for
+// asynchronous, coalescing execution, or call Execute directly for
+// synchronous control.
+type Actuator struct {
+	cfg ActuatorConfig
+	rng *xrand.Rand
+
+	mu       sync.Mutex
+	stats    ActuatorStats
+	inFlight bool
+	epoch    time.Time
+
+	mExecutions *MetricCounter
+	mAttempts   *MetricCounter
+	mRetries    *MetricCounter
+	mGiveUps    *MetricCounter
+	mCoalesced  *MetricCounter
+}
+
+// actuatorJitterStream is the xrand stream id of the backoff jitter.
+const actuatorJitterStream = 0xac7
+
+// NewActuator validates the configuration and returns an actuator.
+func NewActuator(cfg ActuatorConfig) (*Actuator, error) {
+	if cfg.Do == nil {
+		return nil, fmt.Errorf("rejuv: actuator needs a Do action")
+	}
+	if cfg.MaxAttempts < 0 || cfg.Timeout < 0 || cfg.Backoff < 0 || cfg.MaxBackoff < 0 {
+		return nil, fmt.Errorf("rejuv: actuator durations and attempt bounds must be non-negative")
+	}
+	if cfg.MaxAttempts == 0 {
+		cfg.MaxAttempts = 3
+	}
+	if cfg.Backoff == 0 {
+		cfg.Backoff = time.Second
+	}
+	if cfg.MaxBackoff == 0 {
+		cfg.MaxBackoff = 30 * time.Second
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.Sleep == nil {
+		cfg.Sleep = sleepContext
+	}
+	a := &Actuator{
+		cfg:   cfg,
+		rng:   xrand.NewStream(cfg.Seed, actuatorJitterStream),
+		epoch: cfg.Epoch,
+	}
+	if reg := cfg.Metrics; reg != nil {
+		l := cfg.MetricLabels
+		a.mExecutions = reg.Counter("rejuv_actuator_executions_total",
+			"rejuvenation action executions started", l...)
+		a.mAttempts = reg.Counter("rejuv_actuator_attempts_total",
+			"individual rejuvenation action attempts", l...)
+		a.mRetries = reg.Counter("rejuv_actuator_retries_total",
+			"failed attempts that were retried", l...)
+		a.mGiveUps = reg.Counter("rejuv_actuator_giveups_total",
+			"executions that exhausted their attempts", l...)
+		a.mCoalesced = reg.Counter("rejuv_actuator_coalesced_total",
+			"Trigger calls coalesced into an in-flight execution", l...)
+	}
+	return a, nil
+}
+
+// sleepContext is the production backoff wait: a real timer that aborts
+// when ctx is cancelled.
+func sleepContext(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Stats returns a snapshot of the actuator counters.
+func (a *Actuator) Stats() ActuatorStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.stats
+}
+
+// backoffAfter returns the jittered delay to wait after failed attempt
+// n (1-based): half of min(Backoff*2^(n-1), MaxBackoff) plus a uniform
+// draw over the other half, from the actuator's deterministic stream.
+func (a *Actuator) backoffAfter(attempt int) time.Duration {
+	d := a.cfg.Backoff << (attempt - 1)
+	if d > a.cfg.MaxBackoff || d <= 0 { // <= 0 catches shift overflow
+		d = a.cfg.MaxBackoff
+	}
+	half := d / 2
+	return half + time.Duration(a.rng.Float64()*float64(d-half))
+}
+
+// Execute runs one rejuvenation action to completion: up to MaxAttempts
+// attempts, each bounded by Timeout, separated by jittered exponential
+// backoff. It returns nil as soon as an attempt succeeds. When every
+// attempt fails it journals the give-up, invokes OnGiveUp with the
+// terminal error and returns it. A cancelled ctx aborts between
+// attempts and during backoff with ctx's error (no OnGiveUp: the caller
+// chose to stop, the action did not exhaust its chances).
+func (a *Actuator) Execute(ctx context.Context) error {
+	a.mu.Lock()
+	a.stats.Executions++
+	now := a.cfg.Now()
+	if a.epoch.IsZero() {
+		a.epoch = now
+	}
+	if jw := a.cfg.Journal; jw != nil {
+		jw.ActStart(now.Sub(a.epoch).Seconds())
+	}
+	a.mu.Unlock()
+	inc(a.mExecutions)
+
+	var lastErr error
+	for attempt := 1; attempt <= a.cfg.MaxAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		lastErr = a.attempt(ctx)
+		inc(a.mAttempts)
+
+		backoff := time.Duration(0)
+		retrying := lastErr != nil && attempt < a.cfg.MaxAttempts
+		if retrying {
+			backoff = a.backoffAfter(attempt)
+		}
+		a.mu.Lock()
+		a.stats.Attempts++
+		if retrying {
+			a.stats.Retries++
+		}
+		if lastErr == nil {
+			a.stats.Successes++
+		}
+		if jw := a.cfg.Journal; jw != nil {
+			t := a.cfg.Now().Sub(a.epoch).Seconds()
+			errText := ""
+			if lastErr != nil {
+				errText = lastErr.Error()
+			}
+			jw.ActAttempt(t, attempt, lastErr == nil, backoff.Seconds(), errText)
+		}
+		a.mu.Unlock()
+
+		if lastErr == nil {
+			return nil
+		}
+		if retrying {
+			inc(a.mRetries)
+			if err := a.cfg.Sleep(ctx, backoff); err != nil {
+				return err
+			}
+		}
+	}
+
+	err := fmt.Errorf("rejuv: rejuvenation action gave up after %d attempts: %w",
+		a.cfg.MaxAttempts, lastErr)
+	a.mu.Lock()
+	a.stats.GiveUps++
+	if jw := a.cfg.Journal; jw != nil {
+		jw.ActGiveUp(a.cfg.Now().Sub(a.epoch).Seconds(), a.cfg.MaxAttempts, err.Error())
+	}
+	a.mu.Unlock()
+	inc(a.mGiveUps)
+	if a.cfg.OnGiveUp != nil {
+		a.cfg.OnGiveUp(err)
+	}
+	return err
+}
+
+// attempt runs one Do invocation under the per-attempt timeout.
+func (a *Actuator) attempt(ctx context.Context) error {
+	if a.cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, a.cfg.Timeout)
+		defer cancel()
+	}
+	return a.cfg.Do(ctx)
+}
+
+// Trigger starts an asynchronous execution; it is shaped to serve as a
+// MonitorConfig.OnTrigger callback. Triggers arriving while an
+// execution is still in flight are coalesced — the in-flight restart
+// already serves them — and counted in Stats().Coalesced. Do not pair
+// Trigger with a Journal shared with the monitor; the journal writer is
+// not concurrency-safe (give the actuator its own writer instead).
+func (a *Actuator) Trigger(Trigger) {
+	a.mu.Lock()
+	if a.inFlight {
+		a.stats.Coalesced++
+		a.mu.Unlock()
+		inc(a.mCoalesced)
+		return
+	}
+	a.inFlight = true
+	a.mu.Unlock()
+	go func() {
+		defer func() {
+			a.mu.Lock()
+			a.inFlight = false
+			a.mu.Unlock()
+		}()
+		_ = a.Execute(context.Background())
+	}()
+}
+
+// inc bumps an optional metric counter; the actuator's metrics are nil
+// when no Registry was configured.
+func inc(c *MetricCounter) {
+	if c != nil {
+		c.Inc()
+	}
+}

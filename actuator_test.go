@@ -1,0 +1,315 @@
+package rejuv_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rejuv"
+)
+
+// virtualClock is a fake time source whose Sleep advances it, so
+// backoff schedules run instantly and deterministically in tests.
+type virtualClock struct {
+	mu  sync.Mutex
+	now time.Time
+	// slept records every backoff the actuator requested.
+	slept []time.Duration
+}
+
+func (c *virtualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *virtualClock) Sleep(_ context.Context, d time.Duration) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+	c.slept = append(c.slept, d)
+	return nil
+}
+
+func TestActuatorValidation(t *testing.T) {
+	if _, err := rejuv.NewActuator(rejuv.ActuatorConfig{}); err == nil {
+		t.Error("actuator without an action accepted")
+	}
+	if _, err := rejuv.NewActuator(rejuv.ActuatorConfig{
+		Do:      func(context.Context) error { return nil },
+		Backoff: -time.Second,
+	}); err == nil {
+		t.Error("negative backoff accepted")
+	}
+}
+
+// TestActuatorTransientFailureRecovers is the e2e retry proof: an
+// action that fails twice and then succeeds is carried to success by
+// the backoff schedule, and the journal records the full timeline.
+func TestActuatorTransientFailureRecovers(t *testing.T) {
+	clock := &virtualClock{now: time.Unix(0, 0)}
+	var buf bytes.Buffer
+	jw := rejuv.NewJournalWriter(&buf, rejuv.JournalMeta{CreatedBy: "actuator_test"})
+	attempts := 0
+	a, err := rejuv.NewActuator(rejuv.ActuatorConfig{
+		Do: func(context.Context) error {
+			attempts++
+			if attempts <= 2 {
+				return fmt.Errorf("restart rpc refused (attempt %d)", attempts)
+			}
+			return nil
+		},
+		MaxAttempts: 5,
+		Backoff:     2 * time.Second,
+		MaxBackoff:  10 * time.Second,
+		Seed:        42,
+		Now:         clock.Now,
+		Sleep:       clock.Sleep,
+		Journal:     jw,
+		Epoch:       time.Unix(0, 0),
+		OnGiveUp:    func(error) { t.Error("OnGiveUp ran for a recovering action") },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Execute(context.Background()); err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if attempts != 3 {
+		t.Fatalf("action ran %d times, want 3", attempts)
+	}
+	s := a.Stats()
+	if s.Executions != 1 || s.Attempts != 3 || s.Retries != 2 || s.Successes != 1 || s.GiveUps != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+	// Backoff grows exponentially with jitter in [d/2, d): first retry
+	// in [1s, 2s), second in [2s, 4s).
+	if len(clock.slept) != 2 {
+		t.Fatalf("slept %d times, want 2", len(clock.slept))
+	}
+	if d := clock.slept[0]; d < time.Second || d >= 2*time.Second {
+		t.Errorf("first backoff %v outside [1s, 2s)", d)
+	}
+	if d := clock.slept[1]; d < 2*time.Second || d >= 4*time.Second {
+		t.Errorf("second backoff %v outside [2s, 4s)", d)
+	}
+
+	// The journal carries the retry timeline: act_start, two failed
+	// attempts with their backoff, one success.
+	if err := jw.Err(); err != nil {
+		t.Fatal(err)
+	}
+	jr, err := rejuv.NewJournalReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := jr.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []rejuv.JournalKind
+	for _, r := range recs {
+		kinds = append(kinds, r.Kind)
+	}
+	want := []rejuv.JournalKind{
+		rejuv.JournalKindActStart,
+		rejuv.JournalKindActAttempt, rejuv.JournalKindActAttempt, rejuv.JournalKindActAttempt,
+	}
+	if len(kinds) != len(want) {
+		t.Fatalf("journal kinds = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("journal kinds = %v, want %v", kinds, want)
+		}
+	}
+	if recs[1].OK || !recs[3].OK {
+		t.Errorf("attempt outcomes wrong: %+v", recs[1:])
+	}
+	if recs[1].Backoff <= 0 {
+		t.Errorf("failed attempt carries no backoff: %+v", recs[1])
+	}
+	if !strings.Contains(recs[1].Class, "restart rpc refused") {
+		t.Errorf("attempt error text missing: %q", recs[1].Class)
+	}
+}
+
+// TestActuatorPermanentFailureEscalates is the e2e give-up proof: an
+// action that always fails exhausts its attempts, invokes OnGiveUp and
+// journals the terminal record.
+func TestActuatorPermanentFailureEscalates(t *testing.T) {
+	clock := &virtualClock{now: time.Unix(0, 0)}
+	var buf bytes.Buffer
+	jw := rejuv.NewJournalWriter(&buf, rejuv.JournalMeta{CreatedBy: "actuator_test"})
+	permanent := errors.New("supervisor unreachable")
+	var escalated error
+	reg := rejuv.NewRegistry()
+	a, err := rejuv.NewActuator(rejuv.ActuatorConfig{
+		Do:          func(context.Context) error { return permanent },
+		MaxAttempts: 3,
+		Seed:        7,
+		Now:         clock.Now,
+		Sleep:       clock.Sleep,
+		Journal:     jw,
+		Epoch:       time.Unix(0, 0),
+		OnGiveUp:    func(err error) { escalated = err },
+		Metrics:     reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	execErr := a.Execute(context.Background())
+	if !errors.Is(execErr, permanent) {
+		t.Fatalf("Execute error %v does not wrap the terminal failure", execErr)
+	}
+	if !errors.Is(escalated, permanent) {
+		t.Fatalf("OnGiveUp received %v, want the terminal error", escalated)
+	}
+	s := a.Stats()
+	if s.GiveUps != 1 || s.Attempts != 3 || s.Successes != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+	for name, want := range map[string]float64{
+		"rejuv_actuator_executions_total": 1,
+		"rejuv_actuator_attempts_total":   3,
+		"rejuv_actuator_retries_total":    2,
+		"rejuv_actuator_giveups_total":    1,
+	} {
+		if got := collectorValue(t, reg, name); got != want {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+	if err := jw.Err(); err != nil {
+		t.Fatal(err)
+	}
+	jr, err := rejuv.NewJournalReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := jr.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := recs[len(recs)-1]
+	if last.Kind != rejuv.JournalKindActGiveUp || last.Attempt != 3 {
+		t.Errorf("terminal record = %+v, want act_give_up after 3 attempts", last)
+	}
+}
+
+// TestActuatorTimeout pins the per-attempt timeout: a hanging action is
+// cancelled through its context and counts as a failed attempt.
+func TestActuatorTimeout(t *testing.T) {
+	a, err := rejuv.NewActuator(rejuv.ActuatorConfig{
+		Do: func(ctx context.Context) error {
+			<-ctx.Done() // hang until the per-attempt timeout fires
+			return ctx.Err()
+		},
+		Timeout:     10 * time.Millisecond,
+		MaxAttempts: 2,
+		Backoff:     time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Execute(context.Background()); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Execute = %v, want deadline exceeded", err)
+	}
+	if s := a.Stats(); s.Attempts != 2 || s.GiveUps != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+// TestActuatorContextCancellation pins the caller-abort path: a
+// cancelled context stops the retry loop without OnGiveUp.
+func TestActuatorContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	a, err := rejuv.NewActuator(rejuv.ActuatorConfig{
+		Do: func(context.Context) error {
+			cancel() // the caller gives up while the attempt fails
+			return errors.New("nope")
+		},
+		MaxAttempts: 5,
+		Backoff:     time.Millisecond,
+		OnGiveUp:    func(error) { t.Error("OnGiveUp ran on caller cancellation") },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Execute(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Execute = %v, want context.Canceled", err)
+	}
+}
+
+// TestActuatorTriggerCoalesces pins the async path: triggers landing
+// while an execution is in flight are absorbed, not queued.
+func TestActuatorTriggerCoalesces(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	a, err := rejuv.NewActuator(rejuv.ActuatorConfig{
+		Do: func(context.Context) error {
+			close(started)
+			<-release
+			return nil
+		},
+		MaxAttempts: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Trigger(rejuv.Trigger{})
+	<-started
+	a.Trigger(rejuv.Trigger{}) // coalesced: first execution still running
+	a.Trigger(rejuv.Trigger{})
+	close(release)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s := a.Stats()
+		if s.Executions == 1 && s.Successes == 1 {
+			if s.Coalesced != 2 {
+				t.Fatalf("coalesced = %d, want 2", s.Coalesced)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("execution did not finish: stats = %+v", s)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestActuatorDeterministicJitter pins that two actuators with the same
+// seed draw identical backoff schedules.
+func TestActuatorDeterministicJitter(t *testing.T) {
+	schedule := func(seed uint64) []time.Duration {
+		clock := &virtualClock{now: time.Unix(0, 0)}
+		a, err := rejuv.NewActuator(rejuv.ActuatorConfig{
+			Do:          func(context.Context) error { return errors.New("always") },
+			MaxAttempts: 4,
+			Seed:        seed,
+			Now:         clock.Now,
+			Sleep:       clock.Sleep,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = a.Execute(context.Background())
+		return clock.slept
+	}
+	a, b := schedule(99), schedule(99)
+	if len(a) != 3 {
+		t.Fatalf("slept %d times, want 3", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged: %v vs %v", a, b)
+		}
+	}
+	if c := schedule(100); a[0] == c[0] && a[1] == c[1] && a[2] == c[2] {
+		t.Error("different seeds drew an identical schedule")
+	}
+}

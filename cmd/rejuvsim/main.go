@@ -15,8 +15,10 @@ import (
 	"os"
 	"time"
 
+	"rejuv/internal/core"
 	"rejuv/internal/ecommerce"
 	"rejuv/internal/experiment"
+	"rejuv/internal/faults"
 	"rejuv/internal/journal"
 	"rejuv/internal/metrics"
 	"rejuv/internal/stats"
@@ -57,8 +59,33 @@ func main() {
 		journalP = flag.String("journal", "", "record a flight-recorder journal of observations, decisions, rejuvenations and GCs to this file (inspect with rejuvtrace)")
 		journalF = flag.String("journal-format", "binary", "journal codec: binary or jsonl")
 		journalK = flag.Bool("journal-events", false, "also journal every DES kernel event (verbose: hundreds of records per transaction)")
+		faultsP  = flag.String("faults", "", "fault-injection spec, e.g. 'nan:p=0.01;drop:p=0.05;slow-act:d=30' (see internal/faults)")
+		hygieneP = flag.String("hygiene", "reject", "non-finite observation policy: reject, clamp or off")
 	)
 	flag.Parse()
+
+	var faultSpec faults.Spec
+	if *faultsP != "" {
+		var err error
+		faultSpec, err = faults.ParseSpec(*faultsP)
+		fatalIf(err)
+	}
+	hygiene, err := parseHygiene(*hygieneP)
+	fatalIf(err)
+
+	// Actuator faults map onto the model's rejuvenation pause: a slow
+	// action stretches every outage by its delay. Flaky/dead actions have
+	// no DES equivalent (the simulated restart cannot fail), so they are
+	// reported and otherwise ignored here; exercise them with the real
+	// Actuator (see examples/httpserver).
+	if af := faultSpec.ActionFaults(); af.Active() {
+		if af.Delay > 0 {
+			*pause += af.Delay
+		}
+		if af.Fails > 0 || af.Dead {
+			fmt.Fprintln(os.Stderr, "rejuvsim: note: flaky-act/dead-act have no effect in the simulation; use the Actuator API")
+		}
+	}
 
 	var dump *json.Encoder
 	var dumpFile *os.File
@@ -112,7 +139,9 @@ func main() {
 	}
 
 	var pooled stats.Welford
-	var completed, lost, rejuv, gcs int64
+	var completed, lost, rejuv, gcs, injected, rejected int64
+	faultTally := map[faults.Class]int{}
+	var faultOrder []faults.Class
 	start := time.Now()
 	for rep := 0; rep < *reps; rep++ {
 		det, err := spec.NewDetector()
@@ -129,8 +158,12 @@ func main() {
 			DisableOverhead:   *noOvh,
 			Seed:              *seed,
 			Stream:            uint64(rep) + 1,
+			Hygiene:           hygiene,
 		}, det)
 		fatalIf(err)
+		if !faultSpec.Empty() {
+			model.InjectFaults(faultSpec)
+		}
 		if jw != nil {
 			jw.RepStart(0, rep+1, *seed, uint64(rep)+1)
 			model.Journal(jw)
@@ -163,6 +196,14 @@ func main() {
 		lost += res.Lost
 		rejuv += res.Rejuvenations
 		gcs += res.GCs
+		injected += res.Injected
+		rejected += res.Rejected
+		for _, c := range model.FaultCounts() {
+			if _, seen := faultTally[c.Class]; !seen {
+				faultOrder = append(faultOrder, c.Class)
+			}
+			faultTally[c.Class] += c.N
+		}
 	}
 	elapsed := time.Since(start)
 
@@ -173,6 +214,12 @@ func main() {
 	fmt.Printf("\naverage response time: %.3f s (sd %.3f)\n", pooled.Mean(), pooled.StdDev())
 	fmt.Printf("transaction loss:      %.6f (%d of %d)\n", lossFrac, lost, completed+lost)
 	fmt.Printf("rejuvenations:         %d   full GCs: %d\n", rejuv, gcs)
+	if !faultSpec.Empty() {
+		fmt.Printf("faults injected:       %d (%d rejected by %s hygiene)\n", injected, rejected, hygiene)
+		for _, class := range faultOrder {
+			fmt.Printf("  %-8s %d\n", class, faultTally[class])
+		}
+	}
 	fmt.Printf("wall time:             %v\n", elapsed.Round(time.Millisecond))
 	if dumpFile != nil {
 		fatalIf(dumpFile.Close())
@@ -184,6 +231,19 @@ func main() {
 		fatalIf(journalFile.Close())
 		fmt.Printf("journal:               %s (%d records, %s)\n", *journalP, jw.Seq(), *journalF)
 	}
+}
+
+// parseHygiene maps the -hygiene flag onto the core policy.
+func parseHygiene(s string) (core.Hygiene, error) {
+	switch s {
+	case "reject":
+		return core.HygieneReject, nil
+	case "clamp":
+		return core.HygieneClamp, nil
+	case "off":
+		return core.HygieneOff, nil
+	}
+	return 0, fmt.Errorf("unknown -hygiene %q (want reject, clamp or off)", s)
 }
 
 func fatalIf(err error) {

@@ -70,20 +70,29 @@ func main() {
 			for _, ev := range events {
 				printTimeline(ev, *barCols)
 			}
+			printActions(a.Actions)
 			printPhases(a.Phases())
 		}
 	}
 }
 
-// load decodes a journal file completely.
+// load decodes a journal file completely. It tolerates a torn final
+// record — a crash mid-write must not make the rest of the flight
+// recorder unreadable — and prints a salvage note when bytes were
+// dropped.
 func load(path string) (journal.Meta, journal.Format, []journal.Record) {
 	f, err := os.Open(path)
 	fatalIfErr(err)
 	defer f.Close()
 	jr, err := journal.NewReader(f)
 	fatalIfErr(err)
+	jr.TolerateTornTail()
 	records, err := jr.ReadAll()
 	fatalIfErr(err)
+	if n := jr.TornBytes(); n > 0 {
+		fmt.Fprintf(os.Stderr, "rejuvtrace: note: journal tail was torn; salvaged %d records, dropped %d trailing byte(s)\n",
+			len(records), n)
+	}
 	return jr.Meta(), jr.Format(), records
 }
 
@@ -101,8 +110,51 @@ func printSummary(a journal.Analysis) {
 	fmt.Printf("%d records, %d reps, %.6g s of virtual time\n", a.Records, a.Reps, a.Duration)
 	fmt.Printf("observations %d   decisions %d   triggers %d (+%d suppressed)   resets %d\n",
 		a.Observations, a.Decisions, a.Triggers, a.Suppressed, a.Resets)
-	fmt.Printf("rejuvenations %d (killed %d)   GCs %d   kernel events %d\n\n",
+	fmt.Printf("rejuvenations %d (killed %d)   GCs %d   kernel events %d\n",
 		a.Rejuvenations, a.Killed, a.GCs, a.KernelEvents)
+	if a.Faults > 0 {
+		parts := make([]string, len(a.FaultClasses))
+		for i, fc := range a.FaultClasses {
+			parts[i] = fmt.Sprintf("%s %d", fc.Class, fc.N)
+		}
+		fmt.Printf("faults %d   (%s)\n", a.Faults, strings.Join(parts, ", "))
+	}
+	fmt.Println()
+}
+
+// printActions renders the actuator retry timeline: one block per
+// execution with every attempt, its outcome and the backoff chosen
+// after a failure.
+func printActions(actions []journal.ActionEvent) {
+	if len(actions) == 0 {
+		return
+	}
+	fmt.Printf("actuator executions: %d\n", len(actions))
+	for _, ev := range actions {
+		verdict := "gave up"
+		if ev.Succeeded() {
+			verdict = "succeeded"
+		}
+		fmt.Printf("action #%d  rep %d  t=%.6g s  %s after %d attempt(s)\n",
+			ev.Index, ev.Rep, ev.Start, verdict, len(ev.Attempts))
+		for i, at := range ev.Attempts {
+			status := "ok"
+			if !at.OK {
+				status = "FAIL"
+				if at.Class != "" {
+					status += "  " + at.Class
+				}
+			}
+			fmt.Printf("  attempt %d  t=%.6g s  %s\n", i+1, at.Time, status)
+			if !at.OK && at.Backoff > 0 {
+				fmt.Printf("             retry in %.4g s\n", at.Backoff)
+			}
+		}
+		if ev.GaveUp {
+			fmt.Printf("  GIVE UP  t=%.6g s  escalated after %d attempt(s)\n", ev.End, len(ev.Attempts))
+		}
+	}
+	fmt.Println()
 }
 
 // printTimeline renders one trigger's context window as an ASCII table

@@ -31,6 +31,23 @@
 // middleware), and a trigger callback fires — subject to a cooldown —
 // when the detector calls for rejuvenation.
 //
+// The monitor is hardened against telemetry that misbehaves: a Hygiene
+// policy rejects (or clamps) non-finite observations before they can
+// poison the detector, MaxSilence arms a staleness watchdog that flags
+// a stream gone quiet, and a panicking OnTrigger callback is isolated
+// instead of unwinding through the probe path.
+//
+// # Actuation
+//
+// Actuator executes the rejuvenation action itself — the restart RPC
+// that can hang, flake or die. Each execution runs up to MaxAttempts
+// attempts, every attempt bounded by a per-attempt Timeout, separated
+// by capped exponential backoff with deterministic jitter; terminal
+// failure escalates through OnGiveUp. Trigger is an OnTrigger-shaped
+// asynchronous front end that coalesces triggers arriving while an
+// execution is in flight. The full retry timeline is journaled and
+// rendered by cmd/rejuvtrace.
+//
 // # Observability
 //
 // The package answers not only "should we rejuvenate?" but also "why?".
@@ -75,4 +92,12 @@
 // registry on a virtual-time grid and writes JSON-lines series of
 // queue length, heap, GC stalls, detector bucket occupancy and
 // rejuvenation counts.
+//
+// The internal/faults package injects telemetry and actuator failure
+// modes deterministically from a seed (NaN and infinite readings,
+// frozen gauges, dropped/duplicated/reordered/stalled observations,
+// clock skew, slow or failing rejuvenation actions); cmd/rejuvsim
+// -faults applies a fault spec to a simulation run, and the
+// conformance suite pins every detector family's behaviour under each
+// fault class.
 package rejuv

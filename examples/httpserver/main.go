@@ -32,6 +32,7 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -112,6 +113,33 @@ func main() {
 	registry := rejuv.NewRegistry()
 	trace := rejuv.NewTraceLog(256)
 	trace.Instrument(registry)
+
+	// The restart goes through an Actuator because real restart RPCs
+	// flake: this one refuses every first attempt (a busy supervisor) and
+	// succeeds on the retry, so the backoff schedule carries each
+	// rejuvenation to success and the journal records the retry timeline.
+	var restartAttempts atomic.Int64
+	actuator, err := rejuv.NewActuator(rejuv.ActuatorConfig{
+		Do: func(context.Context) error {
+			if restartAttempts.Add(1)%2 == 1 {
+				return fmt.Errorf("restart rpc refused (supervisor busy)")
+			}
+			handler.restart()
+			return nil
+		},
+		MaxAttempts: 3,
+		Backoff:     2 * time.Millisecond,
+		MaxBackoff:  10 * time.Millisecond,
+		Seed:        1,
+		Journal:     jw,
+		Epoch:       time.Now(),
+		Metrics:     registry,
+		OnGiveUp: func(err error) {
+			fmt.Println("  rejuvenation ESCALATED:", err)
+		},
+	})
+	fatalIf(err)
+
 	var mu sync.Mutex
 	var rejuvenations []int64 // request count at each trigger
 	monitor, err := rejuv.NewMonitor(rejuv.MonitorConfig{
@@ -120,11 +148,16 @@ func main() {
 		Collector: rejuv.NewCollector(registry, rejuv.Label{Name: "algo", Value: "SARAA"}),
 		Trace:     trace,
 		Journal:   jw,
+		// MaxSilence arms the staleness watchdog; with the load generator
+		// running it never trips, but a wedged server would be flagged.
+		MaxSilence: 10 * time.Second,
 		OnTrigger: func(t rejuv.Trigger) {
 			mu.Lock()
 			rejuvenations = append(rejuvenations, int64(t.Observations))
 			mu.Unlock()
-			handler.restart()
+			// Execute synchronously: the journal writer is shared with the
+			// monitor and is not safe for concurrent use.
+			fatalIf(actuator.Execute(context.Background()))
 			fmt.Printf("  rejuvenation at request %4d (sample mean %.1f ms)\n",
 				t.Observations, t.Decision.SampleMean*1000)
 		},
@@ -168,6 +201,9 @@ func main() {
 	s := monitor.Stats()
 	fmt.Printf("\n%d requests, %d rejuvenations, worst response %v\n",
 		requests, s.Triggers, worst.Round(time.Millisecond))
+	as := actuator.Stats()
+	fmt.Printf("actuator: %d executions, %d attempts, %d retried past a refused restart, %d gave up\n",
+		as.Executions, as.Attempts, as.Retries, as.GiveUps)
 	if s.Triggers == 0 {
 		fmt.Println("warning: aging was never detected — check the baseline")
 		os.Exit(1)

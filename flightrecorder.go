@@ -39,6 +39,10 @@ const (
 	JournalKindSimScheduled = journal.KindSimScheduled
 	JournalKindSimFired     = journal.KindSimFired
 	JournalKindSimCancelled = journal.KindSimCancelled
+	JournalKindFault        = journal.KindFault
+	JournalKindActStart     = journal.KindActStart
+	JournalKindActAttempt   = journal.KindActAttempt
+	JournalKindActGiveUp    = journal.KindActGiveUp
 )
 
 // Journal encodings: the compact length-prefixed binary codec and the

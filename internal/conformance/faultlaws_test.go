@@ -1,0 +1,171 @@
+package conformance
+
+import (
+	"testing"
+
+	"rejuv/internal/core"
+	"rejuv/internal/faults"
+)
+
+// Fault laws: robustness properties every detector family must satisfy
+// when its observation stream is corrupted by each fault class of
+// internal/faults, behind the hardened pipeline's hygiene gate. All
+// laws are seed-pinned and deterministic — no Alpha() draws — so they
+// never touch the statistical test budget.
+
+// faultLawSeed is the pinned seed of the fault laws. One seed suffices:
+// the laws are exact determinism and boundedness claims, not
+// statistical estimates.
+const faultLawSeed = 31
+
+// parseScenario parses a scenario's spec, failing the test on error so
+// the matrix cannot silently go vacuous.
+func parseScenario(t *testing.T, sc FaultScenario) faults.Spec {
+	t.Helper()
+	spec, err := faults.ParseSpec(sc.Spec)
+	if err != nil {
+		t.Fatalf("scenario %s: %v", sc.Name, err)
+	}
+	return spec
+}
+
+// TestFaultLawMatrix runs every fault class against every detector
+// family on a healthy steady trace under the reject hygiene policy and
+// asserts the acceptance criteria of the hardened pipeline: the run
+// survives (no panic), the detector's internals stay finite, the
+// false-trigger count stays within a small bound of the clean run, and
+// the faulted journal replays byte-identically.
+func TestFaultLawMatrix(t *testing.T) {
+	for _, fam := range Families(lawBase) {
+		t.Run(fam.Name, func(t *testing.T) {
+			trace := SteadyTrace(faultLawSeed, 800, lawBase)
+			clean, err := RunFaulted(fam.Name, fam.New, trace, faults.Spec{}, core.HygieneReject, faultLawSeed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, sc := range FaultScenarios() {
+				t.Run(sc.Name, func(t *testing.T) {
+					spec := parseScenario(t, sc)
+					res, err := RunFaulted(fam.Name, fam.New, trace, spec, core.HygieneReject, faultLawSeed)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if res.Injected == 0 {
+						t.Fatalf("injector never fired; law is vacuous")
+					}
+					if !res.Finite {
+						t.Errorf("detector internals went non-finite")
+					}
+					if !res.Replay.Identical() {
+						t.Errorf("faulted journal replay diverged")
+					}
+					// A corrupted stream on healthy data must not make the
+					// detector meaningfully jumpier than the clean stream:
+					// the false-trigger excess is bounded by a small
+					// constant, not proportional to the injection count.
+					if res.Triggers > clean.Triggers+2 {
+						t.Errorf("false triggers = %d, clean = %d; fault class amplified false alarms",
+							res.Triggers, clean.Triggers)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestFaultLawMissedTriggers runs every fault class against every
+// family on a degrading ramp and asserts the detector still fires: a
+// fault class may delay detection but must not suppress it. The ramp is
+// the scale-invariance law's reference shape, known to trigger every
+// family when clean.
+func TestFaultLawMissedTriggers(t *testing.T) {
+	for _, fam := range Families(lawBase) {
+		t.Run(fam.Name, func(t *testing.T) {
+			trace := RampTrace(faultLawSeed, 900, 150, 0.02, lawBase)
+			clean, err := RunFaulted(fam.Name, fam.New, trace, faults.Spec{}, core.HygieneReject, faultLawSeed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cleanFirst := FirstTrigger(clean.Decisions)
+			if cleanFirst < 0 {
+				t.Fatalf("clean ramp never triggered; law is vacuous")
+			}
+			for _, sc := range FaultScenarios() {
+				t.Run(sc.Name, func(t *testing.T) {
+					spec := parseScenario(t, sc)
+					res, err := RunFaulted(fam.Name, fam.New, trace, spec, core.HygieneReject, faultLawSeed)
+					if err != nil {
+						t.Fatal(err)
+					}
+					first := FirstTrigger(res.Decisions)
+					if first < 0 {
+						t.Fatalf("degradation missed: clean run triggered at %d, faulted run never did", cleanFirst)
+					}
+					// Bounded delay: the faulted detection may slip, but not
+					// past the end of the ramp's worth of extra headroom.
+					if first > cleanFirst+300 {
+						t.Errorf("detection slipped from %d to %d under faults", cleanFirst, first)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestFaultLawDeterminism pins that a faulted run is a pure function of
+// its seed: same seed, same trace, same spec — identical decision
+// stream and identical injection count.
+func TestFaultLawDeterminism(t *testing.T) {
+	spec, err := faults.ParseSpec("nan:p=0.05;drop:p=0.05;reorder:p=0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fam := range Families(lawBase) {
+		t.Run(fam.Name, func(t *testing.T) {
+			trace := SteadyTrace(faultLawSeed, 600, lawBase)
+			a, err := RunFaulted(fam.Name, fam.New, trace, spec, core.HygieneReject, faultLawSeed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := RunFaulted(fam.Name, fam.New, trace, spec, core.HygieneReject, faultLawSeed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Injected != b.Injected || a.Rejected != b.Rejected {
+				t.Fatalf("same seed injected %d/%d vs %d/%d faults", a.Injected, a.Rejected, b.Injected, b.Rejected)
+			}
+			if i, ok := SameDecisions(a.Decisions, b.Decisions, true); !ok {
+				t.Fatalf("same seed diverged at decision %d", i)
+			}
+		})
+	}
+}
+
+// TestFaultLawHygieneOffSurvives pins the no-panic floor with the
+// hygiene gate disabled: non-finite observations reach the detectors
+// raw, and while the decisions are then unspecified, the run must not
+// panic — the adaptive family in particular must restart learning
+// rather than crash on a poisoned warmup.
+func TestFaultLawHygieneOffSurvives(t *testing.T) {
+	spec, err := faults.ParseSpec("nan:p=0.1;inf:p=0.05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fam := range Families(lawBase) {
+		t.Run(fam.Name, func(t *testing.T) {
+			trace := SteadyTrace(faultLawSeed, 400, lawBase)
+			det, err := fam.New()
+			if err != nil {
+				t.Fatal(err)
+			}
+			inj := faults.NewInjector(spec, faultLawSeed, faultLawStream)
+			for _, x := range trace {
+				for _, v := range inj.Apply(x) {
+					if d := det.Observe(v); d.Triggered {
+						det.Reset()
+					}
+				}
+			}
+		})
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"rejuv/internal/stats"
 )
@@ -51,9 +52,13 @@ func (a *Adaptive) Observe(x float64) Decision {
 			return Decision{}
 		}
 		a.base = Baseline{Mean: a.acc.Mean(), StdDev: a.acc.StdDev()}
-		if a.base.StdDev <= 0 {
-			// A constant warmup series gives a degenerate baseline;
-			// restart learning rather than divide by zero forever.
+		if !(a.base.StdDev > 0) || math.IsInf(a.base.StdDev, 0) ||
+			math.IsNaN(a.base.Mean) || math.IsInf(a.base.Mean, 0) {
+			// A constant warmup series gives a degenerate baseline, and a
+			// non-finite observation (possible when the monitor's hygiene
+			// policy is off) poisons the accumulator; restart learning
+			// rather than divide by zero or panic the factory.
+			a.base = Baseline{}
 			a.acc.Reset()
 			return Decision{}
 		}

@@ -1,0 +1,58 @@
+package core
+
+import "math"
+
+// Hygiene is the input-hygiene policy applied to observations before
+// they reach a detector. Real telemetry streams deliver NaNs, infinities
+// and other garbage (a probe that divides by zero, a collector that
+// serializes a sentinel); the averaging detectors fold every admitted
+// observation into running sums, so a single NaN would poison the
+// sample mean — and with it every future decision — irreversibly.
+//
+// The zero value is HygieneReject: production paths are protected
+// unless a caller explicitly opts out.
+type Hygiene int
+
+// Hygiene policies, from safest to most permissive.
+const (
+	// HygieneReject drops non-finite observations before the detector
+	// sees them. Rejections are counted by the enclosing layer
+	// (MonitorStats.Rejected, rejuv_observations_rejected_total).
+	HygieneReject Hygiene = iota
+	// HygieneClamp substitutes the most recent admitted observation for
+	// a non-finite one, keeping the sample cadence intact (useful for
+	// sample-counting detectors whose windows would otherwise stretch).
+	// Non-finite observations arriving before any finite one are
+	// rejected, since there is nothing to clamp to.
+	HygieneClamp
+	// HygieneOff admits everything, matching the pre-hardening
+	// behaviour. A NaN poisons averaging detectors permanently; use
+	// only when the stream is known clean (e.g. simulation output).
+	HygieneOff
+)
+
+// String returns the policy name.
+func (h Hygiene) String() string {
+	switch h {
+	case HygieneReject:
+		return "reject"
+	case HygieneClamp:
+		return "clamp"
+	case HygieneOff:
+		return "off"
+	}
+	return "hygiene(?)"
+}
+
+// Admit applies the policy to one observation. last is the most recent
+// admitted value (meaningful only when haveLast is true). It returns
+// the value to feed the detector and whether to feed it at all.
+func (h Hygiene) Admit(x, last float64, haveLast bool) (float64, bool) {
+	if h == HygieneOff || !(math.IsNaN(x) || math.IsInf(x, 0)) {
+		return x, true
+	}
+	if h == HygieneClamp && haveLast {
+		return last, true
+	}
+	return 0, false
+}

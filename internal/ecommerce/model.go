@@ -18,6 +18,7 @@ import (
 
 	"rejuv/internal/core"
 	"rejuv/internal/des"
+	"rejuv/internal/faults"
 	"rejuv/internal/journal"
 	"rejuv/internal/num"
 	"rejuv/internal/stats"
@@ -92,6 +93,11 @@ type Config struct {
 	DisableOverhead bool
 	// DisableGC turns off the memory/GC mechanism.
 	DisableGC bool
+	// Hygiene governs non-finite observations reaching the detector,
+	// mirroring the production Monitor's policy. The simulation's own
+	// response times are always finite, so this only matters under fault
+	// injection (Model.InjectFaults). The zero value rejects.
+	Hygiene core.Hygiene
 	// Transactions is how many transactions must leave the system
 	// (completed or lost) before the replication ends (paper: 100,000).
 	Transactions int64
@@ -190,6 +196,12 @@ type Result struct {
 	GCs int64
 	// RT accumulates the response times of completed transactions.
 	RT stats.Welford
+	// Injected counts faults injected into the detector's observation
+	// stream (zero without Model.InjectFaults).
+	Injected int64
+	// Rejected counts non-finite observations intercepted by the hygiene
+	// policy before the detector.
+	Rejected int64
 	// SimTime is the virtual time at which the replication ended.
 	SimTime float64
 }
@@ -240,6 +252,12 @@ type Model struct {
 
 	// jw is nil unless Journal was called.
 	jw *journal.Writer
+
+	// inj is nil unless InjectFaults was called; lastAdmitted backs the
+	// HygieneClamp substitution, mirroring the production Monitor.
+	inj          *faults.Injector
+	lastAdmitted float64
+	haveAdmitted bool
 
 	// OnComplete, when non-nil, receives the response time of every
 	// completed transaction; the autocorrelation study uses it to
@@ -363,14 +381,14 @@ func (m *Model) complete(_ *job, rt float64) {
 		m.OnComplete(rt)
 	}
 	if m.detector != nil {
-		if m.jw != nil {
-			m.jw.Observe(m.sim.Now(), rt)
-		}
-		d := m.detector.Observe(rt)
-		m.journalDecision(d)
-		m.publishDetector()
-		if d.Triggered {
-			m.rejuvenate()
+		if m.inj != nil {
+			// The injector may emit zero, one or two observations for this
+			// response time; the slice is consumed before the next Apply.
+			for _, v := range m.inj.Apply(rt) {
+				m.feedDetector(v)
+			}
+		} else {
+			m.feedDetector(rt)
 		}
 	}
 	if m.res.Completed+m.res.Lost >= m.cfg.Transactions {

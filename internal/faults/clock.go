@@ -1,0 +1,48 @@
+package faults
+
+import "time"
+
+// NewClock wraps a caller-supplied time source with the clock clauses
+// of the spec: skew multiplies the apparent rate of elapsed time, and
+// jump steps the reading once a threshold of true elapsed time passes.
+// The wrapper anchors itself at its first call, so faults are relative
+// to monitor start, not process start.
+//
+// base must be non-nil — this package never reads the wall clock; a
+// production caller passes time.Now, a simulation passes its virtual
+// clock. The returned function is what a MonitorConfig.Now should be
+// set to.
+func NewClock(spec Spec, base func() time.Time) func() time.Time {
+	if base == nil {
+		panic("faults: NewClock requires a base time source")
+	}
+	clauses := spec.Clock()
+	if len(clauses) == 0 {
+		return base
+	}
+	rate := 1.0
+	jumps := make([]Clause, 0, len(clauses))
+	for _, c := range clauses {
+		switch c.Class {
+		case ClassSkew:
+			rate *= c.Rate
+		case ClassJump:
+			jumps = append(jumps, c)
+		}
+	}
+	var anchor time.Time
+	return func() time.Time {
+		now := base()
+		if anchor.IsZero() {
+			anchor = now
+		}
+		elapsed := now.Sub(anchor).Seconds()
+		faulted := elapsed * rate
+		for _, j := range jumps {
+			if elapsed >= j.At {
+				faulted += j.Dur
+			}
+		}
+		return anchor.Add(time.Duration(faulted * float64(time.Second)))
+	}
+}

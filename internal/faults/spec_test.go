@@ -1,0 +1,127 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseSpecRoundTrip pins the canonical grammar: parse, render,
+// re-parse, and the two parses must match.
+func TestParseSpecRoundTrip(t *testing.T) {
+	cases := []string{
+		"",
+		"nan:p=0.01",
+		"inf:p=0.5,sign=-",
+		"inf:p=0.5",
+		"neg:p=1",
+		"freeze:p=0.001,len=16",
+		"drop:p=0.25",
+		"dup:p=0.125",
+		"reorder:p=0.0625",
+		"stall:at=100,len=50",
+		"skew:rate=1.25",
+		"jump:at=30,by=-5",
+		"slow-act:d=2.5",
+		"flaky-act:fails=3",
+		"flaky-act",
+		"dead-act",
+		"nan:p=0.001;drop:p=0.01;stall:at=5000,len=500;flaky-act:fails=2",
+	}
+	for _, in := range cases {
+		spec, err := ParseSpec(in)
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", in, err)
+			continue
+		}
+		rendered := spec.String()
+		again, err := ParseSpec(rendered)
+		if err != nil {
+			t.Errorf("re-parse of %q (from %q): %v", rendered, in, err)
+			continue
+		}
+		if again.String() != rendered {
+			t.Errorf("canonical form of %q is not a fixed point: %q -> %q", in, rendered, again.String())
+		}
+	}
+}
+
+// TestParseSpecDefaults pins the default parameter values.
+func TestParseSpecDefaults(t *testing.T) {
+	spec, err := ParseSpec("freeze:p=0.1;flaky-act;inf:p=0.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := spec.Clauses[0].Len; got != 8 {
+		t.Errorf("freeze default len = %d, want 8", got)
+	}
+	if got := spec.Clauses[1].Fails; got != 1 {
+		t.Errorf("flaky-act default fails = %d, want 1", got)
+	}
+	if got := spec.Clauses[2].Sign; got != 1 {
+		t.Errorf("inf default sign = %d, want +1", got)
+	}
+}
+
+// TestParseSpecErrors pins that malformed specs fail loudly, naming the
+// offending clause.
+func TestParseSpecErrors(t *testing.T) {
+	cases := map[string]string{
+		"typo class":        "nna:p=0.1",
+		"missing p":         "nan",
+		"p out of range":    "nan:p=1.5",
+		"negative p":        "drop:p=-0.1",
+		"non-numeric p":     "dup:p=often",
+		"NaN p":             "nan:p=NaN",
+		"unknown param":     "nan:p=0.1,q=2",
+		"duplicate param":   "nan:p=0.1,p=0.2",
+		"not key=value":     "nan:p",
+		"bad sign":          "inf:p=0.1,sign=x",
+		"zero freeze len":   "freeze:p=0.1,len=0",
+		"stall missing at":  "stall:len=5",
+		"stall missing len": "stall:at=5",
+		"skew missing rate": "skew",
+		"zero skew rate":    "skew:rate=0",
+		"jump missing by":   "jump:at=10",
+		"slow-act missing":  "slow-act",
+		"dead-act param":    "dead-act:p=0.5",
+		"negative fails":    "flaky-act:fails=-1",
+	}
+	for name, in := range cases {
+		if _, err := ParseSpec(in); err == nil {
+			t.Errorf("%s: ParseSpec(%q) accepted malformed spec", name, in)
+		}
+	}
+}
+
+// TestParseSpecUnknownClassListsKnown pins the discoverability of the
+// error message a mistyped -faults flag produces.
+func TestParseSpecUnknownClassListsKnown(t *testing.T) {
+	_, err := ParseSpec("nope:p=0.1")
+	if err == nil || !strings.Contains(err.Error(), "dead-act") {
+		t.Errorf("unknown-class error does not list known classes: %v", err)
+	}
+}
+
+// TestSpecPartitions pins the stream/actuator/clock clause split.
+func TestSpecPartitions(t *testing.T) {
+	spec, err := ParseSpec("nan:p=0.1;skew:rate=2;drop:p=0.2;dead-act;jump:at=1,by=2;slow-act:d=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(spec.Stream()); got != 2 {
+		t.Errorf("Stream() returned %d clauses, want 2", got)
+	}
+	if got := len(spec.Actuator()); got != 2 {
+		t.Errorf("Actuator() returned %d clauses, want 2", got)
+	}
+	if got := len(spec.Clock()); got != 2 {
+		t.Errorf("Clock() returned %d clauses, want 2", got)
+	}
+	if spec.Empty() {
+		t.Error("Empty() true for a populated spec")
+	}
+	empty, _ := ParseSpec("  ")
+	if !empty.Empty() {
+		t.Error("Empty() false for a blank spec")
+	}
+}

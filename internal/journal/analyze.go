@@ -67,11 +67,52 @@ type Analysis struct {
 	Suppressed int
 	// Killed totals transactions terminated by rejuvenations.
 	Killed int
+	// Faults counts injected/detected telemetry fault records.
+	Faults int
+	// FaultClasses tallies fault records per class, in first-seen order.
+	FaultClasses []FaultCount
 	// Duration is the largest timestamp seen, per replication summed
 	// across reps boundaries (time restarts at each RepStart).
 	Duration float64
 	// Events holds one entry per delivered trigger, in journal order.
 	Events []TriggerEvent
+	// Actions holds one entry per actuator execution, in journal order.
+	Actions []ActionEvent
+}
+
+// FaultCount is one fault class with its record count.
+type FaultCount struct {
+	// Class is the fault class name.
+	Class string
+	// N counts its fault records.
+	N int
+}
+
+// ActionEvent is one actuator execution reconstructed from the journal:
+// the start record, every attempt, and how it ended.
+type ActionEvent struct {
+	// Index is the 1-based execution ordinal across the journal.
+	Index int
+	// Rep is the replication the execution started in.
+	Rep int
+	// Start is the timestamp of the KindActStart record.
+	Start float64
+	// Attempts holds the execution's attempt records in order.
+	Attempts []Record
+	// GaveUp reports a terminal KindActGiveUp escalation.
+	GaveUp bool
+	// End is the timestamp of the final attempt or give-up record seen.
+	End float64
+}
+
+// Succeeded reports whether any attempt of the execution succeeded.
+func (e ActionEvent) Succeeded() bool {
+	for _, a := range e.Attempts {
+		if a.OK {
+			return true
+		}
+	}
+	return false
 }
 
 // Analyze digests records into trigger timelines and phase statistics.
@@ -174,6 +215,35 @@ func Analyze(meta Meta, format Format, records []Record, window int) Analysis {
 			// counted at start
 		case KindSimScheduled, KindSimFired, KindSimCancelled:
 			a.KernelEvents++
+		case KindFault:
+			a.Faults++
+			found := false
+			for i := range a.FaultClasses {
+				if a.FaultClasses[i].Class == r.Class {
+					a.FaultClasses[i].N++
+					found = true
+					break
+				}
+			}
+			if !found {
+				a.FaultClasses = append(a.FaultClasses, FaultCount{Class: r.Class, N: 1})
+			}
+		case KindActStart:
+			a.Actions = append(a.Actions, ActionEvent{
+				Index: len(a.Actions) + 1, Rep: rep, Start: r.Time, End: r.Time,
+			})
+		case KindActAttempt:
+			if n := len(a.Actions); n > 0 {
+				act := &a.Actions[n-1]
+				act.Attempts = append(act.Attempts, r)
+				act.End = r.Time
+			}
+		case KindActGiveUp:
+			if n := len(a.Actions); n > 0 {
+				act := &a.Actions[n-1]
+				act.GaveUp = true
+				act.End = r.Time
+			}
 		}
 	}
 	a.Duration = repBase + lastT

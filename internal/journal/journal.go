@@ -80,6 +80,23 @@ const (
 	KindSimFired
 	// KindSimCancelled is a DES kernel event removed before firing.
 	KindSimCancelled
+	// KindFault is an injected or detected telemetry fault: a corrupted
+	// observation rejected by hygiene, a value altered by the fault
+	// injector, a dropped or duplicated sample, a detected probe stall.
+	// Class names the fault; Value carries the observation involved.
+	KindFault
+	// KindActStart marks the start of one rejuvenation action execution
+	// by an Actuator.
+	KindActStart
+	// KindActAttempt is one attempt of a rejuvenation action: Attempt is
+	// the 1-based attempt number, OK its outcome, Backoff the delay (in
+	// seconds) scheduled before the next attempt (0 when none follows),
+	// and Class the error text on failure.
+	KindActAttempt
+	// KindActGiveUp is the terminal escalation: the Actuator exhausted
+	// its retry budget. Attempt carries the total attempts made and
+	// Class the last error text.
+	KindActGiveUp
 )
 
 // kindNames maps kinds to their stable JSONL spellings.
@@ -94,10 +111,14 @@ var kindNames = [...]string{
 	KindSimScheduled: "sim_scheduled",
 	KindSimFired:     "sim_fired",
 	KindSimCancelled: "sim_cancelled",
+	KindFault:        "fault",
+	KindActStart:     "act_start",
+	KindActAttempt:   "act_attempt",
+	KindActGiveUp:    "act_give_up",
 }
 
 // maxKind is the highest valid kind; the decoder rejects anything above.
-const maxKind = KindSimCancelled
+const maxKind = KindActGiveUp
 
 // Valid reports whether k is a known record kind.
 func (k Kind) Valid() bool { return k >= KindRepStart && k <= maxKind }
@@ -202,6 +223,20 @@ type Record struct {
 	// EventTime is the virtual time a kernel event was scheduled to fire
 	// at (KindSimScheduled).
 	EventTime float64 `json:"event_time,omitempty"`
+
+	// Class names a fault class (KindFault) or carries an error text
+	// (KindActAttempt, KindActGiveUp). The binary codec caps it at
+	// MaxClassLen bytes; writers truncate longer strings.
+	Class string `json:"class,omitempty"`
+
+	// Attempt is the 1-based attempt number (KindActAttempt) or the
+	// total attempts made (KindActGiveUp).
+	Attempt int `json:"attempt,omitempty"`
+	// OK is the attempt outcome (KindActAttempt).
+	OK bool `json:"ok,omitempty"`
+	// Backoff is the delay in seconds scheduled before the next attempt
+	// (KindActAttempt); 0 when no retry follows.
+	Backoff float64 `json:"backoff,omitempty"`
 }
 
 // magic identifies a binary journal stream; the version byte follows it.
@@ -216,3 +251,7 @@ const MaxRecordLen = 1 << 20
 
 // MaxMetaLen bounds the serialized header, for the same reason.
 const MaxMetaLen = 1 << 20
+
+// MaxClassLen bounds the Class string of a record; writers truncate and
+// the binary decoder rejects anything longer.
+const MaxClassLen = 256

@@ -34,6 +34,14 @@ func writeSample(jw *Writer) {
 	jw.GCStart(2.25, 99.5)
 	jw.GCEnd(62.25, 3072)
 	jw.SimCancelled(62.25)
+	// The JSONL codec cannot carry non-finite values, so the shared
+	// sample uses a finite one; binary non-finite round-trips are pinned
+	// by TestSpecialFloatsRoundTrip.
+	jw.Fault(63, "nan", 12.5)
+	jw.ActStart(64)
+	jw.ActAttempt(64, 1, false, 2.5, "restart rpc timed out")
+	jw.ActAttempt(66.5, 2, true, 0, "")
+	jw.ActGiveUp(66.5, 2, "gave up anyway")
 }
 
 // wantSample is the decoded form of writeSample, in order.
@@ -50,6 +58,11 @@ func wantSample() []Record {
 		{Kind: KindGCStart, Seq: 7, Time: 2.25, HeapMB: 99.5},
 		{Kind: KindGCEnd, Seq: 8, Time: 62.25, HeapMB: 3072},
 		{Kind: KindSimCancelled, Seq: 9, Time: 62.25},
+		{Kind: KindFault, Seq: 10, Time: 63, Class: "nan", Value: 12.5},
+		{Kind: KindActStart, Seq: 11, Time: 64},
+		{Kind: KindActAttempt, Seq: 12, Time: 64, Attempt: 1, OK: false, Backoff: 2.5, Class: "restart rpc timed out"},
+		{Kind: KindActAttempt, Seq: 13, Time: 66.5, Attempt: 2, OK: true},
+		{Kind: KindActGiveUp, Seq: 14, Time: 66.5, Attempt: 2, Class: "gave up anyway"},
 	}
 }
 
@@ -125,8 +138,8 @@ func TestWriterRecordMatchesTypedEmitters(t *testing.T) {
 func TestWriterCounts(t *testing.T) {
 	jw := NewWriter(io.Discard, Meta{})
 	writeSample(jw)
-	if got := jw.Seq(); got != 10 {
-		t.Errorf("seq after 10 records = %d", got)
+	if got := jw.Seq(); got != 15 {
+		t.Errorf("seq after 15 records = %d", got)
 	}
 	for _, tc := range []struct {
 		kind Kind

@@ -20,6 +20,12 @@ type Reader struct {
 	br     *bufio.Reader
 	format Format
 	meta   Meta
+
+	// tolerateTorn treats a truncated final record as clean EOF; torn
+	// accumulates the dropped trailing bytes and drained latches EOF.
+	tolerateTorn bool
+	torn         int
+	drained      bool
 }
 
 // NewReader wraps r and reads the journal header. It fails on a missing
@@ -82,6 +88,19 @@ func (jr *Reader) readJSONHeader() error {
 	return nil
 }
 
+// TolerateTornTail makes the reader treat a truncated final record — the
+// signature of a crash mid-write — as a clean end of stream instead of an
+// error, so one torn record never makes a whole journal unreadable. The
+// dropped byte count is available from TornBytes afterwards. Corruption
+// that is not a clean truncation (an oversized length prefix, a full-
+// length record that fails to decode, a terminated JSONL line that fails
+// to parse) still errors. Call before the first Next.
+func (jr *Reader) TolerateTornTail() { jr.tolerateTorn = true }
+
+// TornBytes returns how many trailing bytes of a torn final record were
+// dropped under TolerateTornTail; 0 means the journal ended cleanly.
+func (jr *Reader) TornBytes() int { return jr.torn }
+
 // Meta returns the journal header.
 func (jr *Reader) Meta() Meta { return jr.meta }
 
@@ -114,12 +133,16 @@ func (jr *Reader) ReadAll() ([]Record, error) {
 
 // nextJSON decodes one JSONL record line.
 func (jr *Reader) nextJSON() (Record, error) {
+	if jr.drained {
+		return Record{}, io.EOF
+	}
 	line, err := jr.readLine()
+	atEOF := errors.Is(err, io.EOF)
 	if err != nil {
-		if errors.Is(err, io.EOF) && len(bytes.TrimSpace(line)) == 0 {
+		if atEOF && len(bytes.TrimSpace(line)) == 0 {
 			return Record{}, io.EOF
 		}
-		if !errors.Is(err, io.EOF) {
+		if !atEOF {
 			return Record{}, fmt.Errorf("journal: reading JSONL record: %w", err)
 		}
 	}
@@ -128,12 +151,27 @@ func (jr *Reader) nextJSON() (Record, error) {
 	}
 	var r Record
 	if err := json.Unmarshal(line, &r); err != nil {
+		// An unterminated final line that fails to parse is the JSONL
+		// shape of a torn tail: the writer died mid-line.
+		if atEOF && jr.tolerateTorn {
+			return jr.tear(len(line))
+		}
 		return Record{}, fmt.Errorf("journal: decoding JSONL record: %w", err)
 	}
 	if !r.Kind.Valid() {
+		if atEOF && jr.tolerateTorn {
+			return jr.tear(len(line))
+		}
 		return Record{}, fmt.Errorf("journal: JSONL record with invalid kind %d", byte(r.Kind))
 	}
 	return r, nil
+}
+
+// tear records a torn tail of n bytes and latches clean EOF.
+func (jr *Reader) tear(n int) (Record, error) {
+	jr.torn += n
+	jr.drained = true
+	return Record{}, io.EOF
 }
 
 // readLine reads one newline-terminated line without the terminator,
@@ -145,10 +183,21 @@ func (jr *Reader) readLine() ([]byte, error) {
 
 // nextBinary decodes one length-prefixed binary record.
 func (jr *Reader) nextBinary() (Record, error) {
-	n, err := binary.ReadUvarint(jr.br)
+	if jr.drained {
+		return Record{}, io.EOF
+	}
+	n, lenBytes, err := jr.readUvarintCounted()
 	if err != nil {
+		if errors.Is(err, io.EOF) && lenBytes == 0 {
+			return Record{}, io.EOF // clean end of stream
+		}
+		// A partial length prefix at EOF is a torn tail.
+		if jr.tolerateTorn && (errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF)) {
+			return jr.tear(lenBytes)
+		}
 		if errors.Is(err, io.EOF) {
-			return Record{}, io.EOF
+			// Do not let ReadAll mistake a mid-varint EOF for a clean end.
+			err = io.ErrUnexpectedEOF
 		}
 		return Record{}, fmt.Errorf("journal: reading record length: %w", err)
 	}
@@ -156,10 +205,39 @@ func (jr *Reader) nextBinary() (Record, error) {
 		return Record{}, fmt.Errorf("journal: record of %d bytes exceeds limit %d", n, MaxRecordLen)
 	}
 	payload := make([]byte, n)
-	if _, err := io.ReadFull(jr.br, payload); err != nil {
+	read, err := io.ReadFull(jr.br, payload)
+	if err != nil {
+		// A payload cut short by EOF is the binary shape of a torn tail:
+		// the length prefix landed but the record body did not.
+		if jr.tolerateTorn && (errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF)) {
+			return jr.tear(lenBytes + read)
+		}
+		if errors.Is(err, io.EOF) {
+			// A record cut at the payload start must not read as clean EOF.
+			err = io.ErrUnexpectedEOF
+		}
 		return Record{}, fmt.Errorf("journal: truncated record (%d bytes expected): %w", n, err)
 	}
 	return decodeBinary(payload)
+}
+
+// readUvarintCounted reads one unsigned varint, also reporting how many
+// bytes it consumed so a torn tail can be sized precisely.
+func (jr *Reader) readUvarintCounted() (uint64, int, error) {
+	var v uint64
+	for i := 0; ; i++ {
+		b, err := jr.br.ReadByte()
+		if err != nil {
+			return 0, i, err
+		}
+		if i == binary.MaxVarintLen64 {
+			return 0, i + 1, fmt.Errorf("journal: record length varint overflows")
+		}
+		if b < 0x80 {
+			return v | uint64(b)<<(7*i), i + 1, nil
+		}
+		v |= uint64(b&0x7f) << (7 * i)
+	}
 }
 
 // decodeBinary parses one binary record payload.
@@ -199,6 +277,19 @@ func decodeBinary(payload []byte) (Record, error) {
 		r.HeapMB = c.f64()
 	case KindSimScheduled:
 		r.EventTime = c.f64()
+	case KindFault:
+		r.Class = c.str()
+		r.Value = c.f64()
+	case KindActStart:
+		// no payload
+	case KindActAttempt:
+		r.OK = c.u8() != 0
+		r.Attempt = int(c.uvarint())
+		r.Backoff = c.f64()
+		r.Class = c.str()
+	case KindActGiveUp:
+		r.Attempt = int(c.uvarint())
+		r.Class = c.str()
 	}
 	if c.err != nil {
 		return Record{}, fmt.Errorf("journal: %s record: %w", r.Kind, c.err)
@@ -256,6 +347,25 @@ func (c *cursor) f64() float64 {
 	}
 	v := math.Float64frombits(binary.LittleEndian.Uint64(c.b[c.off:]))
 	c.off += 8
+	return v
+}
+
+// str reads one length-prefixed string, bounded by MaxClassLen.
+func (c *cursor) str() string {
+	n := c.uvarint()
+	if c.err != nil {
+		return ""
+	}
+	if n > MaxClassLen {
+		c.err = fmt.Errorf("journal: string of %d bytes exceeds limit %d", n, MaxClassLen)
+		return ""
+	}
+	if c.off+int(n) > len(c.b) {
+		c.err = errTruncated
+		return ""
+	}
+	v := string(c.b[c.off : c.off+int(n)])
+	c.off += int(n)
 	return v
 }
 

@@ -233,6 +233,91 @@ func (jw *Writer) simPlain(kind Kind, t float64) {
 	jw.finish(jw.begin(kind, seq, t))
 }
 
+// Fault records one telemetry fault: an injected corruption, a value
+// rejected by hygiene, a detected probe stall. class names the fault
+// (truncated to MaxClassLen) and value carries the observation involved
+// (NaN when no value applies, e.g. a stall).
+func (jw *Writer) Fault(t float64, class string, value float64) {
+	if jw.err != nil {
+		return
+	}
+	class = clipClass(class)
+	seq := jw.nextSeq(KindFault)
+	if jw.format == FormatJSONL {
+		jw.err = jw.enc.Encode(Record{Kind: KindFault, Seq: seq, Time: t, Class: class, Value: value})
+		return
+	}
+	b := jw.begin(KindFault, seq, t)
+	b = appendString(b, class)
+	b = appendF64(b, value)
+	jw.finish(b)
+}
+
+// ActStart records the start of one rejuvenation action execution.
+func (jw *Writer) ActStart(t float64) {
+	if jw.err != nil {
+		return
+	}
+	seq := jw.nextSeq(KindActStart)
+	if jw.format == FormatJSONL {
+		jw.err = jw.enc.Encode(Record{Kind: KindActStart, Seq: seq, Time: t})
+		return
+	}
+	jw.finish(jw.begin(KindActStart, seq, t))
+}
+
+// ActAttempt records one attempt of a rejuvenation action: its 1-based
+// number, outcome, the backoff (seconds) scheduled before the next
+// attempt (0 when none follows), and the error text on failure.
+func (jw *Writer) ActAttempt(t float64, attempt int, ok bool, backoff float64, errText string) {
+	if jw.err != nil {
+		return
+	}
+	errText = clipClass(errText)
+	seq := jw.nextSeq(KindActAttempt)
+	if jw.format == FormatJSONL {
+		jw.err = jw.enc.Encode(Record{Kind: KindActAttempt, Seq: seq, Time: t,
+			Attempt: attempt, OK: ok, Backoff: backoff, Class: errText})
+		return
+	}
+	b := jw.begin(KindActAttempt, seq, t)
+	if ok {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = binary.AppendUvarint(b, uint64(attempt))
+	b = appendF64(b, backoff)
+	b = appendString(b, errText)
+	jw.finish(b)
+}
+
+// ActGiveUp records the terminal escalation: the action failed for good
+// after the given total number of attempts, with the last error text.
+func (jw *Writer) ActGiveUp(t float64, attempts int, errText string) {
+	if jw.err != nil {
+		return
+	}
+	errText = clipClass(errText)
+	seq := jw.nextSeq(KindActGiveUp)
+	if jw.format == FormatJSONL {
+		jw.err = jw.enc.Encode(Record{Kind: KindActGiveUp, Seq: seq, Time: t, Attempt: attempts, Class: errText})
+		return
+	}
+	b := jw.begin(KindActGiveUp, seq, t)
+	b = binary.AppendUvarint(b, uint64(attempts))
+	b = appendString(b, errText)
+	jw.finish(b)
+}
+
+// clipClass truncates a class/error string to the codec bound.
+func clipClass(s string) string {
+	if len(s) > MaxClassLen {
+		return s[:MaxClassLen]
+	}
+	return s
+}
+
 // nextSeq hands out the next sequence number and counts the record.
 func (jw *Writer) nextSeq(k Kind) uint64 {
 	seq := jw.seq
@@ -342,8 +427,31 @@ func appendPayload(b []byte, r *Record) []byte {
 		b = appendF64(b, r.HeapMB)
 	case KindSimScheduled:
 		b = appendF64(b, r.EventTime)
+	case KindFault:
+		b = appendString(b, clipClass(r.Class))
+		b = appendF64(b, r.Value)
+	case KindActStart:
+		// no payload
+	case KindActAttempt:
+		if r.OK {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+		b = binary.AppendUvarint(b, uint64(r.Attempt))
+		b = appendF64(b, r.Backoff)
+		b = appendString(b, clipClass(r.Class))
+	case KindActGiveUp:
+		b = binary.AppendUvarint(b, uint64(r.Attempt))
+		b = appendString(b, clipClass(r.Class))
 	}
 	return b
+}
+
+// appendString appends a length-prefixed string.
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
 }
 
 // appendF64 appends the little-endian IEEE-754 bits of v.

@@ -20,6 +20,7 @@ var deterministicScopes = []string{
 	"internal/ctmc",
 	"internal/journal",
 	"internal/conformance",
+	"internal/faults",
 }
 
 // bannedImports are entropy or wall-clock sources that must never be

@@ -2,6 +2,7 @@ package rejuv
 
 import (
 	"fmt"
+	"math"
 	"net/http"
 	"sync"
 	"time"
@@ -50,6 +51,25 @@ type MonitorConfig struct {
 	// can later be replayed with ReplayJournal to verify the decision
 	// stream. See NewJournalWriter.
 	Journal *JournalWriter
+	// Hygiene governs non-finite observations (NaN, ±Inf) before they
+	// reach the detector. The zero value, HygieneReject, drops them and
+	// counts them in MonitorStats.Rejected (and the collector's
+	// rejuv_observations_rejected_total) — a single poisoned probe
+	// reading must never corrupt detector state. HygieneClamp
+	// substitutes the last admitted value instead; HygieneOff restores
+	// the legacy pass-through.
+	Hygiene Hygiene
+	// MaxSilence arms the staleness watchdog: when CheckStall is called
+	// after no observation has arrived for longer than this, the monitor
+	// counts a stall, raises the rejuv_stream_stalled gauge and invokes
+	// OnStall. A silent stream looks exactly like a healthy one to a
+	// threshold detector, so silence needs its own alarm. Zero disables
+	// the watchdog.
+	MaxSilence time.Duration
+	// OnStall, when non-nil, runs — under the monitor's lock — each time
+	// the watchdog transitions into the stalled state. It receives the
+	// length of the silence so far.
+	OnStall func(silence time.Duration)
 }
 
 // MonitorStats is a snapshot of monitor counters, taken atomically
@@ -61,6 +81,18 @@ type MonitorStats struct {
 	Triggers uint64
 	// Suppressed counts triggers eaten by the cooldown window.
 	Suppressed uint64
+	// Rejected counts non-finite observations intercepted by the hygiene
+	// policy (dropped under HygieneReject, substituted under
+	// HygieneClamp). Intercepted observations still count in
+	// Observations but never reach the detector.
+	Rejected uint64
+	// Stalls counts staleness-watchdog trips: transitions into the
+	// stalled state detected by CheckStall.
+	Stalls uint64
+	// TriggerPanics counts panics recovered from the OnTrigger callback.
+	// The monitor survives a panicking callback; the detector has
+	// already been reset by its own trigger at that point.
+	TriggerPanics uint64
 	// LastTrigger is the time of the most recent delivered (not
 	// suppressed) trigger; it is the zero time before the first one.
 	LastTrigger time.Time
@@ -77,6 +109,15 @@ type Monitor struct {
 	// epoch anchors journal timestamps at the first observation; the
 	// zero value means no observation was journaled yet.
 	epoch time.Time
+	// lastAdmitted is the most recent value that passed hygiene, the
+	// substitute HygieneClamp falls back to.
+	lastAdmitted float64
+	haveAdmitted bool
+	// lastSeen is the time of the most recent Observe call (any value,
+	// even a rejected one: arrival proves the stream is alive); stalled
+	// latches the watchdog state so each silence counts once.
+	lastSeen time.Time
+	stalled  bool
 }
 
 // NewMonitor validates the configuration and returns a monitor.
@@ -97,37 +138,61 @@ func NewMonitor(cfg MonitorConfig) (*Monitor, error) {
 }
 
 // Observe reports one observation of the monitored metric. Safe for
-// concurrent use.
+// concurrent use. Non-finite values are handled by the configured
+// Hygiene policy before the detector sees them.
 func (m *Monitor) Observe(x float64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.stats.Observations++
-	d := m.cfg.Detector.Observe(x)
-	if !d.Triggered && m.cfg.Collector == nil && m.cfg.Trace == nil && m.cfg.Journal == nil {
+
+	v, admitted := m.cfg.Hygiene.Admit(x, m.lastAdmitted, m.haveAdmitted)
+	intercepted := (math.IsNaN(x) || math.IsInf(x, 0)) && m.cfg.Hygiene != HygieneOff
+	if intercepted {
+		m.stats.Rejected++
+	}
+	if !admitted {
+		m.observeRejected(x)
+		return
+	}
+	m.lastAdmitted, m.haveAdmitted = v, true
+
+	d := m.cfg.Detector.Observe(v)
+	if !d.Triggered && !intercepted && m.cfg.MaxSilence <= 0 &&
+		m.cfg.Collector == nil && m.cfg.Trace == nil && m.cfg.Journal == nil {
 		return // the common un-instrumented fast path needs no clock
 	}
 	now := m.cfg.Now()
-	suppressed := d.Triggered && m.inCooldown(now)
+	m.feedWatchdog(now)
+	inCool := m.inCooldown(now)
+	suppressed := d.Triggered && inCool
 	if d.Triggered {
 		if suppressed {
 			m.stats.Suppressed++
 		} else {
 			m.stats.Triggers++
 			m.stats.LastTrigger = now
+			// The cooldown window (if any) opens at this instant.
+			inCool = m.cfg.Cooldown > 0
 		}
 	}
 	if c := m.cfg.Collector; c != nil {
-		c.observe(x, d, m.cfg.Detector, suppressed, m.inCooldown(now))
+		c.observe(v, d, m.cfg.Detector, suppressed, inCool)
+		if intercepted {
+			c.rejected.Inc()
+		}
 	}
 	if tl := m.cfg.Trace; tl != nil && d.Evaluated {
-		tl.Record(m.traceEntry(now, x, d, suppressed))
+		tl.Record(m.traceEntry(now, v, d, suppressed))
 	}
 	if jw := m.cfg.Journal; jw != nil {
 		if m.epoch.IsZero() {
 			m.epoch = now
 		}
 		t := now.Sub(m.epoch).Seconds()
-		jw.Observe(t, x)
+		if intercepted {
+			jw.Fault(t, hygieneClass(x), 0)
+		}
+		jw.Observe(t, v)
 		if d.Evaluated || d.Triggered {
 			var in DetectorInternals
 			if instr, ok := m.cfg.Detector.(Instrumented); ok {
@@ -137,8 +202,105 @@ func (m *Monitor) Observe(x float64) {
 		}
 	}
 	if d.Triggered && !suppressed {
-		m.cfg.OnTrigger(Trigger{Time: now, Decision: d, Observations: m.stats.Observations})
+		m.deliver(Trigger{Time: now, Decision: d, Observations: m.stats.Observations})
 	}
+}
+
+// observeRejected handles an observation dropped by the hygiene policy:
+// it is counted and journaled as a fault but never reaches the
+// detector, so the decision stream stays byte-identical to a clean run.
+// Callers hold m.mu and have already counted the rejection.
+func (m *Monitor) observeRejected(x float64) {
+	if m.cfg.MaxSilence <= 0 && m.cfg.Collector == nil && m.cfg.Journal == nil {
+		return
+	}
+	now := m.cfg.Now()
+	m.feedWatchdog(now)
+	if c := m.cfg.Collector; c != nil {
+		c.rejected.Inc()
+	}
+	if jw := m.cfg.Journal; jw != nil && !m.epoch.IsZero() {
+		// The journal value is a placeholder: the class names the fault,
+		// and the JSONL codec cannot carry the non-finite original.
+		jw.Fault(now.Sub(m.epoch).Seconds(), hygieneClass(x), 0)
+	}
+}
+
+// hygieneClass names the fault class of a non-finite observation for
+// the journal.
+func hygieneClass(x float64) string {
+	switch {
+	case math.IsNaN(x):
+		return "nan"
+	case math.IsInf(x, 1):
+		return "+inf"
+	default:
+		return "-inf"
+	}
+}
+
+// deliver invokes OnTrigger with panic isolation: a panicking callback
+// is recovered and counted, never allowed to tear down the goroutine
+// that happened to carry the triggering observation. Callers hold m.mu.
+func (m *Monitor) deliver(tr Trigger) {
+	defer func() {
+		if r := recover(); r != nil {
+			m.stats.TriggerPanics++
+			if c := m.cfg.Collector; c != nil {
+				c.triggerPanics.Inc()
+			}
+		}
+	}()
+	m.cfg.OnTrigger(tr)
+}
+
+// feedWatchdog records stream liveness and clears a latched stall.
+// Callers hold m.mu.
+func (m *Monitor) feedWatchdog(now time.Time) {
+	m.lastSeen = now
+	if m.stalled {
+		m.stalled = false
+		if c := m.cfg.Collector; c != nil {
+			c.stalledGauge.Set(0)
+		}
+	}
+}
+
+// CheckStall evaluates the staleness watchdog and reports whether the
+// observation stream is currently stalled: no Observe call for longer
+// than MaxSilence. Call it periodically (a metrics scrape loop is a
+// natural place). The first call arms the watchdog if no observation
+// has arrived yet. On the transition into the stalled state the monitor
+// counts a stall, sets the rejuv_stream_stalled gauge and invokes
+// OnStall. With MaxSilence zero the watchdog is disabled and CheckStall
+// always reports false.
+func (m *Monitor) CheckStall() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.cfg.MaxSilence <= 0 {
+		return false
+	}
+	now := m.cfg.Now()
+	if m.lastSeen.IsZero() {
+		m.lastSeen = now
+		return false
+	}
+	silence := now.Sub(m.lastSeen)
+	if silence <= m.cfg.MaxSilence {
+		return m.stalled
+	}
+	if !m.stalled {
+		m.stalled = true
+		m.stats.Stalls++
+		if c := m.cfg.Collector; c != nil {
+			c.stallsTotal.Inc()
+			c.stalledGauge.Set(1)
+		}
+		if m.cfg.OnStall != nil {
+			m.cfg.OnStall(silence)
+		}
+	}
+	return true
 }
 
 // inCooldown reports whether now falls inside the cooldown window of

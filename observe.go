@@ -56,12 +56,16 @@ type Instrumented = core.Instrumented
 // monitor updates it under its lock, so one collector must not be
 // shared between monitors unless their label sets differ.
 type Collector struct {
-	observations *metrics.Counter
-	evaluations  *metrics.Counter
-	triggers     *metrics.Counter
-	suppressed   *metrics.Counter
-	cooldown     *metrics.Gauge
-	observed     *metrics.Histogram
+	observations  *metrics.Counter
+	evaluations   *metrics.Counter
+	triggers      *metrics.Counter
+	suppressed    *metrics.Counter
+	rejected      *metrics.Counter
+	stallsTotal   *metrics.Counter
+	triggerPanics *metrics.Counter
+	cooldown      *metrics.Gauge
+	stalledGauge  *metrics.Gauge
+	observed      *metrics.Histogram
 
 	level      *metrics.Gauge
 	fill       *metrics.Gauge
@@ -85,7 +89,13 @@ type Collector struct {
 //	rejuv_samples_evaluated_total     completed samples (detector steps)
 //	rejuv_triggers_total              triggers delivered to OnTrigger
 //	rejuv_triggers_suppressed_total   triggers eaten by the cooldown
+//	rejuv_observations_rejected_total non-finite observations intercepted
+//	                                  by the hygiene policy
+//	rejuv_stalls_total                staleness-watchdog trips
+//	rejuv_trigger_panics_total        panics recovered from OnTrigger
 //	rejuv_cooldown_active             1 while inside the cooldown window
+//	rejuv_stream_stalled              1 while the stream is silent beyond
+//	                                  MaxSilence
 //	rejuv_detector_bucket_level       current bucket pointer N
 //	rejuv_detector_bucket_fill        current ball count d
 //	rejuv_detector_sample_size        sample size n currently in effect
@@ -110,8 +120,16 @@ func NewCollector(reg *Registry, labels ...Label) *Collector {
 			"rejuvenation triggers delivered to OnTrigger", labels...),
 		suppressed: reg.Counter("rejuv_triggers_suppressed_total",
 			"triggers suppressed by the cooldown window", labels...),
+		rejected: reg.Counter("rejuv_observations_rejected_total",
+			"non-finite observations intercepted by the hygiene policy", labels...),
+		stallsTotal: reg.Counter("rejuv_stalls_total",
+			"staleness-watchdog trips: silences longer than MaxSilence", labels...),
+		triggerPanics: reg.Counter("rejuv_trigger_panics_total",
+			"panics recovered from the OnTrigger callback", labels...),
 		cooldown: reg.Gauge("rejuv_cooldown_active",
 			"1 while the monitor is inside its cooldown window", labels...),
+		stalledGauge: reg.Gauge("rejuv_stream_stalled",
+			"1 while the observation stream has been silent beyond MaxSilence", labels...),
 		level: reg.Gauge("rejuv_detector_bucket_level",
 			"current bucket pointer N", labels...),
 		fill: reg.Gauge("rejuv_detector_bucket_fill",

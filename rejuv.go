@@ -19,6 +19,23 @@ type Baseline = core.Baseline
 // Decision is the outcome of feeding one observation to a Detector.
 type Decision = core.Decision
 
+// Hygiene is the policy for non-finite observations (NaN, ±Inf)
+// arriving at a Monitor. See MonitorConfig.Hygiene.
+type Hygiene = core.Hygiene
+
+// Hygiene policies. The zero value rejects, so a Monitor is hardened by
+// default.
+const (
+	// HygieneReject drops non-finite observations before the detector.
+	HygieneReject = core.HygieneReject
+	// HygieneClamp substitutes the last admitted value for a non-finite
+	// one (falling back to rejection before any value was admitted).
+	HygieneClamp = core.HygieneClamp
+	// HygieneOff passes observations through unexamined (the legacy
+	// behaviour; detector state can be poisoned by a single NaN).
+	HygieneOff = core.HygieneOff
+)
+
 // Detector consumes metric observations one at a time and decides when
 // to trigger rejuvenation. Detectors are single-goroutine state
 // machines; use Monitor for concurrent observation.

@@ -38,7 +38,7 @@ go test -run 'TestReplayDeterminism|TestReplayJournalIdenticalAcrossGOMAXPROCS' 
 }
 
 echo "== fuzz smoke (${FUZZTIME:-3s} per target)"
-for pkg in ./internal/core ./internal/stats ./internal/journal; do
+for pkg in ./internal/core ./internal/stats ./internal/journal ./internal/faults; do
     for target in $(go test -list '^Fuzz' "$pkg" | grep '^Fuzz'); do
         echo "-- fuzz $pkg $target"
         go test -run='^$' -fuzz="^${target}\$" -fuzztime="${FUZZTIME:-3s}" "$pkg"
