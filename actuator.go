@@ -100,12 +100,14 @@ type ActuatorStats struct {
 // synchronous control.
 type Actuator struct {
 	cfg ActuatorConfig
-	rng *xrand.Rand
 
-	mu       sync.Mutex
-	stats    ActuatorStats
-	inFlight bool
-	epoch    time.Time
+	mu sync.Mutex
+	// rng backs the backoff jitter; xrand.Rand is not safe for
+	// concurrent use, and Execute may be called from any goroutine.
+	rng      *xrand.Rand   // guarded by mu
+	stats    ActuatorStats // guarded by mu
+	inFlight bool          // guarded by mu
+	epoch    time.Time     // guarded by mu
 
 	mExecutions *MetricCounter
 	mAttempts   *MetricCounter
@@ -184,6 +186,8 @@ func (a *Actuator) Stats() ActuatorStats {
 // backoffAfter returns the jittered delay to wait after failed attempt
 // n (1-based): half of min(Backoff*2^(n-1), MaxBackoff) plus a uniform
 // draw over the other half, from the actuator's deterministic stream.
+//
+//lint:holds mu
 func (a *Actuator) backoffAfter(attempt int) time.Duration {
 	d := a.cfg.Backoff << (attempt - 1)
 	if d > a.cfg.MaxBackoff || d <= 0 { // <= 0 catches shift overflow
@@ -223,10 +227,12 @@ func (a *Actuator) Execute(ctx context.Context) error {
 
 		backoff := time.Duration(0)
 		retrying := lastErr != nil && attempt < a.cfg.MaxAttempts
+		a.mu.Lock()
 		if retrying {
+			// Drawing the jitter under the lock keeps the rng stream
+			// race-free when executions overlap.
 			backoff = a.backoffAfter(attempt)
 		}
-		a.mu.Lock()
 		a.stats.Attempts++
 		if retrying {
 			a.stats.Retries++

@@ -5,17 +5,20 @@
 //
 // Usage:
 //
-//	rejuvlint [-rules determinism,floatcmp,...] [-list] [-v] [patterns]
+//	rejuvlint [-rules determinism,floatcmp,...] [-list] [-v] [-json] [patterns]
 //
 // Patterns are package directories relative to the current module:
 // "./..." (the default) lints every package, "./internal/des/..." a
-// subtree, and "./cmd/figures" a single package. Findings are suppressed
-// per line with a mandatory justification:
+// subtree, and "./cmd/figures" a single package. With -json each finding
+// is printed as one JSON object per line ({"file","line","col","rule",
+// "message"}), the format the CI problem matcher consumes. Findings are
+// suppressed per line with a mandatory justification:
 //
 //	//lint:allow <rule> <reason>
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,11 +28,21 @@ import (
 	"rejuv/internal/lint"
 )
 
+// jsonDiag is the -json wire format, one object per line.
+type jsonDiag struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
 func main() {
 	var (
-		rules = flag.String("rules", "", "comma-separated rule names to run (default: all)")
-		list  = flag.Bool("list", false, "list available rules and exit")
-		verb  = flag.Bool("v", false, "also report packages with type-check problems")
+		rules  = flag.String("rules", "", "comma-separated rule names to run (default: all)")
+		list   = flag.Bool("list", false, "list available rules and exit")
+		verb   = flag.Bool("v", false, "also report type-check problems and call-graph statistics")
+		asJSON = flag.Bool("json", false, "print findings as JSON objects, one per line")
 	)
 	flag.Parse()
 
@@ -68,14 +81,34 @@ func main() {
 		}
 	}
 
-	diags := lint.Run(pkgs, analyzers)
+	tree := lint.NewTree(pkgs)
+	diags := lint.Analyze(tree, analyzers)
+	if *verb {
+		g := tree.CallGraph()
+		fmt.Fprintf(os.Stderr, "rejuvlint: call graph: %d functions, %d unresolved call sites\n",
+			len(g.Nodes), g.Unresolved)
+	}
 	cwd, _ := os.Getwd()
+	enc := json.NewEncoder(os.Stdout)
 	for _, d := range diags {
 		pos := d.Pos
 		if cwd != "" {
 			if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
 				pos.Filename = rel
 			}
+		}
+		if *asJSON {
+			if err := enc.Encode(jsonDiag{
+				File:    pos.Filename,
+				Line:    pos.Line,
+				Col:     pos.Column,
+				Rule:    d.Rule,
+				Message: d.Message,
+			}); err != nil {
+				fmt.Fprintln(os.Stderr, "rejuvlint:", err)
+				os.Exit(2)
+			}
+			continue
 		}
 		fmt.Printf("%s: %s: %s\n", pos, d.Rule, d.Message)
 	}

@@ -45,6 +45,8 @@ func (a *Adaptive) Learned() (Baseline, bool) {
 
 // Observe feeds one observation. During warmup it only accumulates;
 // afterwards it delegates to the inner detector.
+//
+//lint:hotpath
 func (a *Adaptive) Observe(x float64) Decision {
 	if a.inner == nil {
 		a.acc.Add(x)
@@ -66,6 +68,7 @@ func (a *Adaptive) Observe(x float64) Decision {
 		if err != nil {
 			// A factory that rejects a valid learned baseline is a
 			// programming error in the caller.
+			//lint:allow hotpath formatting a panic on the dying path costs nothing in steady state
 			panic(fmt.Sprintf("core: adaptive factory failed: %v", err))
 		}
 		a.inner = inner

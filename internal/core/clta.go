@@ -68,6 +68,8 @@ func (c *CLTA) FalseAlarmProbability() float64 {
 }
 
 // Observe feeds one observation.
+//
+//lint:hotpath
 func (c *CLTA) Observe(x float64) Decision {
 	mean, done := c.window.add(x)
 	if !done {

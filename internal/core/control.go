@@ -36,6 +36,8 @@ func (s *Shewhart) Target() float64 {
 }
 
 // Observe feeds one observation.
+//
+//lint:hotpath
 func (s *Shewhart) Observe(x float64) Decision {
 	target := s.Target()
 	return Decision{Triggered: x > target, Evaluated: true, SampleMean: x, Target: target}
@@ -79,6 +81,8 @@ func (e *EWMA) Target() float64 {
 func (e *EWMA) Statistic() float64 { return e.z }
 
 // Observe feeds one observation.
+//
+//lint:hotpath
 func (e *EWMA) Observe(x float64) Decision {
 	e.z = (1-e.weight)*e.z + e.weight*x
 	target := e.Target()
@@ -122,6 +126,8 @@ func NewCUSUM(slack, threshold float64, baseline Baseline) (*CUSUM, error) {
 func (c *CUSUM) Statistic() float64 { return c.s }
 
 // Observe feeds one observation.
+//
+//lint:hotpath
 func (c *CUSUM) Observe(x float64) Decision {
 	z := (x - c.baseline.Mean) / c.baseline.StdDev
 	c.s = math.Max(0, c.s+z-c.slack)

@@ -82,6 +82,8 @@ func (s *SARAA) Target() float64 {
 }
 
 // Observe feeds one observation.
+//
+//lint:hotpath
 func (s *SARAA) Observe(x float64) Decision {
 	mean, done := s.window.add(x)
 	if !done {

@@ -66,6 +66,8 @@ func (s *SRAA) Target() float64 {
 }
 
 // Observe feeds one observation.
+//
+//lint:hotpath
 func (s *SRAA) Observe(x float64) Decision {
 	mean, done := s.window.add(x)
 	if !done {

@@ -43,7 +43,7 @@ func (t *Tracer) Observe(x float64) Decision {
 			suffix = " TRIGGER"
 		}
 		//lint:allow droppederr tracing must never turn a monitoring decision into a failure
-		fmt.Fprintf(t.w, "obs=%d mean=%g level=%d fill=%d%s\n",
+		fmt.Fprintf(t.w, "obs=%d mean=%g level=%d fill=%d%s\n", //lint:allow hotpath the tracer is an offline debug wrapper, never on a production monitor
 			t.count, d.SampleMean, d.Level, d.Fill, suffix)
 	}
 	return d

@@ -155,13 +155,18 @@ func (s *Simulator) Reschedule(e *Event, t float64) {
 func (s *Simulator) Stop() { s.stopped = true }
 
 // Step fires the next pending event, advancing the clock to its time.
-// It returns false when no events are pending.
+// It returns false when no events are pending. Step is the kernel's
+// inner loop: everything it reaches (metrics, journaling) must stay
+// allocation-free so event throughput is bounded by the handlers alone.
+//
+//lint:hotpath
 func (s *Simulator) Step() bool {
 	if len(s.queue) == 0 {
 		return false
 	}
 	e := heap.Pop(&s.queue).(*Event)
 	if e.time < s.now {
+		//lint:allow hotpath formatting the modeling-bug panic happens at most once per process
 		panic(fmt.Sprintf("des: time went backwards: %v -> %v", s.now, e.time))
 	}
 	s.now = e.time

@@ -40,8 +40,8 @@ type Injector struct {
 	index    int     // 0-based input observation index
 	last     float64 // last clean input value, for freeze
 	haveLast bool
-	frozen   int      // remaining observations of an active freeze run
-	held     float64  // reorder hold-back slot
+	frozen   int     // remaining observations of an active freeze run
+	held     float64 // reorder hold-back slot
 	holding  bool
 	out      []float64 // scratch reused across Apply calls
 }

@@ -27,10 +27,10 @@ type Writer struct {
 	seq    uint64
 	err    error
 
-	buf    []byte                          // reused binary payload scratch
-	lenBuf [binary.MaxVarintLen64]byte     // reused length-prefix scratch
-	counts [maxKind + 1]uint64             // records written per kind
-	enc    *json.Encoder                   // JSONL codec only
+	buf    []byte                      // reused binary payload scratch
+	lenBuf [binary.MaxVarintLen64]byte // reused length-prefix scratch
+	counts [maxKind + 1]uint64         // records written per kind
+	enc    *json.Encoder               // JSONL codec only
 }
 
 // NewWriter returns a binary-codec writer and immediately writes the
@@ -90,8 +90,7 @@ func (jw *Writer) Record(r Record) {
 		return
 	}
 	r.Seq = jw.nextSeq(r.Kind)
-	if jw.format == FormatJSONL {
-		jw.err = jw.enc.Encode(r)
+	if jw.jsonl(r) {
 		return
 	}
 	b := jw.begin(r.Kind, r.Seq, r.Time)
@@ -105,8 +104,7 @@ func (jw *Writer) RepStart(t float64, rep int, seed, stream uint64) {
 		return
 	}
 	seq := jw.nextSeq(KindRepStart)
-	if jw.format == FormatJSONL {
-		jw.err = jw.enc.Encode(Record{Kind: KindRepStart, Seq: seq, Time: t, Rep: rep, Seed: seed, Stream: stream})
+	if jw.jsonl(Record{Kind: KindRepStart, Seq: seq, Time: t, Rep: rep, Seed: seed, Stream: stream}) {
 		return
 	}
 	b := jw.begin(KindRepStart, seq, t)
@@ -116,14 +114,17 @@ func (jw *Writer) RepStart(t float64, rep int, seed, stream uint64) {
 	jw.finish(b)
 }
 
-// Observe records one observation of the monitored metric.
+// Observe records one observation of the monitored metric. It sits on
+// the monitor's per-observation path and must stay allocation-free on
+// the binary codec.
+//
+//lint:hotpath
 func (jw *Writer) Observe(t, value float64) {
 	if jw.err != nil {
 		return
 	}
 	seq := jw.nextSeq(KindObserve)
-	if jw.format == FormatJSONL {
-		jw.err = jw.enc.Encode(Record{Kind: KindObserve, Seq: seq, Time: t, Value: value})
+	if jw.jsonl(Record{Kind: KindObserve, Seq: seq, Time: t, Value: value}) {
 		return
 	}
 	b := jw.begin(KindObserve, seq, t)
@@ -132,15 +133,17 @@ func (jw *Writer) Observe(t, value float64) {
 }
 
 // Decision records one evaluated detector decision together with the
-// internals snapshot taken immediately after the step.
+// internals snapshot taken immediately after the step. Like Observe it
+// is on the monitor's per-observation path.
+//
+//lint:hotpath
 func (jw *Writer) Decision(t float64, d core.Decision, in core.Internals, suppressed bool) {
 	if jw.err != nil {
 		return
 	}
 	r := DecisionRecord(t, d, in, suppressed)
 	r.Seq = jw.nextSeq(KindDecision)
-	if jw.format == FormatJSONL {
-		jw.err = jw.enc.Encode(r)
+	if jw.jsonl(r) {
 		return
 	}
 	b := jw.begin(KindDecision, r.Seq, t)
@@ -154,8 +157,7 @@ func (jw *Writer) Reset(t float64) {
 		return
 	}
 	seq := jw.nextSeq(KindReset)
-	if jw.format == FormatJSONL {
-		jw.err = jw.enc.Encode(Record{Kind: KindReset, Seq: seq, Time: t})
+	if jw.jsonl(Record{Kind: KindReset, Seq: seq, Time: t}) {
 		return
 	}
 	jw.finish(jw.begin(KindReset, seq, t))
@@ -168,8 +170,7 @@ func (jw *Writer) Rejuvenation(t float64, killed int) {
 		return
 	}
 	seq := jw.nextSeq(KindRejuvenation)
-	if jw.format == FormatJSONL {
-		jw.err = jw.enc.Encode(Record{Kind: KindRejuvenation, Seq: seq, Time: t, Killed: killed})
+	if jw.jsonl(Record{Kind: KindRejuvenation, Seq: seq, Time: t, Killed: killed}) {
 		return
 	}
 	b := jw.begin(KindRejuvenation, seq, t)
@@ -189,8 +190,7 @@ func (jw *Writer) gc(kind Kind, t, heapMB float64) {
 		return
 	}
 	seq := jw.nextSeq(kind)
-	if jw.format == FormatJSONL {
-		jw.err = jw.enc.Encode(Record{Kind: kind, Seq: seq, Time: t, HeapMB: heapMB})
+	if jw.jsonl(Record{Kind: kind, Seq: seq, Time: t, HeapMB: heapMB}) {
 		return
 	}
 	b := jw.begin(kind, seq, t)
@@ -205,8 +205,7 @@ func (jw *Writer) SimScheduled(t, at float64) {
 		return
 	}
 	seq := jw.nextSeq(KindSimScheduled)
-	if jw.format == FormatJSONL {
-		jw.err = jw.enc.Encode(Record{Kind: KindSimScheduled, Seq: seq, Time: t, EventTime: at})
+	if jw.jsonl(Record{Kind: KindSimScheduled, Seq: seq, Time: t, EventTime: at}) {
 		return
 	}
 	b := jw.begin(KindSimScheduled, seq, t)
@@ -226,8 +225,7 @@ func (jw *Writer) simPlain(kind Kind, t float64) {
 		return
 	}
 	seq := jw.nextSeq(kind)
-	if jw.format == FormatJSONL {
-		jw.err = jw.enc.Encode(Record{Kind: kind, Seq: seq, Time: t})
+	if jw.jsonl(Record{Kind: kind, Seq: seq, Time: t}) {
 		return
 	}
 	jw.finish(jw.begin(kind, seq, t))
@@ -243,8 +241,7 @@ func (jw *Writer) Fault(t float64, class string, value float64) {
 	}
 	class = clipClass(class)
 	seq := jw.nextSeq(KindFault)
-	if jw.format == FormatJSONL {
-		jw.err = jw.enc.Encode(Record{Kind: KindFault, Seq: seq, Time: t, Class: class, Value: value})
+	if jw.jsonl(Record{Kind: KindFault, Seq: seq, Time: t, Class: class, Value: value}) {
 		return
 	}
 	b := jw.begin(KindFault, seq, t)
@@ -259,8 +256,7 @@ func (jw *Writer) ActStart(t float64) {
 		return
 	}
 	seq := jw.nextSeq(KindActStart)
-	if jw.format == FormatJSONL {
-		jw.err = jw.enc.Encode(Record{Kind: KindActStart, Seq: seq, Time: t})
+	if jw.jsonl(Record{Kind: KindActStart, Seq: seq, Time: t}) {
 		return
 	}
 	jw.finish(jw.begin(KindActStart, seq, t))
@@ -275,9 +271,8 @@ func (jw *Writer) ActAttempt(t float64, attempt int, ok bool, backoff float64, e
 	}
 	errText = clipClass(errText)
 	seq := jw.nextSeq(KindActAttempt)
-	if jw.format == FormatJSONL {
-		jw.err = jw.enc.Encode(Record{Kind: KindActAttempt, Seq: seq, Time: t,
-			Attempt: attempt, OK: ok, Backoff: backoff, Class: errText})
+	if jw.jsonl(Record{Kind: KindActAttempt, Seq: seq, Time: t,
+		Attempt: attempt, OK: ok, Backoff: backoff, Class: errText}) {
 		return
 	}
 	b := jw.begin(KindActAttempt, seq, t)
@@ -300,14 +295,28 @@ func (jw *Writer) ActGiveUp(t float64, attempts int, errText string) {
 	}
 	errText = clipClass(errText)
 	seq := jw.nextSeq(KindActGiveUp)
-	if jw.format == FormatJSONL {
-		jw.err = jw.enc.Encode(Record{Kind: KindActGiveUp, Seq: seq, Time: t, Attempt: attempts, Class: errText})
+	if jw.jsonl(Record{Kind: KindActGiveUp, Seq: seq, Time: t, Attempt: attempts, Class: errText}) {
 		return
 	}
 	b := jw.begin(KindActGiveUp, seq, t)
 	b = binary.AppendUvarint(b, uint64(attempts))
 	b = appendString(b, errText)
 	jw.finish(b)
+}
+
+// jsonl encodes r on the JSONL debug codec and reports whether the
+// record was consumed there. The binary emitters call it first and fall
+// through to the allocation-free scratch-buffer path when it declines.
+// Encoding boxes the record and allocates; that is the price of the
+// debug codec, paid in exactly one place.
+//
+//lint:allow hotpath the JSONL debug codec boxes one record per line by design
+func (jw *Writer) jsonl(r Record) bool {
+	if jw.format != FormatJSONL {
+		return false
+	}
+	jw.err = jw.enc.Encode(r)
+	return true
 }
 
 // clipClass truncates a class/error string to the codec bound.
@@ -328,6 +337,8 @@ func (jw *Writer) nextSeq(k Kind) uint64 {
 
 // begin starts a binary record payload in the reused scratch buffer:
 // kind byte, uvarint seq, float64 time.
+//
+//lint:allow hotpath appends into the reused scratch buffer; growth amortizes to zero (pinned by TestWriterObserveDoesNotAllocate)
 func (jw *Writer) begin(kind Kind, seq uint64, t float64) []byte {
 	b := jw.buf[:0]
 	b = append(b, byte(kind))
@@ -385,6 +396,8 @@ const (
 // sample size, sample fill, statistic. This is the byte stream the
 // replay verifier compares, so its layout is part of the determinism
 // contract (DESIGN §10).
+//
+//lint:allow hotpath appends into the caller's reused scratch buffer; growth amortizes to zero
 func appendDecisionFields(b []byte, r *Record) []byte {
 	var flags byte
 	if r.Evaluated {
@@ -449,6 +462,8 @@ func appendPayload(b []byte, r *Record) []byte {
 }
 
 // appendString appends a length-prefixed string.
+//
+//lint:allow hotpath appends into the caller's reused scratch buffer; growth amortizes to zero
 func appendString(b []byte, s string) []byte {
 	b = binary.AppendUvarint(b, uint64(len(s)))
 	return append(b, s...)

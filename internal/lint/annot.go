@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"regexp"
+	"strings"
+)
+
+// This file parses the three annotation grammars the interprocedural
+// analyzers read. The parsers are pure string functions so the fuzz
+// smoke (FuzzAnnotationGrammar) can drive them directly; placement
+// validation lives with the analyzers that own each grammar.
+//
+//	//lint:hotpath                 root annotation on a func declaration
+//	//lint:holds <field>           method runs with <field> already held
+//	// ... guarded by <field> ...  struct field annotation for lockguard
+const (
+	hotpathPrefix = "//lint:hotpath"
+	holdsPrefix   = "//lint:holds"
+)
+
+// parseHotpath classifies a comment as a hotpath directive. ok is false
+// for a malformed directive (trailing fields: the annotation is bare by
+// design, reasons belong on //lint:allow suppressions).
+func parseHotpath(text string) (isDirective, ok bool) {
+	if !strings.HasPrefix(text, hotpathPrefix) {
+		return false, false
+	}
+	rest := strings.TrimPrefix(text, hotpathPrefix)
+	if len(rest) > 0 && !isCommentSpace(rest[0]) {
+		return false, false // some other //lint:hotpathXXX token; not ours
+	}
+	return true, strings.TrimSpace(rest) == ""
+}
+
+// parseHolds extracts the mutex field name from a //lint:holds
+// directive. ok is false when the directive does not name exactly one
+// identifier.
+func parseHolds(text string) (field string, isDirective, ok bool) {
+	if !strings.HasPrefix(text, holdsPrefix) {
+		return "", false, false
+	}
+	rest := strings.TrimPrefix(text, holdsPrefix)
+	if len(rest) > 0 && !isCommentSpace(rest[0]) {
+		return "", false, false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) != 1 || !isIdent(fields[0]) {
+		return "", true, false
+	}
+	return fields[0], true, true
+}
+
+// guardedByRE matches the lockguard field annotation inside an ordinary
+// comment: "guarded by <identifier>".
+var guardedByRE = regexp.MustCompile(`\bguarded by ([A-Za-z_][A-Za-z0-9_]*)`)
+
+// parseGuardedBy extracts the mutex field name from a struct field
+// comment, or ok=false when the comment carries no guard annotation.
+func parseGuardedBy(text string) (field string, ok bool) {
+	m := guardedByRE.FindStringSubmatch(text)
+	if m == nil {
+		return "", false
+	}
+	return m[1], true
+}
+
+// isCommentSpace reports whether c separates a directive token from its
+// arguments.
+func isCommentSpace(c byte) bool { return c == ' ' || c == '\t' }
+
+// isIdent reports whether s is a plain Go identifier (ASCII form, which
+// is all the annotation grammar admits).
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '_', 'a' <= c && c <= 'z', 'A' <= c && c <= 'Z':
+		case '0' <= c && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,65 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzAnnotationGrammar drives the pure annotation parsers with
+// arbitrary comment text and checks their structural invariants: a
+// parse that claims success must have produced a well-formed result,
+// and directive classification must agree with the raw prefix.
+func FuzzAnnotationGrammar(f *testing.F) {
+	for _, seed := range []string{
+		"//lint:hotpath",
+		"//lint:hotpath extra words",
+		"//lint:hotpathy",
+		"//lint:holds mu",
+		"//lint:holds",
+		"//lint:holds mu extra",
+		"//lint:holds 0bad",
+		"// guarded by mu",
+		"// guarded by mu; see DESIGN §13",
+		"// shared state, guarded by rw",
+		"// guarded by",
+		"//lint:allow hotpath ring is preallocated",
+		"// plain comment",
+		"",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		isDir, ok := parseHotpath(text)
+		if ok && !isDir {
+			t.Fatalf("parseHotpath(%q): ok without isDirective", text)
+		}
+		if isDir && !strings.HasPrefix(text, hotpathPrefix) {
+			t.Fatalf("parseHotpath(%q): directive without prefix", text)
+		}
+		if ok && strings.TrimSpace(strings.TrimPrefix(text, hotpathPrefix)) != "" {
+			t.Fatalf("parseHotpath(%q): accepted trailing arguments", text)
+		}
+
+		field, isDir, ok := parseHolds(text)
+		if ok && !isDir {
+			t.Fatalf("parseHolds(%q): ok without isDirective", text)
+		}
+		if isDir && !strings.HasPrefix(text, holdsPrefix) {
+			t.Fatalf("parseHolds(%q): directive without prefix", text)
+		}
+		if ok && !isIdent(field) {
+			t.Fatalf("parseHolds(%q): accepted non-identifier field %q", text, field)
+		}
+		if !ok && field != "" {
+			t.Fatalf("parseHolds(%q): field %q without ok", text, field)
+		}
+
+		gfield, gok := parseGuardedBy(text)
+		if gok && !isIdent(gfield) {
+			t.Fatalf("parseGuardedBy(%q): accepted non-identifier field %q", text, gfield)
+		}
+		if gok != strings.Contains(text, "guarded by "+gfield) && gok {
+			t.Fatalf("parseGuardedBy(%q): extracted %q not present in text", text, gfield)
+		}
+	})
+}

@@ -25,6 +25,8 @@ var goldenCases = []struct {
 	{"allow", "rejuv/internal/golden/allow", []string{"floatcmp"}},
 	{"doccomment", "rejuv/internal/golden/doccomment", []string{"doccomment"}},
 	{"doccomment_nopkg", "rejuv/internal/golden/nopkg", []string{"doccomment"}},
+	{"hotpath", "rejuv/internal/golden/hotpath", []string{"hotpath"}},
+	{"lockguard", "rejuv/internal/golden/lockguard", []string{"lockguard"}},
 }
 
 // TestGolden checks every analyzer against its testdata package: each

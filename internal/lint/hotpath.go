@@ -1,0 +1,416 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// HotpathAnalyzer enforces the allocation contract of the observe and
+// decision paths: a function annotated //lint:hotpath is a root, and no
+// allocation site may be reachable from a root through the call graph.
+// The monitoring loop runs once per observation across the whole fleet;
+// an allocation there is a GC tax multiplied by millions of streams, so
+// the contract is enforced at build time and cross-checked by the
+// AllocsPerRun pins (DESIGN §13).
+//
+// Reported sites: make/new, append, composite literals that allocate
+// (&T{}, slice and map literals), boxing into interface types, closures
+// (and deferred closures, and defer inside loops), string↔[]byte
+// conversions, fmt.* calls, map iteration, and go statements. Plain
+// `defer x.y()` outside loops is deliberately not reported: Go open-
+// codes it and it costs no allocation.
+//
+// Calls through function values and through interfaces defined outside
+// the tree are not traversed; interface calls through tree-defined
+// interfaces fan out to every implementation. Sites are suppressed per
+// line — or per function, with the directive on the declaration — via
+//
+//	//lint:allow hotpath <reason>
+var HotpathAnalyzer = &Analyzer{
+	Name:    "hotpath",
+	Doc:     "forbid allocation sites reachable from //lint:hotpath roots",
+	RunTree: runHotpath,
+}
+
+func runHotpath(t *Tree) []Diagnostic {
+	g := t.CallGraph()
+	roots, diags := hotpathRoots(t, g)
+	if len(roots) == 0 {
+		return diags
+	}
+	reached := g.Reachable(roots)
+	nodes := make([]*FuncNode, 0, len(reached))
+	for n := range reached {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Fn.FullName() < nodes[j].Fn.FullName() })
+	for _, n := range nodes {
+		s := &hotScanner{t: t, node: n, chain: chainString(t, reached, n)}
+		s.scan()
+		diags = append(diags, s.diags...)
+	}
+	return diags
+}
+
+// hotpathRoots collects the annotated root functions and validates
+// directive placement: the annotation must sit in the doc comment of a
+// function declaration that has a body.
+func hotpathRoots(t *Tree, g *CallGraph) ([]*FuncNode, []Diagnostic) {
+	var roots []*FuncNode
+	var diags []Diagnostic
+	for _, p := range t.Pkgs {
+		for _, f := range p.Files {
+			owner := make(map[*ast.Comment]*ast.FuncDecl)
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Doc == nil {
+					continue
+				}
+				for _, c := range fd.Doc.List {
+					owner[c] = fd
+				}
+			}
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					isDir, ok := parseHotpath(c.Text)
+					if !isDir {
+						continue
+					}
+					switch fd := owner[c]; {
+					case !ok:
+						diags = append(diags, p.diagf(c.Pos(), "hotpath",
+							"malformed //lint:hotpath: the annotation takes no arguments"))
+					case fd == nil:
+						diags = append(diags, p.diagf(c.Pos(), "hotpath",
+							"misplaced //lint:hotpath: it must appear in the doc comment of a function declaration"))
+					case fd.Body == nil:
+						diags = append(diags, p.diagf(c.Pos(), "hotpath",
+							"//lint:hotpath on a function without a body"))
+					default:
+						fn, okFn := p.Info.Defs[fd.Name].(*types.Func)
+						if !okFn {
+							continue // type-check failure; degrade gracefully
+						}
+						if node, okNode := g.Nodes[fn]; okNode {
+							roots = append(roots, node)
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].Fn.FullName() < roots[j].Fn.FullName() })
+	return roots, diags
+}
+
+// chainString renders the shortest root→function chain for diagnostics,
+// eliding the middle of very deep chains.
+func chainString(t *Tree, reached map[*FuncNode]reachStep, n *FuncNode) string {
+	nodes := path(reached, n)
+	names := make([]string, len(nodes))
+	for i, fn := range nodes {
+		names[i] = t.shortName(fn.Fn.FullName())
+	}
+	if len(names) > 6 {
+		names = append(names[:3], append([]string{"…"}, names[len(names)-2:]...)...)
+	}
+	if len(names) == 1 {
+		return "hot path root " + names[0]
+	}
+	return "hot path " + strings.Join(names, " → ")
+}
+
+// hotScanner walks one reachable function body and reports every
+// allocation site.
+type hotScanner struct {
+	t     *Tree
+	node  *FuncNode
+	chain string
+	diags []Diagnostic
+
+	loops     []span // body ranges of for/range statements
+	deferred  map[*ast.FuncLit]bool
+	addressed map[*ast.CompositeLit]bool
+	funcLits  []*ast.FuncLit // innermost-signature resolution for returns
+}
+
+// span is a half-open position interval.
+type span struct{ lo, hi token.Pos }
+
+func (s span) contains(p token.Pos) bool { return s.lo <= p && p < s.hi }
+
+func (s *hotScanner) flag(pos token.Pos, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	s.diags = append(s.diags, s.node.Pkg.diagf(pos, "hotpath", "%s (%s)", msg, s.chain))
+}
+
+// scan runs the two passes: context collection, then site detection.
+func (s *hotScanner) scan() {
+	s.deferred = make(map[*ast.FuncLit]bool)
+	s.addressed = make(map[*ast.CompositeLit]bool)
+	body := s.node.Decl.Body
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.ForStmt:
+			if x.Body != nil {
+				s.loops = append(s.loops, span{x.Body.Pos(), x.Body.End()})
+			}
+		case *ast.RangeStmt:
+			if x.Body != nil {
+				s.loops = append(s.loops, span{x.Body.Pos(), x.Body.End()})
+			}
+		case *ast.DeferStmt:
+			if fl, ok := x.Call.Fun.(*ast.FuncLit); ok {
+				s.deferred[fl] = true
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if cl, ok := ast.Unparen(x.X).(*ast.CompositeLit); ok {
+					s.addressed[cl] = true
+				}
+			}
+		case *ast.FuncLit:
+			s.funcLits = append(s.funcLits, x)
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		s.visit(n)
+		return true
+	})
+}
+
+func (s *hotScanner) inLoop(pos token.Pos) bool {
+	for _, l := range s.loops {
+		if l.contains(pos) {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *hotScanner) visit(n ast.Node) {
+	info := s.node.Pkg.Info
+	switch x := n.(type) {
+	case *ast.DeferStmt:
+		if _, ok := x.Call.Fun.(*ast.FuncLit); ok {
+			s.flag(x.Pos(), "deferred closure allocates")
+		} else if s.inLoop(x.Pos()) {
+			s.flag(x.Pos(), "defer inside a loop allocates per iteration")
+		}
+	case *ast.FuncLit:
+		if !s.deferred[x] {
+			s.flag(x.Pos(), "function literal allocates a closure")
+		}
+	case *ast.GoStmt:
+		s.flag(x.Pos(), "go statement allocates a goroutine")
+	case *ast.RangeStmt:
+		if t := info.TypeOf(x.X); t != nil {
+			if _, ok := t.Underlying().(*types.Map); ok {
+				s.flag(x.For, "map iteration on the hot path is unordered and unpredictable")
+			}
+		}
+	case *ast.CompositeLit:
+		if s.addressed[x] {
+			s.flag(x.Pos(), "&composite literal escapes to the heap")
+			return
+		}
+		if t := info.TypeOf(x); t != nil {
+			switch t.Underlying().(type) {
+			case *types.Slice:
+				s.flag(x.Pos(), "slice literal allocates")
+			case *types.Map:
+				s.flag(x.Pos(), "map literal allocates")
+			}
+		}
+	case *ast.CallExpr:
+		s.visitCall(x)
+	case *ast.AssignStmt:
+		if x.Tok != token.ASSIGN || len(x.Lhs) != len(x.Rhs) {
+			return
+		}
+		for i := range x.Lhs {
+			s.checkBox(info.TypeOf(x.Lhs[i]), x.Rhs[i], "assignment")
+		}
+	case *ast.ValueSpec:
+		if x.Type == nil || len(x.Names) != len(x.Values) {
+			return
+		}
+		dst := info.TypeOf(x.Type)
+		for _, v := range x.Values {
+			s.checkBox(dst, v, "declaration")
+		}
+	case *ast.ReturnStmt:
+		sig := s.enclosingSignature(x.Pos())
+		if sig == nil || sig.Results().Len() != len(x.Results) {
+			return
+		}
+		for i, r := range x.Results {
+			s.checkBox(sig.Results().At(i).Type(), r, "return")
+		}
+	}
+}
+
+// visitCall classifies one call expression: conversion, builtin,
+// fmt call, or ordinary call whose arguments may box.
+func (s *hotScanner) visitCall(call *ast.CallExpr) {
+	info := s.node.Pkg.Info
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		s.checkConversion(call, tv.Type)
+		return
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				s.flag(call.Pos(), "make allocates")
+			case "new":
+				s.flag(call.Pos(), "new allocates")
+			case "append":
+				s.flag(call.Pos(), "append may grow and allocate")
+			}
+			return
+		}
+	}
+	if fn := calleeFunc(s.node.Pkg, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		s.flag(call.Pos(), "fmt.%s allocates and formats", fn.Name())
+		return // the fmt report covers the boxed arguments too
+	}
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	s.checkArgBoxing(call, sig)
+}
+
+// checkConversion flags string↔[]byte conversions, which copy.
+func (s *hotScanner) checkConversion(call *ast.CallExpr, dst types.Type) {
+	if len(call.Args) != 1 {
+		return
+	}
+	src := s.node.Pkg.Info.TypeOf(call.Args[0])
+	if src == nil {
+		return
+	}
+	if isString(dst) && isByteSlice(src) {
+		s.flag(call.Pos(), "[]byte→string conversion copies and allocates")
+	}
+	if isByteSlice(dst) && isString(src) {
+		s.flag(call.Pos(), "string→[]byte conversion copies and allocates")
+	}
+}
+
+// checkArgBoxing flags arguments whose concrete values are boxed into
+// interface parameters.
+func (s *hotScanner) checkArgBoxing(call *ast.CallExpr, sig *types.Signature) {
+	params := sig.Params()
+	n := params.Len()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= n-1:
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through, no per-element boxing
+			}
+			slice, ok := params.At(n - 1).Type().(*types.Slice)
+			if !ok {
+				continue
+			}
+			pt = slice.Elem()
+		case i < n:
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		s.checkBox(pt, arg, "argument")
+	}
+}
+
+// checkBox reports expr when assigning it to dst boxes a concrete value
+// into an interface. Pointer-shaped values (pointers, channels, maps,
+// funcs) fit the interface word and do not allocate.
+func (s *hotScanner) checkBox(dst types.Type, expr ast.Expr, what string) {
+	if dst == nil || !types.IsInterface(dst) {
+		return
+	}
+	tv, ok := s.node.Pkg.Info.Types[expr]
+	if !ok || tv.IsNil() {
+		return
+	}
+	src := tv.Type
+	if src == nil || types.IsInterface(src) {
+		return
+	}
+	switch src.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return
+	}
+	s.flag(expr.Pos(), "%s boxes %s into %s and allocates", what,
+		s.t.shortName(src.String()), s.t.shortName(dst.String()))
+}
+
+// enclosingSignature resolves which function a return statement belongs
+// to: the innermost function literal containing it, or the declaration.
+func (s *hotScanner) enclosingSignature(pos token.Pos) *types.Signature {
+	var best *ast.FuncLit
+	for _, fl := range s.funcLits {
+		if fl.Pos() <= pos && pos < fl.End() {
+			if best == nil || fl.Pos() > best.Pos() {
+				best = fl
+			}
+		}
+	}
+	info := s.node.Pkg.Info
+	if best != nil {
+		if sig, ok := info.TypeOf(best).(*types.Signature); ok {
+			return sig
+		}
+		return nil
+	}
+	if sig, ok := s.node.Fn.Type().(*types.Signature); ok {
+		return sig
+	}
+	return nil
+}
+
+// calleeFunc resolves the called function object of an ordinary call,
+// or nil for builtins, conversions, and function values.
+func calleeFunc(p *Package, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := p.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel, ok := p.Info.Selections[fun]; ok {
+			fn, _ := sel.Obj().(*types.Func)
+			return fn
+		}
+		fn, _ := p.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// isString reports whether t's underlying type is string.
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isByteSlice reports whether t's underlying type is []byte.
+func isByteSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}

@@ -6,13 +6,21 @@
 // ==/!=, errors must not be dropped silently, and nothing that feeds the
 // results/ artifacts may depend on map iteration order.
 //
+// Two interprocedural rules enforce the runtime contracts on top of
+// that: hotpath forbids allocation sites reachable from //lint:hotpath
+// roots through a shared call graph, and lockguard checks "guarded by"
+// field annotations against a per-function lock-state flow. All rules
+// share one type-checked load and one call graph per invocation.
+//
 // A finding can be suppressed per line with a justification comment:
 //
 //	//lint:allow <rule> <reason>
 //
 // placed either at the end of the offending line or on the line directly
-// above it. The reason is mandatory; a malformed, unknown, or unused
-// directive is itself reported (rule "lint") so suppressions cannot rot.
+// above it; placed in a function's doc comment (or on its declaration
+// line) it covers the whole function. The reason is mandatory; a
+// malformed, unknown, or unused directive is itself reported (rule
+// "lint") so suppressions cannot rot.
 package lint
 
 import (
@@ -35,14 +43,19 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Rule, d.Message)
 }
 
-// Analyzer is one named rule over a type-checked package.
+// Analyzer is one named rule. Per-package rules implement Run;
+// whole-tree rules (which need the call graph) implement RunTree.
+// Exactly one of the two should be set.
 type Analyzer struct {
 	// Name is the rule identifier used in output and in //lint:allow.
 	Name string
 	// Doc is a one-line description for -list output.
 	Doc string
-	// Run reports every finding in the package, pre-suppression.
+	// Run reports every finding in one package, pre-suppression.
 	Run func(p *Package) []Diagnostic
+	// RunTree reports every finding across the whole tree,
+	// pre-suppression.
+	RunTree func(t *Tree) []Diagnostic
 }
 
 // Analyzers returns the full rule registry in stable order.
@@ -54,6 +67,8 @@ func Analyzers() []*Analyzer {
 		MapIterAnalyzer,
 		SeedFlowAnalyzer,
 		DocCommentAnalyzer,
+		HotpathAnalyzer,
+		LockGuardAnalyzer,
 	}
 }
 
@@ -93,6 +108,12 @@ func (p *Package) diagf(pos token.Pos, rule, format string, args ...any) Diagnos
 // suppressions, validates the directives themselves, and returns all
 // surviving findings sorted by position.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	return Analyze(NewTree(pkgs), analyzers)
+}
+
+// Analyze is Run for a pre-built Tree, letting callers that also want
+// call-graph statistics (cmd/rejuvlint -v) share the same artifacts.
+func Analyze(t *Tree, analyzers []*Analyzer) []Diagnostic {
 	selected := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
 		selected[a.Name] = true
@@ -107,30 +128,52 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		known[name] = true
 	}
 
+	// One shared directive index across the whole tree: interprocedural
+	// analyzers report sites in packages other than the one holding the
+	// root annotation, and the suppression must sit next to the site.
+	allows := newAllowIndex()
 	var out []Diagnostic
-	for _, p := range pkgs {
-		allows, directiveDiags := collectAllows(p, known)
-		out = append(out, directiveDiags...)
+	for _, p := range t.Pkgs {
+		out = append(out, allows.collect(p, known)...)
+	}
+
+	emit := func(ds []Diagnostic) {
+		for _, d := range ds {
+			if allows.suppress(d) {
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+	for _, p := range t.Pkgs {
 		for _, a := range analyzers {
-			for _, d := range a.Run(p) {
-				if allows.suppress(d) {
-					continue
-				}
-				out = append(out, d)
+			if a.Run != nil {
+				emit(a.Run(p))
 			}
 		}
-		// An allow for a selected rule that never fired is dead weight
-		// (or a typo'd line) and must be removed.
-		for _, dir := range allows.all {
-			if selected[dir.rule] && !dir.used {
-				out = append(out, Diagnostic{
-					Pos:  dir.pos,
-					Rule: directiveRule,
-					Message: fmt.Sprintf("unnecessary //lint:allow %s: no %s finding on this or the next line",
-						dir.rule, dir.rule),
-				})
-			}
+	}
+	for _, a := range analyzers {
+		if a.RunTree != nil {
+			emit(a.RunTree(t))
 		}
+	}
+
+	// An allow for a selected rule that never fired is dead weight
+	// (or a typo'd line) and must be removed.
+	for _, dir := range allows.all {
+		if !selected[dir.rule] || dir.used {
+			continue
+		}
+		where := "on this or the next line"
+		if dir.span {
+			where = "in this function"
+		}
+		out = append(out, Diagnostic{
+			Pos:  dir.pos,
+			Rule: directiveRule,
+			Message: fmt.Sprintf("unnecessary //lint:allow %s: no %s finding %s",
+				dir.rule, dir.rule, where),
+		})
 	}
 	sortDiagnostics(out)
 	return out
@@ -148,6 +191,9 @@ func sortDiagnostics(ds []Diagnostic) {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Rule < b.Rule
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
 	})
 }

@@ -1,0 +1,748 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockGuardAnalyzer enforces the lock discipline declared in struct
+// field comments. A field annotated
+//
+//	stats monitorStats // guarded by mu
+//
+// must only be read while mu is held (Lock or RLock) and only written
+// while mu is write-held (Lock), where mu is a sibling sync.Mutex or
+// sync.RWMutex field. Methods that run with the lock already held by
+// the caller declare it:
+//
+//	//lint:holds mu
+//
+// which both seeds the method's entry state and makes every call site
+// prove it holds the lock.
+//
+// The analysis is an intraprocedural lock-state flow over each function
+// body: Lock/RLock set the state, Unlock/RUnlock clear it, a deferred
+// unlock keeps the lock held to the end of the function, branches join
+// by intersection (a branch that returns or panics does not constrain
+// the join), and loop bodies are entered with the loop-entry state.
+// Guarded fields reached through anything but a simple identifier base
+// (m.stats, not get().stats) and values that are provably fresh locals
+// (initialized from a composite literal or new in the same function)
+// are out of scope — see DESIGN §13 for the conservatism list.
+var LockGuardAnalyzer = &Analyzer{
+	Name: "lockguard",
+	Doc:  "guarded struct fields must be accessed under their declared mutex",
+	Run:  runLockGuard,
+}
+
+// guardInfo describes one guarded struct field.
+type guardInfo struct {
+	mu string // sibling mutex field name
+}
+
+// lockMode is how strongly a mutex is held on the current path.
+type lockMode int
+
+const (
+	modeRead  lockMode = iota + 1 // RLock held
+	modeWrite                     // Lock held
+)
+
+// lockState maps "base.mutex" keys to how they are held.
+type lockState map[string]lockMode
+
+func (st lockState) clone() lockState {
+	out := make(lockState, len(st))
+	for k, v := range st {
+		out[k] = v
+	}
+	return out
+}
+
+// intersect keeps only locks held in both states, at the weaker mode.
+func intersect(a, b lockState) lockState {
+	out := make(lockState)
+	for k, va := range a {
+		if vb, ok := b[k]; ok {
+			if vb < va {
+				out[k] = vb
+			} else {
+				out[k] = va
+			}
+		}
+	}
+	return out
+}
+
+func runLockGuard(p *Package) []Diagnostic {
+	w := &lockWalker{
+		p:      p,
+		guards: make(map[*types.Var]guardInfo),
+		holds:  make(map[*types.Func]string),
+	}
+	w.collectGuards()
+	w.collectHolds()
+	if len(w.guards) == 0 && len(w.holds) == 0 {
+		return w.diags
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w.checkFunc(fd)
+		}
+	}
+	return w.diags
+}
+
+// lockWalker carries the per-package annotation tables and findings.
+type lockWalker struct {
+	p      *Package
+	guards map[*types.Var]guardInfo // guarded field -> its guard
+	holds  map[*types.Func]string   // method -> mutex field held on entry
+	fresh  map[*types.Var]bool      // per-function: provably unshared locals
+	diags  []Diagnostic
+}
+
+func (w *lockWalker) diagf(pos token.Pos, format string, args ...any) {
+	w.diags = append(w.diags, w.p.diagf(pos, "lockguard", format, args...))
+}
+
+// collectGuards parses every "guarded by <field>" struct field comment
+// and validates that the named sibling exists and is a mutex.
+func (w *lockWalker) collectGuards() {
+	for _, f := range w.p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			w.collectStructGuards(ts.Name.Name, st)
+			return true
+		})
+	}
+}
+
+func (w *lockWalker) collectStructGuards(typeName string, st *ast.StructType) {
+	// Mutex siblings, resolved first so guards can validate against them.
+	mutexFields := make(map[string]bool)
+	for _, field := range st.Fields.List {
+		if t := w.p.Info.TypeOf(field.Type); t != nil && isMutexType(t) {
+			for _, name := range field.Names {
+				mutexFields[name.Name] = true
+			}
+		}
+	}
+	for _, field := range st.Fields.List {
+		text := fieldComment(field)
+		if text == "" {
+			continue
+		}
+		mu, ok := parseGuardedBy(text)
+		if !ok {
+			continue
+		}
+		if len(field.Names) == 0 {
+			w.diagf(field.Pos(), "\"guarded by %s\" on an embedded field of %s is not supported; name the field", mu, typeName)
+			continue
+		}
+		if !mutexFields[mu] {
+			found := false
+			for _, other := range st.Fields.List {
+				for _, name := range other.Names {
+					if name.Name == mu {
+						found = true
+					}
+				}
+			}
+			if found {
+				w.diagf(field.Pos(), "field %s is guarded by %s, but %s.%s is not a sync.Mutex or sync.RWMutex",
+					field.Names[0].Name, mu, typeName, mu)
+			} else {
+				w.diagf(field.Pos(), "field %s is guarded by %s, but struct %s has no field %s",
+					field.Names[0].Name, mu, typeName, mu)
+			}
+			continue
+		}
+		for _, name := range field.Names {
+			if fv, ok := w.p.Info.Defs[name].(*types.Var); ok {
+				w.guards[fv] = guardInfo{mu: mu}
+			}
+		}
+	}
+}
+
+// collectHolds parses //lint:holds directives from function doc
+// comments and validates their placement.
+func (w *lockWalker) collectHolds() {
+	for _, f := range w.p.Files {
+		owner := make(map[*ast.Comment]*ast.FuncDecl)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				owner[c] = fd
+			}
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				field, isDir, ok := parseHolds(c.Text)
+				if !isDir {
+					continue
+				}
+				if !ok {
+					w.diagf(c.Pos(), "malformed //lint:holds: want \"//lint:holds <mutex field>\"")
+					continue
+				}
+				fd := owner[c]
+				if fd == nil || fd.Recv == nil || len(fd.Recv.List) == 0 {
+					w.diagf(c.Pos(), "misplaced //lint:holds: it must appear in the doc comment of a method")
+					continue
+				}
+				fn, okFn := w.p.Info.Defs[fd.Name].(*types.Func)
+				if !okFn {
+					continue // type-check failure; degrade gracefully
+				}
+				recvStruct := receiverStruct(fn)
+				if recvStruct == nil || !structHasMutexField(recvStruct, field) {
+					w.diagf(c.Pos(), "//lint:holds %s: receiver type of %s has no mutex field %s",
+						field, fd.Name.Name, field)
+					continue
+				}
+				w.holds[fn] = field
+			}
+		}
+	}
+}
+
+// checkFunc runs the lock-state flow over one declared function.
+func (w *lockWalker) checkFunc(fd *ast.FuncDecl) {
+	w.fresh = make(map[*types.Var]bool)
+	entry := make(lockState)
+	if fn, ok := w.p.Info.Defs[fd.Name].(*types.Func); ok {
+		if field, ok := w.holds[fn]; ok {
+			if recv := receiverName(fd); recv != "" {
+				entry[recv+"."+field] = modeWrite
+			}
+		}
+	}
+	w.stmt(fd.Body, entry)
+}
+
+// stmt interprets one statement, returning the exit state and whether
+// the statement always terminates the function (return/panic).
+func (w *lockWalker) stmt(s ast.Stmt, st lockState) (lockState, bool) {
+	switch x := s.(type) {
+	case nil:
+		return st, false
+	case *ast.BlockStmt:
+		for _, inner := range x.List {
+			var term bool
+			st, term = w.stmt(inner, st)
+			if term {
+				return st, true
+			}
+		}
+		return st, false
+	case *ast.ExprStmt:
+		if key, mode, isEvent := w.lockEvent(x.X); isEvent {
+			if mode == 0 {
+				delete(st, key)
+			} else {
+				st[key] = mode
+			}
+			return st, false
+		}
+		w.checkExprs(x.X, st, nil)
+		if call, ok := x.X.(*ast.CallExpr); ok && isPanicCall(w.p, call) {
+			return st, true
+		}
+		return st, false
+	case *ast.DeferStmt:
+		if _, mode, isEvent := w.lockEvent(x.Call); isEvent && mode == 0 {
+			// Deferred unlock: the lock stays held to function exit.
+			return st, false
+		}
+		if fl, ok := x.Call.Fun.(*ast.FuncLit); ok {
+			// The deferred closure runs at return; approximate its lock
+			// context with the state at registration.
+			w.stmt(fl.Body, st.clone())
+			for _, arg := range x.Call.Args {
+				w.checkExprs(arg, st, nil)
+			}
+			return st, false
+		}
+		w.checkExprs(x.Call, st, nil)
+		return st, false
+	case *ast.GoStmt:
+		if fl, ok := x.Call.Fun.(*ast.FuncLit); ok {
+			// A spawned goroutine holds nothing, whatever the parent holds.
+			w.stmt(fl.Body, make(lockState))
+			for _, arg := range x.Call.Args {
+				w.checkExprs(arg, st, nil)
+			}
+			return st, false
+		}
+		w.checkExprs(x.Call, st, nil)
+		return st, false
+	case *ast.AssignStmt:
+		writes := make(map[*ast.SelectorExpr]bool)
+		for _, lhs := range x.Lhs {
+			if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok {
+				writes[sel] = true
+			}
+		}
+		for _, rhs := range x.Rhs {
+			w.checkExprs(rhs, st, nil)
+		}
+		for _, lhs := range x.Lhs {
+			w.checkExprs(lhs, st, writes)
+		}
+		w.registerFresh(x)
+		return st, false
+	case *ast.IncDecStmt:
+		writes := make(map[*ast.SelectorExpr]bool)
+		if sel, ok := ast.Unparen(x.X).(*ast.SelectorExpr); ok {
+			writes[sel] = true
+		}
+		w.checkExprs(x.X, st, writes)
+		return st, false
+	case *ast.DeclStmt:
+		gd, ok := x.Decl.(*ast.GenDecl)
+		if !ok {
+			return st, false
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, v := range vs.Values {
+				w.checkExprs(v, st, nil)
+			}
+			w.registerFreshSpec(vs)
+		}
+		return st, false
+	case *ast.ReturnStmt:
+		for _, r := range x.Results {
+			w.checkExprs(r, st, nil)
+		}
+		return st, true
+	case *ast.IfStmt:
+		st, _ = w.stmt(x.Init, st)
+		w.checkExprs(x.Cond, st, nil)
+		thenExit, thenTerm := w.stmt(x.Body, st.clone())
+		elseEntry := st.clone()
+		elseExit, elseTerm := elseEntry, false
+		if x.Else != nil {
+			elseExit, elseTerm = w.stmt(x.Else, elseEntry)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return st, true
+		case thenTerm:
+			return elseExit, false
+		case elseTerm:
+			return thenExit, false
+		default:
+			return intersect(thenExit, elseExit), false
+		}
+	case *ast.ForStmt:
+		st, _ = w.stmt(x.Init, st)
+		if x.Cond != nil {
+			w.checkExprs(x.Cond, st, nil)
+		}
+		bodyExit, _ := w.stmt(x.Body, st.clone())
+		bodyExit, _ = w.stmt(x.Post, bodyExit)
+		if x.Cond == nil {
+			// for{}: the loop only exits via break; keep the entry state.
+			return st, false
+		}
+		return intersect(st, bodyExit), false
+	case *ast.RangeStmt:
+		w.checkExprs(x.X, st, nil)
+		if x.Key != nil {
+			w.checkExprs(x.Key, st, selWrites(x.Key))
+		}
+		if x.Value != nil {
+			w.checkExprs(x.Value, st, selWrites(x.Value))
+		}
+		bodyExit, _ := w.stmt(x.Body, st.clone())
+		return intersect(st, bodyExit), false
+	case *ast.SwitchStmt:
+		st, _ = w.stmt(x.Init, st)
+		if x.Tag != nil {
+			w.checkExprs(x.Tag, st, nil)
+		}
+		return w.clauses(x.Body, st)
+	case *ast.TypeSwitchStmt:
+		st, _ = w.stmt(x.Init, st)
+		st, _ = w.stmt(x.Assign, st)
+		return w.clauses(x.Body, st)
+	case *ast.SelectStmt:
+		return w.clauses(x.Body, st)
+	case *ast.LabeledStmt:
+		return w.stmt(x.Stmt, st)
+	case *ast.SendStmt:
+		w.checkExprs(x.Chan, st, nil)
+		w.checkExprs(x.Value, st, nil)
+		return st, false
+	case *ast.BranchStmt, *ast.EmptyStmt:
+		return st, false
+	default:
+		w.checkNode(s, st)
+		return st, false
+	}
+}
+
+// clauses joins the case/comm clauses of a switch or select body.
+func (w *lockWalker) clauses(body *ast.BlockStmt, st lockState) (lockState, bool) {
+	var exits []lockState
+	hasDefault := false
+	for _, cs := range body.List {
+		var stmts []ast.Stmt
+		switch c := cs.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			for _, e := range c.List {
+				w.checkExprs(e, st, nil)
+			}
+			stmts = c.Body
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			}
+			clauseSt := st.clone()
+			clauseSt, _ = w.stmt(c.Comm, clauseSt)
+			exit, term := w.stmtList(c.Body, clauseSt)
+			if !term {
+				exits = append(exits, exit)
+			}
+			continue
+		default:
+			continue
+		}
+		exit, term := w.stmtList(stmts, st.clone())
+		if !term {
+			exits = append(exits, exit)
+		}
+	}
+	if !hasDefault {
+		exits = append(exits, st)
+	}
+	if len(exits) == 0 {
+		return st, true
+	}
+	out := exits[0]
+	for _, e := range exits[1:] {
+		out = intersect(out, e)
+	}
+	return out, false
+}
+
+func (w *lockWalker) stmtList(stmts []ast.Stmt, st lockState) (lockState, bool) {
+	for _, s := range stmts {
+		var term bool
+		st, term = w.stmt(s, st)
+		if term {
+			return st, true
+		}
+	}
+	return st, false
+}
+
+// lockEvent recognizes base.mu.Lock()/RLock()/Unlock()/RUnlock() calls.
+// mode 0 means the event releases the lock.
+func (w *lockWalker) lockEvent(e ast.Expr) (key string, mode lockMode, ok bool) {
+	call, isCall := ast.Unparen(e).(*ast.CallExpr)
+	if !isCall {
+		return "", 0, false
+	}
+	fun, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", 0, false
+	}
+	switch fun.Sel.Name {
+	case "Lock":
+		mode = modeWrite
+	case "RLock":
+		mode = modeRead
+	case "Unlock", "RUnlock":
+		mode = 0
+	default:
+		return "", 0, false
+	}
+	recv, isSel := ast.Unparen(fun.X).(*ast.SelectorExpr)
+	if !isSel {
+		return "", 0, false
+	}
+	base, isIdent := ast.Unparen(recv.X).(*ast.Ident)
+	if !isIdent {
+		return "", 0, false
+	}
+	if t := w.p.Info.TypeOf(recv); t == nil || !isMutexType(t) {
+		return "", 0, false
+	}
+	return base.Name + "." + recv.Sel.Name, mode, true
+}
+
+// checkExprs inspects an expression tree for guarded-field accesses and
+// holds-method calls. writes marks selector nodes that are assignment
+// targets. Function literals are analyzed separately with an empty
+// state (they may run on any goroutine later).
+func (w *lockWalker) checkExprs(e ast.Expr, st lockState, writes map[*ast.SelectorExpr]bool) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			w.stmt(x.Body, make(lockState))
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if sel, ok := ast.Unparen(x.X).(*ast.SelectorExpr); ok {
+					// Taking the address lets the caller mutate it.
+					w.checkAccess(sel, true, st)
+					return false
+				}
+			}
+		case *ast.CallExpr:
+			w.checkHoldsCall(x, st)
+		case *ast.SelectorExpr:
+			w.checkAccess(x, writes[x], st)
+		}
+		return true
+	})
+}
+
+// checkNode is the fallback for statements without a dedicated case:
+// every contained expression is treated as a read.
+func (w *lockWalker) checkNode(n ast.Node, st lockState) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		if e, ok := x.(ast.Expr); ok {
+			w.checkExprs(e, st, nil)
+			return false
+		}
+		return true
+	})
+}
+
+// checkAccess validates one guarded-field selector against the state.
+func (w *lockWalker) checkAccess(sel *ast.SelectorExpr, isWrite bool, st lockState) {
+	selection, ok := w.p.Info.Selections[sel]
+	if !ok {
+		return
+	}
+	fv, ok := selection.Obj().(*types.Var)
+	if !ok {
+		return
+	}
+	gi, ok := w.guards[fv]
+	if !ok {
+		return
+	}
+	base, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return // non-identifier base: out of scope (DESIGN §13)
+	}
+	if obj, ok := w.p.Info.Uses[base].(*types.Var); ok && w.fresh[obj] {
+		return // provably unshared local
+	}
+	key := base.Name + "." + gi.mu
+	mode := st[key]
+	field := sel.Sel.Name
+	switch {
+	case isWrite && mode == modeRead:
+		w.diagf(sel.Pos(), "write to %s.%s requires %s.Lock(), but only %s.RLock() is held",
+			base.Name, field, key, key)
+	case isWrite && mode == 0:
+		w.diagf(sel.Pos(), "write to %s.%s requires %s.Lock() (field %s is guarded by %s)",
+			base.Name, field, key, field, gi.mu)
+	case !isWrite && mode == 0:
+		w.diagf(sel.Pos(), "read of %s.%s requires %s.Lock() or %s.RLock() (field %s is guarded by %s)",
+			base.Name, field, key, key, field, gi.mu)
+	}
+}
+
+// checkHoldsCall validates a call to a //lint:holds method: the caller
+// must hold the named mutex of the receiver at the call site.
+func (w *lockWalker) checkHoldsCall(call *ast.CallExpr, st lockState) {
+	fun, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	selection, ok := w.p.Info.Selections[fun]
+	if !ok {
+		return
+	}
+	fn, ok := selection.Obj().(*types.Func)
+	if !ok {
+		return
+	}
+	field, ok := w.holds[fn]
+	if !ok {
+		return
+	}
+	base, ok := ast.Unparen(fun.X).(*ast.Ident)
+	if !ok {
+		return
+	}
+	if obj, ok := w.p.Info.Uses[base].(*types.Var); ok && w.fresh[obj] {
+		return
+	}
+	if st[base.Name+"."+field] == 0 {
+		w.diagf(call.Pos(), "call to %s requires %s.%s held (//lint:holds %s)",
+			fn.Name(), base.Name, field, field)
+	}
+}
+
+// registerFresh records locals defined from a composite literal, &T{},
+// or new(T): their values cannot be shared yet, so unlocked access is
+// fine (the standard constructor pattern).
+func (w *lockWalker) registerFresh(x *ast.AssignStmt) {
+	if x.Tok != token.DEFINE || len(x.Lhs) != len(x.Rhs) {
+		return
+	}
+	for i, lhs := range x.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || !isFreshExpr(w.p, x.Rhs[i]) {
+			continue
+		}
+		if v, ok := w.p.Info.Defs[id].(*types.Var); ok {
+			w.fresh[v] = true
+		}
+	}
+}
+
+func (w *lockWalker) registerFreshSpec(vs *ast.ValueSpec) {
+	if len(vs.Names) != len(vs.Values) {
+		return
+	}
+	for i, name := range vs.Names {
+		if !isFreshExpr(w.p, vs.Values[i]) {
+			continue
+		}
+		if v, ok := w.p.Info.Defs[name].(*types.Var); ok {
+			w.fresh[v] = true
+		}
+	}
+}
+
+// isFreshExpr reports whether e constructs a brand-new value: T{},
+// &T{}, or new(T).
+func isFreshExpr(p *Package, e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if x.Op != token.AND {
+			return false
+		}
+		_, ok := ast.Unparen(x.X).(*ast.CompositeLit)
+		return ok
+	case *ast.CallExpr:
+		id, ok := ast.Unparen(x.Fun).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		b, ok := p.Info.Uses[id].(*types.Builtin)
+		return ok && b.Name() == "new"
+	}
+	return false
+}
+
+// isPanicCall reports whether call is the panic builtin.
+func isPanicCall(p *Package, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := p.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "panic"
+}
+
+// fieldComment returns the annotation text attached to a struct field:
+// the trailing same-line comment, or the doc comment above it.
+func fieldComment(f *ast.Field) string {
+	if f.Comment != nil && len(f.Comment.List) > 0 {
+		return f.Comment.List[0].Text
+	}
+	if f.Doc != nil && len(f.Doc.List) > 0 {
+		var all string
+		for _, c := range f.Doc.List {
+			all += c.Text + "\n"
+		}
+		return all
+	}
+	return ""
+}
+
+// isMutexType reports whether t is sync.Mutex or sync.RWMutex.
+func isMutexType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// receiverStruct resolves a method's receiver to its struct type, or
+// nil when the receiver is not a (pointer to) struct.
+func receiverStruct(fn *types.Func) *types.Struct {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	st, _ := t.Underlying().(*types.Struct)
+	return st
+}
+
+// structHasMutexField reports whether st declares a mutex field named
+// field.
+func structHasMutexField(st *types.Struct, field string) bool {
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() == field && isMutexType(f.Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// receiverName returns the name of a method's receiver identifier, or
+// "" when the receiver is anonymous.
+func receiverName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return ""
+	}
+	return fd.Recv.List[0].Names[0].Name
+}
+
+// selWrites marks e as a write target when it is a selector (range
+// key/value destinations).
+func selWrites(e ast.Expr) map[*ast.SelectorExpr]bool {
+	if sel, ok := ast.Unparen(e).(*ast.SelectorExpr); ok {
+		return map[*ast.SelectorExpr]bool{sel: true}
+	}
+	return nil
+}

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"fmt"
+	"go/ast"
 	"go/token"
 	"strings"
 )
@@ -20,15 +21,37 @@ type allowDirective struct {
 	rule   string
 	reason string
 	pos    token.Position
+	span   bool // covers a whole function, not a line pair
 	used   bool
 }
 
-// allowIndex maps file -> line -> directives that may suppress findings
-// on that line. A directive is registered on its own line and the next,
-// so it works both as a trailing comment and on the line above.
+// spanAllow is a function-scoped directive: a //lint:allow placed in a
+// function's doc comment (or on its declaration line) suppresses the
+// rule for every line of that function. It exists for functions whose
+// entire job is the suppressed behavior — a scratch-buffer append
+// helper on the hot path — where per-line directives would outnumber
+// the code.
+type spanAllow struct {
+	lo, hi int // inclusive line range
+	dir    *allowDirective
+}
+
+// allowIndex maps findings to the directives that may suppress them.
+// Line directives are registered on their own line and the next, so
+// they work both as trailing comments and on the line above; span
+// directives cover the function's full line range.
 type allowIndex struct {
 	byLine map[string]map[int][]*allowDirective
+	spans  map[string][]spanAllow
 	all    []*allowDirective
+}
+
+// newAllowIndex returns an empty index ready for collect.
+func newAllowIndex() *allowIndex {
+	return &allowIndex{
+		byLine: make(map[string]map[int][]*allowDirective),
+		spans:  make(map[string][]spanAllow),
+	}
 }
 
 // suppress reports whether d is covered by a directive, marking the
@@ -43,16 +66,52 @@ func (ai *allowIndex) suppress(d Diagnostic) bool {
 			return true
 		}
 	}
+	for _, sp := range ai.spans[d.Pos.Filename] {
+		if sp.dir.rule == d.Rule && sp.lo <= d.Pos.Line && d.Pos.Line <= sp.hi {
+			sp.dir.used = true
+			return true
+		}
+	}
 	return false
 }
 
-// collectAllows parses every //lint:allow directive in the package and
+// collect parses every //lint:allow directive in the package and
 // validates it against the known rule set. Malformed or unknown-rule
 // directives are returned as findings.
-func collectAllows(p *Package, known map[string]bool) (*allowIndex, []Diagnostic) {
-	ai := &allowIndex{byLine: make(map[string]map[int][]*allowDirective)}
+func (ai *allowIndex) collect(p *Package, known map[string]bool) []Diagnostic {
 	var diags []Diagnostic
 	for _, f := range p.Files {
+		// Function extents, for deciding whether a directive is
+		// function-scoped: part of the doc comment, or on the line of
+		// the declaration itself.
+		type funcExtent struct {
+			declLine, lo, hi int
+			doc              *ast.CommentGroup
+		}
+		var funcs []funcExtent
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			funcs = append(funcs, funcExtent{
+				declLine: p.position(fd.Pos()).Line,
+				lo:       p.position(fd.Pos()).Line,
+				hi:       p.position(fd.End()).Line,
+				doc:      fd.Doc,
+			})
+		}
+		inDoc := func(c *ast.Comment, doc *ast.CommentGroup) bool {
+			if doc == nil {
+				return false
+			}
+			for _, dc := range doc.List {
+				if dc == c {
+					return true
+				}
+			}
+			return false
+		}
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				if !strings.HasPrefix(c.Text, allowPrefix) {
@@ -85,6 +144,19 @@ func collectAllows(p *Package, known map[string]bool) (*allowIndex, []Diagnostic
 					pos:    pos,
 				}
 				ai.all = append(ai.all, dir)
+				spanned := false
+				for _, fe := range funcs {
+					if inDoc(c, fe.doc) || pos.Line == fe.declLine {
+						dir.span = true
+						ai.spans[pos.Filename] = append(ai.spans[pos.Filename],
+							spanAllow{lo: fe.lo, hi: fe.hi, dir: dir})
+						spanned = true
+						break
+					}
+				}
+				if spanned {
+					continue
+				}
 				lines := ai.byLine[pos.Filename]
 				if lines == nil {
 					lines = make(map[int][]*allowDirective)
@@ -95,5 +167,5 @@ func collectAllows(p *Package, known map[string]bool) (*allowIndex, []Diagnostic
 			}
 		}
 	}
-	return ai, diags
+	return diags
 }

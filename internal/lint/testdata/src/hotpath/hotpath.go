@@ -1,0 +1,154 @@
+// Package golden exercises the hotpath analyzer.
+package golden
+
+import "fmt"
+
+// watcher is an in-tree interface: calls through it fan out to every
+// implementation, so roots reach both counter and logger below.
+type watcher interface {
+	observe(x float64)
+}
+
+type counter struct{ n int }
+
+func (c *counter) observe(x float64) {
+	c.grow(x)
+}
+
+func (c *counter) grow(x float64) {
+	_ = x
+	_ = make([]float64, 8) // want "hotpath: make allocates"
+}
+
+type logger struct{}
+
+func (l *logger) observe(x float64) {
+	fmt.Println(x) // want "hotpath: fmt.Println allocates and formats"
+}
+
+//lint:hotpath
+func observeAll(ws []watcher, x float64) {
+	for _, w := range ws {
+		w.observe(x)
+	}
+}
+
+//lint:hotpath
+func buildThings(n int) []*counter {
+	out := []*counter{} // want "hotpath: slice literal allocates"
+	for i := 0; i < n; i++ {
+		out = append(out, &counter{}) // want "hotpath: append may grow and allocate" "hotpath: &composite literal escapes to the heap"
+	}
+	return out
+}
+
+//lint:hotpath
+func fresh() *counter {
+	return new(counter) // want "hotpath: new allocates"
+}
+
+//lint:hotpath
+func tally(xs []string) int {
+	m := map[string]int{} // want "hotpath: map literal allocates"
+	total := 0
+	for _, k := range xs {
+		m[k]++
+	}
+	for _, v := range m { // want "hotpath: map iteration on the hot path"
+		total += v
+	}
+	return total
+}
+
+func sinkAny(v any) { _ = v }
+
+//lint:hotpath
+func box(x int) (out any) {
+	sinkAny(x) // want "hotpath: argument boxes int into"
+	var v any = x // want "hotpath: declaration boxes int into"
+	_ = v
+	out = x // want "hotpath: assignment boxes int into"
+	_ = out
+	return x // want "hotpath: return boxes int into"
+}
+
+//lint:hotpath
+func convert(s string, b []byte) (string, []byte) {
+	x := string(b) // want "hotpath: \[\]byte→string conversion copies and allocates"
+	y := []byte(s) // want "hotpath: string→\[\]byte conversion copies and allocates"
+	return x, y
+}
+
+type gate struct{ open bool }
+
+func (g *gate) enter() { g.open = true }
+func (g *gate) leave() { g.open = false }
+
+//lint:hotpath
+func control(g *gate, done chan struct{}) {
+	defer func() { g.leave() }() // want "hotpath: deferred closure allocates"
+	f := func() {} // want "hotpath: function literal allocates a closure"
+	f()
+	for i := 0; i < 3; i++ {
+		defer g.leave() // want "hotpath: defer inside a loop allocates per iteration"
+	}
+	go wait(done) // want "hotpath: go statement allocates a goroutine"
+}
+
+// plainDefer shows the deliberate negative: a single open-coded defer
+// of a plain call costs no allocation and is not reported.
+//
+//lint:hotpath
+func plainDefer(g *gate) {
+	g.enter()
+	defer g.leave()
+}
+
+func wait(done chan struct{}) { <-done }
+
+// coldAlloc is unreachable from any root: its allocations are fine.
+func coldAlloc() []int {
+	return make([]int, 128)
+}
+
+//lint:hotpath
+func suppressed() {
+	_ = make([]int, 4) //lint:allow hotpath scratch slice reused across calls in the real code
+}
+
+// spanAllowed is covered whole by the directive in its doc comment: a
+// helper whose entire job is building scratch state.
+//
+//lint:allow hotpath the whole helper is a scratch builder
+func spanAllowed() []int {
+	buf := make([]int, 0, 8)
+	buf = append(buf, 1)
+	return buf
+}
+
+//lint:hotpath
+func useScratch() []int {
+	return spanAllowed()
+}
+
+func idle() {
+	x := 1.0
+	_ = x
+	//lint:allow hotpath nothing here is on a hot path
+	// want "lint: unnecessary //lint:allow hotpath: no hotpath finding on this or the next line"
+}
+
+//lint:allow hotpath stale function-level excuse
+// want "lint: unnecessary //lint:allow hotpath: no hotpath finding in this function"
+func clean() int { return 3 }
+
+func misuse() {
+	//lint:hotpath
+	// want "hotpath: misplaced //lint:hotpath"
+	x := 0
+	_ = x
+}
+
+//lint:hotpath observe
+// want "hotpath: malformed //lint:hotpath: the annotation takes no arguments"
+func argRoot() {}

@@ -1,0 +1,140 @@
+// Package golden exercises the lockguard analyzer.
+package golden
+
+import "sync"
+
+type box struct {
+	mu   sync.Mutex
+	n    int // guarded by mu
+	name string
+}
+
+func (b *box) bad() {
+	b.n++ // want "lockguard: write to b.n requires b.mu.Lock"
+}
+
+func (b *box) badRead() int {
+	return b.n // want "lockguard: read of b.n requires b.mu.Lock\(\) or b.mu.RLock\(\)"
+}
+
+func (b *box) good() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.n++
+	b.name = "ok" // unguarded sibling: no finding
+}
+
+func (b *box) goodEarlyReturn(flag bool) {
+	b.mu.Lock()
+	if flag {
+		b.mu.Unlock()
+		return
+	}
+	b.n = 2
+	b.mu.Unlock()
+}
+
+func (b *box) afterUnlock() int {
+	b.mu.Lock()
+	b.n = 1
+	b.mu.Unlock()
+	return b.n // want "lockguard: read of b.n"
+}
+
+func (b *box) branchy(ok bool) {
+	if ok {
+		b.mu.Lock()
+	}
+	b.n = 2 // want "lockguard: write to b.n"
+	if ok {
+		b.mu.Unlock()
+	}
+}
+
+type gauge struct {
+	rw sync.RWMutex
+	v  float64 // guarded by rw
+}
+
+func (g *gauge) readOK() float64 {
+	g.rw.RLock()
+	defer g.rw.RUnlock()
+	return g.v
+}
+
+func (g *gauge) writeUnderRLock() {
+	g.rw.RLock()
+	defer g.rw.RUnlock()
+	g.v = 1 // want "lockguard: write to g.v requires g.rw.Lock\(\), but only g.rw.RLock\(\) is held"
+}
+
+type orphan struct {
+	mu sync.Mutex
+	a  int // guarded by mux
+	// want "lockguard: field a is guarded.by mux, but struct orphan has no field mux"
+	b int // guarded by c
+	// want "lockguard: field b is guarded.by c, but orphan.c is not a sync.Mutex or sync.RWMutex"
+	c int
+}
+
+type embedded struct {
+	mu sync.Mutex
+	sync.Map // guarded by mu
+	// want "lockguard: \"guarded.by mu\" on an embedded field of embedded is not supported"
+}
+
+type jar struct {
+	mu sync.Mutex
+	v  int // guarded by mu
+}
+
+// bump runs with j.mu already held by the caller.
+//
+//lint:holds mu
+func (j *jar) bump() { j.v++ }
+
+func (j *jar) caller() {
+	j.mu.Lock()
+	j.bump()
+	j.mu.Unlock()
+	j.bump() // want "lockguard: call to bump requires j.mu held"
+}
+
+//lint:holds
+// want "lockguard: malformed //lint:holds: want \"//lint:holds <mutex field>\""
+func (j *jar) noField() {}
+
+//lint:holds mu
+// want "lockguard: misplaced //lint:holds: it must appear in the doc comment of a method"
+func free() {}
+
+//lint:holds gate
+// want "lockguard: //lint:holds gate: receiver type of wrongField has no mutex field gate"
+func (j *jar) wrongField() {}
+
+func (j *jar) spawn() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	go func() {
+		j.v = 9 // want "lockguard: write to j.v"
+	}()
+}
+
+// newJar writes through a provably fresh local: no findings.
+func newJar() *jar {
+	j := &jar{}
+	j.v = 1
+	return j
+}
+
+func (j *jar) sneaky() int {
+	return j.v //lint:allow lockguard racy snapshot tolerated for debug output
+}
+
+func (j *jar) tidy() {
+	j.mu.Lock()
+	j.v = 1
+	j.mu.Unlock()
+	//lint:allow lockguard stale excuse
+	// want "lint: unnecessary //lint:allow lockguard: no lockguard finding on this or the next line"
+}

@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"strings"
+	"sync"
+)
+
+// Tree is the unit the interprocedural analyzers operate on: the full
+// set of loaded packages plus analysis artifacts that are expensive to
+// build and therefore shared — today the call graph. Run constructs one
+// Tree per invocation and every analyzer reuses it, so adding another
+// interprocedural rule costs one traversal, not another type-checked
+// load.
+type Tree struct {
+	// Pkgs holds the loaded packages, sorted by import path.
+	Pkgs []*Package
+
+	paths     map[string]bool
+	modPrefix string // module path + "/", for diagnostic names
+
+	cgOnce sync.Once
+	cg     *CallGraph
+}
+
+// NewTree wraps the loaded packages for whole-tree analysis. The call
+// graph is built lazily on first use and cached.
+func NewTree(pkgs []*Package) *Tree {
+	t := &Tree{Pkgs: pkgs, paths: make(map[string]bool, len(pkgs))}
+	for _, p := range pkgs {
+		t.paths[p.Path] = true
+		if t.modPrefix == "" && p.Rel != "" && strings.HasSuffix(p.Path, "/"+p.Rel) {
+			t.modPrefix = strings.TrimSuffix(p.Path, p.Rel)
+		}
+	}
+	return t
+}
+
+// CallGraph returns the shared call graph, building it on first call.
+func (t *Tree) CallGraph() *CallGraph {
+	t.cgOnce.Do(func() { t.cg = buildCallGraph(t) })
+	return t.cg
+}
+
+// inTree reports whether the import path belongs to a loaded package,
+// i.e. whether declarations under it are available for traversal.
+func (t *Tree) inTree(path string) bool { return t.paths[path] }
+
+// shortName strips the module's internal/ prefix from a fully qualified
+// function name, so diagnostics read (*journal.Writer).Observe rather
+// than (*rejuv/internal/journal.Writer).Observe.
+func (t *Tree) shortName(full string) string {
+	if t.modPrefix == "" {
+		return full
+	}
+	long := t.modPrefix + "internal/"
+	for {
+		i := strings.Index(full, long)
+		if i < 0 {
+			return full
+		}
+		full = full[:i] + full[i+len(long):]
+	}
+}

@@ -259,8 +259,8 @@ func seriesKey(name string, labels []Label) string {
 // value is not usable; call NewRegistry.
 type Registry struct {
 	mu     sync.Mutex
-	series map[string]*series
-	order  []*series // sorted by (name, label signature)
+	series map[string]*series // guarded by mu
+	order  []*series          // sorted by (name, label signature); guarded by mu
 }
 
 // NewRegistry returns an empty registry.
@@ -335,9 +335,12 @@ func (r *Registry) lookup(name, help string, kind Kind, labels []Label) *series 
 }
 
 // insert stores the series keeping order sorted; r.mu is held.
+//
+//lint:holds mu
 func (r *Registry) insert(key string, s *series) {
 	r.series[key] = s
-	i := sort.Search(len(r.order), func(i int) bool { return r.order[i].key() >= key })
+	order := r.order
+	i := sort.Search(len(order), func(i int) bool { return order[i].key() >= key })
 	r.order = append(r.order, nil)
 	copy(r.order[i+1:], r.order[i:])
 	r.order[i] = s

@@ -2,6 +2,7 @@ package rejuv_test
 
 import (
 	"testing"
+	"time"
 
 	"rejuv/internal/lint"
 )
@@ -11,12 +12,28 @@ import (
 // determinism and numerical-hygiene rules load-bearing: a PR that
 // sneaks time.Now into the simulator or an unsorted map range into a
 // results/ writer fails `go test ./...`, not just an optional lint step.
+//
+// The module is type-checked once and every analyzer — including the
+// interprocedural hotpath and lockguard passes, which share one call
+// graph — runs over that single load. Phase timings are logged (visible
+// under -v) so a slow analyzer shows up as a phase, not a mystery.
 func TestLintClean(t *testing.T) {
+	start := time.Now()
 	pkgs, err := lint.LoadModule(".")
 	if err != nil {
 		t.Fatalf("loading module: %v", err)
 	}
-	diags := lint.Run(pkgs, lint.Analyzers())
+	loaded := time.Now()
+	tree := lint.NewTree(pkgs)
+	cg := tree.CallGraph()
+	graphed := time.Now()
+	diags := lint.Analyze(tree, lint.Analyzers())
+	done := time.Now()
+	t.Logf("load+typecheck %v, call graph %v (%d functions, %d unresolved call sites), analyze %v",
+		loaded.Sub(start).Round(time.Millisecond),
+		graphed.Sub(loaded).Round(time.Millisecond),
+		len(cg.Nodes), cg.Unresolved,
+		done.Sub(graphed).Round(time.Millisecond))
 	for _, d := range diags {
 		t.Errorf("%s", d)
 	}

@@ -105,19 +105,19 @@ type Monitor struct {
 	cfg MonitorConfig
 
 	mu    sync.Mutex
-	stats MonitorStats
+	stats MonitorStats // guarded by mu
 	// epoch anchors journal timestamps at the first observation; the
 	// zero value means no observation was journaled yet.
-	epoch time.Time
+	epoch time.Time // guarded by mu
 	// lastAdmitted is the most recent value that passed hygiene, the
 	// substitute HygieneClamp falls back to.
-	lastAdmitted float64
-	haveAdmitted bool
+	lastAdmitted float64 // guarded by mu
+	haveAdmitted bool    // guarded by mu
 	// lastSeen is the time of the most recent Observe call (any value,
 	// even a rejected one: arrival proves the stream is alive); stalled
 	// latches the watchdog state so each silence counts once.
-	lastSeen time.Time
-	stalled  bool
+	lastSeen time.Time // guarded by mu
+	stalled  bool      // guarded by mu
 }
 
 // NewMonitor validates the configuration and returns a monitor.
@@ -140,6 +140,11 @@ func NewMonitor(cfg MonitorConfig) (*Monitor, error) {
 // Observe reports one observation of the monitored metric. Safe for
 // concurrent use. Non-finite values are handled by the configured
 // Hygiene policy before the detector sees them.
+//
+// This is the per-observation path the whole fleet pays for; everything
+// reachable from here must stay allocation-free (see DESIGN §13).
+//
+//lint:hotpath
 func (m *Monitor) Observe(x float64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -210,6 +215,8 @@ func (m *Monitor) Observe(x float64) {
 // it is counted and journaled as a fault but never reaches the
 // detector, so the decision stream stays byte-identical to a clean run.
 // Callers hold m.mu and have already counted the rejection.
+//
+//lint:holds mu
 func (m *Monitor) observeRejected(x float64) {
 	if m.cfg.MaxSilence <= 0 && m.cfg.Collector == nil && m.cfg.Journal == nil {
 		return
@@ -242,7 +249,10 @@ func hygieneClass(x float64) string {
 // deliver invokes OnTrigger with panic isolation: a panicking callback
 // is recovered and counted, never allowed to tear down the goroutine
 // that happened to carry the triggering observation. Callers hold m.mu.
+//
+//lint:holds mu
 func (m *Monitor) deliver(tr Trigger) {
+	//lint:allow hotpath one closure per delivered trigger, not per observation
 	defer func() {
 		if r := recover(); r != nil {
 			m.stats.TriggerPanics++
@@ -256,6 +266,8 @@ func (m *Monitor) deliver(tr Trigger) {
 
 // feedWatchdog records stream liveness and clears a latched stall.
 // Callers hold m.mu.
+//
+//lint:holds mu
 func (m *Monitor) feedWatchdog(now time.Time) {
 	m.lastSeen = now
 	if m.stalled {
@@ -305,6 +317,8 @@ func (m *Monitor) CheckStall() bool {
 
 // inCooldown reports whether now falls inside the cooldown window of
 // the last delivered trigger. Callers hold m.mu.
+//
+//lint:holds mu
 func (m *Monitor) inCooldown(now time.Time) bool {
 	return m.cfg.Cooldown > 0 && !m.stats.LastTrigger.IsZero() &&
 		now.Sub(m.stats.LastTrigger) < m.cfg.Cooldown
@@ -312,6 +326,8 @@ func (m *Monitor) inCooldown(now time.Time) bool {
 
 // traceEntry assembles the trace record for one evaluated decision,
 // folding in detector internals when available. Callers hold m.mu.
+//
+//lint:holds mu
 func (m *Monitor) traceEntry(now time.Time, x float64, d Decision, suppressed bool) TraceEntry {
 	e := TraceEntry{
 		Observation: m.stats.Observations,

@@ -3,8 +3,8 @@
 # build, go vet, the rejuvlint static-analysis suite, the test suite
 # (shuffled, to surface test-order dependence), race-detector passes
 # (including the statistical conformance suite), and a short fuzz smoke
-# of the existing fuzz targets so they are exercised beyond their seed
-# corpora.
+# of the existing fuzz targets — including the rejuvlint annotation and
+# directive grammar — so they are exercised beyond their seed corpora.
 #
 # Usage: scripts/check.sh
 #   FUZZTIME=5s scripts/check.sh   # longer fuzz smoke (default 3s/target)
@@ -38,7 +38,7 @@ go test -run 'TestReplayDeterminism|TestReplayJournalIdenticalAcrossGOMAXPROCS' 
 }
 
 echo "== fuzz smoke (${FUZZTIME:-3s} per target)"
-for pkg in ./internal/core ./internal/stats ./internal/journal ./internal/faults; do
+for pkg in ./internal/core ./internal/stats ./internal/journal ./internal/faults ./internal/lint; do
     for target in $(go test -list '^Fuzz' "$pkg" | grep '^Fuzz'); do
         echo "-- fuzz $pkg $target"
         go test -run='^$' -fuzz="^${target}\$" -fuzztime="${FUZZTIME:-3s}" "$pkg"

@@ -53,14 +53,14 @@ const DefaultTraceCapacity = 1024
 // overwritten. All methods are safe for concurrent use.
 type TraceLog struct {
 	mu      sync.Mutex
-	entries []TraceEntry
-	next    int    // ring write position once the ring is full
-	total   uint64 // entries ever recorded
-	readTo  uint64 // highest ordinal included in any snapshot so far
-	dropped uint64 // entries overwritten before any snapshot saw them
+	entries []TraceEntry // guarded by mu
+	next    int          // ring write position once the ring is full; guarded by mu
+	total   uint64       // entries ever recorded; guarded by mu
+	readTo  uint64       // highest ordinal included in any snapshot so far; guarded by mu
+	dropped uint64       // entries overwritten before any snapshot saw them; guarded by mu
 
 	// droppedCtr mirrors dropped into a metrics registry when
-	// Instrument was called; nil otherwise.
+	// Instrument was called; nil otherwise; guarded by mu.
 	droppedCtr *MetricCounter
 }
 
@@ -81,7 +81,7 @@ func (l *TraceLog) Record(e TraceEntry) {
 	defer l.mu.Unlock()
 	l.total++
 	if len(l.entries) < cap(l.entries) {
-		l.entries = append(l.entries, e)
+		l.entries = append(l.entries, e) //lint:allow hotpath the ring is preallocated at capacity; this append never grows
 		return
 	}
 	// Entries carry 1-based ordinals; the one being overwritten is the
@@ -145,6 +145,8 @@ func (l *TraceLog) Entries() []TraceEntry {
 }
 
 // snapshotLocked copies the ring in oldest-first order; l.mu is held.
+//
+//lint:holds mu
 func (l *TraceLog) snapshotLocked() []TraceEntry {
 	out := make([]TraceEntry, 0, len(l.entries))
 	if len(l.entries) == cap(l.entries) {
