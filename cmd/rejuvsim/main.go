@@ -61,6 +61,11 @@ func main() {
 		journalK = flag.Bool("journal-events", false, "also journal every DES kernel event (verbose: hundreds of records per transaction)")
 		faultsP  = flag.String("faults", "", "fault-injection spec, e.g. 'nan:p=0.01;drop:p=0.05;slow-act:d=30' (see internal/faults)")
 		hygieneP = flag.String("hygiene", "reject", "non-finite observation policy: reject, clamp or off")
+
+		fleetN      = flag.Int("fleet", 0, "fleet mode: monitor this many synthetic streams through the batched fleet engine instead of simulating (see -fleet-* flags)")
+		fleetRounds = flag.Int("fleet-rounds", 200, "fleet mode: observations per stream")
+		fleetBatch  = flag.Int("fleet-batch", 4096, "fleet mode: observations per ObserveBatch call")
+		fleetAging  = flag.Float64("fleet-aging", 0.01, "fleet mode: fraction of streams that degrade mid-run")
 	)
 	flag.Parse()
 
@@ -72,6 +77,15 @@ func main() {
 	}
 	hygiene, err := parseHygiene(*hygieneP)
 	fatalIf(err)
+
+	if *fleetN > 0 {
+		runFleet(fleetOpts{
+			streams: *fleetN, rounds: *fleetRounds, batch: *fleetBatch,
+			aging: *fleetAging, seed: *seed, hygiene: hygiene,
+			journalPath: *journalP, journalFormat: *journalF,
+		})
+		return
+	}
 
 	// Actuator faults map onto the model's rejuvenation pause: a slow
 	// action stretches every outage by its delay. Flaky/dead actions have

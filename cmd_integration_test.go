@@ -283,6 +283,27 @@ func TestCmdRejuvsimJSONLJournal(t *testing.T) {
 	}
 }
 
+// TestCmdRejuvsimFleet drives the -fleet mode end to end: synthetic
+// streams with a degrading subset, a stream-tagged journal, and the
+// built-in replay verification against the reference detectors.
+func TestCmdRejuvsimFleet(t *testing.T) {
+	jnl := filepath.Join(t.TempDir(), "fleet.rjnl")
+	out := runCmd(t, "rejuvsim", "",
+		"-fleet", "300", "-fleet-rounds", "120", "-fleet-aging", "0.05",
+		"-journal", jnl)
+	for _, want := range []string{
+		"fleet: 300 streams over 3 classes",
+		"15 of 15 aging streams detected",
+		"0 spurious",
+		"detection latency (rounds after onset):",
+		"verifying replay... identical (300 streams",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rejuvsim -fleet output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestCmdAgingcalc(t *testing.T) {
 	out := runCmd(t, "agingcalc", "")
 	for _, want := range []string{"mean time to failure", "availability", "cost-optimal rejuvenation rate"} {

@@ -37,6 +37,26 @@
 // a stream gone quiet, and a panicking OnTrigger callback is isolated
 // instead of unwinding through the probe path.
 //
+// # Fleet monitoring
+//
+// Fleet scales the same detection pipeline from one stream to hundreds
+// of thousands. Detector parameters are declared once per StreamClass;
+// streams are opened under a class and observed in batches:
+//
+//	f, _ := rejuv.NewFleet(rejuv.FleetConfig{Classes: classes, OnTrigger: onTrigger})
+//	f.OpenStream(id, "web")
+//	f.ObserveBatch(batch) // []StreamObs, partitioned over lock-striped shards
+//
+// Internally the engine keeps struct-of-arrays detector state in
+// lock-striped shards, drains each shard's share of a batch under one
+// lock acquisition, and allocates nothing at steady state. All streams
+// share one journal (stream-tagged records; ReplayFleetJournal proves
+// the decision stream byte-identical against the reference detectors)
+// and one metrics registry labeled by class and shard — never by
+// stream id, so cardinality stays bounded as the fleet grows. Triggers
+// fan into a bounded queue that never blocks ingestion. See DESIGN.md
+// §14 for the architecture.
+//
 // # Actuation
 //
 // Actuator executes the rejuvenation action itself — the restart RPC

@@ -1,0 +1,105 @@
+package rejuv
+
+import (
+	"io"
+	"time"
+
+	"rejuv/internal/fleet"
+	"rejuv/internal/journal"
+)
+
+// The fleet engine scales the detection pipeline from one Monitor to
+// very many streams at once: lock-striped shards of struct-of-arrays
+// detector state, batched ingestion, one shared journal and one shared
+// bounded-cardinality metrics registry. See the internal/fleet package
+// documentation and DESIGN §14 for the architecture.
+
+// Fleet is the multi-tenant monitoring engine. Where a Monitor watches
+// one observation stream, a Fleet watches hundreds of thousands behind
+// one batched call:
+//
+//	f, err := rejuv.NewFleet(rejuv.FleetConfig{
+//		Classes: []rejuv.StreamClass{{
+//			Name: "web", Family: rejuv.FamilySRAA,
+//			SampleSize: 4, Buckets: 5, Depth: 3,
+//			Baseline: rejuv.Baseline{Mean: 0.5, StdDev: 0.1},
+//		}},
+//		OnTrigger: func(tr rejuv.FleetTrigger) { rejuvenate(tr.Stream) },
+//	})
+//	f.OpenStream(1001, "web")
+//	f.ObserveBatch([]rejuv.StreamObs{{Stream: 1001, Value: 0.47}, ...})
+type Fleet = fleet.Engine
+
+// FleetConfig configures a Fleet; see NewFleet.
+type FleetConfig = fleet.Config
+
+// StreamClass declares one named detector configuration shared by every
+// stream opened under it.
+type StreamClass = fleet.ClassConfig
+
+// DetectorFamily selects which of the paper's algorithms a stream class
+// runs.
+type DetectorFamily = fleet.Family
+
+// Detector families for StreamClass.Family.
+const (
+	// FamilySRAA is the static rejuvenation algorithm with averaging.
+	FamilySRAA = fleet.FamilySRAA
+	// FamilySARAA is the sampling-acceleration algorithm.
+	FamilySARAA = fleet.FamilySARAA
+	// FamilyCLTA is the central-limit-theorem algorithm.
+	FamilyCLTA = fleet.FamilyCLTA
+)
+
+// StreamID identifies one monitored stream within a Fleet.
+type StreamID = fleet.StreamID
+
+// StreamObs is one observation addressed to one fleet stream — the unit
+// of batched ingestion.
+type StreamObs = fleet.StreamObs
+
+// FleetTrigger is one rejuvenation trigger raised by a fleet stream.
+type FleetTrigger = fleet.Trigger
+
+// FleetStats is an aggregate snapshot of fleet counters.
+type FleetStats = fleet.Stats
+
+// Stream-tagged journal record kinds written by a Fleet's journal.
+const (
+	JournalKindStreamOpen     = journal.KindStreamOpen
+	JournalKindStreamClose    = journal.KindStreamClose
+	JournalKindStreamObserve  = journal.KindStreamObserve
+	JournalKindStreamDecision = journal.KindStreamDecision
+)
+
+// NewFleet validates the configuration and returns a running fleet
+// engine. Config.Now defaults to time.Now; deterministic harnesses
+// inject a fake clock instead. If OnTrigger is set a dispatcher
+// goroutine delivers triggers with panic isolation; otherwise drain
+// Fleet.Triggers yourself. Stop the engine with Close.
+func NewFleet(cfg FleetConfig) (*Fleet, error) {
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return fleet.New(cfg)
+}
+
+// FleetReplayReport summarizes one fleet journal replay; see
+// ReplayFleetJournal.
+type FleetReplayReport = journal.FleetReplayReport
+
+// ReplayFleetJournal re-derives every stream's decisions in a fleet
+// journal by feeding the journaled observations through fresh reference
+// detectors — one per stream, built by the per-class factory — and
+// compares them byte for byte against the journaled decisions. It is
+// the external-auditor proof that the fleet's struct-of-arrays fast
+// path implements exactly the published algorithms: use
+// StreamClass.Detector as the factory to check a journal against the
+// classes that produced it.
+func ReplayFleetJournal(r io.Reader, factory func(class string) (Detector, error)) (FleetReplayReport, error) {
+	jr, err := journal.NewReader(r)
+	if err != nil {
+		return FleetReplayReport{}, err
+	}
+	return journal.ReplayFleet(jr, factory)
+}

@@ -22,15 +22,22 @@ type bucketState struct {
 	level int // current bucket pointer N in [0, K)
 }
 
-// bucketEvent describes what a bucket step did, so SARAA can react to
-// overflow/underflow by resizing its sample.
-type bucketEvent int
+// BucketEvent describes what one ball-and-bucket step did, so callers
+// can react to overflow/underflow (SARAA resizes its sample) and to the
+// trigger itself.
+type BucketEvent int
 
+// Ball-and-bucket step outcomes.
 const (
-	bucketNone bucketEvent = iota
-	bucketOverflow
-	bucketUnderflow
-	bucketTrigger
+	// BucketNone is an ordinary fill or drain within the current bucket.
+	BucketNone BucketEvent = iota
+	// BucketOverflow spilled the current bucket: the level advanced.
+	BucketOverflow
+	// BucketUnderflow drained the current bucket: the level receded.
+	BucketUnderflow
+	// BucketTrigger overflowed the last bucket: rejuvenate now. The
+	// returned state is already reset to (fill 0, level 0).
+	BucketTrigger
 )
 
 func newBucketState(k, depth int) (bucketState, error) {
@@ -43,33 +50,44 @@ func newBucketState(k, depth int) (bucketState, error) {
 	return bucketState{k: k, depth: depth}, nil
 }
 
+// BucketStep applies one exceed/recede observation to a ball-and-bucket
+// counter with k buckets of depth, currently at (fill, level), and
+// returns the successor state and what happened. It is the single
+// authoritative transition function of the paper's pseudo-code, shared
+// by the pointer-based detectors here and the fleet engine's
+// struct-of-arrays shards, so the two implementations cannot diverge.
+// On BucketTrigger the returned state is already reset to (0, 0).
+func BucketStep(k, depth, fill, level int, exceeded bool) (nfill, nlevel int, ev BucketEvent) {
+	if exceeded {
+		fill++
+	} else {
+		fill--
+	}
+	ev = BucketNone
+	switch {
+	case fill > depth:
+		fill = 0
+		level++
+		ev = BucketOverflow
+	case fill < 0 && level > 0:
+		fill = depth
+		level--
+		ev = BucketUnderflow
+	case fill < 0:
+		fill = 0
+	}
+	if level == k {
+		return 0, 0, BucketTrigger
+	}
+	return fill, level, ev
+}
+
 // step applies one exceed/recede observation and returns what happened.
 // On trigger the state has already been reset to (d=0, N=0).
-func (b *bucketState) step(exceeded bool) bucketEvent {
-	if exceeded {
-		b.fill++
-	} else {
-		b.fill--
-	}
-	event := bucketNone
-	switch {
-	case b.fill > b.depth:
-		b.fill = 0
-		b.level++
-		event = bucketOverflow
-	case b.fill < 0 && b.level > 0:
-		b.fill = b.depth
-		b.level--
-		event = bucketUnderflow
-	case b.fill < 0:
-		b.fill = 0
-	}
-	if b.level == b.k {
-		b.fill = 0
-		b.level = 0
-		return bucketTrigger
-	}
-	return event
+func (b *bucketState) step(exceeded bool) BucketEvent {
+	var ev BucketEvent
+	b.fill, b.level, ev = BucketStep(b.k, b.depth, b.fill, b.level, exceeded)
+	return ev
 }
 
 // reset restores the initial state.

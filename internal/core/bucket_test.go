@@ -16,17 +16,17 @@ func TestBucketStepFollowsPseudoCode(t *testing.T) {
 		exceed    bool
 		wantFill  int
 		wantLevel int
-		wantEvent bucketEvent
+		wantEvent BucketEvent
 	}{
-		{true, 1, 0, bucketNone},       // d: 0->1
-		{true, 2, 0, bucketNone},       // d: 1->2 (== D, no overflow yet)
-		{false, 1, 0, bucketNone},      // d: 2->1
-		{true, 2, 0, bucketNone},       // d: 1->2
-		{true, 0, 1, bucketOverflow},   // d: 2->3 > D -> overflow, N=1
-		{false, 2, 0, bucketUnderflow}, // d: -1 < 0, N>0 -> underflow, d=D
-		{false, 1, 0, bucketNone},      // d: 2->1
-		{false, 0, 0, bucketNone},      // d: 1->0
-		{false, 0, 0, bucketNone},      // d: -1 < 0, N==0 -> clamp to 0
+		{true, 1, 0, BucketNone},       // d: 0->1
+		{true, 2, 0, BucketNone},       // d: 1->2 (== D, no overflow yet)
+		{false, 1, 0, BucketNone},      // d: 2->1
+		{true, 2, 0, BucketNone},       // d: 1->2
+		{true, 0, 1, BucketOverflow},   // d: 2->3 > D -> overflow, N=1
+		{false, 2, 0, BucketUnderflow}, // d: -1 < 0, N>0 -> underflow, d=D
+		{false, 1, 0, BucketNone},      // d: 2->1
+		{false, 0, 0, BucketNone},      // d: 1->0
+		{false, 0, 0, BucketNone},      // d: -1 < 0, N==0 -> clamp to 0
 	}
 	for i, s := range steps {
 		event := b.step(s.exceed)
@@ -43,10 +43,10 @@ func TestBucketTriggerOnLastOverflow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if e := b.step(true); e != bucketNone {
+	if e := b.step(true); e != BucketNone {
 		t.Fatalf("first exceedance already produced event %d", e)
 	}
-	if e := b.step(true); e != bucketTrigger {
+	if e := b.step(true); e != BucketTrigger {
 		t.Fatalf("second exceedance produced event %d, want trigger", e)
 	}
 	if b.fill != 0 || b.level != 0 {
@@ -71,7 +71,7 @@ func TestBucketMinimumDelay(t *testing.T) {
 		steps := 0
 		for {
 			steps++
-			if b.step(true) == bucketTrigger {
+			if b.step(true) == BucketTrigger {
 				break
 			}
 			if steps > 10*(tt.d+1)*tt.k {
@@ -94,7 +94,7 @@ func TestBucketNeverTriggersWithoutExceedances(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 1000; i++ {
-		if e := b.step(false); e != bucketNone {
+		if e := b.step(false); e != BucketNone {
 			t.Fatalf("step %d produced event %d on a healthy stream", i, e)
 		}
 		if b.fill != 0 || b.level != 0 {
@@ -137,7 +137,7 @@ func TestBucketUnderflowDescendsToPreviousBucket(t *testing.T) {
 	}
 	// Descend: first underflow refills the lower bucket to D.
 	b.fill = 0
-	if e := b.step(false); e != bucketUnderflow {
+	if e := b.step(false); e != BucketUnderflow {
 		t.Fatalf("event %d, want underflow", e)
 	}
 	if b.level != 1 || b.fill != 2 {

@@ -29,7 +29,7 @@ func FuzzBucketInvariants(f *testing.F) {
 				if b.level < 0 || b.level >= k {
 					t.Fatalf("level %d escaped [0,%d)", b.level, k)
 				}
-				if event == bucketTrigger && (b.fill != 0 || b.level != 0) {
+				if event == BucketTrigger && (b.fill != 0 || b.level != 0) {
 					t.Fatalf("trigger left state fill=%d level=%d", b.fill, b.level)
 				}
 			}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestCooldownZeroNeverSuppresses(t *testing.T) {
+	c := NewCooldown(0)
+	c.Open(100)
+	if c.Active(100) || c.Active(101) {
+		t.Fatal("zero-window cooldown must never be active")
+	}
+}
+
+func TestCooldownWindow(t *testing.T) {
+	c := NewCooldown(10 * time.Nanosecond)
+	if c.Active(5) {
+		t.Fatal("cooldown active before any trigger")
+	}
+	c.Open(100)
+	if !c.Active(100) || !c.Active(109) {
+		t.Fatal("cooldown must cover [open, open+window)")
+	}
+	if c.Active(110) {
+		t.Fatal("cooldown active at exactly the window boundary; a trigger exactly at expiry must deliver")
+	}
+	c.Reset()
+	if c.Active(105) {
+		t.Fatal("cooldown survived Reset")
+	}
+}
+
+func TestCooldownNegativeWindowDisabled(t *testing.T) {
+	c := NewCooldown(-time.Second)
+	c.Open(0)
+	if c.Active(1) {
+		t.Fatal("negative window must behave as disabled")
+	}
+}
+
+func TestWatchdogDisabled(t *testing.T) {
+	var w Watchdog // zero value: disabled
+	if w.Enabled() {
+		t.Fatal("zero watchdog reports enabled")
+	}
+	if tripped, _ := w.Check(1 << 40); tripped {
+		t.Fatal("disabled watchdog tripped")
+	}
+}
+
+func TestWatchdogTripsOnceAndClears(t *testing.T) {
+	w := NewWatchdog(10 * time.Nanosecond)
+	// First check arms instead of tripping.
+	if tripped, _ := w.Check(0); tripped || w.Stalled() {
+		t.Fatal("first check must arm, not trip")
+	}
+	if tripped, _ := w.Check(10); tripped {
+		t.Fatal("tripped at silence == max silence (boundary is exclusive)")
+	}
+	tripped, silence := w.Check(11)
+	if !tripped || silence != 11 {
+		t.Fatalf("want trip with silence 11, got tripped=%v silence=%v", tripped, silence)
+	}
+	if tripped, _ := w.Check(20); tripped {
+		t.Fatal("latched stall tripped twice")
+	}
+	if !w.Stalled() {
+		t.Fatal("stall did not latch")
+	}
+	if cleared := w.Feed(21); !cleared {
+		t.Fatal("feed did not report clearing the latched stall")
+	}
+	if w.Stalled() {
+		t.Fatal("stall survived a feed")
+	}
+	if cleared := w.Feed(22); cleared {
+		t.Fatal("feed reported clearing when nothing was latched")
+	}
+}
+
+func TestHygieneStateRejectAndClamp(t *testing.T) {
+	var s HygieneState
+
+	// Reject before any admitted value: nothing to clamp to either.
+	if _, ok, intercepted := s.Admit(HygieneReject, math.NaN()); ok || !intercepted {
+		t.Fatalf("reject of NaN: ok=%v intercepted=%v", ok, intercepted)
+	}
+	if _, ok, intercepted := s.Admit(HygieneClamp, math.Inf(1)); ok || !intercepted {
+		t.Fatalf("clamp with no prior value must reject: ok=%v intercepted=%v", ok, intercepted)
+	}
+
+	// A finite value passes and becomes the clamp substitute.
+	if v, ok, intercepted := s.Admit(HygieneClamp, 3.5); !ok || intercepted || v != 3.5 {
+		t.Fatalf("finite admit: v=%v ok=%v intercepted=%v", v, ok, intercepted)
+	}
+	if v, ok, intercepted := s.Admit(HygieneClamp, math.NaN()); !ok || !intercepted || v != 3.5 {
+		t.Fatalf("clamp substitution: v=%v ok=%v intercepted=%v", v, ok, intercepted)
+	}
+
+	// HygieneOff passes everything through uncounted.
+	if v, ok, intercepted := s.Admit(HygieneOff, math.Inf(-1)); !ok || intercepted || !math.IsInf(v, -1) {
+		t.Fatalf("off must pass -Inf through: v=%v ok=%v intercepted=%v", v, ok, intercepted)
+	}
+}
+
+func TestAcceleratedSampleSizeMatchesPaper(t *testing.T) {
+	// The integer form must round exactly; norig=6, K=5, N=4 is the case
+	// the floating-point form gets wrong (1 instead of 2).
+	if got := AcceleratedSampleSize(6, 5, 4); got != 2 {
+		t.Fatalf("AcceleratedSampleSize(6,5,4) = %d, want 2", got)
+	}
+	if got := AcceleratedSampleSize(6, 5, 0); got != 6 {
+		t.Fatalf("level 0 must keep n_orig: got %d", got)
+	}
+	// Never below 1.
+	if got := AcceleratedSampleSize(1, 3, 2); got != 1 {
+		t.Fatalf("n stays at 1: got %d", got)
+	}
+}
+
+func TestBucketStepMatchesState(t *testing.T) {
+	// The exported pure function and the internal state machine must be
+	// the same transition relation (the state machine delegates, but pin
+	// it anyway: this equality is what fleet replay equivalence rests on).
+	b, err := newBucketState(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill, level := 0, 0
+	seq := []bool{true, true, true, false, true, true, true, true, true, true, true, true}
+	for i, exceeded := range seq {
+		var ev BucketEvent
+		fill, level, ev = BucketStep(3, 2, fill, level, exceeded)
+		got := b.step(exceeded)
+		if fill != b.fill || level != b.level || ev != got {
+			t.Fatalf("step %d diverged: pure (%d,%d,%v) vs state (%d,%d,%v)",
+				i, fill, level, ev, b.fill, b.level, got)
+		}
+	}
+}

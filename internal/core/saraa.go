@@ -65,13 +65,21 @@ func (s *SARAA) Config() SARAAConfig { return s.cfg }
 // the current bucket: floor(1 + (n_orig-1)*(1 - N/K)).
 func (s *SARAA) SampleSize() int { return s.window.size }
 
-// acceleratedSize returns the paper's linear sampling-acceleration rule
-// for bucket level N: floor(1 + (norig-1)*(1 - N/K)). Evaluated in
-// integer arithmetic — floor(1 + (norig-1)*(K-N)/K) — because the
-// floating-point form rounds cases like norig=6, K=5, N=4 down to 1
-// instead of the exact 2.
+// AcceleratedSampleSize returns the paper's linear sampling-
+// acceleration rule for bucket level N: floor(1 + (norig-1)*(1 - N/K)).
+// Evaluated in integer arithmetic — floor(1 + (norig-1)*(K-N)/K) —
+// because the floating-point form rounds cases like norig=6, K=5, N=4
+// down to 1 instead of the exact 2. Exported because the fleet engine's
+// struct-of-arrays SARAA state applies the identical rule; a diverging
+// copy would silently break replay equivalence.
+func AcceleratedSampleSize(norig, k, level int) int {
+	return 1 + (norig-1)*(k-level)/k
+}
+
+// acceleratedSize applies AcceleratedSampleSize to this detector's
+// configuration.
 func (s *SARAA) acceleratedSize(level int) int {
-	return 1 + (s.cfg.InitialSampleSize-1)*(s.cfg.Buckets-level)/s.cfg.Buckets
+	return AcceleratedSampleSize(s.cfg.InitialSampleSize, s.cfg.Buckets, level)
 }
 
 // Target returns the threshold the current bucket compares sample means
@@ -92,14 +100,14 @@ func (s *SARAA) Observe(x float64) Decision {
 	target := s.Target()
 	event := s.buckets.step(mean > target)
 	switch event {
-	case bucketOverflow, bucketUnderflow:
+	case BucketOverflow, BucketUnderflow:
 		// Recompute the sample size for the new current bucket.
 		s.window.resize(s.acceleratedSize(s.buckets.level))
-	case bucketTrigger:
+	case BucketTrigger:
 		s.window.resize(s.cfg.InitialSampleSize)
 	}
 	return Decision{
-		Triggered:  event == bucketTrigger,
+		Triggered:  event == BucketTrigger,
 		Evaluated:  true,
 		SampleMean: mean,
 		Target:     target,

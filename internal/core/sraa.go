@@ -76,7 +76,7 @@ func (s *SRAA) Observe(x float64) Decision {
 	target := s.Target()
 	event := s.buckets.step(mean > target)
 	return Decision{
-		Triggered:  event == bucketTrigger,
+		Triggered:  event == BucketTrigger,
 		Evaluated:  true,
 		SampleMean: mean,
 		Target:     target,

@@ -1,0 +1,83 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"rejuv/internal/xrand"
+)
+
+// steadyEngine builds an engine with streams open and one warmup batch
+// ingested, so pooled scratch and slot arrays are at their high-water
+// mark before measurement begins.
+func steadyEngine(tb testing.TB, streams, batchSize int) (*Engine, []StreamObs) {
+	tb.Helper()
+	e, err := New(Config{
+		Classes: testClasses(),
+		Now:     newFakeClock(time.Millisecond).Now,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(e.Close)
+	for i := 0; i < streams; i++ {
+		if err := e.OpenStream(StreamID(i+1), testClasses()[i%3].Name); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	rng := xrand.NewStream(42, 1)
+	batch := make([]StreamObs, batchSize)
+	for i := range batch {
+		// Values near but below the mean: detectors step, never trigger,
+		// so the measured path has no journal and no queue traffic.
+		batch[i] = StreamObs{
+			Stream: StreamID(rng.Intn(streams) + 1),
+			Value:  4 + rng.Float64(),
+		}
+	}
+	e.ObserveBatch(batch) // warmup: grow the pooled scratch
+	return e, batch
+}
+
+// TestObserveBatchDoesNotAllocate pins the hot path at zero
+// steady-state allocations: all working memory is pooled scratch grown
+// to the high-water mark, and results fan in through preallocated
+// counters and arrays.
+func TestObserveBatchDoesNotAllocate(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under the race detector, defeating the pin")
+	}
+	e, batch := steadyEngine(t, 64, 256)
+	avg := testing.AllocsPerRun(200, func() {
+		e.ObserveBatch(batch)
+	})
+	if avg != 0 {
+		t.Errorf("ObserveBatch allocates %.1f times per batch, want 0", avg)
+	}
+}
+
+// BenchmarkFleetObserve is the headline fleet number: sustained
+// observations per second through ObserveBatch at increasing stream
+// counts. One iteration ingests one fixed-size batch.
+func BenchmarkFleetObserve(b *testing.B) {
+	counts := []int{1_000, 10_000, 100_000}
+	if testing.Short() {
+		counts = counts[:1]
+	}
+	const batchSize = 4096
+	for _, streams := range counts {
+		b.Run(fmt.Sprintf("streams=%d", streams), func(b *testing.B) {
+			e, batch := steadyEngine(b, streams, batchSize)
+			b.ReportAllocs()
+			b.SetBytes(int64(batchSize * 16)) // 8B id + 8B value per obs
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.ObserveBatch(batch)
+			}
+			b.StopTimer()
+			obs := float64(b.N) * float64(batchSize)
+			b.ReportMetric(obs/b.Elapsed().Seconds(), "obs/s")
+		})
+	}
+}

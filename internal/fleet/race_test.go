@@ -1,0 +1,8 @@
+//go:build race
+
+package fleet
+
+// raceEnabled reports that the race detector is instrumenting this
+// build. sync.Pool deliberately drops items under the race detector, so
+// allocation pins are meaningless there.
+const raceEnabled = true

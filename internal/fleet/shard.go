@@ -1,0 +1,191 @@
+package fleet
+
+import (
+	"fmt"
+	"sync"
+
+	"rejuv/internal/core"
+)
+
+// shard owns one stripe of the fleet's detector state, laid out as
+// struct-of-arrays: parallel slices indexed by slot, so the drain loop
+// touches a handful of adjacent arrays instead of chasing a pointer per
+// stream. Everything below mu is guarded by it; slots of closed streams
+// are recycled through the free list so churn does not grow the arrays.
+type shard struct {
+	mu sync.Mutex
+
+	index  map[StreamID]int32 // stream id -> slot; guarded by mu
+	free   []int32            // recycled slots; guarded by mu
+	opened int                // live slot count; guarded by mu
+
+	// Parallel per-slot detector state.
+	ids    []StreamID          // stream id of each slot; guarded by mu
+	cls    []int32             // class index of each slot; guarded by mu
+	live   []bool              // slot occupancy; guarded by mu
+	obs    []uint64            // observations consumed by the stream; guarded by mu
+	wsize  []int32             // current sample size n; guarded by mu
+	wcount []int32             // observations in the current block; guarded by mu
+	wsum   []float64           // running block sum; guarded by mu
+	bfill  []int32             // ball count d of the current bucket; guarded by mu
+	blevel []int32             // bucket pointer N; guarded by mu
+	hyg    []core.HygieneState // per-stream hygiene memory; guarded by mu
+	cool   []core.Cooldown     // per-stream trigger cooldown; guarded by mu
+	dog    []core.Watchdog     // per-stream staleness watchdog; guarded by mu
+}
+
+// open registers a stream in the shard. Callers hold s.mu.
+//
+//lint:holds mu
+func (s *shard) open(id StreamID, ci int32, c *class, cfg Config) error {
+	if i, ok := s.index[id]; ok && s.live[i] {
+		return fmt.Errorf("fleet: stream %d is already open", uint64(id))
+	}
+	var slot int32
+	if n := len(s.free); n > 0 {
+		slot = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		slot = int32(len(s.ids))
+		s.ids = append(s.ids, 0)
+		s.cls = append(s.cls, 0)
+		s.live = append(s.live, false)
+		s.obs = append(s.obs, 0)
+		s.wsize = append(s.wsize, 0)
+		s.wcount = append(s.wcount, 0)
+		s.wsum = append(s.wsum, 0)
+		s.bfill = append(s.bfill, 0)
+		s.blevel = append(s.blevel, 0)
+		s.hyg = append(s.hyg, core.HygieneState{})
+		s.cool = append(s.cool, core.Cooldown{})
+		s.dog = append(s.dog, core.Watchdog{})
+	}
+	s.ids[slot] = id
+	s.cls[slot] = ci
+	s.live[slot] = true
+	s.obs[slot] = 0
+	s.wsize[slot] = c.initSize
+	s.wcount[slot] = 0
+	s.wsum[slot] = 0
+	s.bfill[slot] = 0
+	s.blevel[slot] = 0
+	s.hyg[slot] = core.HygieneState{}
+	s.cool[slot] = core.NewCooldown(cfg.Cooldown)
+	s.dog[slot] = core.NewWatchdog(cfg.MaxSilence)
+	s.index[id] = slot
+	s.opened++
+	return nil
+}
+
+// close removes a stream from the shard, recycling its slot. Callers
+// hold s.mu.
+//
+//lint:holds mu
+func (s *shard) close(id StreamID) error {
+	i, ok := s.index[id]
+	if !ok || !s.live[i] {
+		return fmt.Errorf("fleet: stream %d is not open", uint64(id))
+	}
+	s.live[i] = false
+	delete(s.index, id)
+	s.free = append(s.free, i)
+	s.opened--
+	return nil
+}
+
+// drainLocked steps every batch item addressed to this shard through
+// its stream's detector state, writing one result per item. idxs are
+// indices into batch, grouped by the caller's counting sort; res is the
+// batch-parallel result array. Callers hold s.mu, so the whole segment
+// is processed under one lock acquisition.
+//
+// This loop is the cost the fleet pays per observation: array reads and
+// writes, one map lookup, the shared core transition functions. It must
+// never allocate — the hotpath contract below is enforced by rejuvlint
+// across everything reachable from here and pinned at runtime by
+// TestObserveBatchDoesNotAllocate.
+//
+//lint:hotpath
+//lint:holds mu
+func (s *shard) drainLocked(classes []class, hygienePolicy core.Hygiene, nowNanos int64, batch []StreamObs, idxs []int32, res []result) {
+	for _, bi := range idxs {
+		o := &batch[bi]
+		r := &res[bi]
+		*r = result{}
+		i, ok := s.index[o.Stream]
+		if !ok || !s.live[i] {
+			r.flags = resUnknown
+			continue
+		}
+		s.obs[i]++
+		r.classIdx = s.cls[i]
+		r.obs = s.obs[i]
+		s.dog[i].Feed(nowNanos)
+		v, admitted, intercepted := s.hyg[i].Admit(hygienePolicy, o.Value)
+		if intercepted {
+			r.flags |= resIntercepted
+		}
+		if !admitted {
+			continue
+		}
+		r.flags |= resAdmitted
+		r.value = v
+
+		// Sample window: identical arithmetic to core's sampleWindow.add.
+		s.wsum[i] += v
+		s.wcount[i]++
+		if s.wcount[i] < s.wsize[i] {
+			r.sampleSize = s.wsize[i]
+			continue
+		}
+		mean := s.wsum[i] / float64(s.wsize[i])
+		s.wsum[i] = 0
+		s.wcount[i] = 0
+
+		c := &classes[s.cls[i]]
+		var d core.Decision
+		switch c.family {
+		case FamilySRAA:
+			target := c.targets[s.blevel[i]]
+			nf, nl, ev := core.BucketStep(int(c.k), int(c.depth), int(s.bfill[i]), int(s.blevel[i]), mean > target)
+			s.bfill[i], s.blevel[i] = int32(nf), int32(nl)
+			d = core.Decision{
+				Triggered: ev == core.BucketTrigger, Evaluated: true,
+				SampleMean: mean, Target: target, Level: nl, Fill: nf,
+			}
+		case FamilySARAA:
+			target := c.targets[s.blevel[i]]
+			nf, nl, ev := core.BucketStep(int(c.k), int(c.depth), int(s.bfill[i]), int(s.blevel[i]), mean > target)
+			s.bfill[i], s.blevel[i] = int32(nf), int32(nl)
+			switch ev {
+			case core.BucketOverflow, core.BucketUnderflow:
+				// The accelerated schedule: deeper buckets use smaller
+				// samples. The block is already empty, exactly like
+				// core.SARAA's resize on a completed block.
+				s.wsize[i] = c.sizes[nl]
+			case core.BucketTrigger:
+				s.wsize[i] = c.sizes[0]
+			}
+			d = core.Decision{
+				Triggered: ev == core.BucketTrigger, Evaluated: true,
+				SampleMean: mean, Target: target, Level: nl, Fill: nf,
+			}
+		case FamilyCLTA:
+			target := c.targets[0]
+			d = core.Decision{
+				Triggered: mean > target, Evaluated: true,
+				SampleMean: mean, Target: target,
+			}
+		}
+		r.d = d
+		r.sampleSize = s.wsize[i]
+		r.flags |= resEvaluated
+		if d.Triggered {
+			if s.cool[i].Active(nowNanos) {
+				r.flags |= resSuppressed
+			} else {
+				s.cool[i].Open(nowNanos)
+			}
+		}
+	}
+}

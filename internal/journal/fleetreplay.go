@@ -1,0 +1,168 @@
+package journal
+
+import (
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+
+	"rejuv/internal/core"
+)
+
+// This file extends deterministic replay (replay.go) to fleet journals:
+// many interleaved streams sharing one journal, each record tagged with
+// its stream id. The verification contract is the same — feeding the
+// journaled observations of each stream through a freshly constructed
+// detector of that stream's class must reproduce that stream's decision
+// records byte for byte — but the bookkeeping is per stream, and the
+// interleaving order itself is part of what a deterministic fleet must
+// reproduce, so ReplayFleet doubles as the proof that the fleet engine's
+// struct-of-arrays detector state matches the pointer-based reference
+// detectors in internal/core.
+
+// FleetReplayReport summarizes one fleet replay verification pass.
+type FleetReplayReport struct {
+	// Streams counts distinct streams opened in the journal.
+	Streams int
+	// Closes counts stream close records applied.
+	Closes int
+	// Observations counts stream observation records fed to detectors.
+	Observations int
+	// Decisions counts stream decision records compared.
+	Decisions int
+	// Triggers counts recorded decisions that triggered.
+	Triggers int
+	// Mismatch describes the first divergence, nil when every stream's
+	// decision sequence is byte-identical.
+	Mismatch *Mismatch
+}
+
+// Identical reports whether every stream's replayed decision sequence
+// matched the recorded one byte for byte.
+func (r FleetReplayReport) Identical() bool { return r.Mismatch == nil }
+
+// fleetStream is the replay state of one open stream.
+type fleetStream struct {
+	det     core.Detector
+	pending *Record // replayed decision awaiting its recorded counterpart
+}
+
+// ReplayFleet feeds every journaled fleet observation through detectors
+// built by factory — invoked per KindStreamOpen with that stream's
+// class — and verifies each stream's decision records against the
+// replayed ones, using the same canonical byte comparison as Replay.
+// The Suppressed flag is copied from the recorded record before
+// encoding, because suppression is decided by the per-stream cooldown
+// layer above the detector. Non-stream records are ignored, so a fleet
+// journal may carry rejuvenation and actuator records alongside.
+//
+// Replay stops at the first divergence and reports it; a nil error with
+// report.Identical() true is the determinism proof for the whole fleet.
+func ReplayFleet(jr *Reader, factory func(class string) (core.Detector, error)) (FleetReplayReport, error) {
+	var report FleetReplayReport
+	streams := make(map[uint64]*fleetStream)
+	for {
+		rec, err := jr.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return report, err
+		}
+		switch rec.Kind {
+		case KindStreamOpen:
+			if _, ok := streams[rec.Stream]; ok {
+				report.Mismatch = structuralMismatch(rec, fmt.Sprintf("stream %d opened twice", rec.Stream))
+				return report, nil
+			}
+			det, err := factory(rec.Class)
+			if err != nil {
+				return report, fmt.Errorf("journal: fleet replay factory (stream %d, class %q): %w", rec.Stream, rec.Class, err)
+			}
+			if det == nil {
+				return report, fmt.Errorf("journal: fleet replay factory returned a nil detector for class %q", rec.Class)
+			}
+			streams[rec.Stream] = &fleetStream{det: det}
+			report.Streams++
+		case KindStreamClose:
+			st, ok := streams[rec.Stream]
+			if !ok {
+				report.Mismatch = structuralMismatch(rec, fmt.Sprintf("stream %d closed but never opened", rec.Stream))
+				return report, nil
+			}
+			if st.pending != nil {
+				report.Mismatch = structuralMismatch(rec, fmt.Sprintf("stream %d closed while a replayed decision awaited its recorded counterpart", rec.Stream))
+				return report, nil
+			}
+			delete(streams, rec.Stream)
+			report.Closes++
+		case KindStreamObserve:
+			st, ok := streams[rec.Stream]
+			if !ok {
+				report.Mismatch = structuralMismatch(rec, fmt.Sprintf("observation on unopened stream %d", rec.Stream))
+				return report, nil
+			}
+			if st.pending != nil {
+				report.Mismatch = structuralMismatch(rec, fmt.Sprintf("observation on stream %d while a replayed decision awaited its recorded counterpart", rec.Stream))
+				return report, nil
+			}
+			report.Observations++
+			d := st.det.Observe(rec.Value)
+			if d.Evaluated || d.Triggered {
+				var in core.Internals
+				if instr, ok := st.det.(core.Instrumented); ok {
+					in = instr.Internals()
+				}
+				r := DecisionRecord(rec.Time, d, in, false)
+				st.pending = &r
+			}
+		case KindStreamDecision:
+			st, ok := streams[rec.Stream]
+			if !ok {
+				report.Mismatch = structuralMismatch(rec, fmt.Sprintf("decision on unopened stream %d", rec.Stream))
+				return report, nil
+			}
+			report.Decisions++
+			if rec.Triggered {
+				report.Triggers++
+			}
+			if st.pending == nil {
+				report.Mismatch = structuralMismatch(rec, fmt.Sprintf("recorded decision on stream %d has no replayed counterpart (replayed detector did not evaluate)", rec.Stream))
+				return report, nil
+			}
+			st.pending.Suppressed = rec.Suppressed
+			st.pending.Time = rec.Time
+			recBytes := appendDecisionFields(nil, &rec)
+			repBytes := appendDecisionFields(nil, st.pending)
+			if string(recBytes) != string(repBytes) {
+				report.Mismatch = &Mismatch{
+					Seq:      rec.Seq,
+					Time:     rec.Time,
+					Reason:   fmt.Sprintf("decision payloads differ on stream %d", rec.Stream),
+					Recorded: hex.EncodeToString(recBytes),
+					Replayed: hex.EncodeToString(repBytes),
+				}
+				return report, nil
+			}
+			st.pending = nil
+		case KindReset:
+			// A fleet-wide reset resets every open stream. Iterate without
+			// order sensitivity: Reset has no cross-stream effects.
+			for _, st := range streams {
+				st.det.Reset()
+			}
+		}
+	}
+	// Report the lowest-id leftover so the diagnosis is stable across
+	// runs despite map iteration order.
+	leftover, found := uint64(0), false
+	for id, st := range streams {
+		if st.pending != nil && (!found || id < leftover) {
+			leftover, found = id, true
+		}
+	}
+	if found {
+		report.Mismatch = &Mismatch{Reason: fmt.Sprintf("replayed decision on stream %d at end of journal has no recorded counterpart", leftover)}
+	}
+	return report, nil
+}

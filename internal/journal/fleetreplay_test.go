@@ -1,0 +1,197 @@
+package journal
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"testing"
+
+	"rejuv/internal/core"
+	"rejuv/internal/xrand"
+)
+
+// fleetFactory builds the reference detectors the fleet replay tests
+// verify against: two classes, one per detector family with averaging.
+func fleetFactory(class string) (core.Detector, error) {
+	switch class {
+	case "sraa":
+		return core.NewSRAA(core.SRAAConfig{
+			SampleSize: 2, Buckets: 3, Depth: 2,
+			Baseline: core.Baseline{Mean: 5, StdDev: 1},
+		})
+	case "saraa":
+		return core.NewSARAA(core.SARAAConfig{
+			InitialSampleSize: 4, Buckets: 3, Depth: 2,
+			Baseline: core.Baseline{Mean: 5, StdDev: 1},
+		})
+	}
+	return nil, fmt.Errorf("unknown class %q", class)
+}
+
+// writeFleetJournal records an interleaved two-class fleet run: streams
+// open, observe in round-robin, one closes mid-run, and every evaluated
+// decision is journaled next to its observation — the shape the fleet
+// engine produces.
+func writeFleetJournal(t *testing.T, jw *Writer) {
+	t.Helper()
+	classes := []string{"sraa", "saraa", "sraa"}
+	dets := make([]core.Detector, len(classes))
+	for i, class := range classes {
+		det, err := fleetFactory(class)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dets[i] = det
+		jw.StreamOpen(0, uint64(i+1), class)
+	}
+	rng := xrand.NewStream(99, 1)
+	now := 1.0
+	for round := 0; round < 50; round++ {
+		for i, det := range dets {
+			if det == nil {
+				continue
+			}
+			// Push values above the mean often enough to walk the buckets.
+			v := 5 + 2*rng.Float64()
+			jw.StreamObserve(now, uint64(i+1), v)
+			d := det.Observe(v)
+			if d.Evaluated || d.Triggered {
+				var in core.Internals
+				if instr, ok := det.(core.Instrumented); ok {
+					in = instr.Internals()
+				}
+				jw.StreamDecision(now, uint64(i+1), d, in, round%7 == 0)
+			}
+			now += 0.25
+		}
+		if round == 30 {
+			jw.StreamClose(now, 2)
+			dets[1] = nil
+		}
+	}
+	if err := jw.Err(); err != nil {
+		t.Fatalf("writer error: %v", err)
+	}
+}
+
+func TestReplayFleetIdentical(t *testing.T) {
+	for _, format := range []Format{FormatBinary, FormatJSONL} {
+		t.Run(format.String(), func(t *testing.T) {
+			var buf bytes.Buffer
+			var jw *Writer
+			if format == FormatBinary {
+				jw = NewWriter(&buf, Meta{CreatedBy: "fleetreplay_test"})
+			} else {
+				jw = NewJSONWriter(&buf, Meta{CreatedBy: "fleetreplay_test"})
+			}
+			writeFleetJournal(t, jw)
+			jr, err := NewReader(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatalf("NewReader: %v", err)
+			}
+			report, err := ReplayFleet(jr, fleetFactory)
+			if err != nil {
+				t.Fatalf("ReplayFleet: %v", err)
+			}
+			if !report.Identical() {
+				t.Fatalf("fleet replay diverged: %v", report.Mismatch)
+			}
+			if report.Streams != 3 || report.Closes != 1 {
+				t.Errorf("streams=%d closes=%d, want 3 and 1", report.Streams, report.Closes)
+			}
+			if report.Observations == 0 || report.Decisions == 0 {
+				t.Errorf("replay fed no work: %+v", report)
+			}
+		})
+	}
+}
+
+func TestReplayFleetDetectsTampering(t *testing.T) {
+	var buf bytes.Buffer
+	jw := NewWriter(&buf, Meta{})
+	writeFleetJournal(t, jw)
+	jr, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := jr.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one decision's trigger flag and rewrite the journal.
+	tampered := false
+	var out bytes.Buffer
+	tw := NewWriter(&out, Meta{})
+	for _, r := range recs {
+		if !tampered && r.Kind == KindStreamDecision && r.Evaluated {
+			r.Triggered = !r.Triggered
+			tampered = true
+		}
+		tw.Record(r)
+	}
+	if !tampered {
+		t.Fatal("journal carried no decision to tamper with")
+	}
+	jr2, err := NewReader(bytes.NewReader(out.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := ReplayFleet(jr2, fleetFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Identical() {
+		t.Fatal("fleet replay accepted a tampered journal")
+	}
+}
+
+func TestReplayFleetRejectsMalformedStreams(t *testing.T) {
+	cases := map[string]func(jw *Writer){
+		"double open": func(jw *Writer) {
+			jw.StreamOpen(0, 1, "sraa")
+			jw.StreamOpen(0, 1, "sraa")
+		},
+		"observe unopened": func(jw *Writer) {
+			jw.StreamObserve(0, 1, 5)
+		},
+		"close unopened": func(jw *Writer) {
+			jw.StreamClose(0, 1)
+		},
+	}
+	for name, write := range cases {
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			jw := NewWriter(&buf, Meta{})
+			write(jw)
+			jr, err := NewReader(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			report, err := ReplayFleet(jr, fleetFactory)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if report.Identical() {
+				t.Fatal("malformed stream structure replayed as identical")
+			}
+		})
+	}
+}
+
+func TestWriterStreamEmittersDoNotAllocate(t *testing.T) {
+	jw := NewWriter(io.Discard, Meta{})
+	jw.StreamOpen(0, 1, "sraa")
+	// Warm the scratch buffer.
+	jw.StreamObserve(0, 1, 5)
+	d := core.Decision{Evaluated: true, SampleMean: 5, Target: 6, Level: 1, Fill: 1}
+	in := core.Internals{SampleSize: 2}
+	if avg := testing.AllocsPerRun(200, func() {
+		jw.StreamObserve(1, 1, 5.5)
+		jw.StreamDecision(1, 1, d, in, false)
+	}); avg != 0 {
+		t.Errorf("stream emitters allocate %.1f times per observe+decision, want 0", avg)
+	}
+	if err := jw.Err(); err != nil {
+		t.Fatal(err)
+	}
+}

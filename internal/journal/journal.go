@@ -97,28 +97,46 @@ const (
 	// its retry budget. Attempt carries the total attempts made and
 	// Class the last error text.
 	KindActGiveUp
+	// KindStreamOpen marks a fleet stream coming under monitoring: Stream
+	// is the stream id, Class the detector class it was opened with.
+	KindStreamOpen
+	// KindStreamClose marks a fleet stream leaving monitoring; Stream is
+	// the stream id.
+	KindStreamClose
+	// KindStreamObserve is one observation on a fleet stream: Stream is
+	// the stream id, Value the observed metric.
+	KindStreamObserve
+	// KindStreamDecision is one evaluated detector decision on a fleet
+	// stream: Stream is the stream id and the decision fields mirror
+	// KindDecision exactly, so fleet replay shares the KindDecision byte
+	// layout (appendDecisionFields).
+	KindStreamDecision
 )
 
 // kindNames maps kinds to their stable JSONL spellings.
 var kindNames = [...]string{
-	KindRepStart:     "rep_start",
-	KindObserve:      "observe",
-	KindDecision:     "decision",
-	KindReset:        "reset",
-	KindRejuvenation: "rejuvenation",
-	KindGCStart:      "gc_start",
-	KindGCEnd:        "gc_end",
-	KindSimScheduled: "sim_scheduled",
-	KindSimFired:     "sim_fired",
-	KindSimCancelled: "sim_cancelled",
-	KindFault:        "fault",
-	KindActStart:     "act_start",
-	KindActAttempt:   "act_attempt",
-	KindActGiveUp:    "act_give_up",
+	KindRepStart:       "rep_start",
+	KindObserve:        "observe",
+	KindDecision:       "decision",
+	KindReset:          "reset",
+	KindRejuvenation:   "rejuvenation",
+	KindGCStart:        "gc_start",
+	KindGCEnd:          "gc_end",
+	KindSimScheduled:   "sim_scheduled",
+	KindSimFired:       "sim_fired",
+	KindSimCancelled:   "sim_cancelled",
+	KindFault:          "fault",
+	KindActStart:       "act_start",
+	KindActAttempt:     "act_attempt",
+	KindActGiveUp:      "act_give_up",
+	KindStreamOpen:     "stream_open",
+	KindStreamClose:    "stream_close",
+	KindStreamObserve:  "stream_observe",
+	KindStreamDecision: "stream_decision",
 }
 
 // maxKind is the highest valid kind; the decoder rejects anything above.
-const maxKind = KindActGiveUp
+const maxKind = KindStreamDecision
 
 // Valid reports whether k is a known record kind.
 func (k Kind) Valid() bool { return k >= KindRepStart && k <= maxKind }
@@ -189,21 +207,24 @@ type Record struct {
 	Rep int `json:"rep,omitempty"`
 	// Seed is the replication's random seed (KindRepStart).
 	Seed uint64 `json:"seed,omitempty"`
-	// Stream is the replication's random stream (KindRepStart).
+	// Stream is the replication's random stream (KindRepStart) or the
+	// fleet stream id (KindStreamOpen, KindStreamClose, KindStreamObserve,
+	// KindStreamDecision).
 	Stream uint64 `json:"stream,omitempty"`
 
-	// Value is the observed metric (KindObserve).
+	// Value is the observed metric (KindObserve, KindStreamObserve).
 	Value float64 `json:"value,omitempty"`
 
 	// Evaluated, Triggered and Suppressed mirror the decision flags
-	// (KindDecision). Suppressed is set by the cooldown layer, not the
-	// detector, and is excluded from replay byte comparison.
+	// (KindDecision, KindStreamDecision). Suppressed is set by the
+	// cooldown layer, not the detector, and is excluded from replay byte
+	// comparison.
 	Evaluated  bool `json:"evaluated,omitempty"`
 	Triggered  bool `json:"triggered,omitempty"`
 	Suppressed bool `json:"suppressed,omitempty"`
 	// SampleMean, Target, Level, Fill, SampleSize, SampleFill and
 	// Statistic capture the decision and the detector internals after
-	// the step (KindDecision).
+	// the step (KindDecision, KindStreamDecision).
 	SampleMean float64 `json:"sample_mean,omitempty"`
 	Target     float64 `json:"target,omitempty"`
 	Level      int     `json:"level,omitempty"`
@@ -224,9 +245,10 @@ type Record struct {
 	// at (KindSimScheduled).
 	EventTime float64 `json:"event_time,omitempty"`
 
-	// Class names a fault class (KindFault) or carries an error text
-	// (KindActAttempt, KindActGiveUp). The binary codec caps it at
-	// MaxClassLen bytes; writers truncate longer strings.
+	// Class names a fault class (KindFault), a fleet detector class
+	// (KindStreamOpen) or carries an error text (KindActAttempt,
+	// KindActGiveUp). The binary codec caps it at MaxClassLen bytes;
+	// writers truncate longer strings.
 	Class string `json:"class,omitempty"`
 
 	// Attempt is the 1-based attempt number (KindActAttempt) or the

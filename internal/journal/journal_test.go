@@ -42,6 +42,13 @@ func writeSample(jw *Writer) {
 	jw.ActAttempt(64, 1, false, 2.5, "restart rpc timed out")
 	jw.ActAttempt(66.5, 2, true, 0, "")
 	jw.ActGiveUp(66.5, 2, "gave up anyway")
+	jw.StreamOpen(70, 9001, "web-sraa")
+	jw.StreamObserve(70.5, 9001, 4.75)
+	jw.StreamDecision(70.5, 9001,
+		core.Decision{Evaluated: true, SampleMean: 4.5, Target: 6, Level: 1, Fill: 2},
+		core.Internals{SampleSize: 2, SampleFill: 0},
+		false)
+	jw.StreamClose(71, 9001)
 }
 
 // wantSample is the decoded form of writeSample, in order.
@@ -63,6 +70,11 @@ func wantSample() []Record {
 		{Kind: KindActAttempt, Seq: 12, Time: 64, Attempt: 1, OK: false, Backoff: 2.5, Class: "restart rpc timed out"},
 		{Kind: KindActAttempt, Seq: 13, Time: 66.5, Attempt: 2, OK: true},
 		{Kind: KindActGiveUp, Seq: 14, Time: 66.5, Attempt: 2, Class: "gave up anyway"},
+		{Kind: KindStreamOpen, Seq: 15, Time: 70, Stream: 9001, Class: "web-sraa"},
+		{Kind: KindStreamObserve, Seq: 16, Time: 70.5, Stream: 9001, Value: 4.75},
+		{Kind: KindStreamDecision, Seq: 17, Time: 70.5, Stream: 9001, Evaluated: true,
+			SampleMean: 4.5, Target: 6, Level: 1, Fill: 2, SampleSize: 2},
+		{Kind: KindStreamClose, Seq: 18, Time: 71, Stream: 9001},
 	}
 }
 
@@ -138,8 +150,8 @@ func TestWriterRecordMatchesTypedEmitters(t *testing.T) {
 func TestWriterCounts(t *testing.T) {
 	jw := NewWriter(io.Discard, Meta{})
 	writeSample(jw)
-	if got := jw.Seq(); got != 15 {
-		t.Errorf("seq after 15 records = %d", got)
+	if got := jw.Seq(); got != 19 {
+		t.Errorf("seq after 19 records = %d", got)
 	}
 	for _, tc := range []struct {
 		kind Kind

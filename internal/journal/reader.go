@@ -258,17 +258,7 @@ func decodeBinary(payload []byte) (Record, error) {
 	case KindObserve:
 		r.Value = c.f64()
 	case KindDecision:
-		flags := c.u8()
-		r.Evaluated = flags&flagEvaluated != 0
-		r.Triggered = flags&flagTriggered != 0
-		r.Suppressed = flags&flagSuppressed != 0
-		r.SampleMean = c.f64()
-		r.Target = c.f64()
-		r.Level = int(c.uvarint())
-		r.Fill = int(c.uvarint())
-		r.SampleSize = int(c.uvarint())
-		r.SampleFill = int(c.uvarint())
-		r.Statistic = c.f64()
+		decodeDecisionFields(&c, &r)
 	case KindReset, KindSimFired, KindSimCancelled:
 		// no payload
 	case KindRejuvenation:
@@ -290,6 +280,17 @@ func decodeBinary(payload []byte) (Record, error) {
 	case KindActGiveUp:
 		r.Attempt = int(c.uvarint())
 		r.Class = c.str()
+	case KindStreamOpen:
+		r.Stream = c.uvarint()
+		r.Class = c.str()
+	case KindStreamClose:
+		r.Stream = c.uvarint()
+	case KindStreamObserve:
+		r.Stream = c.uvarint()
+		r.Value = c.f64()
+	case KindStreamDecision:
+		r.Stream = c.uvarint()
+		decodeDecisionFields(&c, &r)
 	}
 	if c.err != nil {
 		return Record{}, fmt.Errorf("journal: %s record: %w", r.Kind, c.err)
@@ -298,6 +299,22 @@ func decodeBinary(payload []byte) (Record, error) {
 		return Record{}, fmt.Errorf("journal: %s record carries %d trailing bytes", r.Kind, len(c.b)-c.off)
 	}
 	return r, nil
+}
+
+// decodeDecisionFields parses the canonical decision payload written by
+// appendDecisionFields, shared by KindDecision and KindStreamDecision.
+func decodeDecisionFields(c *cursor, r *Record) {
+	flags := c.u8()
+	r.Evaluated = flags&flagEvaluated != 0
+	r.Triggered = flags&flagTriggered != 0
+	r.Suppressed = flags&flagSuppressed != 0
+	r.SampleMean = c.f64()
+	r.Target = c.f64()
+	r.Level = int(c.uvarint())
+	r.Fill = int(c.uvarint())
+	r.SampleSize = int(c.uvarint())
+	r.SampleFill = int(c.uvarint())
+	r.Statistic = c.f64()
 }
 
 // cursor walks a record payload, latching the first decode error so the

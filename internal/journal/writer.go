@@ -304,6 +304,80 @@ func (jw *Writer) ActGiveUp(t float64, attempts int, errText string) {
 	jw.finish(b)
 }
 
+// StreamOpen records a fleet stream coming under monitoring with the
+// named detector class.
+func (jw *Writer) StreamOpen(t float64, stream uint64, class string) {
+	if jw.err != nil {
+		return
+	}
+	class = clipClass(class)
+	seq := jw.nextSeq(KindStreamOpen)
+	if jw.jsonl(Record{Kind: KindStreamOpen, Seq: seq, Time: t, Stream: stream, Class: class}) {
+		return
+	}
+	b := jw.begin(KindStreamOpen, seq, t)
+	b = binary.AppendUvarint(b, stream)
+	b = appendString(b, class)
+	jw.finish(b)
+}
+
+// StreamClose records a fleet stream leaving monitoring.
+func (jw *Writer) StreamClose(t float64, stream uint64) {
+	if jw.err != nil {
+		return
+	}
+	seq := jw.nextSeq(KindStreamClose)
+	if jw.jsonl(Record{Kind: KindStreamClose, Seq: seq, Time: t, Stream: stream}) {
+		return
+	}
+	b := jw.begin(KindStreamClose, seq, t)
+	b = binary.AppendUvarint(b, stream)
+	jw.finish(b)
+}
+
+// StreamObserve records one observation on a fleet stream. It sits on
+// the fleet's batched ingestion path and must stay allocation-free on
+// the binary codec.
+//
+//lint:hotpath
+func (jw *Writer) StreamObserve(t float64, stream uint64, value float64) {
+	if jw.err != nil {
+		return
+	}
+	seq := jw.nextSeq(KindStreamObserve)
+	if jw.jsonl(Record{Kind: KindStreamObserve, Seq: seq, Time: t, Stream: stream, Value: value}) {
+		return
+	}
+	b := jw.begin(KindStreamObserve, seq, t)
+	b = binary.AppendUvarint(b, stream)
+	b = appendF64(b, value)
+	jw.finish(b)
+}
+
+// StreamDecision records one evaluated detector decision on a fleet
+// stream. The decision payload reuses the KindDecision byte layout
+// (appendDecisionFields) after the stream id, so fleet replay verifies
+// the same bytes single-stream replay does. Like StreamObserve it is on
+// the fleet's batched ingestion path.
+//
+//lint:hotpath
+func (jw *Writer) StreamDecision(t float64, stream uint64, d core.Decision, in core.Internals, suppressed bool) {
+	if jw.err != nil {
+		return
+	}
+	r := DecisionRecord(t, d, in, suppressed)
+	r.Kind = KindStreamDecision
+	r.Stream = stream
+	r.Seq = jw.nextSeq(KindStreamDecision)
+	if jw.jsonl(r) {
+		return
+	}
+	b := jw.begin(KindStreamDecision, r.Seq, t)
+	b = binary.AppendUvarint(b, stream)
+	b = appendDecisionFields(b, &r)
+	jw.finish(b)
+}
+
 // jsonl encodes r on the JSONL debug codec and reports whether the
 // record was consumed there. The binary emitters call it first and fall
 // through to the allocation-free scratch-buffer path when it declines.
@@ -457,6 +531,17 @@ func appendPayload(b []byte, r *Record) []byte {
 	case KindActGiveUp:
 		b = binary.AppendUvarint(b, uint64(r.Attempt))
 		b = appendString(b, clipClass(r.Class))
+	case KindStreamOpen:
+		b = binary.AppendUvarint(b, r.Stream)
+		b = appendString(b, clipClass(r.Class))
+	case KindStreamClose:
+		b = binary.AppendUvarint(b, r.Stream)
+	case KindStreamObserve:
+		b = binary.AppendUvarint(b, r.Stream)
+		b = appendF64(b, r.Value)
+	case KindStreamDecision:
+		b = binary.AppendUvarint(b, r.Stream)
+		b = appendDecisionFields(b, r)
 	}
 	return b
 }

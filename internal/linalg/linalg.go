@@ -2,8 +2,20 @@
 // the CTMC and phase-type packages: matrices in row-major storage, LU
 // factorization with partial pivoting, and linear-system solving.
 //
-// The matrices in this repository are tiny (tens of states), so clarity
-// wins over blocking and vectorization.
+// It exists because the analytical side of the paper — phase-type
+// moments (eq. 2–3), the eq. 4 sample-mean density, CTMC steady
+// states — reduces to solving Ax = b for generator-derived matrices,
+// and pulling in a BLAS binding for that would break the repository's
+// no-external-dependencies and bit-reproducibility constraints: this
+// kernel always evaluates the same operations in the same order, so
+// the derived figures are stable across platforms and library
+// versions.
+//
+// The matrices in this repository are tiny (tens of states, one per
+// queue phase), so clarity wins over blocking and vectorization:
+// textbook LU with partial pivoting, O(n³) without tricks, with
+// explicit singularity detection so a degenerate generator surfaces as
+// an error instead of NaNs propagating into committed results.
 package linalg
 
 import (

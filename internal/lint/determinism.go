@@ -21,6 +21,7 @@ var deterministicScopes = []string{
 	"internal/journal",
 	"internal/conformance",
 	"internal/faults",
+	"internal/fleet",
 }
 
 // bannedImports are entropy or wall-clock sources that must never be

@@ -1,6 +1,20 @@
 // Package plot renders line charts as SVG and as ASCII, using only the
 // standard library. It exists to regenerate the paper's figures from
-// the experiment results without external plotting dependencies.
+// the experiment results without external plotting dependencies: the
+// repository's reproducibility contract is that every artifact in
+// results/ re-derives from a seed with `go run`, which a binding to an
+// external plotting stack would break (and its rendering would drift
+// under us between releases).
+//
+// The API is one Chart value — title, axis labels, and Series of
+// (x, y) points — with two renderers. SVG produces the committed
+// figNN.svg artifacts; ASCII produces terminal previews for
+// `cmd/figures -ascii` and the quick-look tables embedded in docs.
+// Both renderers are deterministic: identical input yields identical
+// bytes, so figure diffs in review always mean data changes, never
+// renderer noise. Scales, tick placement and glyph assignment are
+// chosen for the paper's data shapes (response-time curves over load
+// sweeps, bucket-occupancy step plots) rather than generality.
 package plot
 
 import (

@@ -1,7 +1,22 @@
 // Package stats provides the statistical machinery the rejuvenation
-// algorithms and experiments rely on: streaming moments, quantiles,
-// histograms, autocorrelation, confidence intervals, and the standard
-// normal distribution functions (density, CDF, and inverse CDF).
+// algorithms and experiments rely on: streaming moments (Welford),
+// quantiles, histograms, autocorrelation, confidence intervals, the
+// standard normal distribution functions (density, CDF, inverse CDF),
+// and goodness-of-fit tests (Kolmogorov–Smirnov, χ² over equiprobable
+// cells, two-sample Anderson–Darling) built on the regularized
+// incomplete gamma functions.
+//
+// Two constraints shape the package. First, determinism: it sits
+// inside rejuvlint's determinism scope because its outputs become
+// committed results/ numbers and conformance verdicts — estimators are
+// streaming or order-stable, and nothing here reads a clock or global
+// RNG. Second, self-containment: the paper's evaluation needs exactly
+// these estimators and no more, so the implementations are small,
+// auditable translations of the textbook formulas (the nontrivial
+// ones cite their sources) rather than bindings to a statistics
+// library whose internals we could not pin. The Welford accumulator
+// supports Merge so the parallel replication engine can fold
+// per-worker state in deterministic order.
 package stats
 
 import "math"

@@ -6,6 +6,8 @@ import (
 	"net/http"
 	"sync"
 	"time"
+
+	"rejuv/internal/core"
 )
 
 // Trigger describes one rejuvenation trigger raised by a Monitor.
@@ -101,6 +103,11 @@ type MonitorStats struct {
 // Monitor adapts a Detector for concurrent production use: any goroutine
 // may report observations, and the trigger callback fires when the
 // detector decides to rejuvenate, rate-limited by a cooldown.
+//
+// The guard layer — cooldown gate, staleness watchdog, hygiene memory —
+// is the shared core machinery (internal/core Cooldown, Watchdog,
+// HygieneState) that the fleet engine applies per stream; the Monitor
+// is the one-stream instantiation of the same state machines.
 type Monitor struct {
 	cfg MonitorConfig
 
@@ -109,15 +116,15 @@ type Monitor struct {
 	// epoch anchors journal timestamps at the first observation; the
 	// zero value means no observation was journaled yet.
 	epoch time.Time // guarded by mu
-	// lastAdmitted is the most recent value that passed hygiene, the
-	// substitute HygieneClamp falls back to.
-	lastAdmitted float64 // guarded by mu
-	haveAdmitted bool    // guarded by mu
-	// lastSeen is the time of the most recent Observe call (any value,
-	// even a rejected one: arrival proves the stream is alive); stalled
-	// latches the watchdog state so each silence counts once.
-	lastSeen time.Time // guarded by mu
-	stalled  bool      // guarded by mu
+	// hygiene remembers the last admitted value, the substitute
+	// HygieneClamp falls back to.
+	hygiene core.HygieneState // guarded by mu
+	// cool suppresses triggers inside the cooldown window of the last
+	// delivered one.
+	cool core.Cooldown // guarded by mu
+	// dog is the staleness watchdog; arrival of any value, even a
+	// rejected one, proves the stream is alive.
+	dog core.Watchdog // guarded by mu
 }
 
 // NewMonitor validates the configuration and returns a monitor.
@@ -134,7 +141,11 @@ func NewMonitor(cfg MonitorConfig) (*Monitor, error) {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
-	return &Monitor{cfg: cfg}, nil
+	return &Monitor{
+		cfg:  cfg,
+		cool: core.NewCooldown(cfg.Cooldown),
+		dog:  core.NewWatchdog(cfg.MaxSilence),
+	}, nil
 }
 
 // Observe reports one observation of the monitored metric. Safe for
@@ -150,8 +161,7 @@ func (m *Monitor) Observe(x float64) {
 	defer m.mu.Unlock()
 	m.stats.Observations++
 
-	v, admitted := m.cfg.Hygiene.Admit(x, m.lastAdmitted, m.haveAdmitted)
-	intercepted := (math.IsNaN(x) || math.IsInf(x, 0)) && m.cfg.Hygiene != HygieneOff
+	v, admitted, intercepted := m.hygiene.Admit(m.cfg.Hygiene, x)
 	if intercepted {
 		m.stats.Rejected++
 	}
@@ -159,16 +169,15 @@ func (m *Monitor) Observe(x float64) {
 		m.observeRejected(x)
 		return
 	}
-	m.lastAdmitted, m.haveAdmitted = v, true
 
 	d := m.cfg.Detector.Observe(v)
-	if !d.Triggered && !intercepted && m.cfg.MaxSilence <= 0 &&
+	if !d.Triggered && !intercepted && !m.dog.Enabled() &&
 		m.cfg.Collector == nil && m.cfg.Trace == nil && m.cfg.Journal == nil {
 		return // the common un-instrumented fast path needs no clock
 	}
 	now := m.cfg.Now()
 	m.feedWatchdog(now)
-	inCool := m.inCooldown(now)
+	inCool := m.cool.Active(now.UnixNano())
 	suppressed := d.Triggered && inCool
 	if d.Triggered {
 		if suppressed {
@@ -177,6 +186,7 @@ func (m *Monitor) Observe(x float64) {
 			m.stats.Triggers++
 			m.stats.LastTrigger = now
 			// The cooldown window (if any) opens at this instant.
+			m.cool.Open(now.UnixNano())
 			inCool = m.cfg.Cooldown > 0
 		}
 	}
@@ -218,7 +228,7 @@ func (m *Monitor) Observe(x float64) {
 //
 //lint:holds mu
 func (m *Monitor) observeRejected(x float64) {
-	if m.cfg.MaxSilence <= 0 && m.cfg.Collector == nil && m.cfg.Journal == nil {
+	if !m.dog.Enabled() && m.cfg.Collector == nil && m.cfg.Journal == nil {
 		return
 	}
 	now := m.cfg.Now()
@@ -269,9 +279,7 @@ func (m *Monitor) deliver(tr Trigger) {
 //
 //lint:holds mu
 func (m *Monitor) feedWatchdog(now time.Time) {
-	m.lastSeen = now
-	if m.stalled {
-		m.stalled = false
+	if m.dog.Feed(now.UnixNano()) {
 		if c := m.cfg.Collector; c != nil {
 			c.stalledGauge.Set(0)
 		}
@@ -289,20 +297,8 @@ func (m *Monitor) feedWatchdog(now time.Time) {
 func (m *Monitor) CheckStall() bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if m.cfg.MaxSilence <= 0 {
-		return false
-	}
-	now := m.cfg.Now()
-	if m.lastSeen.IsZero() {
-		m.lastSeen = now
-		return false
-	}
-	silence := now.Sub(m.lastSeen)
-	if silence <= m.cfg.MaxSilence {
-		return m.stalled
-	}
-	if !m.stalled {
-		m.stalled = true
+	tripped, silence := m.dog.Check(m.cfg.Now().UnixNano())
+	if tripped {
 		m.stats.Stalls++
 		if c := m.cfg.Collector; c != nil {
 			c.stallsTotal.Inc()
@@ -312,16 +308,7 @@ func (m *Monitor) CheckStall() bool {
 			m.cfg.OnStall(silence)
 		}
 	}
-	return true
-}
-
-// inCooldown reports whether now falls inside the cooldown window of
-// the last delivered trigger. Callers hold m.mu.
-//
-//lint:holds mu
-func (m *Monitor) inCooldown(now time.Time) bool {
-	return m.cfg.Cooldown > 0 && !m.stats.LastTrigger.IsZero() &&
-		now.Sub(m.stats.LastTrigger) < m.cfg.Cooldown
+	return m.dog.Stalled()
 }
 
 // traceEntry assembles the trace record for one evaluated decision,

@@ -8,10 +8,16 @@
 #
 # Usage: scripts/bench.sh [output.json]
 #        scripts/bench.sh -compare BENCH_baseline.json [output.json]
+#        scripts/bench.sh -fleet
 #   BENCHTIME=1x   iterations per benchmark (go test -benchtime)
 #   BENCH='.'      benchmark filter regexp   (go test -bench)
 #   PKGS='...'     packages to benchmark
 #   THRESHOLD=20   -compare: max tolerated ns/op regression, in percent
+#   FLOOR=1000000  -fleet: minimum sustained obs/s at 100k streams
+#
+# -fleet is the quick CI mode: it runs only BenchmarkFleetObserve and
+# fails unless ingestion at 100k streams sustains at least FLOOR
+# observations per second — the fleet engine's headline contract.
 #
 # In -compare mode the suite runs as usual, results land in the output
 # file (default BENCH_current.json so the baseline is never clobbered),
@@ -20,6 +26,24 @@
 # with exit status 1 — wire it after a perf PR to prove no regression.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "-fleet" ]; then
+    FLOOR="${FLOOR:-1000000}"
+    TMP="$(mktemp)"
+    trap 'rm -f "$TMP"' EXIT
+    go test -run '^$' -bench BenchmarkFleetObserve -benchtime "${BENCHTIME:-1s}" \
+        ./internal/fleet | tee "$TMP"
+    awk -v floor="$FLOOR" '
+    /^BenchmarkFleetObserve\/streams=100000/ {
+        for (i = 1; i < NF; i++) if ($(i + 1) == "obs/s") rate = $i
+    }
+    END {
+        if (rate == "") { print "bench.sh: no obs/s metric for streams=100000" > "/dev/stderr"; exit 2 }
+        printf "fleet ingestion at 100k streams: %.0f obs/s (floor %d)\n", rate, floor
+        if (rate + 0 < floor + 0) { print "bench.sh: below the fleet ingestion floor" > "/dev/stderr"; exit 1 }
+    }' "$TMP"
+    exit 0
+fi
 
 BASELINE=""
 if [ "${1:-}" = "-compare" ]; then
@@ -35,7 +59,7 @@ fi
 BENCH="${BENCH:-.}"
 BENCHTIME="${BENCHTIME:-1x}"
 THRESHOLD="${THRESHOLD:-20}"
-PKGS="${PKGS:-. ./internal/core ./internal/des ./internal/journal ./internal/metrics ./internal/stats}"
+PKGS="${PKGS:-. ./internal/core ./internal/des ./internal/fleet ./internal/journal ./internal/metrics ./internal/stats}"
 
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
