@@ -205,6 +205,20 @@ func (a *Actuator) backoffAfter(attempt int) time.Duration {
 // attempts and during backoff with ctx's error (no OnGiveUp: the caller
 // chose to stop, the action did not exhaust its chances).
 func (a *Actuator) Execute(ctx context.Context) error {
+	return a.execute(ctx, 0)
+}
+
+// ExecuteFor is Execute with a trigger correlation id: every journal
+// record of the execution (act_start, act_attempt, act_give_up) carries
+// triggerID, linking the actuation back to the triggering decision that
+// provoked it. Pass Trigger.ID from an OnTrigger callback; id 0 means
+// an uncorrelated (manual) execution and is equivalent to Execute.
+func (a *Actuator) ExecuteFor(ctx context.Context, triggerID uint64) error {
+	return a.execute(ctx, triggerID)
+}
+
+// execute is the shared body of Execute and ExecuteFor.
+func (a *Actuator) execute(ctx context.Context, triggerID uint64) error {
 	a.mu.Lock()
 	a.stats.Executions++
 	now := a.cfg.Now()
@@ -212,7 +226,7 @@ func (a *Actuator) Execute(ctx context.Context) error {
 		a.epoch = now
 	}
 	if jw := a.cfg.Journal; jw != nil {
-		jw.ActStart(now.Sub(a.epoch).Seconds())
+		jw.ActStart(now.Sub(a.epoch).Seconds(), triggerID)
 	}
 	a.mu.Unlock()
 	inc(a.mExecutions)
@@ -246,7 +260,7 @@ func (a *Actuator) Execute(ctx context.Context) error {
 			if lastErr != nil {
 				errText = lastErr.Error()
 			}
-			jw.ActAttempt(t, attempt, lastErr == nil, backoff.Seconds(), errText)
+			jw.ActAttempt(t, attempt, lastErr == nil, backoff.Seconds(), errText, triggerID)
 		}
 		a.mu.Unlock()
 
@@ -266,7 +280,7 @@ func (a *Actuator) Execute(ctx context.Context) error {
 	a.mu.Lock()
 	a.stats.GiveUps++
 	if jw := a.cfg.Journal; jw != nil {
-		jw.ActGiveUp(a.cfg.Now().Sub(a.epoch).Seconds(), a.cfg.MaxAttempts, err.Error())
+		jw.ActGiveUp(a.cfg.Now().Sub(a.epoch).Seconds(), a.cfg.MaxAttempts, err.Error(), triggerID)
 	}
 	a.mu.Unlock()
 	inc(a.mGiveUps)
@@ -292,7 +306,7 @@ func (a *Actuator) attempt(ctx context.Context) error {
 // already serves them — and counted in Stats().Coalesced. Do not pair
 // Trigger with a Journal shared with the monitor; the journal writer is
 // not concurrency-safe (give the actuator its own writer instead).
-func (a *Actuator) Trigger(Trigger) {
+func (a *Actuator) Trigger(t Trigger) {
 	a.mu.Lock()
 	if a.inFlight {
 		a.stats.Coalesced++
@@ -308,7 +322,7 @@ func (a *Actuator) Trigger(Trigger) {
 			a.inFlight = false
 			a.mu.Unlock()
 		}()
-		_ = a.Execute(context.Background())
+		_ = a.execute(context.Background(), t.ID)
 	}()
 }
 

@@ -1,0 +1,113 @@
+// Command rejuvtop is the fleet operator's top(1): a live view over
+// fleet health snapshots, ranking the most-aged streams (deepest
+// detector bucket levels first), the fleet-wide level histogram with
+// exemplars, per-class detection statistics, trigger-queue state and
+// the monitoring process's own runtime telemetry.
+//
+// Two modes:
+//
+//	rejuvtop -snapshot health.json     render one snapshot and exit
+//	rejuvtop -url http://host:8080/fleetz   poll live, redrawing
+//
+// The snapshot format is exactly what the /fleetz endpoint serves
+// (rejuv.FleetzHandler / Fleet.HealthSnapshot), so a snapshot can be
+// captured with curl and rendered offline later:
+//
+//	curl -s localhost:8080/fleetz > health.json && rejuvtop -snapshot health.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"rejuv/internal/health"
+)
+
+func main() {
+	snapshotPath := flag.String("snapshot", "", "render one snapshot from a JSON `file` ('-' for stdin) and exit")
+	url := flag.String("url", "", "poll a /fleetz `endpoint` and redraw (e.g. http://localhost:8080/fleetz)")
+	interval := flag.Duration("interval", 2*time.Second, "poll interval for -url")
+	once := flag.Bool("once", false, "with -url: fetch and render a single snapshot, then exit")
+	flag.Parse()
+
+	switch {
+	case *snapshotPath != "":
+		snap, err := loadSnapshot(*snapshotPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		render(snap, false)
+	case *url != "":
+		for {
+			snap, err := fetchSnapshot(*url)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			render(snap, !*once)
+			if *once {
+				return
+			}
+			time.Sleep(*interval)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "rejuvtop: one of -snapshot or -url is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// loadSnapshot reads a snapshot from a JSON file or stdin ("-").
+func loadSnapshot(path string) (*health.Snapshot, error) {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	var snap health.Snapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("decoding snapshot %s: %w", path, err)
+	}
+	return &snap, nil
+}
+
+// fetchSnapshot pulls one snapshot from a /fleetz endpoint.
+func fetchSnapshot(url string) (*health.Snapshot, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	var snap health.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("decoding %s: %w", url, err)
+	}
+	return &snap, nil
+}
+
+// render draws one snapshot; clear prefixes the ANSI home+erase
+// sequence for the live redraw loop.
+func render(snap *health.Snapshot, clear bool) {
+	if clear {
+		fmt.Print("\033[H\033[2J")
+	}
+	if err := health.WriteText(os.Stdout, snap); err != nil {
+		fatalf("rendering: %v", err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rejuvtop: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -12,6 +12,7 @@
 //	rejuvtrace -csv run.jnl             machine-readable timeline
 //	rejuvtrace -verify run.jnl          replay and verify determinism
 //	rejuvtrace -diff a.jnl b.jnl        first divergence between runs
+//	rejuvtrace -trigger 0x9a… run.jnl   causality chain of one trigger id
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"strconv"
 	"strings"
 
 	"rejuv/internal/core"
@@ -36,6 +38,7 @@ func main() {
 		diff    = flag.Bool("diff", false, "compare two journals and report the first diverging decision")
 		maxEv   = flag.Int("triggers", 0, "show at most this many triggers (0 = all)")
 		barCols = flag.Int("bar", 24, "width of the sample-mean bar in the ASCII timeline (0 disables)")
+		trigger = flag.String("trigger", "", "render the causality chain of one trigger `id` (decimal or 0x hex)")
 	)
 	flag.Parse()
 
@@ -51,6 +54,8 @@ func main() {
 		os.Exit(2)
 	case *verify:
 		runVerify(flag.Arg(0))
+	case *trigger != "":
+		runTrigger(flag.Arg(0), *trigger, *window)
 	default:
 		meta, format, records := load(flag.Arg(0))
 		a := journal.Analyze(meta, format, records, *window)
@@ -135,8 +140,12 @@ func printActions(actions []journal.ActionEvent) {
 		if ev.Succeeded() {
 			verdict = "succeeded"
 		}
-		fmt.Printf("action #%d  rep %d  t=%.6g s  %s after %d attempt(s)\n",
-			ev.Index, ev.Rep, ev.Start, verdict, len(ev.Attempts))
+		id := ""
+		if ev.TriggerID != 0 {
+			id = fmt.Sprintf("  id=%#x", ev.TriggerID)
+		}
+		fmt.Printf("action #%d  rep %d  t=%.6g s  %s after %d attempt(s)%s\n",
+			ev.Index, ev.Rep, ev.Start, verdict, len(ev.Attempts), id)
 		for i, at := range ev.Attempts {
 			status := "ok"
 			if !at.OK {
@@ -157,10 +166,79 @@ func printActions(actions []journal.ActionEvent) {
 	fmt.Println()
 }
 
+// runTrigger renders the causality chain of one trigger id: the
+// observations that fed the decision, the decision, and the actuator
+// executions it provoked. Ids are printed by the default timeline
+// (id=0x…) and minted deterministically, so a chain seen in one run can
+// be looked up in a replay of the same journal. Exit status 1 when no
+// record carries the id.
+func runTrigger(path, idText string, window int) {
+	id, err := strconv.ParseUint(idText, 0, 64)
+	if err != nil {
+		fatal(fmt.Errorf("bad -trigger id %q: %v", idText, err))
+	}
+	_, _, records := load(path)
+	c, ok := journal.TraceCausality(records, id, window)
+	if !ok {
+		fatal(fmt.Errorf("no decision in %s carries trigger id %#x", path, id))
+	}
+	fmt.Printf("trigger id %#x\n", c.TriggerID)
+	if c.Fleet {
+		class := c.Class
+		if class == "" {
+			class = "(unknown class)"
+		}
+		fmt.Printf("stream %d  %s\n", c.Stream, class)
+	}
+	fmt.Printf("\nobservations (%d, newest last):\n", len(c.Observations))
+	for _, r := range c.Observations {
+		fmt.Printf("  t=%-10.6g value=%.6g\n", r.Time, r.Value)
+	}
+	d := c.Decision
+	verdict := "TRIGGER"
+	if d.Suppressed {
+		verdict = "TRIGGER (suppressed by cooldown)"
+	}
+	fmt.Printf("\ndecision:\n  t=%-10.6g mean=%.6g target=%.6g lvl=%d fill=%d  %s\n",
+		d.Time, d.SampleMean, d.Target, d.Level, d.Fill, verdict)
+	if len(c.Actions) == 0 {
+		fmt.Println("\nactuation: none journaled for this id")
+		return
+	}
+	fmt.Println("\nactuation:")
+	for _, ev := range c.Actions {
+		verdict := "gave up"
+		if ev.Succeeded() {
+			verdict = "succeeded"
+		}
+		fmt.Printf("  execution t=%.6g s  %s after %d attempt(s)\n", ev.Start, verdict, len(ev.Attempts))
+		for i, at := range ev.Attempts {
+			status := "ok"
+			if !at.OK {
+				status = "FAIL"
+				if at.Class != "" {
+					status += "  " + at.Class
+				}
+			}
+			fmt.Printf("    attempt %d  t=%.6g s  %s\n", i+1, at.Time, status)
+			if !at.OK && at.Backoff > 0 {
+				fmt.Printf("               retry in %.4g s\n", at.Backoff)
+			}
+		}
+		if ev.GaveUp {
+			fmt.Printf("    GIVE UP  t=%.6g s  escalated after %d attempt(s)\n", ev.End, len(ev.Attempts))
+		}
+	}
+}
+
 // printTimeline renders one trigger's context window as an ASCII table
 // with a sample-mean bar scaled to the window's maximum.
 func printTimeline(ev journal.TriggerEvent, barCols int) {
-	fmt.Printf("trigger #%d  rep %d  t=%.6g s  (seq %d)\n", ev.Index, ev.Rep, ev.Time, ev.Seq)
+	fmt.Printf("trigger #%d  rep %d  t=%.6g s  (seq %d)", ev.Index, ev.Rep, ev.Time, ev.Seq)
+	if ev.TriggerID != 0 {
+		fmt.Printf("  id=%#x", ev.TriggerID)
+	}
+	fmt.Println()
 	if !math.IsNaN(ev.TimeToTrigger) {
 		fmt.Printf("  first exceedance t=%.6g s -> trigger after %.6g s\n", ev.FirstExceedance, ev.TimeToTrigger)
 	}

@@ -5,13 +5,19 @@ package rejuv_test
 // output. These protect the CLI surface the documentation promises.
 
 import (
+	"context"
+	"errors"
 	"flag"
+	"net/http/httptest"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"regexp"
 	"strings"
 	"testing"
+	"time"
+
+	"rejuv"
 )
 
 // updateGolden regenerates the golden stdout files under testdata/cli
@@ -259,6 +265,143 @@ func TestCmdRejuvtrace(t *testing.T) {
 	selfDiff := runCmd(t, "rejuvtrace", "", "-diff", jnlA, jnlA)
 	if !strings.Contains(selfDiff, "journals agree on every decision") {
 		t.Errorf("rejuvtrace self-diff output:\n%s", selfDiff)
+	}
+}
+
+// TestCmdRejuvtraceCausality drives the trigger-id correlation end to
+// end: a library monitor delivers a trigger whose id the OnTrigger
+// callback hands to the actuator, both journal into one file, and
+// rejuvtrace -trigger renders the complete observation → decision →
+// actuation chain. The id is discovered from the default timeline
+// output, the way an operator would.
+func TestCmdRejuvtraceCausality(t *testing.T) {
+	jnl := filepath.Join(t.TempDir(), "mon.jnl")
+	f, err := os.Create(jnl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jw := rejuv.NewJournalWriter(f, rejuv.JournalMeta{CreatedBy: "cmd_integration_test"})
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { now = now.Add(time.Second); return now }
+
+	// First restart attempt fails, the retry succeeds: the chain gets a
+	// FAIL attempt with a backoff and an ok attempt.
+	fails := 1
+	act, err := rejuv.NewActuator(rejuv.ActuatorConfig{
+		Do: func(context.Context) error {
+			if fails > 0 {
+				fails--
+				return errors.New("supervisor unreachable")
+			}
+			return nil
+		},
+		Backoff: time.Second,
+		Now:     clock,
+		Sleep:   func(_ context.Context, d time.Duration) error { now = now.Add(d); return nil },
+		Journal: jw,
+		Epoch:   time.Unix(1000, 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := rejuv.NewSRAA(rejuv.SRAAConfig{SampleSize: 2, Buckets: 3, Depth: 2,
+		Baseline: rejuv.Baseline{Mean: 5, StdDev: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := rejuv.NewMonitor(rejuv.MonitorConfig{
+		Detector: det,
+		Now:      clock,
+		Journal:  jw,
+		// OnTrigger runs under the monitor lock, so the synchronous
+		// ExecuteFor may share the monitor's journal writer.
+		OnTrigger: func(tr rejuv.Trigger) {
+			_ = act.ExecuteFor(context.Background(), tr.ID)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		m.Observe(50)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	timeline := runCmd(t, "rejuvtrace", "", "-triggers", "1", jnl)
+	idMatch := regexp.MustCompile(`trigger #1 .* id=(0x[0-9a-f]+)`).FindStringSubmatch(timeline)
+	if idMatch == nil {
+		t.Fatalf("timeline carries no trigger id:\n%s", timeline)
+	}
+
+	chain := runCmd(t, "rejuvtrace", "", "-trigger", idMatch[1], jnl)
+	for _, want := range []string{
+		"trigger id " + idMatch[1], "observations (", "value=50",
+		"decision:", "TRIGGER", "actuation:", "succeeded after 2 attempt(s)",
+		"attempt 1", "FAIL  supervisor unreachable", "retry in", "attempt 2",
+	} {
+		if !strings.Contains(chain, want) {
+			t.Errorf("causality chain missing %q:\n%s", want, chain)
+		}
+	}
+
+	// An id no record carries is an error, exit status 1.
+	cmd := exec.Command(cmdPath(t, "rejuvtrace"), "-trigger", "0xdead", jnl)
+	if out, err := cmd.CombinedOutput(); err == nil {
+		t.Fatalf("rejuvtrace -trigger with an absent id exited 0:\n%s", out)
+	}
+}
+
+// TestCmdRejuvtopGolden renders a pinned /fleetz snapshot through the
+// rejuvtop one-shot mode. The fixture carries fixed self-telemetry, so
+// the entire text view is pinned byte for byte — the same layout the
+// /fleetz?format=text endpoint serves.
+func TestCmdRejuvtopGolden(t *testing.T) {
+	fixture := filepath.Join("testdata", "cli", "fleetz_snapshot.json")
+	assertGolden(t, "rejuvtop", runCmd(t, "rejuvtop", "", "-snapshot", fixture))
+
+	// The '-' stdin path renders the same bytes.
+	fix, err := os.ReadFile(fixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGolden(t, "rejuvtop", runCmd(t, "rejuvtop", string(fix), "-snapshot", "-"))
+}
+
+// TestCmdRejuvtopLive closes the loop the documentation promises: a
+// running Fleet served over HTTP by FleetzHandler, scraped and rendered
+// by the rejuvtop binary. Self-telemetry varies run to run, so this
+// asserts structure rather than golden bytes.
+func TestCmdRejuvtopLive(t *testing.T) {
+	f, err := rejuv.NewFleet(rejuv.FleetConfig{
+		Classes: []rejuv.StreamClass{{
+			Name: "web", Family: rejuv.FamilySRAA,
+			SampleSize: 2, Buckets: 3, Depth: 2,
+			Baseline: rejuv.Baseline{Mean: 5, StdDev: 1},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for id := rejuv.StreamID(1); id <= 8; id++ {
+		if err := f.OpenStream(id, "web"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Stream 1 ages: six exceedances march it into level 1.
+	for i := 0; i < 6; i++ {
+		f.ObserveBatch([]rejuv.StreamObs{{Stream: 1, Value: 50}})
+	}
+	srv := httptest.NewServer(rejuv.FleetzHandler(f, nil))
+	defer srv.Close()
+
+	out := runCmd(t, "rejuvtop", "", "-once", "-url", srv.URL)
+	for _, want := range []string{"fleet health @", "streams=8", "top aging streams", "web"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rejuvtop -url output missing %q:\n%s", want, out)
+		}
 	}
 }
 

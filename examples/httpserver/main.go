@@ -17,6 +17,10 @@
 //     exposition format (add ?format=json for a JSON snapshot): the
 //     request-latency histogram, trigger counters, and the detector's
 //     bucket-occupancy gauges.
+//   - /fleetz serves the fleet health snapshot (JSON, or human text
+//     with ?format=text) of a fleet engine mirroring the same stream:
+//     top-K aging streams, level histogram with exemplars, queue and
+//     self telemetry. Render it live with: rejuvtop -url .../fleetz
 //   - /debug/pprof/ serves the standard Go profiling endpoints when the
 //     -pprof flag is set.
 //
@@ -113,6 +117,23 @@ func main() {
 	registry := rejuv.NewRegistry()
 	trace := rejuv.NewTraceLog(256)
 	trace.Instrument(registry)
+	collector := rejuv.NewCollector(registry, rejuv.Label{Name: "algo", Value: "SARAA"})
+
+	// A fleet engine mirrors the same response times, as a fleet-scale
+	// deployment would run it: one stream here, but the /fleetz endpoint
+	// and rejuvtop work unchanged at a hundred thousand. Health stays on
+	// (the default top-K sketch) so the endpoint ranks aging streams.
+	fleetEng, err := rejuv.NewFleet(rejuv.FleetConfig{
+		Classes: []rejuv.StreamClass{{
+			Name: "http", Family: rejuv.FamilySARAA,
+			SampleSize: 4, Buckets: 3, Depth: 4,
+			Baseline: rejuv.Baseline{Mean: 0.002, StdDev: 0.001},
+		}},
+	})
+	fatalIf(err)
+	defer fleetEng.Close()
+	const fleetStream = rejuv.StreamID(1)
+	fatalIf(fleetEng.OpenStream(fleetStream, "http"))
 
 	// The restart goes through an Actuator because real restart RPCs
 	// flake: this one refuses every first attempt (a busy supervisor) and
@@ -145,7 +166,7 @@ func main() {
 	monitor, err := rejuv.NewMonitor(rejuv.MonitorConfig{
 		Detector:  detector,
 		Cooldown:  50 * time.Millisecond,
-		Collector: rejuv.NewCollector(registry, rejuv.Label{Name: "algo", Value: "SARAA"}),
+		Collector: collector,
 		Trace:     trace,
 		Journal:   jw,
 		// MaxSilence arms the staleness watchdog; with the load generator
@@ -156,17 +177,32 @@ func main() {
 			rejuvenations = append(rejuvenations, int64(t.Observations))
 			mu.Unlock()
 			// Execute synchronously: the journal writer is shared with the
-			// monitor and is not safe for concurrent use.
-			fatalIf(actuator.Execute(context.Background()))
-			fmt.Printf("  rejuvenation at request %4d (sample mean %.1f ms)\n",
-				t.Observations, t.Decision.SampleMean*1000)
+			// monitor and is not safe for concurrent use. ExecuteFor stamps
+			// the trigger's id on the actuator's journal records, so
+			// rejuvtrace -trigger renders the whole causality chain.
+			fatalIf(actuator.ExecuteFor(context.Background(), t.ID))
+			fmt.Printf("  rejuvenation at request %4d (sample mean %.1f ms, trigger id %#x)\n",
+				t.Observations, t.Decision.SampleMean*1000, t.ID)
 		},
 	})
 	fatalIf(err)
 
+	// The fleet mirror rides an outer middleware: it times each request
+	// itself and batches the value into the engine.
+	mirror := func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			start := time.Now()
+			next.ServeHTTP(w, r)
+			fleetEng.ObserveBatch([]rejuv.StreamObs{
+				{Stream: fleetStream, Value: time.Since(start).Seconds()},
+			})
+		})
+	}
+
 	mux := http.NewServeMux()
-	mux.Handle("/", monitor.Middleware(handler))
+	mux.Handle("/", mirror(monitor.Middleware(handler)))
 	mux.Handle("/metrics", registry.Handler())
+	mux.Handle("/fleetz", rejuv.FleetzHandler(fleetEng, collector.Observed()))
 	if *pprofOn {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -179,7 +215,7 @@ func main() {
 	defer srv.Close()
 	fmt.Printf("serving on %s with an injected aging fault (+%v per 100 requests)\n",
 		srv.URL, handler.leak)
-	fmt.Printf("metrics at %s/metrics", srv.URL)
+	fmt.Printf("metrics at %s/metrics, fleet health at %s/fleetz", srv.URL, srv.URL)
 	if *pprofOn {
 		fmt.Printf(", profiles at %s/debug/pprof/", srv.URL)
 	}
@@ -223,6 +259,18 @@ func main() {
 			strings.HasPrefix(line, "rejuv_observed_metric_count") {
 			fmt.Println("  " + line)
 		}
+	}
+
+	// The /fleetz text view is what rejuvtop renders: the fleet mirror's
+	// health — one stream here, the same surface at fleet scale.
+	fmt.Println("\n/fleetz?format=text (fleet health, as rejuvtop renders it):")
+	resp, err = client.Get(srv.URL + "/fleetz?format=text")
+	fatalIf(err)
+	body, err = io.ReadAll(resp.Body)
+	fatalIf(err)
+	_ = resp.Body.Close()
+	for _, line := range strings.Split(strings.TrimRight(string(body), "\n"), "\n") {
+		fmt.Println("  " + line)
 	}
 
 	// The trace log explains the last trigger: each line is one detector

@@ -2,9 +2,11 @@ package rejuv
 
 import (
 	"io"
+	"net/http"
 	"time"
 
 	"rejuv/internal/fleet"
+	"rejuv/internal/health"
 	"rejuv/internal/journal"
 )
 
@@ -63,6 +65,29 @@ type FleetTrigger = fleet.Trigger
 
 // FleetStats is an aggregate snapshot of fleet counters.
 type FleetStats = fleet.Stats
+
+// FleetHealth is one consistent fleet health view, assembled by
+// Fleet.HealthSnapshot: the top-K most-aged streams (Space-Saving
+// sketch merged across shards), the fleet-wide bucket-level histogram
+// with exemplars, per-class detection statistics, trigger-queue state
+// and the process's own runtime telemetry. Serve it over HTTP with
+// FleetzHandler, or render it with the rejuvtop CLI.
+type FleetHealth = health.Snapshot
+
+// StreamHealth is one ranked stream of the fleet's top-K aging view.
+type StreamHealth = health.StreamHealth
+
+// FleetzHandler returns the /fleetz endpoint for a fleet: the health
+// snapshot as indented JSON, or the human text view with ?format=text.
+// latency, when non-nil, attaches a quantile digest of an
+// observed-metric histogram (for example the Collector's
+// rejuv_observed_metric series) to each served snapshot.
+func FleetzHandler(f *Fleet, latency *MetricHistogram) http.Handler {
+	return health.NewHandler(health.HandlerConfig{
+		Snapshot: f.HealthSnapshot,
+		Latency:  latency,
+	})
+}
 
 // Stream-tagged journal record kinds written by a Fleet's journal.
 const (

@@ -122,7 +122,7 @@ func RunFaulted(name string, factory func() (core.Detector, error), trace []floa
 			if instr, ok := det.(core.Instrumented); ok {
 				in = instr.Internals()
 			}
-			jw.Decision(now, d, in, false)
+			jw.Decision(now, d, in, false, 0)
 		}
 		if d.Triggered {
 			res.Triggers++

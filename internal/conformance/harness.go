@@ -198,7 +198,7 @@ func RunJournaled(name string, factory func() (core.Detector, error), trace []fl
 			if instr, ok := det.(core.Instrumented); ok {
 				in = instr.Internals()
 			}
-			jw.Decision(t, d, in, false)
+			jw.Decision(t, d, in, false, 0)
 		}
 		if d.Triggered {
 			det.Reset()

@@ -1,0 +1,32 @@
+package core
+
+// Trigger identity: every rejuvenation trigger carries a 64-bit id
+// minted at decision time, so the observation that completed the
+// deciding sample, the journaled decision record, the trace-log entry
+// and every actuator attempt the trigger caused can be correlated after
+// the fact — across files, processes and replays.
+//
+// The id is a pure function of (stream, observation ordinal), never of
+// wall time, shard count or scheduling, so a replayed journal mints the
+// same ids the original run did and a fleet journal stays byte-identical
+// for any shard count (DESIGN §15).
+
+// TriggerID derives the deterministic identity of a trigger decided on
+// the given stream at the given 1-based observation ordinal. Stream 0 is
+// the single-stream Monitor's reserved stream. The result is a
+// splitmix64-style avalanche of both inputs and is never 0, so 0 can
+// mean "no trigger id" in journal records and trace entries.
+func TriggerID(stream, obs uint64) uint64 {
+	x := stream*0x9e3779b97f4a7c15 + obs
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	if x == 0 {
+		// The avalanche maps exactly one input pair to 0; nudge it onto a
+		// fixed non-zero value so ids stay total.
+		return 0x9e3779b97f4a7c15
+	}
+	return x
+}

@@ -1,0 +1,48 @@
+package core
+
+import "testing"
+
+func TestTriggerIDDeterministic(t *testing.T) {
+	if TriggerID(42, 1000) != TriggerID(42, 1000) {
+		t.Fatal("TriggerID is not a pure function of its inputs")
+	}
+	if TriggerID(42, 1000) == TriggerID(43, 1000) {
+		t.Error("different streams share a trigger id")
+	}
+	if TriggerID(42, 1000) == TriggerID(42, 1001) {
+		t.Error("different observation ordinals share a trigger id")
+	}
+}
+
+func TestTriggerIDNeverZero(t *testing.T) {
+	// 0 means "no trigger id" in journal records; the mint must avoid it
+	// even for degenerate inputs.
+	cases := [][2]uint64{{0, 0}, {0, 1}, {1, 0}, {^uint64(0), ^uint64(0)}}
+	for _, c := range cases {
+		if TriggerID(c[0], c[1]) == 0 {
+			t.Errorf("TriggerID(%d, %d) = 0", c[0], c[1])
+		}
+	}
+	for s := uint64(0); s < 64; s++ {
+		for o := uint64(0); o < 1024; o++ {
+			if TriggerID(s, o) == 0 {
+				t.Fatalf("TriggerID(%d, %d) = 0", s, o)
+			}
+		}
+	}
+}
+
+func TestTriggerIDCollisionFree(t *testing.T) {
+	// A fleet-scale sanity check: distinct (stream, obs) pairs across a
+	// plausible working set must not collide.
+	seen := make(map[uint64][2]uint64, 64*1024)
+	for s := uint64(1); s <= 64; s++ {
+		for o := uint64(1); o <= 1024; o++ {
+			id := TriggerID(s, o)
+			if prev, dup := seen[id]; dup {
+				t.Fatalf("TriggerID collision: (%d,%d) and (%d,%d) -> %#x", prev[0], prev[1], s, o, id)
+			}
+			seen[id] = [2]uint64{s, o}
+		}
+	}
+}

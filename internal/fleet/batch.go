@@ -170,11 +170,19 @@ func (e *Engine) fanIn(now time.Time, batch []StreamObs, sc *scratch) {
 		if r.flags&resAdmitted == 0 {
 			continue
 		}
+		// The trigger id is minted at decision time from inputs that are
+		// deterministic across shard counts (stream id, per-stream
+		// observation ordinal), so the same workload always yields the
+		// same ids regardless of Config.Shards.
+		var tid uint64
+		if r.d.Triggered {
+			tid = core.TriggerID(uint64(batch[i].Stream), r.obs)
+		}
 		if jw != nil {
 			jw.StreamObserve(t, uint64(batch[i].Stream), r.value)
 			if r.flags&resEvaluated != 0 {
 				in := core.Internals{SampleSize: int(r.sampleSize)}
-				jw.StreamDecision(t, uint64(batch[i].Stream), r.d, in, r.flags&resSuppressed != 0)
+				jw.StreamDecision(t, uint64(batch[i].Stream), r.d, in, r.flags&resSuppressed != 0, tid)
 			}
 		}
 		if r.d.Triggered {
@@ -184,6 +192,7 @@ func (e *Engine) fanIn(now time.Time, batch []StreamObs, sc *scratch) {
 			}
 			cc.trig++
 			tr := Trigger{
+				ID:           tid,
 				Stream:       batch[i].Stream,
 				Class:        e.classes[r.classIdx].cfg.Name,
 				Time:         now,

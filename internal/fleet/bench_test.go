@@ -10,12 +10,20 @@ import (
 
 // steadyEngine builds an engine with streams open and one warmup batch
 // ingested, so pooled scratch and slot arrays are at their high-water
-// mark before measurement begins.
+// mark before measurement begins. Health tracking runs at its default
+// top-K, so the measured path is the one production pays for.
 func steadyEngine(tb testing.TB, streams, batchSize int) (*Engine, []StreamObs) {
+	return steadyEngineTopK(tb, streams, batchSize, 0)
+}
+
+// steadyEngineTopK is steadyEngine with an explicit HealthTopK
+// (negative disables health tracking, isolating its overhead).
+func steadyEngineTopK(tb testing.TB, streams, batchSize, topK int) (*Engine, []StreamObs) {
 	tb.Helper()
 	e, err := New(Config{
-		Classes: testClasses(),
-		Now:     newFakeClock(time.Millisecond).Now,
+		Classes:    testClasses(),
+		Now:        newFakeClock(time.Millisecond).Now,
+		HealthTopK: topK,
 	})
 	if err != nil {
 		tb.Fatal(err)
@@ -57,10 +65,44 @@ func TestObserveBatchDoesNotAllocate(t *testing.T) {
 	}
 }
 
+// TestObserveBatchDoesNotAllocateWhileAging is the same pin with the
+// health sketch actually exercised: every stream's means exceed the
+// target, so each evaluated decision feeds Sketch.Update and the
+// exemplar arrays, and triggers flow until the queue fills and drops.
+// None of that may touch the allocator.
+func TestObserveBatchDoesNotAllocateWhileAging(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under the race detector, defeating the pin")
+	}
+	e, batch := steadyEngine(t, 64, 256)
+	for i := range batch {
+		batch[i].Value = 50 // far above every class target
+	}
+	e.ObserveBatch(batch) // warmup: populate sketches, fill the queue
+	avg := testing.AllocsPerRun(200, func() {
+		e.ObserveBatch(batch)
+	})
+	if avg != 0 {
+		t.Errorf("aging ObserveBatch allocates %.1f times per batch, want 0", avg)
+	}
+}
+
 // BenchmarkFleetObserve is the headline fleet number: sustained
 // observations per second through ObserveBatch at increasing stream
-// counts. One iteration ingests one fixed-size batch.
+// counts, with health tracking at its default top-K. One iteration
+// ingests one fixed-size batch.
 func BenchmarkFleetObserve(b *testing.B) {
+	benchFleetObserve(b, 0)
+}
+
+// BenchmarkFleetObserveNoHealth is the same workload with health
+// tracking disabled; the ratio against BenchmarkFleetObserve is the
+// sketch's ingestion overhead, asserted <10% by scripts/bench.sh.
+func BenchmarkFleetObserveNoHealth(b *testing.B) {
+	benchFleetObserve(b, -1)
+}
+
+func benchFleetObserve(b *testing.B, topK int) {
 	counts := []int{1_000, 10_000, 100_000}
 	if testing.Short() {
 		counts = counts[:1]
@@ -68,7 +110,7 @@ func BenchmarkFleetObserve(b *testing.B) {
 	const batchSize = 4096
 	for _, streams := range counts {
 		b.Run(fmt.Sprintf("streams=%d", streams), func(b *testing.B) {
-			e, batch := steadyEngine(b, streams, batchSize)
+			e, batch := steadyEngineTopK(b, streams, batchSize, topK)
 			b.ReportAllocs()
 			b.SetBytes(int64(batchSize * 16)) // 8B id + 8B value per obs
 			b.ResetTimer()
@@ -78,6 +120,36 @@ func BenchmarkFleetObserve(b *testing.B) {
 			b.StopTimer()
 			obs := float64(b.N) * float64(batchSize)
 			b.ReportMetric(obs/b.Elapsed().Seconds(), "obs/s")
+		})
+	}
+}
+
+// BenchmarkHealthSnapshot measures the observer's cost: assembling the
+// fleet-wide health view (slot scans, sketch merge, top-K sort) while
+// the fleet holds a steady population.
+func BenchmarkHealthSnapshot(b *testing.B) {
+	counts := []int{10_000, 100_000}
+	if testing.Short() {
+		counts = counts[:1]
+	}
+	for _, streams := range counts {
+		b.Run(fmt.Sprintf("streams=%d", streams), func(b *testing.B) {
+			e, batch := steadyEngine(b, streams, 4096)
+			// Age a slice of the fleet so the sketches have content.
+			for i := range batch {
+				if i%8 == 0 {
+					batch[i].Value = 50
+				}
+			}
+			e.ObserveBatch(batch)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				snap := e.HealthSnapshot()
+				if snap.OpenStreams != streams {
+					b.Fatalf("open streams = %d, want %d", snap.OpenStreams, streams)
+				}
+			}
 		})
 	}
 }

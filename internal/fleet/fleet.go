@@ -47,6 +47,7 @@ import (
 	"time"
 
 	"rejuv/internal/core"
+	"rejuv/internal/health"
 	"rejuv/internal/journal"
 	"rejuv/internal/metrics"
 )
@@ -60,6 +61,12 @@ type StreamID uint64
 // Trigger is one rejuvenation trigger raised by a fleet stream,
 // delivered through the engine's bounded trigger queue.
 type Trigger struct {
+	// ID is the deterministic correlation id minted at decision time
+	// (core.TriggerID over the stream id and its observation ordinal).
+	// The same id appears on the journal's stream-decision record and on
+	// every actuation record the trigger provokes, so rejuvtrace can
+	// stitch the observation -> decision -> actuation chain back together.
+	ID uint64
 	// Stream is the stream whose detector triggered.
 	Stream StreamID
 	// Class is the stream's class name.
@@ -116,6 +123,12 @@ type Config struct {
 	// the trigger queue and invokes the callback with panic isolation.
 	// When nil the caller drains Triggers itself.
 	OnTrigger func(Trigger)
+	// HealthTopK sizes the per-shard top-K aging sketch behind
+	// HealthSnapshot (the fleet-wide view merges the shards and keeps
+	// the K most aged). Zero means the default of 32; negative disables
+	// the sketch and exemplar capture entirely, leaving HealthSnapshot
+	// with counters and the level histogram only.
+	HealthTopK int
 }
 
 // Stats is an aggregate snapshot of engine counters; per-class series
@@ -179,6 +192,15 @@ type Engine struct {
 	dropTotal    *metrics.Counter
 	panicTotal   *metrics.Counter
 	stallTotal   *metrics.Counter
+
+	// healthK is the resolved top-K sketch size (0 when disabled);
+	// maxLvl is the deepest bucket level any class can reach, sizing
+	// the per-shard exemplar arrays and the snapshot level histogram.
+	healthK int
+	maxLvl  int
+	// selfGauges mirror runtime self-telemetry into the registry at
+	// each HealthSnapshot.
+	selfGauges *health.SelfGauges
 }
 
 // New validates the configuration and returns a running engine. If
@@ -226,6 +248,30 @@ func New(cfg Config) (*Engine, error) {
 	for i := range e.shards {
 		e.shards[i].index = make(map[StreamID]int32)
 	}
+	for _, c := range e.classes {
+		if int(c.k) > e.maxLvl {
+			e.maxLvl = int(c.k)
+		}
+	}
+	e.healthK = cfg.HealthTopK
+	if e.healthK == 0 {
+		e.healthK = 32
+	}
+	if e.healthK < 0 {
+		e.healthK = 0
+	}
+	if e.healthK > 0 {
+		for i := range e.shards {
+			s := &e.shards[i]
+			s.mu.Lock()
+			s.sketch = health.NewSketch(e.healthK)
+			s.exID = make([]uint64, e.maxLvl+1)
+			s.exValue = make([]float64, e.maxLvl+1)
+			s.exNanos = make([]int64, e.maxLvl+1)
+			s.exSet = make([]bool, e.maxLvl+1)
+			s.mu.Unlock()
+		}
+	}
 	e.pool.New = func() any { return &scratch{} }
 	e.register()
 	if cfg.OnTrigger != nil {
@@ -264,6 +310,7 @@ func (e *Engine) register() {
 	e.dropTotal = reg.Counter("fleet_dropped_triggers_total", "triggers dropped on a full delivery queue")
 	e.panicTotal = reg.Counter("fleet_trigger_panics_total", "panics recovered from the OnTrigger callback")
 	e.stallTotal = reg.Counter("fleet_stalls_total", "staleness-watchdog trips across all streams")
+	e.selfGauges = health.InstrumentSelf(reg)
 }
 
 // shardOf maps a stream id to its shard with a splitmix64-style mixing

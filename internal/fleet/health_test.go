@@ -1,0 +1,193 @@
+package fleet
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"rejuv/internal/metrics"
+)
+
+// agingEngine builds a small engine and drives one stream's detector
+// up the bucket ladder while the rest stay healthy.
+func agingEngine(t *testing.T, topK int) (*Engine, *metrics.Registry) {
+	t.Helper()
+	reg := metrics.NewRegistry()
+	e, err := New(Config{
+		Classes:    testClasses(),
+		Shards:     4,
+		Now:        newFakeClock(time.Millisecond).Now,
+		Registry:   reg,
+		HealthTopK: topK,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
+	// Stream 1 plus nine healthy peers, all web-sraa (n=2, K=3, D=2).
+	for i := 1; i <= 10; i++ {
+		if err := e.OpenStream(StreamID(i), "web-sraa"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Six hot observations on stream 1: three evaluated exceedances;
+	// the third overflows the full depth-2 bucket -> level 1, fill 0.
+	hot := make([]StreamObs, 6)
+	for i := range hot {
+		hot[i] = StreamObs{Stream: 1, Value: 50}
+	}
+	e.ObserveBatch(hot)
+	// Healthy traffic on the peers: means stay below target.
+	calm := make([]StreamObs, 0, 18)
+	for i := 2; i <= 10; i++ {
+		calm = append(calm, StreamObs{Stream: StreamID(i), Value: 4}, StreamObs{Stream: StreamID(i), Value: 4})
+	}
+	e.ObserveBatch(calm)
+	return e, reg
+}
+
+func TestHealthSnapshotRanksAgingStreams(t *testing.T) {
+	e, reg := agingEngine(t, 0)
+	snap := e.HealthSnapshot()
+
+	if snap.OpenStreams != 10 {
+		t.Fatalf("open streams = %d, want 10", snap.OpenStreams)
+	}
+	if len(snap.Top) == 0 {
+		t.Fatal("no top aging streams")
+	}
+	top := snap.Top[0]
+	if top.Stream != 1 || top.Level != 1 || top.Fill != 0 {
+		t.Fatalf("top stream = %+v, want stream 1 at level 1 fill 0", top)
+	}
+	if top.Count != 3 || top.Err != 0 {
+		t.Fatalf("top count = %d err = %d, want 3 exact aging signals", top.Count, top.Err)
+	}
+	if top.Class != "web-sraa" || top.LastMean != 50 {
+		t.Fatalf("top metadata = %+v", top)
+	}
+
+	// Level histogram: nine healthy streams at level 0, stream 1 at
+	// level 1 with an exemplar pointing at it.
+	if len(snap.Levels) != 2 {
+		t.Fatalf("levels = %+v, want exactly levels 0 and 1", snap.Levels)
+	}
+	l0, l1 := snap.Levels[0], snap.Levels[1]
+	if l0.Level != 0 || l0.Streams != 9 {
+		t.Fatalf("level 0 bucket = %+v, want 9 streams", l0)
+	}
+	if l1.Level != 1 || l1.Streams != 1 || l1.MeanFill != 0 {
+		t.Fatalf("level 1 bucket = %+v, want 1 stream at mean fill 0", l1)
+	}
+	if l1.Exemplar == nil || l1.Exemplar.Stream != 1 || l1.Exemplar.Value != 50 {
+		t.Fatalf("level 1 exemplar = %+v, want stream 1 mean 50", l1.Exemplar)
+	}
+	if l0.Exemplar != nil {
+		t.Fatalf("level 0 carries an exemplar: %+v", l0.Exemplar)
+	}
+
+	// Class stats line up with the engine counters.
+	if snap.Classes[0].Name != "web-sraa" || snap.Classes[0].Open != 10 {
+		t.Fatalf("class health = %+v", snap.Classes[0])
+	}
+	if snap.Classes[0].Observations != 24 {
+		t.Fatalf("class observations = %d, want 24", snap.Classes[0].Observations)
+	}
+	if snap.Queue.Capacity != 1024 || snap.Queue.Dropped != 0 {
+		t.Fatalf("queue health = %+v", snap.Queue)
+	}
+
+	// Self telemetry is folded into the registry gauges.
+	if snap.Self.Goroutines <= 0 || snap.Self.HeapAllocMB <= 0 {
+		t.Fatalf("self telemetry empty: %+v", snap.Self)
+	}
+	if g := reg.Gauge("fleet_self_goroutines", ""); g.Value() != float64(snap.Self.Goroutines) {
+		t.Fatalf("fleet_self_goroutines gauge = %v, want %d", g.Value(), snap.Self.Goroutines)
+	}
+}
+
+func TestHealthSnapshotDisabled(t *testing.T) {
+	e, _ := agingEngine(t, -1)
+	snap := e.HealthSnapshot()
+	if len(snap.Top) != 0 {
+		t.Fatalf("disabled health still ranks streams: %+v", snap.Top)
+	}
+	// Counters and the level histogram survive without the sketch.
+	if snap.OpenStreams != 10 || len(snap.Levels) != 2 {
+		t.Fatalf("snapshot = open %d levels %+v", snap.OpenStreams, snap.Levels)
+	}
+	for _, lb := range snap.Levels {
+		if lb.Exemplar != nil {
+			t.Fatalf("disabled health captured an exemplar: %+v", lb)
+		}
+	}
+}
+
+func TestHealthSnapshotDropsClosedStreams(t *testing.T) {
+	e, _ := agingEngine(t, 0)
+	if err := e.CloseStream(1); err != nil {
+		t.Fatal(err)
+	}
+	snap := e.HealthSnapshot()
+	for _, s := range snap.Top {
+		if s.Stream == 1 {
+			t.Fatalf("closed stream 1 still in top view: %+v", snap.Top)
+		}
+	}
+}
+
+// TestHealthSnapshotConcurrentWithIngest is the snapshot-vs-drain
+// contention gate: under -race, HealthSnapshot and CheckStalls must
+// interleave freely with concurrent ObserveBatch without a data race
+// on the sketch, exemplar arrays or slot state.
+func TestHealthSnapshotConcurrentWithIngest(t *testing.T) {
+	e, err := New(Config{
+		Classes:    testClasses(),
+		Shards:     4,
+		Now:        newFakeClock(time.Microsecond).Now,
+		MaxSilence: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	const streams = 64
+	for i := 1; i <= streams; i++ {
+		if err := e.OpenStream(StreamID(i), testClasses()[i%3].Name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const rounds = 200
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		batch := make([]StreamObs, 128)
+		for r := 0; r < rounds; r++ {
+			for i := range batch {
+				v := 4.0
+				if i%7 == 0 {
+					v = 50 // keep the sketch busy while snapshots read it
+				}
+				batch[i] = StreamObs{Stream: StreamID(i%streams + 1), Value: v}
+			}
+			e.ObserveBatch(batch)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for r := 0; r < rounds; r++ {
+			e.HealthSnapshot()
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for r := 0; r < rounds; r++ {
+			e.CheckStalls()
+		}
+	}()
+	wg.Wait()
+	if snap := e.HealthSnapshot(); snap.OpenStreams != streams {
+		t.Fatalf("open streams = %d, want %d", snap.OpenStreams, streams)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"rejuv/internal/core"
+	"rejuv/internal/health"
 )
 
 // shard owns one stripe of the fleet's detector state, laid out as
@@ -32,6 +33,17 @@ type shard struct {
 	hyg    []core.HygieneState // per-stream hygiene memory; guarded by mu
 	cool   []core.Cooldown     // per-stream trigger cooldown; guarded by mu
 	dog    []core.Watchdog     // per-stream staleness watchdog; guarded by mu
+
+	// Health observability state, nil/empty when Config.HealthTopK is
+	// negative. The sketch tallies the shard's aging signals; the ex*
+	// arrays hold one exemplar per bucket level (the last stream
+	// evaluated at that level, with its sample mean and capture time),
+	// indexed by level.
+	sketch  *health.Sketch // top-K aging sketch; guarded by mu
+	exID    []uint64       // exemplar stream id per level; guarded by mu
+	exValue []float64      // exemplar sample mean per level; guarded by mu
+	exNanos []int64        // exemplar capture time per level; guarded by mu
+	exSet   []bool         // exemplar present per level; guarded by mu
 }
 
 // open registers a stream in the shard. Callers hold s.mu.
@@ -185,6 +197,25 @@ func (s *shard) drainLocked(classes []class, hygienePolicy core.Hygiene, nowNano
 				r.flags |= resSuppressed
 			} else {
 				s.cool[i].Open(nowNanos)
+			}
+		}
+
+		// Health maintenance, still under the shard lock. Aging signals
+		// (a trigger, a raised bucket level, a target exceedance) feed
+		// the top-K sketch; healthy streams pay one nil check and one
+		// comparison. The exemplar arrays keep the last stream evaluated
+		// at each raised level, so the level histogram can point at a
+		// concrete journal-greppable stream.
+		if s.sketch != nil {
+			lvl := int(s.blevel[i])
+			if d.Triggered || lvl > 0 || mean > d.Target {
+				s.sketch.Update(uint64(o.Stream), mean, nowNanos)
+			}
+			if lvl > 0 && lvl < len(s.exSet) {
+				s.exID[lvl] = uint64(o.Stream)
+				s.exValue[lvl] = mean
+				s.exNanos[lvl] = nowNanos
+				s.exSet[lvl] = true
 			}
 		}
 	}

@@ -1,0 +1,61 @@
+package health
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+
+	"rejuv/internal/metrics"
+)
+
+// HandlerConfig configures the /fleetz endpoint.
+type HandlerConfig struct {
+	// Snapshot produces the current fleet health view; required. Wire
+	// it to the fleet engine's HealthSnapshot method.
+	Snapshot func() Snapshot
+	// Latency, when non-nil, is the observed-metric histogram whose
+	// quantile digest is folded into each served snapshot (the
+	// single-stream Collector's rejuv_observed_metric, or any
+	// response-time histogram the caller maintains).
+	Latency *metrics.Histogram
+}
+
+// NewHandler returns the /fleetz endpoint: JSON by default, the
+// WriteText human view with ?format=text.
+func NewHandler(cfg HandlerConfig) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		snap := cfg.Snapshot()
+		if cfg.Latency != nil {
+			snap.Latency = latencySummary(cfg.Latency)
+		}
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_ = WriteText(w, &snap)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(snap)
+	})
+}
+
+// latencySummary digests a histogram into the snapshot's quantile
+// summary; nil when the histogram is empty or yields non-finite
+// estimates (JSON cannot carry NaN).
+func latencySummary(h *metrics.Histogram) *LatencySummary {
+	n := h.Count()
+	if n == 0 {
+		return nil
+	}
+	ls := &LatencySummary{
+		Count: n,
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+	}
+	if math.IsNaN(ls.P50) || math.IsNaN(ls.P90) || math.IsNaN(ls.P99) {
+		return nil
+	}
+	return ls
+}

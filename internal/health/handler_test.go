@@ -1,0 +1,111 @@
+package health
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"rejuv/internal/metrics"
+)
+
+// fixtureSnapshot is a fully populated snapshot used by the handler
+// and render tests.
+func fixtureSnapshot() Snapshot {
+	return Snapshot{
+		NowNanos:    12_500_000_000,
+		OpenStreams: 3,
+		Stalls:      1,
+		Classes: []ClassHealth{
+			{Name: "web-sraa", Open: 2, Observations: 1000, Triggers: 2, Suppressed: 1},
+			{Name: "cache-clta", Open: 1, Observations: 400, Rejected: 3},
+		},
+		Top: []StreamHealth{
+			{Stream: 42, Class: "web-sraa", Level: 2, Fill: 1, Count: 37, Err: 2,
+				LastMean: 0.0123, LastSeenNanos: 12_000_000_000},
+			{Stream: 7, Class: "web-sraa", Level: 1, Fill: 0, Count: 12,
+				LastMean: 0.0101, LastSeenNanos: 11_000_000_000},
+		},
+		Levels: []LevelBucket{
+			{Level: 1, Streams: 1, MeanFill: 0,
+				Exemplar: &Exemplar{Stream: 7, Value: 0.0101, Nanos: 11_000_000_000}},
+			{Level: 2, Streams: 1, MeanFill: 1,
+				Exemplar: &Exemplar{Stream: 42, Value: 0.0123, Nanos: 12_000_000_000}},
+		},
+		Queue: QueueHealth{Depth: 1, Capacity: 1024},
+		Self:  Self{Goroutines: 8, HeapAllocMB: 4.5, GCPauseMS: 0.12, NumGC: 3},
+	}
+}
+
+func TestHandlerServesJSON(t *testing.T) {
+	h := NewHandler(HandlerConfig{Snapshot: fixtureSnapshot})
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/fleetz", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type = %q", ct)
+	}
+	var got Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatalf("response is not a snapshot: %v", err)
+	}
+	if got.OpenStreams != 3 || len(got.Top) != 2 || got.Top[0].Stream != 42 {
+		t.Fatalf("round-tripped snapshot wrong: %+v", got)
+	}
+	if got.Latency != nil {
+		t.Fatalf("no histogram attached, yet latency = %+v", got.Latency)
+	}
+}
+
+func TestHandlerServesTextWithLatency(t *testing.T) {
+	reg := metrics.NewRegistry()
+	lat := reg.Histogram("rejuv_observed_metric", "", []float64{0.01, 0.02, 0.04})
+	for i := 0; i < 100; i++ {
+		lat.Observe(0.015)
+	}
+	h := NewHandler(HandlerConfig{Snapshot: fixtureSnapshot, Latency: lat})
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/fleetz?format=text", nil))
+	body := rec.Body.String()
+	for _, want := range []string{
+		"fleet health @ 12.500s",
+		"streams=3 stalls=1",
+		"queue 1/1024",
+		"web-sraa",
+		"top aging streams",
+		"37±2",
+		"latency p50=",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("text view lacks %q:\n%s", want, body)
+		}
+	}
+
+	// The JSON view carries the same latency digest.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/fleetz", nil))
+	var got Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Latency == nil || got.Latency.Count != 100 {
+		t.Fatalf("latency digest = %+v, want count 100", got.Latency)
+	}
+	if got.Latency.P50 <= 0.01 || got.Latency.P50 > 0.02 {
+		t.Fatalf("p50 = %v, want within (0.01, 0.02]", got.Latency.P50)
+	}
+}
+
+func TestHandlerEmptyLatencyOmitted(t *testing.T) {
+	reg := metrics.NewRegistry()
+	lat := reg.Histogram("empty", "", []float64{1})
+	h := NewHandler(HandlerConfig{Snapshot: fixtureSnapshot, Latency: lat})
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/fleetz", nil))
+	var got Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Latency != nil {
+		t.Fatalf("empty histogram produced latency %+v", got.Latency)
+	}
+}

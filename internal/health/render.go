@@ -1,0 +1,103 @@
+package health
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// printer accumulates the first write error, so the rendering code can
+// stay linear instead of checking every Fprintf.
+type printer struct {
+	w   io.Writer
+	err error
+}
+
+func (p *printer) printf(format string, args ...any) {
+	if p.err == nil {
+		_, p.err = fmt.Fprintf(p.w, format, args...)
+	}
+}
+
+func (p *printer) println(s string) { p.printf("%s\n", s) }
+
+// WriteText renders a snapshot as the human view — the same layout the
+// /fleetz?format=text endpoint serves and the rejuvtop CLI redraws.
+// Output depends only on the snapshot contents, so goldens stay stable.
+func WriteText(w io.Writer, s *Snapshot) error {
+	p := &printer{w: w}
+	p.printf("fleet health @ %.3fs   streams=%d stalls=%d\n",
+		float64(s.NowNanos)/1e9, s.OpenStreams, s.Stalls)
+	p.printf("queue %d/%d (dropped %d)   self: %d goroutines, %.1f MiB heap, gc %.2f ms (n=%d)\n",
+		s.Queue.Depth, s.Queue.Capacity, s.Queue.Dropped,
+		s.Self.Goroutines, s.Self.HeapAllocMB, s.Self.GCPauseMS, s.Self.NumGC)
+	if s.Latency != nil {
+		p.printf("latency p50=%.4gs p90=%.4gs p99=%.4gs (n=%d)\n",
+			s.Latency.P50, s.Latency.P90, s.Latency.P99, s.Latency.Count)
+	}
+
+	if len(s.Classes) > 0 {
+		p.println("")
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		tp := &printer{w: tw}
+		tp.println("CLASS\tOPEN\tOBS\tTRIG\tSUPP\tREJ")
+		for i := range s.Classes {
+			c := &s.Classes[i]
+			tp.printf("%s\t%d\t%d\t%d\t%d\t%d\n",
+				c.Name, c.Open, c.Observations, c.Triggers, c.Suppressed, c.Rejected)
+		}
+		if err := flush(tw, tp); err != nil {
+			return err
+		}
+	}
+
+	if len(s.Levels) > 0 {
+		p.println("")
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		tp := &printer{w: tw}
+		tp.println("LEVEL\tSTREAMS\tMEAN-FILL\tEXEMPLAR")
+		for i := range s.Levels {
+			lb := &s.Levels[i]
+			ex := "-"
+			if lb.Exemplar != nil {
+				age := float64(s.NowNanos-lb.Exemplar.Nanos) / 1e9
+				ex = fmt.Sprintf("stream %d mean=%.4g age=%.1fs", lb.Exemplar.Stream, lb.Exemplar.Value, age)
+			}
+			tp.printf("%d\t%d\t%.2f\t%s\n", lb.Level, lb.Streams, lb.MeanFill, ex)
+		}
+		if err := flush(tw, tp); err != nil {
+			return err
+		}
+	}
+
+	if len(s.Top) > 0 {
+		p.println("")
+		p.println("top aging streams")
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		tp := &printer{w: tw}
+		tp.println("STREAM\tCLASS\tLVL\tFILL\tCOUNT\tLAST-MEAN\tAGE")
+		for i := range s.Top {
+			e := &s.Top[i]
+			count := fmt.Sprintf("%d", e.Count)
+			if e.Err > 0 {
+				count = fmt.Sprintf("%d±%d", e.Count, e.Err)
+			}
+			age := float64(s.NowNanos-e.LastSeenNanos) / 1e9
+			tp.printf("%d\t%s\t%d\t%d\t%s\t%.4g\t%.1fs\n",
+				e.Stream, e.Class, e.Level, e.Fill, count, e.LastMean, age)
+		}
+		if err := flush(tw, tp); err != nil {
+			return err
+		}
+	}
+	return p.err
+}
+
+// flush surfaces the first error of a tabwriter section: a failed
+// buffered write, then a failed flush to the underlying writer.
+func flush(tw *tabwriter.Writer, tp *printer) error {
+	if tp.err != nil {
+		return tp.err
+	}
+	return tw.Flush()
+}

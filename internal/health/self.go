@@ -1,0 +1,71 @@
+package health
+
+import (
+	"runtime"
+
+	"rejuv/internal/metrics"
+)
+
+// Self is the monitoring process's own runtime telemetry — the fleet
+// engine watching itself. A monitoring subsystem that silently leaks
+// or stalls is worse than none: operators trust it precisely when the
+// monitored system is in trouble.
+type Self struct {
+	// Goroutines is the live goroutine count.
+	Goroutines int `json:"goroutines"`
+	// HeapAllocMB is the live heap in MiB.
+	HeapAllocMB float64 `json:"heap_alloc_mb"`
+	// GCPauseMS is the most recent stop-the-world GC pause in
+	// milliseconds (0 before the first collection).
+	GCPauseMS float64 `json:"gc_pause_ms"`
+	// NumGC is the completed GC cycle count.
+	NumGC uint32 `json:"num_gc"`
+}
+
+// ReadSelf samples the runtime. It calls runtime.ReadMemStats, which
+// briefly stops the world — snapshot-path only, never per observation.
+func ReadSelf() Self {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	self := Self{
+		Goroutines:  runtime.NumGoroutine(),
+		HeapAllocMB: float64(ms.HeapAlloc) / (1 << 20),
+		NumGC:       ms.NumGC,
+	}
+	if ms.NumGC > 0 {
+		self.GCPauseMS = float64(ms.PauseNs[(ms.NumGC+255)%256]) / 1e6
+	}
+	return self
+}
+
+// SelfGauges mirrors Self readings into a metrics registry, so the
+// engine's own health rides the same scrape path as the fleet's.
+type SelfGauges struct {
+	goroutines *metrics.Gauge
+	heap       *metrics.Gauge
+	pause      *metrics.Gauge
+	gcs        *metrics.Gauge
+}
+
+// InstrumentSelf registers the self-telemetry gauges:
+//
+//	fleet_self_goroutines    live goroutines
+//	fleet_self_heap_mb       live heap in MiB
+//	fleet_self_gc_pause_ms   most recent GC pause in milliseconds
+//	fleet_self_gc_cycles     completed GC cycles
+func InstrumentSelf(reg *metrics.Registry, labels ...metrics.Label) *SelfGauges {
+	return &SelfGauges{
+		goroutines: reg.Gauge("fleet_self_goroutines", "live goroutines of the monitoring process", labels...),
+		heap:       reg.Gauge("fleet_self_heap_mb", "live heap of the monitoring process in MiB", labels...),
+		pause:      reg.Gauge("fleet_self_gc_pause_ms", "most recent GC pause in milliseconds", labels...),
+		gcs:        reg.Gauge("fleet_self_gc_cycles", "completed GC cycles", labels...),
+	}
+}
+
+// Update publishes one Self reading into the gauges.
+func (g *SelfGauges) Update(s Self) {
+	g.goroutines.SetInt(s.Goroutines)
+	g.heap.Set(s.HeapAllocMB)
+	g.pause.Set(s.GCPauseMS)
+	g.gcs.SetInt(int(s.NumGC))
+}

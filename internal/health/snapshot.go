@@ -1,0 +1,145 @@
+package health
+
+import "sort"
+
+// Snapshot is one consistent view of fleet health, assembled by the
+// fleet engine from per-shard state and engine counters. It is plain
+// data: JSON-encodable for the /fleetz endpoint and the rejuvtop CLI,
+// renderable as text by WriteText.
+type Snapshot struct {
+	// NowNanos is the engine clock reading the snapshot was taken at,
+	// in nanoseconds.
+	NowNanos int64 `json:"now_nanos"`
+	// OpenStreams is the number of streams under monitoring.
+	OpenStreams int `json:"open_streams"`
+	// Stalls counts staleness-watchdog trips across the fleet's life.
+	Stalls uint64 `json:"stalls,omitempty"`
+	// Classes holds per-class detection statistics, in class order.
+	Classes []ClassHealth `json:"classes,omitempty"`
+	// Top ranks the fleet's most-aged streams (deepest bucket level
+	// first), merged from the per-shard sketches and truncated to the
+	// configured K. Entries carry the Space-Saving count and error
+	// bound, so a reader can judge how trustworthy the tally is.
+	Top []StreamHealth `json:"top,omitempty"`
+	// Levels is the fleet-wide bucket-level histogram: how many streams
+	// sit at each detector level right now, with the mean bucket fill
+	// and one exemplar per populated level above 0.
+	Levels []LevelBucket `json:"levels,omitempty"`
+	// Queue describes the trigger delivery queue.
+	Queue QueueHealth `json:"queue"`
+	// Latency, when present, summarizes the observed-metric histogram
+	// the caller attached to the handler (quantiles via
+	// metrics.Histogram.Quantile).
+	Latency *LatencySummary `json:"latency,omitempty"`
+	// Self is the monitoring process's own runtime telemetry.
+	Self Self `json:"self"`
+}
+
+// ClassHealth is the per-class slice of the fleet's detection counters.
+type ClassHealth struct {
+	// Name is the stream class name.
+	Name string `json:"name"`
+	// Open is the number of live streams in the class.
+	Open int `json:"open"`
+	// Observations, Triggers, Suppressed and Rejected mirror the
+	// class-labeled engine counters.
+	Observations uint64 `json:"observations"`
+	Triggers     uint64 `json:"triggers,omitempty"`
+	Suppressed   uint64 `json:"suppressed,omitempty"`
+	Rejected     uint64 `json:"rejected,omitempty"`
+}
+
+// StreamHealth is one ranked stream of the top-K aging view: sketch
+// tallies plus the stream's live detector position, resolved under the
+// shard lock at snapshot time so Level and Fill are current, not stale
+// sketch-side copies.
+type StreamHealth struct {
+	// Stream is the stream id.
+	Stream uint64 `json:"stream"`
+	// Class is the stream's class name.
+	Class string `json:"class"`
+	// Level and Fill are the stream's bucket position at snapshot time
+	// (both 0 for detectors without buckets).
+	Level int `json:"level"`
+	Fill  int `json:"fill"`
+	// Count is the stream's aging-signal tally from the sketch; Err
+	// bounds its overestimation (see SketchEntry).
+	Count uint64 `json:"count"`
+	Err   uint64 `json:"err,omitempty"`
+	// LastMean is the sample mean of the stream's most recent aging
+	// signal; LastSeenNanos its time.
+	LastMean      float64 `json:"last_mean"`
+	LastSeenNanos int64   `json:"last_seen_nanos"`
+}
+
+// LevelBucket is one populated level of the fleet-wide bucket-level
+// histogram.
+type LevelBucket struct {
+	// Level is the detector bucket level.
+	Level int `json:"level"`
+	// Streams is how many live streams sit at this level.
+	Streams int `json:"streams"`
+	// MeanFill is the mean ball count of those streams' buckets.
+	MeanFill float64 `json:"mean_fill"`
+	// Exemplar, when present, is one concrete stream recently evaluated
+	// at this level — the thing to grep the journal for.
+	Exemplar *Exemplar `json:"exemplar,omitempty"`
+}
+
+// Exemplar pins one concrete observation to a histogram bucket: the
+// stream it came from, the sample mean evaluated, and when.
+type Exemplar struct {
+	// Stream is the exemplar stream id.
+	Stream uint64 `json:"stream"`
+	// Value is the evaluated sample mean.
+	Value float64 `json:"value"`
+	// Nanos is the wall-clock capture time in nanoseconds.
+	Nanos int64 `json:"nanos"`
+}
+
+// QueueHealth describes the trigger delivery queue.
+type QueueHealth struct {
+	// Depth is the number of triggers queued at snapshot time.
+	Depth int `json:"depth"`
+	// Capacity is the queue bound.
+	Capacity int `json:"capacity"`
+	// Dropped counts triggers lost to a full queue across the fleet's
+	// life.
+	Dropped uint64 `json:"dropped,omitempty"`
+}
+
+// LatencySummary is the quantile digest of an observed-metric
+// histogram, in the metric's own unit (seconds for response times).
+type LatencySummary struct {
+	// Count is the number of observations summarized.
+	Count uint64 `json:"count"`
+	// P50, P90 and P99 are interpolated bucket quantiles.
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P99 float64 `json:"p99"`
+}
+
+// TopK ranks entries by aging severity — bucket level first (a stream
+// one overflow from triggering outranks any count), then fill, then
+// sketch count, with the stream id as the final tiebreaker so equal
+// states rank deterministically — and truncates to k. It sorts in
+// place and returns the (possibly shortened) slice.
+func TopK(entries []StreamHealth, k int) []StreamHealth {
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := &entries[i], &entries[j]
+		if a.Level != b.Level {
+			return a.Level > b.Level
+		}
+		if a.Fill != b.Fill {
+			return a.Fill > b.Fill
+		}
+		if a.Count != b.Count {
+			return a.Count > b.Count
+		}
+		return a.Stream < b.Stream
+	})
+	if k >= 0 && len(entries) > k {
+		entries = entries[:k]
+	}
+	return entries
+}

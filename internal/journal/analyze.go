@@ -22,6 +22,10 @@ type TriggerEvent struct {
 	// Seq and Time locate the triggering decision record.
 	Seq  uint64
 	Time float64
+	// TriggerID is the trigger's correlation id (0 for journals written
+	// before trigger ids existed); actuator executions carrying the same
+	// id were caused by this trigger.
+	TriggerID uint64
 	// Window holds the decision records leading up to and including the
 	// trigger, oldest first, bounded by the analysis window.
 	Window []Record
@@ -97,6 +101,9 @@ type ActionEvent struct {
 	Rep int
 	// Start is the timestamp of the KindActStart record.
 	Start float64
+	// TriggerID links the execution back to the trigger that provoked it
+	// (0 when the journal carries no ids or the execution was manual).
+	TriggerID uint64
 	// Attempts holds the execution's attempt records in order.
 	Attempts []Record
 	// GaveUp reports a terminal KindActGiveUp escalation.
@@ -192,6 +199,7 @@ func Analyze(meta Meta, format Format, records []Record, window int) Analysis {
 					Rep:             rep,
 					Seq:             r.Seq,
 					Time:            r.Time,
+					TriggerID:       r.TriggerID,
 					Window:          append([]Record(nil), recent...),
 					FirstExceedance: firstExc,
 					TimeToTrigger:   r.Time - firstExc,
@@ -231,6 +239,7 @@ func Analyze(meta Meta, format Format, records []Record, window int) Analysis {
 		case KindActStart:
 			a.Actions = append(a.Actions, ActionEvent{
 				Index: len(a.Actions) + 1, Rep: rep, Start: r.Time, End: r.Time,
+				TriggerID: r.TriggerID,
 			})
 		case KindActAttempt:
 			if n := len(a.Actions); n > 0 {
@@ -248,6 +257,121 @@ func Analyze(meta Meta, format Format, records []Record, window int) Analysis {
 	}
 	a.Duration = repBase + lastT
 	return a
+}
+
+// CausalityChain is the full observation → decision → actuation story
+// of one trigger id: the observations that fed the triggering decision,
+// the decision itself, and every actuator execution the trigger
+// provoked. Trigger ids are minted deterministically at decision time
+// (core.TriggerID) and stamped on decision and actuator records, so the
+// chain can be reassembled from the journal alone.
+type CausalityChain struct {
+	// TriggerID is the traced correlation id.
+	TriggerID uint64
+	// Fleet reports whether the decision is a stream-tagged (fleet)
+	// record; Stream is then the fleet stream id and Class its detector
+	// class when the journal recorded the stream's open.
+	Fleet  bool
+	Stream uint64
+	Class  string
+	// Observations holds the observation records that fed the decision,
+	// oldest first, bounded by the trace window. For fleet journals only
+	// the decision's own stream is included.
+	Observations []Record
+	// Decision is the decision record carrying the id.
+	Decision Record
+	// Actions holds the actuator executions carrying the id.
+	Actions []ActionEvent
+}
+
+// TraceCausality reassembles the causality chain of one trigger id from
+// a journal's records. window bounds how many observations are kept
+// (minimum 1); observations never cross a replication boundary. It
+// reports false when no decision record carries the id — including for
+// id 0, which journals written before trigger ids use everywhere.
+func TraceCausality(records []Record, id uint64, window int) (CausalityChain, bool) {
+	if id == 0 {
+		return CausalityChain{}, false
+	}
+	if window < 1 {
+		window = 1
+	}
+	c := CausalityChain{TriggerID: id}
+	di := -1
+	for i := range records {
+		r := &records[i]
+		if (r.Kind == KindDecision || r.Kind == KindStreamDecision) && r.TriggerID == id {
+			di = i
+			c.Decision = *r
+			c.Fleet = r.Kind == KindStreamDecision
+			c.Stream = r.Stream
+			break
+		}
+	}
+	if di < 0 {
+		return CausalityChain{}, false
+	}
+
+	// Walk backwards from the decision collecting its stream's
+	// observations, newest first, then restore journal order.
+scan:
+	for i := di - 1; i >= 0 && len(c.Observations) < window; i-- {
+		r := &records[i]
+		switch {
+		case r.Kind == KindRepStart:
+			break scan
+		case !c.Fleet && r.Kind == KindObserve,
+			c.Fleet && r.Kind == KindStreamObserve && r.Stream == c.Stream:
+			c.Observations = append(c.Observations, *r)
+		}
+	}
+	for l, r := 0, len(c.Observations)-1; l < r; l, r = l+1, r-1 {
+		c.Observations[l], c.Observations[r] = c.Observations[r], c.Observations[l]
+	}
+
+	if c.Fleet {
+		for i := range records {
+			r := &records[i]
+			if r.Kind == KindStreamOpen && r.Stream == c.Stream {
+				c.Class = r.Class
+			}
+		}
+	}
+
+	// Actuator executions carrying the id: attempts and give-ups group
+	// under the preceding KindActStart, exactly as Analyze groups them.
+	var cur *ActionEvent
+	flush := func() {
+		if cur != nil {
+			c.Actions = append(c.Actions, *cur)
+			cur = nil
+		}
+	}
+	for i := range records {
+		r := &records[i]
+		switch r.Kind {
+		case KindActStart:
+			flush()
+			if r.TriggerID == id {
+				cur = &ActionEvent{
+					Index: len(c.Actions) + 1, Start: r.Time, End: r.Time,
+					TriggerID: id,
+				}
+			}
+		case KindActAttempt:
+			if cur != nil {
+				cur.Attempts = append(cur.Attempts, *r)
+				cur.End = r.Time
+			}
+		case KindActGiveUp:
+			if cur != nil {
+				cur.GaveUp = true
+				cur.End = r.Time
+			}
+		}
+	}
+	flush()
+	return c, true
 }
 
 // PhaseStats aggregates the per-phase metrics across all triggers of an

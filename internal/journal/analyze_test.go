@@ -181,3 +181,91 @@ func TestDiffIdenticalAndDiverging(t *testing.T) {
 		t.Errorf("prefix common decisions=%d, want 3", prefix.CommonDecisions)
 	}
 }
+
+// causalityFixture is a single-rep stream where trigger id 0xBEEF links
+// a decision to a two-attempt actuator execution, amid unrelated
+// records: an earlier id-less journal era, and a second manual
+// execution with no trigger id.
+func causalityFixture() []Record {
+	d := dec(100, 72, 5, 3, true, false)
+	d.TriggerID = 0xBEEF
+	return []Record{
+		{Kind: KindRepStart, Rep: 0, Seed: 9},
+		{Kind: KindObserve, Time: 10, Value: 4},
+		dec(10, 4, 5, 0, false, false),
+		{Kind: KindObserve, Time: 80, Value: 70},
+		dec(80, 70, 5, 1, false, false),
+		{Kind: KindObserve, Time: 90, Value: 71},
+		dec(90, 71, 5, 2, true, true),
+		{Kind: KindObserve, Time: 100, Value: 72},
+		d,
+		{Kind: KindActStart, Time: 100, TriggerID: 0xBEEF},
+		{Kind: KindActAttempt, Time: 101, Attempt: 1, OK: false, Class: "io timeout", Backoff: 2, TriggerID: 0xBEEF},
+		{Kind: KindActAttempt, Time: 103, Attempt: 2, OK: true, TriggerID: 0xBEEF},
+		{Kind: KindReset, Time: 103},
+		{Kind: KindActStart, Time: 200},
+		{Kind: KindActAttempt, Time: 201, Attempt: 1, OK: true},
+	}
+}
+
+func TestTraceCausality(t *testing.T) {
+	c, ok := TraceCausality(causalityFixture(), 0xBEEF, 3)
+	if !ok {
+		t.Fatal("TraceCausality did not find id 0xBEEF")
+	}
+	if c.Fleet || c.Stream != 0 {
+		t.Errorf("single-stream chain marked fleet=%v stream=%d", c.Fleet, c.Stream)
+	}
+	if c.Decision.Time != 100 || !c.Decision.Triggered {
+		t.Errorf("decision: %+v", c.Decision)
+	}
+	if len(c.Observations) != 3 || c.Observations[0].Time != 80 || c.Observations[2].Time != 100 {
+		t.Errorf("observations: %+v", c.Observations)
+	}
+	if len(c.Actions) != 1 {
+		t.Fatalf("got %d actions, want 1 (the manual execution must not attach)", len(c.Actions))
+	}
+	act := c.Actions[0]
+	if len(act.Attempts) != 2 || !act.Succeeded() || act.GaveUp || act.End != 103 {
+		t.Errorf("action: %+v", act)
+	}
+	if act.Attempts[0].Class != "io timeout" || act.Attempts[0].Backoff != 2 {
+		t.Errorf("first attempt: %+v", act.Attempts[0])
+	}
+}
+
+func TestTraceCausalityFleet(t *testing.T) {
+	recs := []Record{
+		{Kind: KindStreamOpen, Stream: 7, Class: "web"},
+		{Kind: KindStreamOpen, Stream: 8, Class: "db"},
+		{Kind: KindStreamObserve, Time: 1, Stream: 7, Value: 50},
+		{Kind: KindStreamObserve, Time: 1, Stream: 8, Value: 3},
+		{Kind: KindStreamObserve, Time: 2, Stream: 7, Value: 51},
+		{Kind: KindStreamDecision, Time: 2, Stream: 7, Evaluated: true,
+			SampleMean: 50.5, Target: 7, Level: 1, Triggered: true, TriggerID: 0xF1},
+	}
+	c, ok := TraceCausality(recs, 0xF1, 8)
+	if !ok {
+		t.Fatal("TraceCausality did not find id 0xF1")
+	}
+	if !c.Fleet || c.Stream != 7 || c.Class != "web" {
+		t.Errorf("fleet=%v stream=%d class=%q, want fleet stream 7 class web", c.Fleet, c.Stream, c.Class)
+	}
+	// Only stream 7's observations belong to the chain.
+	if len(c.Observations) != 2 || c.Observations[0].Value != 50 || c.Observations[1].Value != 51 {
+		t.Errorf("observations: %+v", c.Observations)
+	}
+	if len(c.Actions) != 0 {
+		t.Errorf("unexpected actions: %+v", c.Actions)
+	}
+}
+
+func TestTraceCausalityAbsent(t *testing.T) {
+	if _, ok := TraceCausality(causalityFixture(), 0xDEAD, 3); ok {
+		t.Error("found a chain for an id no record carries")
+	}
+	// Id 0 is the pre-trigger-id era marker, never a valid chain.
+	if _, ok := TraceCausality(analysisFixture(), 0, 3); ok {
+		t.Error("found a chain for id 0")
+	}
+}

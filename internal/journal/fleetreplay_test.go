@@ -60,7 +60,7 @@ func writeFleetJournal(t *testing.T, jw *Writer) {
 				if instr, ok := det.(core.Instrumented); ok {
 					in = instr.Internals()
 				}
-				jw.StreamDecision(now, uint64(i+1), d, in, round%7 == 0)
+				jw.StreamDecision(now, uint64(i+1), d, in, round%7 == 0, 0)
 			}
 			now += 0.25
 		}
@@ -187,7 +187,7 @@ func TestWriterStreamEmittersDoNotAllocate(t *testing.T) {
 	in := core.Internals{SampleSize: 2}
 	if avg := testing.AllocsPerRun(200, func() {
 		jw.StreamObserve(1, 1, 5.5)
-		jw.StreamDecision(1, 1, d, in, false)
+		jw.StreamDecision(1, 1, d, in, false, 0)
 	}); avg != 0 {
 		t.Errorf("stream emitters allocate %.1f times per observe+decision, want 0", avg)
 	}

@@ -259,6 +259,18 @@ type Record struct {
 	// Backoff is the delay in seconds scheduled before the next attempt
 	// (KindActAttempt); 0 when no retry follows.
 	Backoff float64 `json:"backoff,omitempty"`
+
+	// TriggerID correlates a triggering decision with everything it
+	// caused: the id minted at decision time (core.TriggerID) appears on
+	// the KindDecision/KindStreamDecision record that fired and on every
+	// KindActStart/KindActAttempt/KindActGiveUp record of the actuation
+	// it provoked. 0 means "no trigger id" — a non-triggering decision,
+	// an actuation started outside a trigger, or a record written before
+	// ids existed. The binary codec appends it as an optional trailing
+	// field only when non-zero, so journals without ids decode unchanged
+	// and replay byte comparison (which covers the decision fields only)
+	// is unaffected.
+	TriggerID uint64 `json:"trigger_id,omitempty"`
 }
 
 // magic identifies a binary journal stream; the version byte follows it.

@@ -28,7 +28,7 @@ func writeSample(jw *Writer) {
 	jw.Decision(1.5,
 		core.Decision{Evaluated: true, Triggered: true, SampleMean: 7.5, Target: 5, Level: 2, Fill: 0},
 		core.Internals{SampleSize: 2, SampleFill: 1, Statistic: 0.25},
-		true)
+		true, 0xDEC1)
 	jw.Reset(1.5)
 	jw.Rejuvenation(1.5, 17)
 	jw.GCStart(2.25, 99.5)
@@ -38,16 +38,16 @@ func writeSample(jw *Writer) {
 	// sample uses a finite one; binary non-finite round-trips are pinned
 	// by TestSpecialFloatsRoundTrip.
 	jw.Fault(63, "nan", 12.5)
-	jw.ActStart(64)
-	jw.ActAttempt(64, 1, false, 2.5, "restart rpc timed out")
-	jw.ActAttempt(66.5, 2, true, 0, "")
-	jw.ActGiveUp(66.5, 2, "gave up anyway")
+	jw.ActStart(64, 0xDEC1)
+	jw.ActAttempt(64, 1, false, 2.5, "restart rpc timed out", 0xDEC1)
+	jw.ActAttempt(66.5, 2, true, 0, "", 0)
+	jw.ActGiveUp(66.5, 2, "gave up anyway", 0xDEC1)
 	jw.StreamOpen(70, 9001, "web-sraa")
 	jw.StreamObserve(70.5, 9001, 4.75)
 	jw.StreamDecision(70.5, 9001,
 		core.Decision{Evaluated: true, SampleMean: 4.5, Target: 6, Level: 1, Fill: 2},
 		core.Internals{SampleSize: 2, SampleFill: 0},
-		false)
+		false, 0)
 	jw.StreamClose(71, 9001)
 }
 
@@ -59,17 +59,18 @@ func wantSample() []Record {
 		{Kind: KindSimFired, Seq: 2, Time: 1.5},
 		{Kind: KindObserve, Seq: 3, Time: 1.5, Value: 3.25},
 		{Kind: KindDecision, Seq: 4, Time: 1.5, Evaluated: true, Triggered: true, Suppressed: true,
-			SampleMean: 7.5, Target: 5, Level: 2, Fill: 0, SampleSize: 2, SampleFill: 1, Statistic: 0.25},
+			SampleMean: 7.5, Target: 5, Level: 2, Fill: 0, SampleSize: 2, SampleFill: 1, Statistic: 0.25,
+			TriggerID: 0xDEC1},
 		{Kind: KindReset, Seq: 5, Time: 1.5},
 		{Kind: KindRejuvenation, Seq: 6, Time: 1.5, Killed: 17},
 		{Kind: KindGCStart, Seq: 7, Time: 2.25, HeapMB: 99.5},
 		{Kind: KindGCEnd, Seq: 8, Time: 62.25, HeapMB: 3072},
 		{Kind: KindSimCancelled, Seq: 9, Time: 62.25},
 		{Kind: KindFault, Seq: 10, Time: 63, Class: "nan", Value: 12.5},
-		{Kind: KindActStart, Seq: 11, Time: 64},
-		{Kind: KindActAttempt, Seq: 12, Time: 64, Attempt: 1, OK: false, Backoff: 2.5, Class: "restart rpc timed out"},
+		{Kind: KindActStart, Seq: 11, Time: 64, TriggerID: 0xDEC1},
+		{Kind: KindActAttempt, Seq: 12, Time: 64, Attempt: 1, OK: false, Backoff: 2.5, Class: "restart rpc timed out", TriggerID: 0xDEC1},
 		{Kind: KindActAttempt, Seq: 13, Time: 66.5, Attempt: 2, OK: true},
-		{Kind: KindActGiveUp, Seq: 14, Time: 66.5, Attempt: 2, Class: "gave up anyway"},
+		{Kind: KindActGiveUp, Seq: 14, Time: 66.5, Attempt: 2, Class: "gave up anyway", TriggerID: 0xDEC1},
 		{Kind: KindStreamOpen, Seq: 15, Time: 70, Stream: 9001, Class: "web-sraa"},
 		{Kind: KindStreamObserve, Seq: 16, Time: 70.5, Stream: 9001, Value: 4.75},
 		{Kind: KindStreamDecision, Seq: 17, Time: 70.5, Stream: 9001, Evaluated: true,
@@ -282,7 +283,7 @@ func BenchmarkWriterDecision(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		jw.Decision(float64(i), d, in, false)
+		jw.Decision(float64(i), d, in, false, 0)
 	}
 	if err := jw.Err(); err != nil {
 		b.Fatal(err)
@@ -304,9 +305,9 @@ func TestWriterDecisionDoesNotAllocate(t *testing.T) {
 	jw := NewWriter(io.Discard, Meta{})
 	d := core.Decision{Evaluated: true, SampleMean: 7.5, Target: 10, Level: 1, Fill: 2}
 	in := core.Internals{SampleSize: 2}
-	jw.Decision(0, d, in, false)
+	jw.Decision(0, d, in, false, 0)
 	allocs := testing.AllocsPerRun(1000, func() {
-		jw.Decision(1, d, in, false)
+		jw.Decision(1, d, in, false, 0)
 	})
 	if allocs != 0 {
 		t.Errorf("binary Decision allocates %.1f objects per record, want 0", allocs)

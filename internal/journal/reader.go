@@ -259,6 +259,7 @@ func decodeBinary(payload []byte) (Record, error) {
 		r.Value = c.f64()
 	case KindDecision:
 		decodeDecisionFields(&c, &r)
+		decodeTriggerID(&c, &r)
 	case KindReset, KindSimFired, KindSimCancelled:
 		// no payload
 	case KindRejuvenation:
@@ -271,15 +272,17 @@ func decodeBinary(payload []byte) (Record, error) {
 		r.Class = c.str()
 		r.Value = c.f64()
 	case KindActStart:
-		// no payload
+		decodeTriggerID(&c, &r)
 	case KindActAttempt:
 		r.OK = c.u8() != 0
 		r.Attempt = int(c.uvarint())
 		r.Backoff = c.f64()
 		r.Class = c.str()
+		decodeTriggerID(&c, &r)
 	case KindActGiveUp:
 		r.Attempt = int(c.uvarint())
 		r.Class = c.str()
+		decodeTriggerID(&c, &r)
 	case KindStreamOpen:
 		r.Stream = c.uvarint()
 		r.Class = c.str()
@@ -291,6 +294,7 @@ func decodeBinary(payload []byte) (Record, error) {
 	case KindStreamDecision:
 		r.Stream = c.uvarint()
 		decodeDecisionFields(&c, &r)
+		decodeTriggerID(&c, &r)
 	}
 	if c.err != nil {
 		return Record{}, fmt.Errorf("journal: %s record: %w", r.Kind, c.err)
@@ -299,6 +303,17 @@ func decodeBinary(payload []byte) (Record, error) {
 		return Record{}, fmt.Errorf("journal: %s record carries %d trailing bytes", r.Kind, len(c.b)-c.off)
 	}
 	return r, nil
+}
+
+// decodeTriggerID parses the optional trailing trigger-id field: it is
+// present exactly when payload bytes remain after the kind's fixed
+// fields, so journals written before trigger ids existed (and records
+// with id 0, which the writer omits) decode unchanged with TriggerID 0.
+func decodeTriggerID(c *cursor, r *Record) {
+	if c.err != nil || c.off >= len(c.b) {
+		return
+	}
+	r.TriggerID = c.uvarint()
 }
 
 // decodeDecisionFields parses the canonical decision payload written by

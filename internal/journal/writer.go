@@ -133,21 +133,25 @@ func (jw *Writer) Observe(t, value float64) {
 }
 
 // Decision records one evaluated detector decision together with the
-// internals snapshot taken immediately after the step. Like Observe it
-// is on the monitor's per-observation path.
+// internals snapshot taken immediately after the step. triggerID is the
+// deterministic trigger identity minted for a triggering decision
+// (core.TriggerID); pass 0 for non-triggering decisions. Like Observe
+// it is on the monitor's per-observation path.
 //
 //lint:hotpath
-func (jw *Writer) Decision(t float64, d core.Decision, in core.Internals, suppressed bool) {
+func (jw *Writer) Decision(t float64, d core.Decision, in core.Internals, suppressed bool, triggerID uint64) {
 	if jw.err != nil {
 		return
 	}
 	r := DecisionRecord(t, d, in, suppressed)
+	r.TriggerID = triggerID
 	r.Seq = jw.nextSeq(KindDecision)
 	if jw.jsonl(r) {
 		return
 	}
 	b := jw.begin(KindDecision, r.Seq, t)
 	b = appendDecisionFields(b, &r)
+	b = appendTriggerID(b, triggerID)
 	jw.finish(b)
 }
 
@@ -251,28 +255,33 @@ func (jw *Writer) Fault(t float64, class string, value float64) {
 }
 
 // ActStart records the start of one rejuvenation action execution.
-func (jw *Writer) ActStart(t float64) {
+// triggerID carries the identity of the trigger that provoked it, or 0
+// for executions started outside a trigger.
+func (jw *Writer) ActStart(t float64, triggerID uint64) {
 	if jw.err != nil {
 		return
 	}
 	seq := jw.nextSeq(KindActStart)
-	if jw.jsonl(Record{Kind: KindActStart, Seq: seq, Time: t}) {
+	if jw.jsonl(Record{Kind: KindActStart, Seq: seq, Time: t, TriggerID: triggerID}) {
 		return
 	}
-	jw.finish(jw.begin(KindActStart, seq, t))
+	b := jw.begin(KindActStart, seq, t)
+	b = appendTriggerID(b, triggerID)
+	jw.finish(b)
 }
 
 // ActAttempt records one attempt of a rejuvenation action: its 1-based
 // number, outcome, the backoff (seconds) scheduled before the next
-// attempt (0 when none follows), and the error text on failure.
-func (jw *Writer) ActAttempt(t float64, attempt int, ok bool, backoff float64, errText string) {
+// attempt (0 when none follows), the error text on failure, and the
+// trigger id the execution belongs to (0 when none).
+func (jw *Writer) ActAttempt(t float64, attempt int, ok bool, backoff float64, errText string, triggerID uint64) {
 	if jw.err != nil {
 		return
 	}
 	errText = clipClass(errText)
 	seq := jw.nextSeq(KindActAttempt)
 	if jw.jsonl(Record{Kind: KindActAttempt, Seq: seq, Time: t,
-		Attempt: attempt, OK: ok, Backoff: backoff, Class: errText}) {
+		Attempt: attempt, OK: ok, Backoff: backoff, Class: errText, TriggerID: triggerID}) {
 		return
 	}
 	b := jw.begin(KindActAttempt, seq, t)
@@ -284,23 +293,26 @@ func (jw *Writer) ActAttempt(t float64, attempt int, ok bool, backoff float64, e
 	b = binary.AppendUvarint(b, uint64(attempt))
 	b = appendF64(b, backoff)
 	b = appendString(b, errText)
+	b = appendTriggerID(b, triggerID)
 	jw.finish(b)
 }
 
 // ActGiveUp records the terminal escalation: the action failed for good
-// after the given total number of attempts, with the last error text.
-func (jw *Writer) ActGiveUp(t float64, attempts int, errText string) {
+// after the given total number of attempts, with the last error text
+// and the trigger id the execution belongs to (0 when none).
+func (jw *Writer) ActGiveUp(t float64, attempts int, errText string, triggerID uint64) {
 	if jw.err != nil {
 		return
 	}
 	errText = clipClass(errText)
 	seq := jw.nextSeq(KindActGiveUp)
-	if jw.jsonl(Record{Kind: KindActGiveUp, Seq: seq, Time: t, Attempt: attempts, Class: errText}) {
+	if jw.jsonl(Record{Kind: KindActGiveUp, Seq: seq, Time: t, Attempt: attempts, Class: errText, TriggerID: triggerID}) {
 		return
 	}
 	b := jw.begin(KindActGiveUp, seq, t)
 	b = binary.AppendUvarint(b, uint64(attempts))
 	b = appendString(b, errText)
+	b = appendTriggerID(b, triggerID)
 	jw.finish(b)
 }
 
@@ -361,13 +373,14 @@ func (jw *Writer) StreamObserve(t float64, stream uint64, value float64) {
 // the fleet's batched ingestion path.
 //
 //lint:hotpath
-func (jw *Writer) StreamDecision(t float64, stream uint64, d core.Decision, in core.Internals, suppressed bool) {
+func (jw *Writer) StreamDecision(t float64, stream uint64, d core.Decision, in core.Internals, suppressed bool, triggerID uint64) {
 	if jw.err != nil {
 		return
 	}
 	r := DecisionRecord(t, d, in, suppressed)
 	r.Kind = KindStreamDecision
 	r.Stream = stream
+	r.TriggerID = triggerID
 	r.Seq = jw.nextSeq(KindStreamDecision)
 	if jw.jsonl(r) {
 		return
@@ -375,6 +388,7 @@ func (jw *Writer) StreamDecision(t float64, stream uint64, d core.Decision, in c
 	b := jw.begin(KindStreamDecision, r.Seq, t)
 	b = binary.AppendUvarint(b, stream)
 	b = appendDecisionFields(b, &r)
+	b = appendTriggerID(b, triggerID)
 	jw.finish(b)
 }
 
@@ -506,6 +520,7 @@ func appendPayload(b []byte, r *Record) []byte {
 		b = appendF64(b, r.Value)
 	case KindDecision:
 		b = appendDecisionFields(b, r)
+		b = appendTriggerID(b, r.TriggerID)
 	case KindReset, KindSimFired, KindSimCancelled:
 		// no payload
 	case KindRejuvenation:
@@ -518,7 +533,7 @@ func appendPayload(b []byte, r *Record) []byte {
 		b = appendString(b, clipClass(r.Class))
 		b = appendF64(b, r.Value)
 	case KindActStart:
-		// no payload
+		b = appendTriggerID(b, r.TriggerID)
 	case KindActAttempt:
 		if r.OK {
 			b = append(b, 1)
@@ -528,9 +543,11 @@ func appendPayload(b []byte, r *Record) []byte {
 		b = binary.AppendUvarint(b, uint64(r.Attempt))
 		b = appendF64(b, r.Backoff)
 		b = appendString(b, clipClass(r.Class))
+		b = appendTriggerID(b, r.TriggerID)
 	case KindActGiveUp:
 		b = binary.AppendUvarint(b, uint64(r.Attempt))
 		b = appendString(b, clipClass(r.Class))
+		b = appendTriggerID(b, r.TriggerID)
 	case KindStreamOpen:
 		b = binary.AppendUvarint(b, r.Stream)
 		b = appendString(b, clipClass(r.Class))
@@ -542,8 +559,21 @@ func appendPayload(b []byte, r *Record) []byte {
 	case KindStreamDecision:
 		b = binary.AppendUvarint(b, r.Stream)
 		b = appendDecisionFields(b, r)
+		b = appendTriggerID(b, r.TriggerID)
 	}
 	return b
+}
+
+// appendTriggerID appends the optional trailing trigger-id field: a
+// non-zero id is encoded as one trailing uvarint, a zero id as nothing
+// at all, so records without ids keep the exact byte layout journals
+// had before trigger ids existed. The decoder mirrors this: a trailing
+// uvarint is read only when bytes remain after the fixed payload.
+func appendTriggerID(b []byte, id uint64) []byte {
+	if id == 0 {
+		return b
+	}
+	return binary.AppendUvarint(b, id)
 }
 
 // appendString appends a length-prefixed string.

@@ -22,6 +22,7 @@ var deterministicScopes = []string{
 	"internal/conformance",
 	"internal/faults",
 	"internal/fleet",
+	"internal/health",
 }
 
 // bannedImports are entropy or wall-clock sources that must never be

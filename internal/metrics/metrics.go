@@ -181,6 +181,62 @@ func (h *Histogram) Buckets() []BucketCount {
 	return out
 }
 
+// Quantile estimates the q-quantile (0 <= q <= 1) of the observed
+// distribution by linear interpolation within the fixed buckets, the
+// standard Prometheus histogram_quantile estimate: the target rank is
+// located in the cumulative bucket counts and the value interpolated
+// between the bucket's bounds, assuming observations spread uniformly
+// inside each bucket. The estimate's resolution is therefore the bucket
+// width around the quantile. It returns NaN when the histogram is empty
+// or q is NaN; within the first bucket it interpolates from a lower
+// edge of 0 (the convention for non-negative metrics like latencies),
+// and when the rank lands in the +Inf bucket it returns the last finite
+// upper bound, the tightest answer the bounded buckets allow. Reading
+// concurrently with observation gives a weakly consistent estimate,
+// like Buckets.
+func (h *Histogram) Quantile(q float64) float64 {
+	if math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i, ub := range h.upper {
+		c := h.counts[i].Load()
+		if c == 0 {
+			cum += c
+			continue
+		}
+		if float64(cum+c) >= rank {
+			lower := 0.0
+			if i > 0 {
+				lower = h.upper[i-1]
+			}
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			return lower + frac*(ub-lower)
+		}
+		cum += c
+	}
+	// The rank lies in the +Inf bucket; the last finite bound is the
+	// tightest answer the fixed buckets allow.
+	return h.upper[len(h.upper)-1]
+}
+
 // BucketCount is one cumulative histogram bucket: the number of
 // observations less than or equal to UpperBound.
 type BucketCount struct {

@@ -186,3 +186,66 @@ func TestBucketHelpers(t *testing.T) {
 		t.Errorf("DefLatencyBuckets invalid: %v", err)
 	}
 }
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_test", "quantile fixture", []float64{1, 2, 4, 8})
+
+	if v := h.Quantile(0.5); !math.IsNaN(v) {
+		t.Errorf("empty histogram quantile = %v, want NaN", v)
+	}
+	if v := h.Quantile(math.NaN()); !math.IsNaN(v) {
+		t.Errorf("NaN quantile = %v, want NaN", v)
+	}
+
+	// 100 observations spread uniformly over (0, 4]: 25 in (0,1], 25 in
+	// (1,2], 50 in (2,4], none beyond.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) * 0.04)
+	}
+	// The rank of q=0.5 is 50, the upper edge of bucket (1,2].
+	if got := h.Quantile(0.5); !num.Close(got, 2) {
+		t.Errorf("p50 = %v, want 2", got)
+	}
+	// q=0.25 exhausts the first bucket: interpolation from lower edge 0.
+	if got := h.Quantile(0.25); !num.Close(got, 1) {
+		t.Errorf("p25 = %v, want 1", got)
+	}
+	// q=0.625 lands in (2,4]: rank 62.5 is 12.5/50 into the bucket.
+	if got := h.Quantile(0.625); !num.Close(got, 2.5) {
+		t.Errorf("p62.5 = %v, want 2.5", got)
+	}
+	// q=0 clamps to the smallest populated value region.
+	if got := h.Quantile(0); got < 0 || got > 1 {
+		t.Errorf("p0 = %v, want within the first bucket", got)
+	}
+	// q=1 is the upper edge of the last populated bucket.
+	if got := h.Quantile(1); !num.Close(got, 4) {
+		t.Errorf("p100 = %v, want 4", got)
+	}
+
+	// Observations beyond the last bound land in +Inf; the estimate
+	// saturates at the last finite bound.
+	h.Observe(1e9)
+	if got := h.Quantile(1); !num.Close(got, 8) {
+		t.Errorf("p100 with +Inf mass = %v, want last finite bound 8", got)
+	}
+
+	// Out-of-range q clamps rather than erroring.
+	if got := h.Quantile(2); !num.Close(got, 8) {
+		t.Errorf("q=2 = %v, want clamp to 8", got)
+	}
+	if got := h.Quantile(-1); math.IsNaN(got) {
+		t.Errorf("q=-1 = NaN, want clamped estimate")
+	}
+}
+
+func TestHistogramQuantileSingleBucket(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_single", "one-bucket fixture", []float64{10})
+	h.Observe(3)
+	h.Observe(7)
+	if got := h.Quantile(0.5); !num.Close(got, 5) {
+		t.Errorf("p50 = %v, want 5 (uniform-in-bucket assumption)", got)
+	}
+}

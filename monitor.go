@@ -12,6 +12,13 @@ import (
 
 // Trigger describes one rejuvenation trigger raised by a Monitor.
 type Trigger struct {
+	// ID is the deterministic correlation id minted when the trigger
+	// fired (core.TriggerID over the monitor's observation ordinal). The
+	// same id appears on the journal's decision record and, when passed
+	// to Actuator.ExecuteFor (or via Actuator.Trigger), on every record
+	// of the actuation it provokes, so rejuvtrace can stitch the
+	// observation -> decision -> actuation chain back together.
+	ID uint64
 	// Time is when the trigger fired.
 	Time time.Time
 	// Decision is the detector decision that fired it.
@@ -179,7 +186,12 @@ func (m *Monitor) Observe(x float64) {
 	m.feedWatchdog(now)
 	inCool := m.cool.Active(now.UnixNano())
 	suppressed := d.Triggered && inCool
+	// Mint the correlation id for any triggering decision (suppressed
+	// ones included, so the journal can still attribute them). Stream 0
+	// is reserved for single-stream monitors; fleet streams start at 1.
+	var tid uint64
 	if d.Triggered {
+		tid = core.TriggerID(0, m.stats.Observations)
 		if suppressed {
 			m.stats.Suppressed++
 		} else {
@@ -197,7 +209,7 @@ func (m *Monitor) Observe(x float64) {
 		}
 	}
 	if tl := m.cfg.Trace; tl != nil && d.Evaluated {
-		tl.Record(m.traceEntry(now, v, d, suppressed))
+		tl.Record(m.traceEntry(now, v, d, suppressed, tid))
 	}
 	if jw := m.cfg.Journal; jw != nil {
 		if m.epoch.IsZero() {
@@ -213,11 +225,11 @@ func (m *Monitor) Observe(x float64) {
 			if instr, ok := m.cfg.Detector.(Instrumented); ok {
 				in = instr.Internals()
 			}
-			jw.Decision(t, d, in, suppressed)
+			jw.Decision(t, d, in, suppressed, tid)
 		}
 	}
 	if d.Triggered && !suppressed {
-		m.deliver(Trigger{Time: now, Decision: d, Observations: m.stats.Observations})
+		m.deliver(Trigger{ID: tid, Time: now, Decision: d, Observations: m.stats.Observations})
 	}
 }
 
@@ -315,7 +327,7 @@ func (m *Monitor) CheckStall() bool {
 // folding in detector internals when available. Callers hold m.mu.
 //
 //lint:holds mu
-func (m *Monitor) traceEntry(now time.Time, x float64, d Decision, suppressed bool) TraceEntry {
+func (m *Monitor) traceEntry(now time.Time, x float64, d Decision, suppressed bool, tid uint64) TraceEntry {
 	e := TraceEntry{
 		Observation: m.stats.Observations,
 		Time:        now,
@@ -326,6 +338,7 @@ func (m *Monitor) traceEntry(now time.Time, x float64, d Decision, suppressed bo
 		Fill:        d.Fill,
 		Triggered:   d.Triggered,
 		Suppressed:  suppressed,
+		TriggerID:   tid,
 	}
 	if in, ok := m.cfg.Detector.(Instrumented); ok {
 		snap := in.Internals()

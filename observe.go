@@ -148,6 +148,11 @@ func NewCollector(reg *Registry, labels ...Label) *Collector {
 	}
 }
 
+// Observed returns the collector's observed-metric histogram
+// (rejuv_observed_metric) — pass it to FleetzHandler to attach a
+// latency quantile digest to /fleetz snapshots.
+func (c *Collector) Observed() *MetricHistogram { return c.observed }
+
 // observe publishes one monitor decision. Called by Monitor.Observe
 // under the monitor lock.
 func (c *Collector) observe(x float64, d Decision, det Detector, suppressed, inCooldown bool) {

@@ -150,16 +150,28 @@ func TestTraceLogExplainsTrigger(t *testing.T) {
 		t.Errorf("entry inputs wrong: %+v", last)
 	}
 
-	// JSON-lines dump: one parseable object per line.
+	// JSON-lines dump: a header line, then one parseable object per line.
 	var b strings.Builder
 	if err := trace.Dump(&b); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSuffix(b.String(), "\n"), "\n")
-	if len(lines) != trace.Len() {
-		t.Fatalf("dump has %d lines, trace has %d entries", len(lines), trace.Len())
+	if len(lines) != trace.Len()+1 {
+		t.Fatalf("dump has %d lines, want %d entries plus a header", len(lines), trace.Len())
 	}
-	for _, line := range lines {
+	var hdr struct {
+		Retained int    `json:"retained"`
+		Total    uint64 `json:"total"`
+		Dropped  uint64 `json:"dropped"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &hdr); err != nil {
+		t.Fatalf("unparseable dump header %q: %v", lines[0], err)
+	}
+	if hdr.Retained != trace.Len() || hdr.Total != trace.Total() || hdr.Dropped != trace.Dropped() {
+		t.Fatalf("dump header %+v, want retained=%d total=%d dropped=%d",
+			hdr, trace.Len(), trace.Total(), trace.Dropped())
+	}
+	for _, line := range lines[1:] {
 		var e rejuv.TraceEntry
 		if err := json.Unmarshal([]byte(line), &e); err != nil {
 			t.Fatalf("unparseable trace line %q: %v", line, err)

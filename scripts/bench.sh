@@ -14,10 +14,14 @@
 #   PKGS='...'     packages to benchmark
 #   THRESHOLD=20   -compare: max tolerated ns/op regression, in percent
 #   FLOOR=1000000  -fleet: minimum sustained obs/s at 100k streams
+#   OVERHEAD=10    -fleet: max tolerated health-sketch overhead, in
+#                  percent of the no-health ingestion rate
 #
-# -fleet is the quick CI mode: it runs only BenchmarkFleetObserve and
-# fails unless ingestion at 100k streams sustains at least FLOOR
-# observations per second — the fleet engine's headline contract.
+# -fleet is the quick CI mode: it runs the fleet ingestion and health
+# benchmarks and fails unless (a) ingestion at 100k streams — with the
+# health sketch on, the production default — sustains at least FLOOR
+# observations per second, and (b) the sketch costs less than OVERHEAD
+# percent of the ingestion rate measured with health disabled.
 #
 # In -compare mode the suite runs as usual, results land in the output
 # file (default BENCH_current.json so the baseline is never clobbered),
@@ -29,18 +33,33 @@ cd "$(dirname "$0")/.."
 
 if [ "${1:-}" = "-fleet" ]; then
     FLOOR="${FLOOR:-1000000}"
+    OVERHEAD="${OVERHEAD:-10}"
     TMP="$(mktemp)"
     trap 'rm -f "$TMP"' EXIT
-    go test -run '^$' -bench BenchmarkFleetObserve -benchtime "${BENCHTIME:-1s}" \
+    go test -run '^$' -bench 'FleetObserve|HealthSnapshot' -benchtime "${BENCHTIME:-1s}" \
         ./internal/fleet | tee "$TMP"
-    awk -v floor="$FLOOR" '
+    awk -v floor="$FLOOR" -v overhead="$OVERHEAD" '
     /^BenchmarkFleetObserve\/streams=100000/ {
         for (i = 1; i < NF; i++) if ($(i + 1) == "obs/s") rate = $i
+    }
+    /^BenchmarkFleetObserveNoHealth\/streams=100000/ {
+        for (i = 1; i < NF; i++) if ($(i + 1) == "obs/s") bare = $i
+    }
+    /^BenchmarkHealthSnapshot\/streams=100000/ {
+        for (i = 1; i < NF; i++) if ($(i + 1) == "ns/op") snap = $i
     }
     END {
         if (rate == "") { print "bench.sh: no obs/s metric for streams=100000" > "/dev/stderr"; exit 2 }
         printf "fleet ingestion at 100k streams: %.0f obs/s (floor %d)\n", rate, floor
-        if (rate + 0 < floor + 0) { print "bench.sh: below the fleet ingestion floor" > "/dev/stderr"; exit 1 }
+        fail = 0
+        if (rate + 0 < floor + 0) { print "bench.sh: below the fleet ingestion floor" > "/dev/stderr"; fail = 1 }
+        if (bare != "") {
+            pct = (bare - rate) * 100 / bare
+            printf "health sketch overhead: %.1f%% of the no-health rate %.0f obs/s (cap %d%%)\n", pct, bare, overhead
+            if (pct > overhead + 0) { print "bench.sh: health sketch overhead above the cap" > "/dev/stderr"; fail = 1 }
+        }
+        if (snap != "") printf "health snapshot at 100k streams: %.2f ms\n", snap / 1e6
+        exit fail
     }' "$TMP"
     exit 0
 fi

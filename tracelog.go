@@ -40,6 +40,9 @@ type TraceEntry struct {
 	// Suppressed reports that the trigger fell inside the cooldown
 	// window and was not delivered.
 	Suppressed bool `json:"suppressed,omitempty"`
+	// TriggerID is the correlation id minted for a triggering decision
+	// (see Trigger.ID); 0 on non-triggering entries.
+	TriggerID uint64 `json:"trigger_id,omitempty"`
 }
 
 // DefaultTraceCapacity is the ring size NewTraceLog uses when given a
@@ -182,11 +185,36 @@ func (l *TraceLog) TriggerContext(k int) []TraceEntry {
 	return nil
 }
 
-// Dump writes the retained entries as JSON lines (one object per line,
-// oldest first), the format jq and log pipelines expect.
+// dumpHeader is the first line of a Dump: how much of the decision
+// history the entry lines that follow actually cover.
+type dumpHeader struct {
+	// Retained is the number of entry lines that follow.
+	Retained int `json:"retained"`
+	// Total is the number of entries ever recorded.
+	Total uint64 `json:"total"`
+	// Dropped is the number of entries overwritten before any snapshot
+	// saw them — evidence lost for good.
+	Dropped uint64 `json:"dropped"`
+}
+
+// Dump writes a header line followed by the retained entries as JSON
+// lines (one object per line, oldest first), the format jq and log
+// pipelines expect. The header reports how many entries the dump
+// retains, how many were ever recorded, and how many were dropped
+// (overwritten before any snapshot saw them), so a reader can tell a
+// complete history from a truncated one.
 func (l *TraceLog) Dump(w io.Writer) error {
+	l.mu.Lock()
+	l.readTo = l.total
+	entries := l.snapshotLocked()
+	hdr := dumpHeader{Retained: len(entries), Total: l.total, Dropped: l.dropped}
+	l.mu.Unlock()
+
 	enc := json.NewEncoder(w)
-	for _, e := range l.Entries() {
+	if err := enc.Encode(hdr); err != nil {
+		return err
+	}
+	for _, e := range entries {
 		if err := enc.Encode(e); err != nil {
 			return err
 		}
