@@ -62,6 +62,9 @@ func main() {
 		faultsP  = flag.String("faults", "", "fault-injection spec, e.g. 'nan:p=0.01;drop:p=0.05;slow-act:d=30' (see internal/faults)")
 		hygieneP = flag.String("hygiene", "reject", "non-finite observation policy: reject, clamp or off")
 
+		shiftP = flag.String("shift", "", "workload-shift demo: drive a non-stationary arrival profile (diurnal, flash or ramp) through a bare and a shift-aware detector and report rebaselines vs rejuvenations")
+		shiftF = flag.Float64("shift-factor", 1.9, "workload-shift demo: peak arrival-rate factor")
+
 		fleetN      = flag.Int("fleet", 0, "fleet mode: monitor this many synthetic streams through the batched fleet engine instead of simulating (see -fleet-* flags)")
 		fleetRounds = flag.Int("fleet-rounds", 200, "fleet mode: observations per stream")
 		fleetBatch  = flag.Int("fleet-batch", 4096, "fleet mode: observations per ObserveBatch call")
@@ -77,6 +80,15 @@ func main() {
 	}
 	hygiene, err := parseHygiene(*hygieneP)
 	fatalIf(err)
+
+	if *shiftP != "" {
+		runShiftDemo(shiftOpts{
+			shape: *shiftP, factor: *shiftF,
+			load: *load, txns: *txns, seed: *seed,
+			journalPath: *journalP,
+		})
+		return
+	}
 
 	if *fleetN > 0 {
 		runFleet(fleetOpts{

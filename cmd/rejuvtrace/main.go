@@ -72,6 +72,7 @@ func main() {
 		if *csv {
 			printCSV(events)
 		} else {
+			printRebaselines(a.RebaselineEvents)
 			for _, ev := range events {
 				printTimeline(ev, *barCols)
 			}
@@ -117,6 +118,9 @@ func printSummary(a journal.Analysis) {
 		a.Observations, a.Decisions, a.Triggers, a.Suppressed, a.Resets)
 	fmt.Printf("rejuvenations %d (killed %d)   GCs %d   kernel events %d\n",
 		a.Rejuvenations, a.Killed, a.GCs, a.KernelEvents)
+	if a.Rebaselines > 0 {
+		fmt.Printf("rebaselines %d (workload shifts absorbed without rejuvenating)\n", a.Rebaselines)
+	}
 	if a.Faults > 0 {
 		parts := make([]string, len(a.FaultClasses))
 		for i, fc := range a.FaultClasses {
@@ -231,6 +235,25 @@ func runTrigger(path, idText string, window int) {
 	}
 }
 
+// printRebaselines renders the workload-shift rebaseline timeline: when
+// the detector re-anchored its baseline instead of rejuvenating, and to
+// what.
+func printRebaselines(events []journal.Record) {
+	if len(events) == 0 {
+		return
+	}
+	fmt.Printf("rebaselines: %d\n", len(events))
+	for i, r := range events {
+		stream := ""
+		if r.Kind == journal.KindStreamRebaseline {
+			stream = fmt.Sprintf("  stream %d", r.Stream)
+		}
+		fmt.Printf("  rebaseline #%d  t=%.6g s  baseline -> mean=%.6g sd=%.6g%s\n",
+			i+1, r.Time, r.BaseMean, r.BaseStdDev, stream)
+	}
+	fmt.Println()
+}
+
 // printTimeline renders one trigger's context window as an ASCII table
 // with a sample-mean bar scaled to the window's maximum.
 func printTimeline(ev journal.TriggerEvent, barCols int) {
@@ -335,6 +358,9 @@ func runVerify(path string) {
 	fatalIfErr(err)
 	fmt.Printf("replayed %s: %d reps, %d observations, %d decisions, %d triggers, %d resets\n",
 		spec.Label(), rep.Reps, rep.Observations, rep.Decisions, rep.Triggers, rep.Resets)
+	if rep.Rebaselines > 0 {
+		fmt.Printf("rebaselines verified: %d\n", rep.Rebaselines)
+	}
 	if rep.Identical() {
 		fmt.Println("verdict: decision stream is byte-identical under replay")
 		return

@@ -447,6 +447,40 @@ func TestCmdRejuvsimFleet(t *testing.T) {
 	}
 }
 
+// TestCmdRejuvsimShift pins the workload-shift demo end to end: the
+// bare-versus-rebased comparison is a pure function of the pinned seed,
+// so the whole stdout is golden, and the journal it records round-trips
+// through rejuvtrace with the rebaseline events visible in the timeline
+// and verified under replay.
+func TestCmdRejuvsimShift(t *testing.T) {
+	jnl := filepath.Join(t.TempDir(), "shift.rjnl")
+	out := runCmd(t, "rejuvsim", "", "-shift", "flash", "-txns", "15000", "-journal", jnl)
+	// The journal line carries the temp path; golden everything above it.
+	body, _, found := strings.Cut(out, "journal:")
+	if !found {
+		t.Fatalf("rejuvsim -shift did not report the journal:\n%s", out)
+	}
+	assertGolden(t, "rejuvsim_shift", body)
+
+	timeline := runCmd(t, "rejuvtrace", "", jnl)
+	for _, want := range []string{
+		"CLTA (n=25, N=1.96) +shift", "recorded by rejuvsim",
+		"rebaselines 1 (workload shifts absorbed without rejuvenating)",
+		"rebaseline #1", "baseline -> mean=",
+	} {
+		if !strings.Contains(timeline, want) {
+			t.Errorf("rejuvtrace timeline missing %q:\n%s", want, timeline)
+		}
+	}
+
+	verify := runCmd(t, "rejuvtrace", "", "-verify", jnl)
+	for _, want := range []string{"rebaselines verified: 1", "byte-identical under replay"} {
+		if !strings.Contains(verify, want) {
+			t.Errorf("rejuvtrace -verify missing %q:\n%s", want, verify)
+		}
+	}
+}
+
 func TestCmdAgingcalc(t *testing.T) {
 	out := runCmd(t, "agingcalc", "")
 	for _, want := range []string{"mean time to failure", "availability", "cost-optimal rejuvenation rate"} {

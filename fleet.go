@@ -95,7 +95,14 @@ const (
 	JournalKindStreamClose    = journal.KindStreamClose
 	JournalKindStreamObserve  = journal.KindStreamObserve
 	JournalKindStreamDecision = journal.KindStreamDecision
+	// JournalKindStreamRebaseline marks a committed workload-shift
+	// rebaseline on a stream of a shift-enabled class (StreamClass.Shift).
+	JournalKindStreamRebaseline = journal.KindStreamRebaseline
 )
+
+// JournalKindRebaseline marks a committed workload-shift rebaseline on
+// a single-detector (Monitor) journal; see NewRebaseDetector.
+const JournalKindRebaseline = journal.KindRebaseline
 
 // NewFleet validates the configuration and returns a running fleet
 // engine. Config.Now defaults to time.Now; deterministic harnesses

@@ -127,3 +127,60 @@ func TestMonitorJournalRecordsSuppression(t *testing.T) {
 		t.Fatalf("suppressed-trigger journal did not replay: %v", rep.Mismatch.Error())
 	}
 }
+
+// TestMonitorJournalRecordsRebaselines drives a Rebase-wrapped monitor
+// across a pure workload shift: the committed rebaseline must land in
+// MonitorStats, be journaled as a rebaseline record, and replay
+// byte-identically — committed baseline bits included — through a fresh
+// Rebase detector.
+func TestMonitorJournalRecordsRebaselines(t *testing.T) {
+	factory := func() (Detector, error) {
+		return NewRebaseDetector(ShiftConfig{}, Baseline{Mean: 5, StdDev: 5},
+			func(base Baseline) (Detector, error) {
+				return NewSRAA(SRAAConfig{SampleSize: 2, Buckets: 3, Depth: 2, Baseline: base})
+			})
+	}
+	det, err := factory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	m, err := NewMonitor(MonitorConfig{
+		Detector:  det,
+		OnTrigger: func(Trigger) {},
+		Now:       clk.now,
+		Journal:   NewJournalWriter(&buf, JournalMeta{CreatedBy: "flightrecorder_test"}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		m.Observe(5) // steady on baseline
+	}
+	for i := 0; i < 60; i++ {
+		m.Observe(30) // abrupt step: a workload shift, not aging
+	}
+	st := m.Stats()
+	if st.Rebaselines == 0 {
+		t.Fatal("monitor counted no rebaselines across the step")
+	}
+	if st.Triggers != 0 {
+		t.Fatalf("monitor raised %d false triggers across a pure shift", st.Triggers)
+	}
+
+	jr, err := NewJournalReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ReplayJournal(jr, factory)
+	if err != nil {
+		t.Fatalf("ReplayJournal: %v", err)
+	}
+	if !rep.Identical() {
+		t.Fatalf("rebaselining journal did not replay identically: %v", rep.Mismatch.Error())
+	}
+	if uint64(rep.Rebaselines) != st.Rebaselines {
+		t.Errorf("journal holds %d rebaselines, monitor counted %d", rep.Rebaselines, st.Rebaselines)
+	}
+}

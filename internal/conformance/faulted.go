@@ -64,6 +64,9 @@ type FaultedResult struct {
 	// Finite reports whether the detector's internal state was free of
 	// NaN and infinities when the run ended.
 	Finite bool
+	// Rebaselines counts committed workload-shift rebaselines, for
+	// detectors that re-estimate their baseline (core.Rebaseliner).
+	Rebaselines int
 	// Replay is the journal replay report; Replay.Identical() is the
 	// proof that the faulted run is reconstructible from its journal.
 	Replay journal.ReplayReport
@@ -99,6 +102,8 @@ func RunFaulted(name string, factory func() (core.Detector, error), trace []floa
 		jw.Fault(now, string(class), value)
 	}
 
+	reb, _ := det.(core.Rebaseliner)
+	var lastReb uint64
 	var last float64
 	var haveLast bool
 	feed := func(x float64) {
@@ -117,6 +122,14 @@ func RunFaulted(name string, factory func() (core.Detector, error), trace []floa
 		jw.Observe(now, x)
 		d := det.Observe(x)
 		res.Decisions = append(res.Decisions, d)
+		if reb != nil {
+			if n := reb.Rebaselines(); n != lastReb {
+				lastReb = n
+				res.Rebaselines++
+				b := reb.CurrentBaseline()
+				jw.Rebaseline(now, b.Mean, b.StdDev)
+			}
+		}
 		if d.Evaluated || d.Triggered {
 			var in core.Internals
 			if instr, ok := det.(core.Instrumented); ok {

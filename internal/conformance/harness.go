@@ -156,6 +156,27 @@ func Families(base core.Baseline) []Family {
 	}
 }
 
+// RebasedFamily returns the family with its factory wrapped in the
+// workload-shift layer (core.Rebase): the change-point rule rebaselines
+// on workload shifts and passes software aging through to the family's
+// detector. Committed rebaselines rebuild the detector at the
+// re-estimated baseline through the family's affine re-parameterization
+// (Scaled with a = sd'/sd, b = mu' - a*mu), so every family — including
+// the adaptive one, which relearns its own baseline instead — runs
+// under the shift conformance laws without per-family wiring. The
+// initial build maps through Scaled(1, 0), so pre-shift behaviour is
+// exactly the bare family's.
+func RebasedFamily(fam Family, cfg core.ShiftConfig, base core.Baseline) Family {
+	out := fam
+	out.New = func() (core.Detector, error) {
+		return core.NewRebase(cfg, base, func(b core.Baseline) (core.Detector, error) {
+			a := b.StdDev / base.StdDev
+			return fam.Scaled(a, b.Mean-a*base.Mean)()
+		})
+	}
+	return out
+}
+
 // RunTrace feeds the trace through the detector and returns the full
 // decision stream, one Decision per observation. Triggers reset the
 // detector, mirroring how the simulation model rejuvenates on trigger.
@@ -178,12 +199,17 @@ func RunTrace(det core.Detector, trace []float64) []core.Decision {
 // laws assert on every run. The journaling protocol mirrors
 // internal/ecommerce: Observe before the step, Decision only when the
 // step evaluated or triggered, detector Reset plus a journal Reset
-// record after every trigger.
+// record after every trigger. Detectors that re-estimate their baseline
+// (core.Rebaseliner) additionally journal every committed rebaseline,
+// which the replay verifies bit for bit against its own detector's
+// committed baseline.
 func RunJournaled(name string, factory func() (core.Detector, error), trace []float64) ([]core.Decision, journal.ReplayReport, error) {
 	det, err := factory()
 	if err != nil {
 		return nil, journal.ReplayReport{}, fmt.Errorf("conformance: factory: %w", err)
 	}
+	reb, _ := det.(core.Rebaseliner)
+	var lastReb uint64
 	var buf bytes.Buffer
 	jw := journal.NewWriter(&buf, journal.Meta{CreatedBy: "conformance", Detector: name})
 	jw.RepStart(0, 0, 0, 0)
@@ -193,6 +219,13 @@ func RunJournaled(name string, factory func() (core.Detector, error), trace []fl
 		jw.Observe(t, x)
 		d := det.Observe(x)
 		ds[i] = d
+		if reb != nil {
+			if n := reb.Rebaselines(); n != lastReb {
+				lastReb = n
+				b := reb.CurrentBaseline()
+				jw.Rebaseline(t, b.Mean, b.StdDev)
+			}
+		}
 		if d.Evaluated || d.Triggered {
 			var in core.Internals
 			if instr, ok := det.(core.Instrumented); ok {

@@ -1,6 +1,8 @@
 package conformance
 
 import (
+	"math"
+
 	"rejuv/internal/core"
 	"rejuv/internal/xrand"
 )
@@ -53,6 +55,64 @@ func StepTrace(seed uint64, n, onset int, shift float64, base core.Baseline) []f
 		mean := base.Mean
 		if i >= onset {
 			mean += shift * base.StdDev
+		}
+		xs[i] = mean + base.StdDev*r.Norm()
+	}
+	return xs
+}
+
+// Non-stationary workload shapes for the shift-conformance laws. These
+// model legitimate workload movement — the mean wanders because the
+// arrival process changed, not because the software aged — so an
+// adaptive-baseline detector should rebaseline through them rather than
+// condemn the system.
+
+// DiurnalTrace returns n observations whose mean follows a raised
+// cosine of the given amplitude (in baseline standard deviations) and
+// period (in observations): mean(i) = base.Mean +
+// amp*sd*(1-cos(2*pi*i/period))/2, cycling between the baseline and
+// its shifted peak — the day/night arrival-rate cycle.
+func DiurnalTrace(seed uint64, n int, amp float64, period int, base core.Baseline) []float64 {
+	r := xrand.NewStream(seed, traceStream)
+	xs := make([]float64, n)
+	for i := range xs {
+		lift := amp * base.StdDev * (1 - math.Cos(2*math.Pi*float64(i)/float64(period))) / 2
+		xs[i] = base.Mean + lift + base.StdDev*r.Norm()
+	}
+	return xs
+}
+
+// FlashCrowdTrace returns n observations whose mean jumps by
+// shift*base.StdDev at the onset index and drops back after dur
+// observations — a flash crowd arriving and dispersing.
+func FlashCrowdTrace(seed uint64, n, onset, dur int, shift float64, base core.Baseline) []float64 {
+	r := xrand.NewStream(seed, traceStream)
+	xs := make([]float64, n)
+	for i := range xs {
+		mean := base.Mean
+		if i >= onset && i < onset+dur {
+			mean += shift * base.StdDev
+		}
+		xs[i] = mean + base.StdDev*r.Norm()
+	}
+	return xs
+}
+
+// RampPlateauTrace returns n observations whose mean climbs linearly
+// from the onset index to shift*base.StdDev over rampLen observations
+// and then holds — a workload ramping to a new sustained level rather
+// than degrading without bound.
+func RampPlateauTrace(seed uint64, n, onset, rampLen int, shift float64, base core.Baseline) []float64 {
+	r := xrand.NewStream(seed, traceStream)
+	xs := make([]float64, n)
+	for i := range xs {
+		mean := base.Mean
+		if i > onset {
+			frac := float64(i-onset) / float64(rampLen)
+			if frac > 1 {
+				frac = 1
+			}
+			mean += shift * frac * base.StdDev
 		}
 		xs[i] = mean + base.StdDev*r.Norm()
 	}

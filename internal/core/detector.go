@@ -83,4 +83,5 @@ var (
 	_ Detector = (*EWMA)(nil)
 	_ Detector = (*CUSUM)(nil)
 	_ Detector = (*Adaptive)(nil)
+	_ Detector = (*Rebase)(nil)
 )

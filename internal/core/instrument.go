@@ -65,6 +65,7 @@ var (
 	_ Instrumented = (*EWMA)(nil)
 	_ Instrumented = (*CUSUM)(nil)
 	_ Instrumented = (*Adaptive)(nil)
+	_ Instrumented = (*Rebase)(nil)
 	_ Instrumented = (*Tracer)(nil)
 )
 

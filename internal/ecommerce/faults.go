@@ -87,6 +87,16 @@ func (m *Model) feedDetector(x float64) {
 		m.jw.Observe(m.sim.Now(), x)
 	}
 	d := m.detector.Observe(x)
+	if m.reb != nil {
+		if n := m.reb.Rebaselines(); n != m.lastReb {
+			m.lastReb = n
+			m.res.Rebaselines++
+			if m.jw != nil {
+				b := m.reb.CurrentBaseline()
+				m.jw.Rebaseline(m.sim.Now(), b.Mean, b.StdDev)
+			}
+		}
+	}
 	m.journalDecision(d)
 	m.publishDetector()
 	if d.Triggered {

@@ -79,6 +79,12 @@ type Config struct {
 	BurstFactor float64
 	BurstOn     float64
 	BurstOff    float64
+	// Workload, when non-nil, modulates the arrival rate over virtual
+	// time with a deterministic piecewise-constant profile (diurnal
+	// cycles, flash crowds, ramps) — legitimate workload movement, as
+	// opposed to the stochastic burst overlay. It composes with bursts:
+	// both factors multiply.
+	Workload *WorkloadShape
 	// LeakyGC makes full garbage collections fail to reclaim the heap:
 	// the per-transaction allocations are true leaks and only
 	// rejuvenation restores capacity. Under this reading of the paper's
@@ -171,6 +177,11 @@ func (cfg Config) Validate() error {
 	if _, err := cfg.ServiceDistribution.sampler(cfg.ServiceRate); err != nil {
 		return err
 	}
+	if cfg.Workload != nil {
+		if err := cfg.Workload.Validate(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -192,6 +203,9 @@ type Result struct {
 	Lost int64
 	// Rejuvenations counts rejuvenation events.
 	Rejuvenations int64
+	// Rebaselines counts workload-shift rebaselines the detector
+	// committed (zero unless the detector is a core.Rebaseliner).
+	Rebaselines int64
 	// GCs counts full garbage collections.
 	GCs int64
 	// RT accumulates the response times of completed transactions.
@@ -241,6 +255,14 @@ type Model struct {
 	// modulated Poisson process).
 	bursting    bool
 	nextArrival *des.Event
+	// wlFactor is the active workload-shape rate factor (1 without a
+	// shape); wlIdx is the active phase index.
+	wlFactor float64
+	wlIdx    int
+	// reb is non-nil when the detector re-estimates its baseline; lastReb
+	// detects newly committed rebaselines after each observation.
+	reb     core.Rebaseliner
+	lastReb uint64
 
 	res Result
 	ran bool
@@ -281,7 +303,9 @@ func New(cfg Config, detector core.Detector) (*Model, error) {
 		sim:      des.New(),
 		rng:      xrand.NewStream(cfg.Seed, cfg.Stream),
 		detector: detector,
+		wlFactor: 1,
 	}
+	m.reb, _ = detector.(core.Rebaseliner)
 	m.st = newStation(cfg, m.sim, m.rng, m.complete)
 	return m, nil
 }
@@ -300,6 +324,9 @@ func (m *Model) Run() (Result, error) {
 	if m.cfg.BurstFactor > 1 {
 		m.scheduleBurstToggle()
 	}
+	if m.cfg.Workload != nil {
+		m.applyWorkloadPhase()
+	}
 	if m.cfg.RejuvenationInterval > 0 {
 		m.schedulePeriodicRejuvenation()
 	}
@@ -315,10 +342,11 @@ func (m *Model) Run() (Result, error) {
 // currentArrivalRate returns the instantaneous lambda, including any
 // active burst.
 func (m *Model) currentArrivalRate() float64 {
+	rate := m.cfg.ArrivalRate * m.wlFactor
 	if m.bursting {
-		return m.cfg.ArrivalRate * m.cfg.BurstFactor
+		rate *= m.cfg.BurstFactor
 	}
-	return m.cfg.ArrivalRate
+	return rate
 }
 
 // scheduleArrival schedules the next Poisson arrival at the current rate.

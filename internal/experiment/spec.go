@@ -38,6 +38,12 @@ type Spec struct {
 	Quantile  float64 // CLTA: normal quantile; Shewhart/EWMA: limit; CUSUM: threshold
 	Weight    float64 // EWMA smoothing weight; CUSUM slack
 	Baseline  core.Baseline
+	// Shift, when non-nil, wraps the detector in the workload-shift
+	// rebaselining layer (core.Rebase) with this change-point
+	// configuration: workload shifts re-anchor the baseline, software
+	// aging still triggers. It serializes with the spec, so journals of
+	// shift-aware runs replay through the same wrapper.
+	Shift *core.ShiftConfig `json:",omitempty"`
 }
 
 // PaperBaseline is the SLA constant of every simulation experiment in
@@ -45,8 +51,12 @@ type Spec struct {
 var PaperBaseline = core.Baseline{Mean: 5, StdDev: 5}
 
 // Label returns the figure-legend label for the spec, matching the
-// paper's "(n=2, K=5, D=3)" style.
+// paper's "(n=2, K=5, D=3)" style. Shift-aware specs carry a "+shift"
+// suffix.
 func (s Spec) Label() string {
+	if s.Shift != nil && s.Algorithm != None {
+		return s.withoutShift().Label() + " +shift"
+	}
 	switch s.Algorithm {
 	case None:
 		return "no rejuvenation"
@@ -63,12 +73,27 @@ func (s Spec) Label() string {
 	}
 }
 
+// withoutShift returns the spec with the shift layer stripped.
+func (s Spec) withoutShift() Spec {
+	s.Shift = nil
+	return s
+}
+
 // NewDetector builds the configured detector, or nil for the
-// no-rejuvenation baseline.
+// no-rejuvenation baseline. Specs with a Shift layer build the bare
+// detector wrapped in core.Rebase: committed rebaselines rebuild it at
+// the re-estimated baseline.
 func (s Spec) NewDetector() (core.Detector, error) {
 	base := s.Baseline
 	if base == (core.Baseline{}) {
 		base = PaperBaseline
+	}
+	if s.Shift != nil && s.Algorithm != None {
+		inner := s.withoutShift()
+		return core.NewRebase(*s.Shift, base, func(b core.Baseline) (core.Detector, error) {
+			inner.Baseline = b
+			return inner.NewDetector()
+		})
 	}
 	switch s.Algorithm {
 	case None:

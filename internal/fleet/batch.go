@@ -21,6 +21,8 @@ type result struct {
 	d          core.Decision
 	obs        uint64  // the stream's observation count after this item
 	value      float64 // admitted (post-hygiene) value
+	baseMean   float64 // committed baseline mean (resRebaselined)
+	baseSD     float64 // committed baseline deviation (resRebaselined)
 	classIdx   int32
 	sampleSize int32 // sample size in effect after the step
 	flags      uint8
@@ -39,6 +41,10 @@ const (
 	resSuppressed
 	// resUnknown: the stream is not open; the item was dropped.
 	resUnknown
+	// resRebaselined: the item committed a workload-shift rebaseline on
+	// its stream (shift classes only; the item itself is consumed by the
+	// shift layer and steps no detector state).
+	resRebaselined
 )
 
 // scratch is the reusable working memory of one ObserveBatch call,
@@ -56,7 +62,7 @@ type scratch struct {
 // the shared metric counters are touched once per class per batch
 // instead of once per observation.
 type classCounts struct {
-	obs, trig, supp, rej uint64
+	obs, trig, supp, rej, reb uint64
 }
 
 // grow sizes the scratch for a batch of n items over nshards shards and
@@ -167,6 +173,9 @@ func (e *Engine) fanIn(now time.Time, batch []StreamObs, sc *scratch) {
 		if r.flags&resIntercepted != 0 {
 			cc.rej++
 		}
+		if r.flags&resRebaselined != 0 {
+			cc.reb++
+		}
 		if r.flags&resAdmitted == 0 {
 			continue
 		}
@@ -180,6 +189,9 @@ func (e *Engine) fanIn(now time.Time, batch []StreamObs, sc *scratch) {
 		}
 		if jw != nil {
 			jw.StreamObserve(t, uint64(batch[i].Stream), r.value)
+			if r.flags&resRebaselined != 0 {
+				jw.StreamRebaseline(t, uint64(batch[i].Stream), r.baseMean, r.baseSD)
+			}
 			if r.flags&resEvaluated != 0 {
 				in := core.Internals{SampleSize: int(r.sampleSize)}
 				jw.StreamDecision(t, uint64(batch[i].Stream), r.d, in, r.flags&resSuppressed != 0, tid)
@@ -221,6 +233,9 @@ func (e *Engine) fanIn(now time.Time, batch []StreamObs, sc *scratch) {
 		}
 		if cc.rej > 0 {
 			e.rejTotal[ci].Add(cc.rej)
+		}
+		if cc.reb > 0 {
+			e.rebTotal[ci].Add(cc.reb)
 		}
 	}
 	if unknown > 0 {

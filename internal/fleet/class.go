@@ -67,6 +67,15 @@ type ClassConfig struct {
 	// Baseline is the normal-behaviour (mean, standard deviation) of the
 	// monitored metric.
 	Baseline core.Baseline
+	// Shift, when non-nil, layers online baseline re-estimation under
+	// every stream of the class: workload shifts rebaseline the stream's
+	// detector state (targets and sample sizes recomputed from the
+	// re-estimated mean and deviation, journaled as
+	// KindStreamRebaseline) while software aging triggers as usual. The
+	// per-stream transition rule is core.ShiftState, shared verbatim
+	// with the Rebase wrapper, so replay against Rebase-wrapped
+	// reference detectors stays byte-identical.
+	Shift *core.ShiftConfig
 }
 
 // Validate reports whether the class is usable, by validating the
@@ -74,6 +83,11 @@ type ClassConfig struct {
 func (c ClassConfig) Validate() error {
 	if c.Name == "" {
 		return fmt.Errorf("fleet: class needs a name")
+	}
+	if c.Shift != nil {
+		if err := c.Shift.WithDefaults().Validate(); err != nil {
+			return fmt.Errorf("fleet: class %q shift layer: %w", c.Name, err)
+		}
 	}
 	switch c.Family {
 	case FamilySRAA:
@@ -96,29 +110,36 @@ func (c ClassConfig) Validate() error {
 }
 
 // Detector constructs the reference pointer-based detector for this
-// class. Fleet replay verification uses it as the factory: feeding a
-// stream's journaled observations through this detector must reproduce
-// the engine's journaled decisions byte for byte, which is the proof
-// that the struct-of-arrays fast path implements the same algorithm.
+// class (Rebase-wrapped when the class has a Shift layer). Fleet replay
+// verification uses it as the factory: feeding a stream's journaled
+// observations through this detector must reproduce the engine's
+// journaled decisions byte for byte, which is the proof that the
+// struct-of-arrays fast path implements the same algorithm.
 func (c ClassConfig) Detector() (core.Detector, error) {
-	switch c.Family {
-	case FamilySRAA:
-		return core.NewSRAA(core.SRAAConfig{
-			SampleSize: c.SampleSize, Buckets: c.Buckets, Depth: c.Depth,
-			Baseline: c.Baseline,
-		})
-	case FamilySARAA:
-		return core.NewSARAA(core.SARAAConfig{
-			InitialSampleSize: c.SampleSize, Buckets: c.Buckets, Depth: c.Depth,
-			Baseline: c.Baseline,
-		})
-	case FamilyCLTA:
-		return core.NewCLTA(core.CLTAConfig{
-			SampleSize: c.SampleSize, Quantile: c.Quantile,
-			Baseline: c.Baseline,
-		})
+	build := func(base core.Baseline) (core.Detector, error) {
+		switch c.Family {
+		case FamilySRAA:
+			return core.NewSRAA(core.SRAAConfig{
+				SampleSize: c.SampleSize, Buckets: c.Buckets, Depth: c.Depth,
+				Baseline: base,
+			})
+		case FamilySARAA:
+			return core.NewSARAA(core.SARAAConfig{
+				InitialSampleSize: c.SampleSize, Buckets: c.Buckets, Depth: c.Depth,
+				Baseline: base,
+			})
+		case FamilyCLTA:
+			return core.NewCLTA(core.CLTAConfig{
+				SampleSize: c.SampleSize, Quantile: c.Quantile,
+				Baseline: base,
+			})
+		}
+		return nil, fmt.Errorf("fleet: class %q has unknown family %d", c.Name, int(c.Family))
 	}
-	return nil, fmt.Errorf("fleet: class %q has unknown family %d", c.Name, int(c.Family))
+	if c.Shift == nil {
+		return build(c.Baseline)
+	}
+	return core.NewRebase(*c.Shift, c.Baseline, build)
 }
 
 // class is the compiled, immutable form of a ClassConfig: every
@@ -138,8 +159,21 @@ type class struct {
 	// for CLTA).
 	sizes []int32
 	// targets[level] is the trigger threshold compared against a block
-	// mean completed at that level (one entry for CLTA).
+	// mean completed at that level (one entry for CLTA). Streams of a
+	// shift class use these only until their first rebaseline; after
+	// that the drain loop recomputes the target from the stream's
+	// re-estimated baseline with the same expression.
 	targets []float64
+	// shift marks a class with a workload-shift layer; shiftCfg is the
+	// defaults-applied configuration its streams step with.
+	shift    bool
+	shiftCfg core.ShiftConfig
+	// sqrtN[level] is math.Sqrt of sizes[level], precomputed so the
+	// per-stream target recompute of a shift class divides by the exact
+	// square roots the core detectors evaluate without calling
+	// math.Sqrt on the hot path (FamilySARAA per level; one entry for
+	// FamilyCLTA; unused by FamilySRAA).
+	sqrtN []float64
 }
 
 // compileClass precomputes the per-level schedule of one class.
@@ -148,6 +182,10 @@ func compileClass(cfg ClassConfig) (class, error) {
 		return class{}, err
 	}
 	c := class{cfg: cfg, family: cfg.Family, initSize: int32(cfg.SampleSize)}
+	if cfg.Shift != nil {
+		c.shift = true
+		c.shiftCfg = cfg.Shift.WithDefaults()
+	}
 	mean, sd := cfg.Baseline.Mean, cfg.Baseline.StdDev
 	switch cfg.Family {
 	case FamilySRAA:
@@ -172,6 +210,12 @@ func compileClass(cfg ClassConfig) (class, error) {
 	case FamilyCLTA:
 		c.sizes = []int32{int32(cfg.SampleSize)}
 		c.targets = []float64{mean + cfg.Quantile*sd/math.Sqrt(float64(cfg.SampleSize))}
+	}
+	if c.shift {
+		c.sqrtN = make([]float64, len(c.sizes))
+		for lvl, n := range c.sizes {
+			c.sqrtN[lvl] = math.Sqrt(float64(n))
+		}
 	}
 	return c, nil
 }

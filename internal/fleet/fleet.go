@@ -140,6 +140,9 @@ type Stats struct {
 	Triggers uint64
 	// Suppressed counts triggers eaten by per-stream cooldown windows.
 	Suppressed uint64
+	// Rebaselines counts committed workload-shift rebaselines across all
+	// streams of shift-enabled classes.
+	Rebaselines uint64
 	// Rejected counts non-finite observations intercepted by hygiene.
 	Rejected uint64
 	// UnknownStreams counts batch items addressed to streams not open.
@@ -185,6 +188,7 @@ type Engine struct {
 	trigTotal []*metrics.Counter
 	suppTotal []*metrics.Counter
 	rejTotal  []*metrics.Counter
+	rebTotal  []*metrics.Counter
 	// Per-shard open-stream gauges, indexed like shards.
 	openGauge []*metrics.Gauge
 	// Engine-wide instruments.
@@ -294,12 +298,14 @@ func (e *Engine) register() {
 	e.trigTotal = make([]*metrics.Counter, n)
 	e.suppTotal = make([]*metrics.Counter, n)
 	e.rejTotal = make([]*metrics.Counter, n)
+	e.rebTotal = make([]*metrics.Counter, n)
 	for i, c := range e.classes {
 		l := metrics.Label{Name: "class", Value: c.cfg.Name}
 		e.obsTotal[i] = reg.Counter("fleet_observations_total", "observations ingested per stream class", l)
 		e.trigTotal[i] = reg.Counter("fleet_triggers_total", "rejuvenation triggers enqueued per stream class", l)
 		e.suppTotal[i] = reg.Counter("fleet_suppressed_total", "triggers suppressed by cooldown per stream class", l)
 		e.rejTotal[i] = reg.Counter("fleet_rejected_total", "non-finite observations intercepted per stream class", l)
+		e.rebTotal[i] = reg.Counter("fleet_rebaselines_total", "workload-shift rebaselines committed per stream class", l)
 	}
 	e.openGauge = make([]*metrics.Gauge, len(e.shards))
 	for i := range e.shards {
@@ -388,6 +394,7 @@ func (e *Engine) Stats() Stats {
 		st.Triggers += e.trigTotal[i].Value()
 		st.Suppressed += e.suppTotal[i].Value()
 		st.Rejected += e.rejTotal[i].Value()
+		st.Rebaselines += e.rebTotal[i].Value()
 	}
 	st.UnknownStreams = e.unknownTotal.Value()
 	st.DroppedTriggers = e.dropTotal.Value()

@@ -31,6 +31,7 @@ func (e *Engine) HealthSnapshot() health.Snapshot {
 			Triggers:     e.trigTotal[i].Value(),
 			Suppressed:   e.suppTotal[i].Value(),
 			Rejected:     e.rejTotal[i].Value(),
+			Rebaselined:  e.rebTotal[i].Value(),
 		}
 	}
 

@@ -33,6 +33,7 @@ type shard struct {
 	hyg    []core.HygieneState // per-stream hygiene memory; guarded by mu
 	cool   []core.Cooldown     // per-stream trigger cooldown; guarded by mu
 	dog    []core.Watchdog     // per-stream staleness watchdog; guarded by mu
+	shift  []core.ShiftState   // per-stream workload-shift layer (shift classes); guarded by mu
 
 	// Health observability state, nil/empty when Config.HealthTopK is
 	// negative. The sketch tallies the shard's aging signals; the ex*
@@ -71,6 +72,7 @@ func (s *shard) open(id StreamID, ci int32, c *class, cfg Config) error {
 		s.hyg = append(s.hyg, core.HygieneState{})
 		s.cool = append(s.cool, core.Cooldown{})
 		s.dog = append(s.dog, core.Watchdog{})
+		s.shift = append(s.shift, core.ShiftState{})
 	}
 	s.ids[slot] = id
 	s.cls[slot] = ci
@@ -84,6 +86,7 @@ func (s *shard) open(id StreamID, ci int32, c *class, cfg Config) error {
 	s.hyg[slot] = core.HygieneState{}
 	s.cool[slot] = core.NewCooldown(cfg.Cooldown)
 	s.dog[slot] = core.NewWatchdog(cfg.MaxSilence)
+	s.shift[slot] = core.NewShiftState(c.cfg.Baseline)
 	s.index[id] = slot
 	s.opened++
 	return nil
@@ -143,6 +146,29 @@ func (s *shard) drainLocked(classes []class, hygienePolicy core.Hygiene, nowNano
 		r.flags |= resAdmitted
 		r.value = v
 
+		c := &classes[s.cls[i]]
+		if c.shift {
+			// The workload-shift layer steps before the sample window,
+			// exactly as core.Rebase steps before its wrapped detector:
+			// relearning observations never reach detector state, and a
+			// committed rebaseline resets it the way Rebase rebuilds its
+			// inner detector from the new baseline.
+			switch s.shift[i].Step(c.shiftCfg, v) {
+			case core.ShiftRelearning:
+				r.sampleSize = s.wsize[i]
+				continue
+			case core.ShiftRebaselined:
+				s.wsum[i], s.wcount[i] = 0, 0
+				s.bfill[i], s.blevel[i] = 0, 0
+				s.wsize[i] = c.initSize
+				r.sampleSize = s.wsize[i]
+				b := s.shift[i].Base
+				r.baseMean, r.baseSD = b.Mean, b.StdDev
+				r.flags |= resRebaselined
+				continue
+			}
+		}
+
 		// Sample window: identical arithmetic to core's sampleWindow.add.
 		s.wsum[i] += v
 		s.wcount[i]++
@@ -154,11 +180,16 @@ func (s *shard) drainLocked(classes []class, hygienePolicy core.Hygiene, nowNano
 		s.wsum[i] = 0
 		s.wcount[i] = 0
 
-		c := &classes[s.cls[i]]
 		var d core.Decision
 		switch c.family {
 		case FamilySRAA:
 			target := c.targets[s.blevel[i]]
+			if c.shift {
+				// The stream's re-estimated baseline, with the exact
+				// expression core.SRAA.Target evaluates.
+				b := &s.shift[i].Base
+				target = b.Mean + float64(s.blevel[i])*b.StdDev
+			}
 			nf, nl, ev := core.BucketStep(int(c.k), int(c.depth), int(s.bfill[i]), int(s.blevel[i]), mean > target)
 			s.bfill[i], s.blevel[i] = int32(nf), int32(nl)
 			d = core.Decision{
@@ -167,6 +198,12 @@ func (s *shard) drainLocked(classes []class, hygienePolicy core.Hygiene, nowNano
 			}
 		case FamilySARAA:
 			target := c.targets[s.blevel[i]]
+			if c.shift {
+				// core.SARAA.Target divides by math.Sqrt of the level's
+				// sample size; c.sqrtN holds those exact square roots.
+				b := &s.shift[i].Base
+				target = b.Mean + float64(s.blevel[i])*b.StdDev/c.sqrtN[s.blevel[i]]
+			}
 			nf, nl, ev := core.BucketStep(int(c.k), int(c.depth), int(s.bfill[i]), int(s.blevel[i]), mean > target)
 			s.bfill[i], s.blevel[i] = int32(nf), int32(nl)
 			switch ev {
@@ -184,6 +221,10 @@ func (s *shard) drainLocked(classes []class, hygienePolicy core.Hygiene, nowNano
 			}
 		case FamilyCLTA:
 			target := c.targets[0]
+			if c.shift {
+				b := &s.shift[i].Base
+				target = b.Mean + c.cfg.Quantile*b.StdDev/c.sqrtN[0]
+			}
 			d = core.Decision{
 				Triggered: mean > target, Evaluated: true,
 				SampleMean: mean, Target: target,
@@ -192,6 +233,12 @@ func (s *shard) drainLocked(classes []class, hygienePolicy core.Hygiene, nowNano
 		r.d = d
 		r.sampleSize = s.wsize[i]
 		r.flags |= resEvaluated
+		if d.Triggered && c.shift {
+			// Rejuvenation restores capacity without moving the
+			// workload: a trigger releases the aging latch and restarts
+			// moment tracking, exactly as core.Rebase does.
+			s.shift[i].NoteTrigger()
+		}
 		if d.Triggered {
 			if s.cool[i].Active(nowNanos) {
 				r.flags |= resSuppressed

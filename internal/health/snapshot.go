@@ -47,6 +47,9 @@ type ClassHealth struct {
 	Triggers     uint64 `json:"triggers,omitempty"`
 	Suppressed   uint64 `json:"suppressed,omitempty"`
 	Rejected     uint64 `json:"rejected,omitempty"`
+	// Rebaselined counts committed workload-shift rebaselines across the
+	// class's streams (shift-enabled classes only).
+	Rebaselined uint64 `json:"rebaselined,omitempty"`
 }
 
 // StreamHealth is one ranked stream of the top-K aging view: sketch

@@ -73,6 +73,12 @@ type Analysis struct {
 	Killed int
 	// Faults counts injected/detected telemetry fault records.
 	Faults int
+	// Rebaselines counts workload-shift rebaseline records
+	// (KindRebaseline and KindStreamRebaseline).
+	Rebaselines int
+	// RebaselineEvents holds the rebaseline records in journal order, so
+	// timelines can show where the baseline moved and to what.
+	RebaselineEvents []Record
 	// FaultClasses tallies fault records per class, in first-seen order.
 	FaultClasses []FaultCount
 	// Duration is the largest timestamp seen, per replication summed
@@ -236,6 +242,9 @@ func Analyze(meta Meta, format Format, records []Record, window int) Analysis {
 			if !found {
 				a.FaultClasses = append(a.FaultClasses, FaultCount{Class: r.Class, N: 1})
 			}
+		case KindRebaseline, KindStreamRebaseline:
+			a.Rebaselines++
+			a.RebaselineEvents = append(a.RebaselineEvents, r)
 		case KindActStart:
 			a.Actions = append(a.Actions, ActionEvent{
 				Index: len(a.Actions) + 1, Rep: rep, Start: r.Time, End: r.Time,

@@ -32,6 +32,8 @@ type FleetReplayReport struct {
 	Decisions int
 	// Triggers counts recorded decisions that triggered.
 	Triggers int
+	// Rebaselines counts stream rebaseline records verified.
+	Rebaselines int
 	// Mismatch describes the first divergence, nil when every stream's
 	// decision sequence is byte-identical.
 	Mismatch *Mismatch
@@ -145,6 +147,18 @@ func ReplayFleet(jr *Reader, factory func(class string) (core.Detector, error)) 
 				return report, nil
 			}
 			st.pending = nil
+		case KindStreamRebaseline:
+			st, ok := streams[rec.Stream]
+			if !ok {
+				report.Mismatch = structuralMismatch(rec, fmt.Sprintf("rebaseline on unopened stream %d", rec.Stream))
+				return report, nil
+			}
+			report.Rebaselines++
+			if m := verifyRebaseline(rec, st.det); m != nil {
+				m.Reason = fmt.Sprintf("%s on stream %d", m.Reason, rec.Stream)
+				report.Mismatch = m
+				return report, nil
+			}
 		case KindReset:
 			// A fleet-wide reset resets every open stream. Iterate without
 			// order sensitivity: Reset has no cross-stream effects.

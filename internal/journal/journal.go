@@ -111,32 +111,43 @@ const (
 	// KindDecision exactly, so fleet replay shares the KindDecision byte
 	// layout (appendDecisionFields).
 	KindStreamDecision
+	// KindRebaseline marks a committed workload-shift rebaseline on a
+	// single-detector journal: the shift layer classified a change as a
+	// workload shift, relearned, and BaseMean/BaseStdDev carry the new
+	// baseline now in effect. Replay verifies them bitwise against the
+	// reference detector's re-estimated baseline.
+	KindRebaseline
+	// KindStreamRebaseline is the fleet form of KindRebaseline: Stream is
+	// the stream id, BaseMean/BaseStdDev the committed baseline.
+	KindStreamRebaseline
 )
 
 // kindNames maps kinds to their stable JSONL spellings.
 var kindNames = [...]string{
-	KindRepStart:       "rep_start",
-	KindObserve:        "observe",
-	KindDecision:       "decision",
-	KindReset:          "reset",
-	KindRejuvenation:   "rejuvenation",
-	KindGCStart:        "gc_start",
-	KindGCEnd:          "gc_end",
-	KindSimScheduled:   "sim_scheduled",
-	KindSimFired:       "sim_fired",
-	KindSimCancelled:   "sim_cancelled",
-	KindFault:          "fault",
-	KindActStart:       "act_start",
-	KindActAttempt:     "act_attempt",
-	KindActGiveUp:      "act_give_up",
-	KindStreamOpen:     "stream_open",
-	KindStreamClose:    "stream_close",
-	KindStreamObserve:  "stream_observe",
-	KindStreamDecision: "stream_decision",
+	KindRepStart:         "rep_start",
+	KindObserve:          "observe",
+	KindDecision:         "decision",
+	KindReset:            "reset",
+	KindRejuvenation:     "rejuvenation",
+	KindGCStart:          "gc_start",
+	KindGCEnd:            "gc_end",
+	KindSimScheduled:     "sim_scheduled",
+	KindSimFired:         "sim_fired",
+	KindSimCancelled:     "sim_cancelled",
+	KindFault:            "fault",
+	KindActStart:         "act_start",
+	KindActAttempt:       "act_attempt",
+	KindActGiveUp:        "act_give_up",
+	KindStreamOpen:       "stream_open",
+	KindStreamClose:      "stream_close",
+	KindStreamObserve:    "stream_observe",
+	KindStreamDecision:   "stream_decision",
+	KindRebaseline:       "rebaseline",
+	KindStreamRebaseline: "stream_rebaseline",
 }
 
 // maxKind is the highest valid kind; the decoder rejects anything above.
-const maxKind = KindStreamDecision
+const maxKind = KindStreamRebaseline
 
 // Valid reports whether k is a known record kind.
 func (k Kind) Valid() bool { return k >= KindRepStart && k <= maxKind }
@@ -259,6 +270,11 @@ type Record struct {
 	// Backoff is the delay in seconds scheduled before the next attempt
 	// (KindActAttempt); 0 when no retry follows.
 	Backoff float64 `json:"backoff,omitempty"`
+
+	// BaseMean and BaseStdDev are the committed baseline of a workload-
+	// shift rebaseline (KindRebaseline, KindStreamRebaseline).
+	BaseMean   float64 `json:"base_mean,omitempty"`
+	BaseStdDev float64 `json:"base_sd,omitempty"`
 
 	// TriggerID correlates a triggering decision with everything it
 	// caused: the id minted at decision time (core.TriggerID) appears on

@@ -49,6 +49,8 @@ func writeSample(jw *Writer) {
 		core.Internals{SampleSize: 2, SampleFill: 0},
 		false, 0)
 	jw.StreamClose(71, 9001)
+	jw.Rebaseline(72, 9.25, 2.5)
+	jw.StreamRebaseline(72.5, 9002, 9.25, 2.5)
 }
 
 // wantSample is the decoded form of writeSample, in order.
@@ -76,6 +78,8 @@ func wantSample() []Record {
 		{Kind: KindStreamDecision, Seq: 17, Time: 70.5, Stream: 9001, Evaluated: true,
 			SampleMean: 4.5, Target: 6, Level: 1, Fill: 2, SampleSize: 2},
 		{Kind: KindStreamClose, Seq: 18, Time: 71, Stream: 9001},
+		{Kind: KindRebaseline, Seq: 19, Time: 72, BaseMean: 9.25, BaseStdDev: 2.5},
+		{Kind: KindStreamRebaseline, Seq: 20, Time: 72.5, Stream: 9002, BaseMean: 9.25, BaseStdDev: 2.5},
 	}
 }
 
@@ -151,8 +155,8 @@ func TestWriterRecordMatchesTypedEmitters(t *testing.T) {
 func TestWriterCounts(t *testing.T) {
 	jw := NewWriter(io.Discard, Meta{})
 	writeSample(jw)
-	if got := jw.Seq(); got != 19 {
-		t.Errorf("seq after 19 records = %d", got)
+	if got := jw.Seq(); got != 21 {
+		t.Errorf("seq after 21 records = %d", got)
 	}
 	for _, tc := range []struct {
 		kind Kind

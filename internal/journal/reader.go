@@ -295,6 +295,13 @@ func decodeBinary(payload []byte) (Record, error) {
 		r.Stream = c.uvarint()
 		decodeDecisionFields(&c, &r)
 		decodeTriggerID(&c, &r)
+	case KindRebaseline:
+		r.BaseMean = c.f64()
+		r.BaseStdDev = c.f64()
+	case KindStreamRebaseline:
+		r.Stream = c.uvarint()
+		r.BaseMean = c.f64()
+		r.BaseStdDev = c.f64()
 	}
 	if c.err != nil {
 		return Record{}, fmt.Errorf("journal: %s record: %w", r.Kind, c.err)

@@ -6,10 +6,18 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"runtime/pprof"
 
 	"rejuv/internal/core"
 )
+
+// sameF64Bits compares two floats bitwise, the equality the replay
+// verifier uses everywhere: NaN payloads and signed zeros must survive
+// the journal round trip exactly.
+func sameF64Bits(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
 
 // This file implements deterministic replay: feeding the journaled
 // observation stream through a freshly constructed detector must
@@ -32,6 +40,8 @@ type ReplayReport struct {
 	Triggers int
 	// Resets counts externally initiated detector resets applied.
 	Resets int
+	// Rebaselines counts workload-shift rebaseline records verified.
+	Rebaselines int
 	// Mismatch describes the first divergence, nil when the streams are
 	// byte-identical.
 	Mismatch *Mismatch
@@ -177,6 +187,12 @@ func replay(jr *Reader, factory func() (core.Detector, error)) (ReplayReport, er
 		case KindReset:
 			report.Resets++
 			det.Reset()
+		case KindRebaseline:
+			report.Rebaselines++
+			if m := verifyRebaseline(rec, det); m != nil {
+				report.Mismatch = m
+				return report, nil
+			}
 		}
 	}
 	if pending != nil {
@@ -188,4 +204,27 @@ func replay(jr *Reader, factory func() (core.Detector, error)) (ReplayReport, er
 // structuralMismatch builds a mismatch for stream-shape divergences.
 func structuralMismatch(rec Record, reason string) *Mismatch {
 	return &Mismatch{Seq: rec.Seq, Time: rec.Time, Reason: reason}
+}
+
+// verifyRebaseline checks a recorded rebaseline event against the
+// replayed detector: it must re-estimate its baseline online
+// (core.Rebaseliner) and its committed baseline must match the recorded
+// one bitwise — the shift layer is deterministic, so any drift in the
+// re-estimated moments is a determinism break.
+func verifyRebaseline(rec Record, det core.Detector) *Mismatch {
+	rb, ok := det.(core.Rebaseliner)
+	if !ok {
+		return structuralMismatch(rec, "recorded rebaseline but the replay detector does not re-estimate its baseline")
+	}
+	got := rb.CurrentBaseline()
+	if !sameF64Bits(got.Mean, rec.BaseMean) || !sameF64Bits(got.StdDev, rec.BaseStdDev) {
+		return &Mismatch{
+			Seq:      rec.Seq,
+			Time:     rec.Time,
+			Reason:   "rebaselined baselines differ",
+			Recorded: fmt.Sprintf("(%v, %v)", rec.BaseMean, rec.BaseStdDev),
+			Replayed: fmt.Sprintf("(%v, %v)", got.Mean, got.StdDev),
+		}
+	}
+	return nil
 }

@@ -392,6 +392,47 @@ func (jw *Writer) StreamDecision(t float64, stream uint64, d core.Decision, in c
 	jw.finish(b)
 }
 
+// Rebaseline records a committed workload-shift rebaseline: the shift
+// layer re-estimated the baseline and the wrapped detector was rebuilt
+// from mean/sd. It sits on the monitor's per-observation path (a
+// rebaseline is decided inside Observe) and must stay allocation-free
+// on the binary codec.
+//
+//lint:hotpath
+func (jw *Writer) Rebaseline(t, mean, sd float64) {
+	if jw.err != nil {
+		return
+	}
+	seq := jw.nextSeq(KindRebaseline)
+	if jw.jsonl(Record{Kind: KindRebaseline, Seq: seq, Time: t, BaseMean: mean, BaseStdDev: sd}) {
+		return
+	}
+	b := jw.begin(KindRebaseline, seq, t)
+	b = appendF64(b, mean)
+	b = appendF64(b, sd)
+	jw.finish(b)
+}
+
+// StreamRebaseline records a committed workload-shift rebaseline on a
+// fleet stream. Like StreamObserve it is on the fleet's batched
+// ingestion path.
+//
+//lint:hotpath
+func (jw *Writer) StreamRebaseline(t float64, stream uint64, mean, sd float64) {
+	if jw.err != nil {
+		return
+	}
+	seq := jw.nextSeq(KindStreamRebaseline)
+	if jw.jsonl(Record{Kind: KindStreamRebaseline, Seq: seq, Time: t, Stream: stream, BaseMean: mean, BaseStdDev: sd}) {
+		return
+	}
+	b := jw.begin(KindStreamRebaseline, seq, t)
+	b = binary.AppendUvarint(b, stream)
+	b = appendF64(b, mean)
+	b = appendF64(b, sd)
+	jw.finish(b)
+}
+
 // jsonl encodes r on the JSONL debug codec and reports whether the
 // record was consumed there. The binary emitters call it first and fall
 // through to the allocation-free scratch-buffer path when it declines.
@@ -560,6 +601,13 @@ func appendPayload(b []byte, r *Record) []byte {
 		b = binary.AppendUvarint(b, r.Stream)
 		b = appendDecisionFields(b, r)
 		b = appendTriggerID(b, r.TriggerID)
+	case KindRebaseline:
+		b = appendF64(b, r.BaseMean)
+		b = appendF64(b, r.BaseStdDev)
+	case KindStreamRebaseline:
+		b = binary.AppendUvarint(b, r.Stream)
+		b = appendF64(b, r.BaseMean)
+		b = appendF64(b, r.BaseStdDev)
 	}
 	return b
 }

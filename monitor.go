@@ -102,6 +102,10 @@ type MonitorStats struct {
 	// The monitor survives a panicking callback; the detector has
 	// already been reset by its own trigger at that point.
 	TriggerPanics uint64
+	// Rebaselines counts workload-shift rebaselines committed by the
+	// detector (when it re-estimates its baseline online; see
+	// NewRebaseDetector). Always 0 for plain detectors.
+	Rebaselines uint64
 	// LastTrigger is the time of the most recent delivered (not
 	// suppressed) trigger; it is the zero time before the first one.
 	LastTrigger time.Time
@@ -132,6 +136,11 @@ type Monitor struct {
 	// dog is the staleness watchdog; arrival of any value, even a
 	// rejected one, proves the stream is alive.
 	dog core.Watchdog // guarded by mu
+	// reb is non-nil when the detector re-estimates its baseline online;
+	// lastReb is its rebaseline count after the previous observation, so
+	// Observe can spot a commit the instant it happens.
+	reb     core.Rebaseliner
+	lastReb uint64 // guarded by mu
 }
 
 // NewMonitor validates the configuration and returns a monitor.
@@ -148,11 +157,13 @@ func NewMonitor(cfg MonitorConfig) (*Monitor, error) {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
-	return &Monitor{
+	m := &Monitor{
 		cfg:  cfg,
 		cool: core.NewCooldown(cfg.Cooldown),
 		dog:  core.NewWatchdog(cfg.MaxSilence),
-	}, nil
+	}
+	m.reb, _ = cfg.Detector.(core.Rebaseliner)
+	return m, nil
 }
 
 // Observe reports one observation of the monitored metric. Safe for
@@ -178,7 +189,15 @@ func (m *Monitor) Observe(x float64) {
 	}
 
 	d := m.cfg.Detector.Observe(v)
-	if !d.Triggered && !intercepted && !m.dog.Enabled() &&
+	rebased := false
+	if m.reb != nil {
+		if n := m.reb.Rebaselines(); n != m.lastReb {
+			m.lastReb = n
+			m.stats.Rebaselines++
+			rebased = true
+		}
+	}
+	if !d.Triggered && !rebased && !intercepted && !m.dog.Enabled() &&
 		m.cfg.Collector == nil && m.cfg.Trace == nil && m.cfg.Journal == nil {
 		return // the common un-instrumented fast path needs no clock
 	}
@@ -220,6 +239,10 @@ func (m *Monitor) Observe(x float64) {
 			jw.Fault(t, hygieneClass(x), 0)
 		}
 		jw.Observe(t, v)
+		if rebased {
+			b := m.reb.CurrentBaseline()
+			jw.Rebaseline(t, b.Mean, b.StdDev)
+		}
 		if d.Evaluated || d.Triggered {
 			var in DetectorInternals
 			if instr, ok := m.cfg.Detector.(Instrumented); ok {

@@ -114,6 +114,41 @@ func NewAdaptive(warmup int, build func(Baseline) (Detector, error)) (*Adaptive,
 	return core.NewAdaptive(warmup, build)
 }
 
+// ShiftConfig tunes the workload-shift layer of a Rebase detector: the
+// EWMA baseline re-estimation, the change-point statistic and the
+// shift-versus-aging decision rule. The zero value selects the
+// documented defaults.
+type ShiftConfig = core.ShiftConfig
+
+// ShiftDetector selects the change-point statistic of the shift layer.
+type ShiftDetector = core.ShiftDetector
+
+// Change-point statistics for ShiftConfig.Detector.
+const (
+	// ShiftCUSUM is the two-sided cumulative-sum statistic (the default).
+	ShiftCUSUM = core.ShiftCUSUM
+	// ShiftPageHinkley is the two-sided Page–Hinkley statistic.
+	ShiftPageHinkley = core.ShiftPageHinkley
+)
+
+// Rebase layers online baseline re-estimation under any detector
+// family: workload shifts rebaseline the wrapped detector (bucket
+// targets and sample sizes recomputed from the re-estimated µ and σ)
+// while software aging passes through and triggers as usual.
+type Rebase = core.Rebase
+
+// Rebaseliner is implemented by detectors that re-estimate their
+// baseline online (Rebase); MonitorStats.Rebaselines counts their
+// committed rebaselines and journals record them as rebaseline events.
+type Rebaseliner = core.Rebaseliner
+
+// NewRebaseDetector wraps the detector family built by build with the
+// workload-shift layer, starting from the given baseline. The factory
+// is invoked once up front and again after every committed rebaseline.
+func NewRebaseDetector(cfg ShiftConfig, base Baseline, build func(Baseline) (Detector, error)) (*Rebase, error) {
+	return core.NewRebase(cfg, base, build)
+}
+
 // Tracer wraps a detector and logs every evaluated decision, for
 // offline analysis of bucket dynamics.
 type Tracer = core.Tracer

@@ -2,7 +2,8 @@
 # check.sh runs the full verification ladder for this repository:
 # build, go vet, the rejuvlint static-analysis suite, the test suite
 # (shuffled, to surface test-order dependence), race-detector passes
-# (including the statistical conformance suite), and a short fuzz smoke
+# (including the statistical conformance suite), the seed-pinned
+# shift-conformance laws, and a short fuzz smoke
 # of the existing fuzz targets — including the rejuvlint annotation and
 # directive grammar — so they are exercised beyond their seed corpora.
 #
@@ -31,6 +32,11 @@ go test -race -count=1 ./internal/metrics .
 
 echo "== go test -race ./internal/conformance (conformance race pass)"
 go test -race -count=1 ./internal/conformance
+
+echo "== shift-conformance laws (pure shift, aging-through-shift, confusion matrix, faulted rebaselines)"
+go test -count=1 -run 'TestShiftLaw|TestShiftFault' -v ./internal/conformance | grep -E '^(--- (PASS|FAIL)|ok|FAIL)' || {
+    echo "shift-conformance pass FAILED"; exit 1;
+}
 
 echo "== flight-recorder replay determinism (all detectors, 3 seeds)"
 go test -run 'TestReplayDeterminism|TestReplayJournalIdenticalAcrossGOMAXPROCS' -count=1 -v ./internal/journal | grep -E '^(=== RUN|--- (PASS|FAIL)|ok|FAIL)' || {
