@@ -2,12 +2,21 @@ package rejuv
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 
 	"rejuv/internal/xrand"
 )
+
+// ErrActuatorGaveUp marks terminal actuation exhaustion: every attempt
+// of one execution failed and the OnGiveUp hook (if any) has fired.
+// Callers distinguish it from a cancelled execution with errors.Is —
+// a Scheduler quarantines the replica on give-up but merely requeues
+// it when the execution was cancelled or the attempt budget was spent
+// by a shutdown.
+var ErrActuatorGaveUp = errors.New("rejuv: rejuvenation action gave up")
 
 // This file is the actuation half of the rejuvenation pipeline: the
 // Monitor decides WHEN to rejuvenate, the Actuator makes the restart
@@ -275,8 +284,8 @@ func (a *Actuator) execute(ctx context.Context, triggerID uint64) error {
 		}
 	}
 
-	err := fmt.Errorf("rejuv: rejuvenation action gave up after %d attempts: %w",
-		a.cfg.MaxAttempts, lastErr)
+	err := fmt.Errorf("%w after %d attempts: %w",
+		ErrActuatorGaveUp, a.cfg.MaxAttempts, lastErr)
 	a.mu.Lock()
 	a.stats.GiveUps++
 	if jw := a.cfg.Journal; jw != nil {

@@ -65,6 +65,8 @@ func main() {
 		shiftP = flag.String("shift", "", "workload-shift demo: drive a non-stationary arrival profile (diurnal, flash or ramp) through a bare and a shift-aware detector and report rebaselines vs rejuvenations")
 		shiftF = flag.Float64("shift-factor", 1.9, "workload-shift demo: peak arrival-rate factor")
 
+		clusterN = flag.Int("cluster", 0, "cluster demo: run this many hosts under the always-full-restart policy and the cost-aware scheduler (partial rejuvenation, deadline deferral), journal + replay-verify the schedule, and compare loss; uses -load (per host), -txns, -seed, -pause (default 30 s here) and -leaky-gc")
+
 		fleetN      = flag.Int("fleet", 0, "fleet mode: monitor this many synthetic streams through the batched fleet engine instead of simulating (see -fleet-* flags)")
 		fleetRounds = flag.Int("fleet-rounds", 200, "fleet mode: observations per stream")
 		fleetBatch  = flag.Int("fleet-batch", 4096, "fleet mode: observations per ObserveBatch call")
@@ -85,6 +87,24 @@ func main() {
 		runShiftDemo(shiftOpts{
 			shape: *shiftP, factor: *shiftF,
 			load: *load, txns: *txns, seed: *seed,
+			journalPath: *journalP,
+		})
+		return
+	}
+
+	if *clusterN > 0 {
+		spec := experiment.Spec{
+			Algorithm: experiment.Algorithm(*algo),
+			N:         *n, K: *k, D: *d,
+			Quantile: *quantile,
+			Weight:   *weight,
+		}
+		spec.Baseline.Mean = *mean
+		spec.Baseline.StdDev = *sd
+		runClusterDemo(clusterOpts{
+			hosts: *clusterN, spec: spec,
+			load: *load, txns: *txns, seed: *seed,
+			pause: *pause, leaky: *leaky,
 			journalPath: *journalP,
 		})
 		return

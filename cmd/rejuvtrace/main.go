@@ -128,7 +128,40 @@ func printSummary(a journal.Analysis) {
 		}
 		fmt.Printf("faults %d   (%s)\n", a.Faults, strings.Join(parts, ", "))
 	}
+	printSchedCensus(a.Sched)
 	fmt.Println()
+}
+
+// printSchedCensus renders the scheduling layer's summary: the census
+// line, the action-tier mix, the deferral reasons, and the quarantine
+// timeline. Silent for journals without a scheduler.
+func printSchedCensus(s journal.SchedCensus) {
+	if s.Records == 0 {
+		return
+	}
+	fmt.Printf("scheduler %d records: %d enqueued (+%d coalesced), %d deferrals, %d starts, %d completes\n",
+		s.Records, s.Enqueues, s.Coalesces, s.Defers, s.Starts, s.Completes)
+	if len(s.StartsByTier) > 0 {
+		parts := make([]string, len(s.StartsByTier))
+		for i, tc := range s.StartsByTier {
+			parts[i] = fmt.Sprintf("%s %d", tc.Tier, tc.N)
+		}
+		fmt.Printf("  action tiers: %s\n", strings.Join(parts, ", "))
+	}
+	if len(s.DefersByReason) > 0 {
+		parts := make([]string, len(s.DefersByReason))
+		for i, rc := range s.DefersByReason {
+			parts[i] = fmt.Sprintf("%s %d", rc.Reason, rc.N)
+		}
+		fmt.Printf("  deferral reasons: %s\n", strings.Join(parts, ", "))
+	}
+	for _, r := range s.QuarantineEvents {
+		if r.Kind == journal.KindSchedQuarantine {
+			fmt.Printf("  QUARANTINE  t=%.6g s  replica %d  (%s)\n", r.Time, r.Stream, r.Class)
+		} else {
+			fmt.Printf("  readmitted  t=%.6g s  replica %d\n", r.Time, r.Stream)
+		}
+	}
 }
 
 // printActions renders the actuator retry timeline: one block per

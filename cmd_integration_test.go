@@ -526,3 +526,51 @@ func TestCmdFiguresGolden(t *testing.T) {
 	}
 	assertGolden(t, "figures_fig16_csv", string(csv))
 }
+
+// TestCmdRejuvsimCluster pins the cost-aware cluster scheduling demo:
+// the same aging cluster under always-full-restart and under the
+// scheduled partial-rejuvenation policy, with the scheduled run's
+// journal replay-verified inside the binary. The whole comparison is a
+// pure function of the pinned seed, so stdout above the journal line
+// is golden — including the loss improvement and the capacity-budget
+// high-water line the acceptance criteria name.
+func TestCmdRejuvsimCluster(t *testing.T) {
+	jnl := filepath.Join(t.TempDir(), "cluster.rjnl")
+	out := runCmd(t, "rejuvsim", "",
+		"-cluster", "4", "-load", "5", "-txns", "60000", "-seed", "21", "-leaky-gc",
+		"-journal", jnl)
+	body, _, found := strings.Cut(out, "journal:")
+	if !found {
+		t.Fatalf("rejuvsim -cluster did not report the journal:\n%s", out)
+	}
+	assertGolden(t, "rejuvsim_cluster", body)
+
+	trace := runCmd(t, "rejuvtrace", "", jnl)
+	for _, want := range []string{
+		"recorded by rejuvsim",
+		"scheduler 2344 records",
+		"action tiers: medium 35, major 62",
+		"deferral reasons: deadline 129, budget 50",
+	} {
+		if !strings.Contains(trace, want) {
+			t.Errorf("rejuvtrace cluster summary missing %q:\n%s", want, trace)
+		}
+	}
+}
+
+// TestExampleClusterGolden pins examples/cluster, which now spells its
+// historical one-down/30 s policy as the OneDownPolicy scheduler
+// preset: the printed comparison must stay semantically identical to
+// the hardcoded-policy era (same fields, same seed-pinned numbers).
+func TestExampleClusterGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping example build in -short mode")
+	}
+	cmd := exec.Command("go", "run", "./examples/cluster")
+	cmd.Dir = "."
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run ./examples/cluster: %v\n%s", err, out)
+	}
+	assertGolden(t, "example_cluster", string(out))
+}

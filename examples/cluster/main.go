@@ -2,7 +2,10 @@
 // a least-active router, each with its own SRAA detector, and a
 // 30-second restart per rejuvenation with at most one host down at a
 // time — the deployment style of the authors' companion work on cluster
-// systems.
+// systems. The one-down/full-restart policy is the OneDownPolicy
+// scheduler preset; see `rejuvsim -cluster` for the cost-aware
+// alternative (partial rejuvenation, deadline deferral) on the same
+// simulation.
 //
 // The run compares the cluster with rejuvenation against the same
 // cluster without it, at a load where GC stalls dominate the response
@@ -31,14 +34,19 @@ func main() {
 	lambda := hosts * loadPerHost * 0.2
 	baseline := rejuv.Baseline{Mean: 5, StdDev: 5}
 
+	// The historical hardcoded policy, spelled as a scheduler preset:
+	// at most one host down at a time, every action a full 30-second
+	// restart, no deferral windows.
+	policy := rejuv.OneDownPolicy(hosts, 30)
+
 	run := func(name string, factory func(int) (rejuv.Detector, error)) rejuv.ClusterResult {
 		cluster, err := rejuv.NewClusterSimulation(rejuv.ClusterConfig{
-			Hosts:             hosts,
-			ArrivalRate:       lambda,
-			Routing:           rejuv.RouteLeastActive,
-			RejuvenationPause: 30, // seconds out of service per restart
-			Transactions:      400_000,
-			Seed:              11,
+			Hosts:        hosts,
+			ArrivalRate:  lambda,
+			Routing:      rejuv.RouteLeastActive,
+			Scheduler:    &policy,
+			Transactions: 400_000,
+			Seed:         11,
 		}, factory)
 		fatalIf(err)
 		res, err := cluster.Run()

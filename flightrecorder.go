@@ -45,6 +45,18 @@ const (
 	JournalKindActGiveUp    = journal.KindActGiveUp
 )
 
+// Scheduling record kinds, written by a Scheduler (or a journaled
+// cluster simulation) and replayed with ReplaySchedJournal.
+const (
+	JournalKindSchedEnqueue    = journal.KindSchedEnqueue
+	JournalKindSchedDefer      = journal.KindSchedDefer
+	JournalKindSchedCoalesce   = journal.KindSchedCoalesce
+	JournalKindSchedStart      = journal.KindSchedStart
+	JournalKindSchedComplete   = journal.KindSchedComplete
+	JournalKindSchedQuarantine = journal.KindSchedQuarantine
+	JournalKindSchedReadmit    = journal.KindSchedReadmit
+)
+
 // Journal encodings: the compact length-prefixed binary codec and the
 // JSON-lines debug codec (one object per line, jq-friendly).
 const (

@@ -1,0 +1,405 @@
+package conformance
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"rejuv/internal/core"
+	"rejuv/internal/ecommerce"
+	"rejuv/internal/journal"
+	"rejuv/internal/sched"
+)
+
+// Scheduler-conformance laws: behavioural guarantees of the cost-aware
+// scheduling layer (internal/sched plus the cluster simulation that
+// drives it). The laws are exact, seed-pinned claims:
+//
+//   - the capacity budget is never exceeded, even when the request
+//     stream comes from detectors fed through every fault class of the
+//     pinned fault matrix;
+//   - no entry starves past the max-defer latch — deadline and
+//     capacity-floor windows yield to the latch, and the queue drains;
+//   - partial rejuvenation is monotone in ρ: a larger rollback
+//     fraction never leaves the replica with a worse (larger)
+//     post-action virtual age;
+//   - on the pinned leaky-GC regime the scheduled policy's transaction
+//     loss is bounded by the always-full-restart baseline, and the
+//     journaled schedule replays byte-identically.
+
+// schedLawSeed pins the scheduler laws' workloads and fault draws.
+const schedLawSeed = 21
+
+// schedDriver replays a request script against a bare Governor with a
+// deterministic completion process: every dispatched action completes
+// successfully after its pause. It checks the capacity budget at every
+// transition, not just at the end.
+type schedDriver struct {
+	t   *testing.T
+	g   *sched.Governor
+	cfg sched.Config
+
+	now      float64
+	downs    int          // concurrent down replicas per the transition stream
+	pending  [][2]float64 // [completionTime, replica] sorted by insertion
+	starts   int
+	startMin float64
+	startMax float64
+	escalate int // max-defer escalations observed
+}
+
+func newSchedDriver(t *testing.T, cfg sched.Config) *schedDriver {
+	t.Helper()
+	g, err := sched.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &schedDriver{t: t, g: g, cfg: g.Config(), startMin: math.Inf(1), startMax: math.Inf(-1)}
+}
+
+// absorb audits one transition batch: budget invariant, pause
+// bookkeeping, escalation census.
+func (d *schedDriver) absorb(trs []sched.Transition) {
+	for _, tr := range trs {
+		switch tr.Op {
+		case sched.OpStart:
+			d.downs++
+			if d.downs > d.cfg.MaxDown {
+				d.t.Fatalf("t=%.6g: %d replicas down, budget %d — capacity law violated", tr.Time, d.downs, d.cfg.MaxDown)
+			}
+			d.starts++
+			if tr.Time < d.startMin {
+				d.startMin = tr.Time
+			}
+			if tr.Time > d.startMax {
+				d.startMax = tr.Time
+			}
+			d.pending = append(d.pending, [2]float64{tr.Time + tr.Pause, float64(tr.Replica)})
+		case sched.OpComplete:
+			d.downs--
+		case sched.OpCoalesce:
+			if tr.Reason == sched.ReasonMaxDefer {
+				d.escalate++
+			}
+		}
+	}
+}
+
+// dueCompletion pops the earliest pending completion at or before t, or
+// returns a negative replica when none is due.
+func (d *schedDriver) dueCompletion(t float64) (float64, int) {
+	best := -1
+	for i, p := range d.pending {
+		if p[0] <= t && (best < 0 || p[0] < d.pending[best][0]) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return 0, -1
+	}
+	p := d.pending[best]
+	d.pending = append(d.pending[:best], d.pending[best+1:]...)
+	return p[0], int(p[1])
+}
+
+// request advances the driver to time t and feeds one request.
+func (d *schedDriver) request(t float64, replica, level, fill int, deadline float64, tid uint64) {
+	d.advance(t)
+	d.absorb(d.g.Request(t, replica, level, fill, deadline, tid))
+}
+
+// advance completes every action due by t, in completion order.
+func (d *schedDriver) advance(t float64) {
+	for {
+		ct, r := d.dueCompletion(t)
+		if r < 0 {
+			break
+		}
+		d.absorb(d.g.Complete(ct, r, true))
+	}
+	d.now = t
+}
+
+// drain runs the event loop (completions and NextWake ticks) until the
+// governor is quiescent, with an iteration bound so a liveness bug
+// fails the test instead of hanging it.
+func (d *schedDriver) drain() {
+	for i := 0; i < 100000; i++ {
+		if d.g.Queued() == 0 && len(d.pending) == 0 {
+			return
+		}
+		next := math.Inf(1)
+		for _, p := range d.pending {
+			if p[0] < next {
+				next = p[0]
+			}
+		}
+		if w := d.g.NextWake(d.now); w < next {
+			next = w
+		}
+		if math.IsInf(next, 1) {
+			// Nothing due and no wake: the only legal way forward is a
+			// queued entry blocked purely on budget with nothing down —
+			// that would be a liveness bug.
+			d.t.Fatalf("governor wedged: %d queued, %d pending completions, no wake", d.g.Queued(), len(d.pending))
+		}
+		if next < d.now {
+			next = d.now
+		}
+		d.advance(next)
+		d.absorb(d.g.Tick(next))
+	}
+	d.t.Fatalf("drain did not converge: %d queued, %d pending", d.g.Queued(), len(d.pending))
+}
+
+// TestSchedLawBudgetUnderFaults: for every fault class of the pinned
+// matrix, the decision stream of a faulted SRAA run on a degrading
+// trace is replayed as a rejuvenation request script against the
+// cost-aware policy. The capacity budget must hold at every transition,
+// the queue must fully drain (graceful degradation: corrupted trigger
+// patterns cause no starvation), and the admission accounting must
+// conserve requests — every request is enqueued, coalesced, or
+// explicitly refused, never silently dropped.
+func TestSchedLawBudgetUnderFaults(t *testing.T) {
+	var sraa Family
+	for _, fam := range Families(lawBase) {
+		if fam.Name == "SRAA" {
+			sraa = fam
+		}
+	}
+	const replicas = 6
+	trace := RampTrace(schedLawSeed, 900, 150, 0.02, lawBase)
+	for _, sc := range FaultScenarios() {
+		t.Run(sc.Name, func(t *testing.T) {
+			spec := parseScenario(t, sc)
+			res, err := RunFaulted(sraa.Name, sraa.New, trace, spec, core.HygieneReject, schedLawSeed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Injected == 0 {
+				t.Fatalf("injector never fired; law is vacuous")
+			}
+			d := newSchedDriver(t, sched.Scheduled(replicas, 30))
+			for i, dec := range res.Decisions {
+				if !dec.Evaluated || dec.Level == 0 {
+					continue
+				}
+				now := float64(i)
+				d.request(now, i%replicas, dec.Level, dec.Fill, now+20, uint64(i+1))
+			}
+			d.drain()
+
+			st := d.g.Stats()
+			if st.Requests < 10 || st.Starts == 0 {
+				t.Fatalf("only %d requests, %d starts — script too thin for the law", st.Requests, st.Starts)
+			}
+			if got := d.g.MaxDownSeen(0); got > d.cfg.MaxDown {
+				t.Errorf("high-water mark %d exceeds budget %d", got, d.cfg.MaxDown)
+			}
+			if in, out := st.Requests+st.Requeues, st.Enqueued+st.Coalesced+st.Saturated+st.Refused; in != out {
+				t.Errorf("admission accounting leaks: %d requests+requeues, %d accounted", in, out)
+			}
+			if d.g.Queued() != 0 || d.g.Down(0) != 0 {
+				t.Errorf("not quiescent after drain: %d queued, %d down", d.g.Queued(), d.g.Down(0))
+			}
+		})
+	}
+}
+
+// TestSchedLawNoStarvationPastMaxDefer: entries blocked by both a QoS
+// deadline and the capacity floor must still start once they cross the
+// max-defer latch — the latch escalates them past every deferral
+// window, leaving only the capacity budget, so the worst-case wait is
+// MaxDefer plus the serial drain of the queue ahead of them.
+func TestSchedLawNoStarvationPastMaxDefer(t *testing.T) {
+	const (
+		fullPause = 10.0
+		maxDefer  = 50.0
+		waiting   = 3
+	)
+	// CapacityFloor 0.9 on four replicas blocks every start (3 in
+	// service < 0.9×4 = 3.6) and the deadlines sit far past the latch,
+	// so only escalation can ever dispatch these entries.
+	d := newSchedDriver(t, sched.Config{
+		Replicas: 4, MaxDown: 1, FullPause: fullPause,
+		MaxDefer: maxDefer, CapacityFloor: 0.9, Tiers: sched.FullRestartTiers(),
+	})
+	for r := 0; r < waiting; r++ {
+		d.request(0, r, 1, 1, 1000, uint64(r+1))
+	}
+	if w := d.g.NextWake(0); w != maxDefer {
+		t.Fatalf("NextWake = %.6g, want the max-defer latch at %.6g", w, maxDefer)
+	}
+	if d.starts != 0 {
+		t.Fatalf("%d starts before any window expired", d.starts)
+	}
+	d.drain()
+
+	if d.starts != waiting {
+		t.Fatalf("%d of %d entries ever started", d.starts, waiting)
+	}
+	if d.escalate != waiting {
+		t.Errorf("%d max-defer escalations, want %d", d.escalate, waiting)
+	}
+	if d.startMin < maxDefer {
+		t.Errorf("a start at t=%.6g beat the deadline window without escalation", d.startMin)
+	}
+	// Serial drain under MaxDown 1: the last escalated entry starts by
+	// MaxDefer + (waiting−1) pauses; anything later is starvation.
+	if bound := maxDefer + float64(waiting-1)*fullPause; d.startMax > bound {
+		t.Errorf("last start at t=%.6g, starvation bound %.6g", d.startMax, bound)
+	}
+}
+
+// rhoFirstAction runs the pinned leaky single-host cluster under a
+// one-tier policy with the given rollback fraction and returns the
+// host's virtual age immediately after its first rejuvenation action,
+// plus whether any action happened at all. Up to the first action the
+// runs are identical — same seed, same detector, no pauses taken yet —
+// so the post-action ages are directly comparable across ρ.
+func rhoFirstAction(t *testing.T, rho float64) (float64, bool) {
+	t.Helper()
+	policy := sched.Config{
+		Replicas: 1, MaxDown: 1, FullPause: 30, MaxDefer: -1,
+		Tiers: []sched.Tier{{Name: "law", Rho: rho, PauseFrac: 0.5, MinSeverity: 0}},
+	}
+	c, err := ecommerce.NewCluster(ecommerce.ClusterConfig{
+		Hosts:        1,
+		Host:         ecommerce.Config{LeakyGC: true},
+		ArrivalRate:  1.0,
+		Scheduler:    &policy,
+		Transactions: 20000,
+		Seed:         schedLawSeed,
+	}, func(int) (core.Detector, error) {
+		return core.NewSRAA(core.SRAAConfig{SampleSize: 2, Buckets: 5, Depth: 3, Baseline: lawBase})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	age, acted := 0.0, false
+	c.OnRejuvenate = func(_ float64, host, _ int) {
+		if !acted {
+			acted = true
+			age = c.VirtualAge(host)
+		}
+	}
+	if _, err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return age, acted
+}
+
+// TestSchedLawRhoMonotonicity: with identical pre-action trajectories,
+// a larger rollback fraction never yields a worse post-action virtual
+// age — ρ = 1 lands exactly at zero ("good as new") while smaller ρ
+// retain part of the accumulated age, ordered inversely to ρ.
+func TestSchedLawRhoMonotonicity(t *testing.T) {
+	rhos := []float64{0.25, 0.5, 1}
+	ages := make([]float64, len(rhos))
+	for i, rho := range rhos {
+		age, acted := rhoFirstAction(t, rho)
+		if !acted {
+			t.Fatalf("rho=%.4g: cluster never rejuvenated; law is vacuous", rho)
+		}
+		ages[i] = age
+	}
+	for i := 1; i < len(rhos); i++ {
+		if ages[i] > ages[i-1] {
+			t.Errorf("rho=%.4g left virtual age %.6g, worse than %.6g at rho=%.4g",
+				rhos[i], ages[i], ages[i-1], rhos[i-1])
+		}
+	}
+	if !(ages[0] > 0) {
+		t.Errorf("rho=%.4g should retain positive virtual age, got %.6g", rhos[0], ages[0])
+	}
+	if ages[len(ages)-1] != 0 { //lint:allow floatcmp exact reset to zero
+		t.Errorf("rho=1 must reset virtual age to zero, got %.6g", ages[len(ages)-1])
+	}
+}
+
+// TestSchedLawBoundedLoss: on the pinned leaky-GC regime the scheduled
+// policy's transaction loss must not exceed the always-full-restart
+// baseline at the same detection config, its capacity budget must hold,
+// and the journaled schedule must replay byte-identically — the
+// acceptance criterion of the scheduler, spelled as a law.
+func TestSchedLawBoundedLoss(t *testing.T) {
+	const (
+		hosts = 4
+		txns  = 30000
+		pause = 30.0
+	)
+	factory := func(int) (core.Detector, error) {
+		return core.NewSRAA(core.SRAAConfig{SampleSize: 2, Buckets: 5, Depth: 3, Baseline: lawBase})
+	}
+	run := func(policy sched.Config, scheduled bool, jw *journal.Writer) (ecommerce.ClusterResult, *ecommerce.Cluster) {
+		cfg := ecommerce.ClusterConfig{
+			Hosts:        hosts,
+			Host:         ecommerce.Config{LeakyGC: true},
+			ArrivalRate:  hosts * 5.0 * 0.2,
+			Routing:      ecommerce.RouteLeastActive,
+			Scheduler:    &policy,
+			Transactions: txns,
+			Seed:         schedLawSeed,
+		}
+		if scheduled {
+			cfg.ProactiveLevel = 3
+			cfg.DeadlineAware = true
+		}
+		c, err := ecommerce.NewCluster(cfg, factory)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if jw != nil {
+			c.Journal(jw)
+		}
+		res, err := c.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, c
+	}
+
+	full, _ := run(sched.OneDown(hosts, pause), false, nil)
+	var buf bytes.Buffer
+	jw := journal.NewWriter(&buf, journal.Meta{CreatedBy: "sched-law", Seed: schedLawSeed})
+	part, c := run(sched.Scheduled(hosts, pause), true, jw)
+	if err := jw.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	if full.Rejuvenations == 0 || part.Rejuvenations == 0 {
+		t.Fatalf("rejuvenations full=%d scheduled=%d; regime too tame for the law",
+			full.Rejuvenations, part.Rejuvenations)
+	}
+	if part.Partial == 0 {
+		t.Errorf("scheduled policy dispatched no partial actions")
+	}
+	if part.Lost > full.Lost {
+		t.Errorf("scheduled policy lost %d transactions, full-restart baseline %d — loss not bounded",
+			part.Lost, full.Lost)
+	}
+	policy := c.SchedulerConfig()
+	if got := c.MaxDownSeen(); got > policy.MaxDown {
+		t.Errorf("live high-water mark %d exceeds budget %d", got, policy.MaxDown)
+	}
+
+	jr, err := journal.NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := journal.ReplaySched(jr, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Identical() {
+		t.Fatalf("scheduled journal replay diverged: %v", report.Mismatch)
+	}
+	if report.Starts == 0 {
+		t.Errorf("replay saw no starts; journal is missing the schedule")
+	}
+	for grp, down := range report.MaxDownSeen {
+		if down > policy.MaxDown {
+			t.Errorf("replay group %d high-water %d exceeds budget %d", grp, down, policy.MaxDown)
+		}
+	}
+}

@@ -1,0 +1,27 @@
+package core
+
+// Severity maps a detector's bucket position to the [0, 1] scale the
+// scheduling layer keys its Kijima action tiers off: 0 is a fresh
+// detector, 1 the trigger threshold. level is the bucket pointer N of a
+// decision, triggerLevel the bucket count K at which the detector
+// fires. Levels at or past the trigger saturate at 1, so a triggering
+// decision always maps to the most aggressive tier regardless of
+// detector family.
+func Severity(level, triggerLevel int) float64 {
+	if triggerLevel <= 0 || level >= triggerLevel {
+		return 1
+	}
+	if level <= 0 {
+		return 0
+	}
+	return float64(level) / float64(triggerLevel)
+}
+
+// Severity maps the decision's bucket pointer to the [0, 1] scheduling
+// severity scale; see the package-level Severity function.
+func (d Decision) Severity(triggerLevel int) float64 {
+	if d.Triggered {
+		return 1
+	}
+	return Severity(d.Level, triggerLevel)
+}

@@ -1,0 +1,35 @@
+package core
+
+import "testing"
+
+func TestSeverity(t *testing.T) {
+	cases := []struct {
+		level, trigger int
+		want           float64
+	}{
+		{0, 5, 0},
+		{-1, 5, 0},
+		{1, 5, 0.2},
+		{4, 5, 0.8},
+		{5, 5, 1},
+		{9, 5, 1},
+		{3, 0, 1},  // degenerate trigger level saturates
+		{3, -2, 1}, // negative trigger level saturates
+	}
+	for _, c := range cases {
+		if got := Severity(c.level, c.trigger); got != c.want {
+			t.Errorf("Severity(%d, %d) = %v, want %v", c.level, c.trigger, got, c.want)
+		}
+	}
+}
+
+func TestDecisionSeverity(t *testing.T) {
+	if got := (Decision{Level: 2}).Severity(4); got != 0.5 {
+		t.Errorf("Decision severity = %v, want 0.5", got)
+	}
+	// A triggering decision saturates even if the detector reset its
+	// level before reporting.
+	if got := (Decision{Triggered: true, Level: 0}).Severity(4); got != 1 {
+		t.Errorf("triggered decision severity = %v, want 1", got)
+	}
+}

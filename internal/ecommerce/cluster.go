@@ -6,7 +6,9 @@ import (
 
 	"rejuv/internal/core"
 	"rejuv/internal/des"
+	"rejuv/internal/journal"
 	"rejuv/internal/num"
+	"rejuv/internal/sched"
 	"rejuv/internal/xrand"
 )
 
@@ -24,10 +26,10 @@ const (
 
 // ClusterConfig parameterizes a multi-host deployment: several copies of
 // the Section-3 system behind a router, as in the authors' companion
-// work on cluster systems. Each host has its own detector; rejuvenating
-// a host takes it out of service for RejuvenationPause seconds, and at
-// most one host rejuvenates at a time so the cluster never loses more
-// than one host's capacity to restarts.
+// work on cluster systems. Each host has its own detector; rejuvenation
+// is coordinated by a sched.Governor, so a host goes down only when the
+// capacity budget allows it, and an action may be a Kijima-style
+// partial rejuvenation instead of a full restart.
 type ClusterConfig struct {
 	// Hosts is the number of hosts (at least 1).
 	Hosts int
@@ -39,10 +41,27 @@ type ClusterConfig struct {
 	ArrivalRate float64
 	// Routing selects the router policy.
 	Routing Routing
-	// RejuvenationPause is how long a rejuvenating host is out of
+	// RejuvenationPause is how long a full restart keeps a host out of
 	// service, in seconds. Zero means instantaneous, as in the paper's
-	// single-host model.
+	// single-host model. Partial actions pause proportionally less.
 	RejuvenationPause float64
+	// Scheduler, when non-nil, overrides the scheduling policy. The
+	// default is sched.OneDown(Hosts, RejuvenationPause) — at most one
+	// host down, every action a full restart — reproducing the cluster's
+	// historical behavior. Replicas may be left 0 (it is set to Hosts);
+	// any other value must equal Hosts.
+	Scheduler *sched.Config
+	// ProactiveLevel, when positive, raises a rejuvenation request
+	// whenever an evaluated detector decision reaches this bucket level,
+	// without waiting for the trigger. Combined with a tiered scheduler
+	// policy this is what enables cheap partial actions at moderate
+	// aging. 0 requests only on delivered triggers.
+	ProactiveLevel int
+	// DeadlineAware, when true, declares each request's QoS horizon to
+	// the scheduler: the time the host's in-flight transactions drain,
+	// so a full restart deferred past it kills nothing. Meaningful only
+	// with a policy whose deferral windows are enabled.
+	DeadlineAware bool
 	// Transactions is how many transactions must leave the cluster
 	// (completed or lost) before the run ends.
 	Transactions int64
@@ -57,8 +76,11 @@ type ClusterResult struct {
 	Result
 	// PerHost holds each host's completion/loss/rejuvenation counts.
 	PerHost []Result
-	// Deferred counts rejuvenation triggers that had to wait because
-	// another host was rejuvenating.
+	// Partial counts rejuvenation actions that were partial (ρ < 1);
+	// Rejuvenations counts every executed action, full or partial.
+	Partial int64
+	// Deferred counts rejuvenation requests the scheduler made wait: the
+	// first deferral decision of each queue episode.
 	Deferred int64
 }
 
@@ -68,18 +90,25 @@ type Cluster struct {
 	cfg       ClusterConfig
 	sim       *des.Simulator
 	rng       *xrand.Rand
+	gov       *sched.Governor
 	stations  []*station
 	detectors []core.Detector
 	inService []bool
-	pending   []bool // host asked to rejuvenate while another was busy
-	busy      bool   // a host is currently rejuvenating
+	obs       []uint64 // per-host observation count, for trigger ids
 	rrNext    int
 
-	res ClusterResult
-	ran bool
+	jw     *journal.Writer
+	tickEv *des.Event
 
-	// OnRejuvenate, when non-nil, observes every host rejuvenation.
+	res      ClusterResult
+	ran      bool
+	stopping bool
+
+	// OnRejuvenate, when non-nil, observes every executed rejuvenation
+	// action (killed is 0 for partial actions).
 	OnRejuvenate func(simTime float64, host, killed int)
+	// OnTransition, when non-nil, observes every scheduler transition.
+	OnTransition func(tr sched.Transition)
 }
 
 // NewCluster validates the configuration and builds the cluster. The
@@ -106,14 +135,29 @@ func NewCluster(cfg ClusterConfig, factory func(host int) (core.Detector, error)
 	}
 	cfg.Host = host
 
+	scfg := sched.OneDown(cfg.Hosts, cfg.RejuvenationPause)
+	if cfg.Scheduler != nil {
+		scfg = *cfg.Scheduler
+		if scfg.Replicas == 0 {
+			scfg.Replicas = cfg.Hosts
+		} else if scfg.Replicas != cfg.Hosts {
+			return nil, fmt.Errorf("ecommerce: scheduler config has %d replicas, cluster has %d hosts", scfg.Replicas, cfg.Hosts)
+		}
+	}
+	gov, err := sched.New(scfg)
+	if err != nil {
+		return nil, fmt.Errorf("ecommerce: cluster scheduler: %w", err)
+	}
+
 	c := &Cluster{
 		cfg:       cfg,
 		sim:       des.New(),
 		rng:       xrand.NewStream(cfg.Seed, cfg.Stream),
+		gov:       gov,
 		stations:  make([]*station, cfg.Hosts),
 		detectors: make([]core.Detector, cfg.Hosts),
 		inService: make([]bool, cfg.Hosts),
-		pending:   make([]bool, cfg.Hosts),
+		obs:       make([]uint64, cfg.Hosts),
 	}
 	c.res.PerHost = make([]Result, cfg.Hosts)
 	for h := 0; h < cfg.Hosts; h++ {
@@ -131,6 +175,48 @@ func NewCluster(cfg ClusterConfig, factory func(host int) (core.Detector, error)
 		}
 	}
 	return c, nil
+}
+
+// Journal attaches a flight-recorder writer to the cluster: every
+// scheduler transition (as a KindSched* record), every executed
+// rejuvenation, and every full-GC stall is journaled with its virtual
+// timestamp. The scheduler records replay byte-identically through
+// journal.ReplaySched under SchedulerConfig(). Call before Run; pass
+// nil to detach.
+func (c *Cluster) Journal(jw *journal.Writer) {
+	c.jw = jw
+	for _, st := range c.stations {
+		st.jw = jw
+	}
+}
+
+// SchedulerConfig returns the defaulted scheduling policy in effect —
+// the configuration a replay verifier must rebuild the governor from.
+func (c *Cluster) SchedulerConfig() sched.Config { return c.gov.Config() }
+
+// SchedulerStats returns the governor's activity counters.
+func (c *Cluster) SchedulerStats() sched.Stats { return c.gov.Stats() }
+
+// MaxDownSeen returns the high-water mark of simultaneously down hosts
+// in the scheduler's replica group — the run-side witness of the
+// capacity-budget law.
+func (c *Cluster) MaxDownSeen() int {
+	m := 0
+	for grp := 0; grp < c.gov.Groups(); grp++ {
+		if d := c.gov.MaxDownSeen(grp); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// VirtualAge returns a host's accumulated Kijima virtual age in
+// seconds of GC stall debt.
+func (c *Cluster) VirtualAge(host int) float64 {
+	if host < 0 || host >= len(c.stations) {
+		return 0
+	}
+	return c.stations[host].virtualAge
 }
 
 // Run executes the cluster until the transaction budget is spent.
@@ -200,41 +286,111 @@ func (c *Cluster) route() int {
 	}
 }
 
-// complete records one finished transaction and runs the host's detector.
+// complete records one finished transaction, runs the host's detector,
+// and turns its verdict into a scheduler request.
 func (c *Cluster) complete(h int, _ *job, rt float64) {
 	c.res.Completed++
 	c.res.RT.Add(rt)
 	c.res.PerHost[h].Completed++
 	c.res.PerHost[h].RT.Add(rt)
-	if det := c.detectors[h]; det != nil && det.Observe(rt).Triggered {
-		c.requestRejuvenation(h)
+	if det := c.detectors[h]; det != nil {
+		c.obs[h]++
+		d := det.Observe(rt)
+		switch {
+		case d.Triggered:
+			c.request(h, c.gov.Config().TriggerLevel, d.Fill)
+		case c.cfg.ProactiveLevel > 0 && d.Evaluated && d.Level >= c.cfg.ProactiveLevel:
+			c.request(h, d.Level, d.Fill)
+		}
 	}
 	if c.res.Completed+c.res.Lost >= c.cfg.Transactions {
 		c.sim.Stop()
 	}
 }
 
-// requestRejuvenation rejuvenates host h now, or defers it until the
-// currently rejuvenating host finishes.
-func (c *Cluster) requestRejuvenation(h int) {
-	if c.busy {
-		if !c.pending[h] {
-			c.pending[h] = true
-			c.res.Deferred++
-		}
-		return
-	}
-	c.rejuvenate(h)
+// request feeds one detector verdict into the governor and applies the
+// resulting transitions.
+func (c *Cluster) request(h, level, fill int) {
+	tid := core.TriggerID(uint64(h), c.obs[h])
+	c.apply(c.gov.Request(c.sim.Now(), h, level, fill, c.deadline(h), tid))
 }
 
-// rejuvenate takes host h out of service, kills its threads, and
-// schedules its return.
-func (c *Cluster) rejuvenate(h int) {
-	killed := c.stations[h].rejuvenate()
+// deadline returns the host's QoS horizon: the virtual time its
+// currently running transactions drain, so a restart deferred past it
+// kills nothing in flight. 0 when the cluster is not deadline-aware.
+func (c *Cluster) deadline(h int) float64 {
+	if !c.cfg.DeadlineAware {
+		return 0
+	}
+	var d float64
+	for _, r := range c.stations[h].running {
+		if t := r.completion.Time(); t > d {
+			d = t
+		}
+	}
+	return d
+}
+
+// apply journals and accounts one governor transition group, then
+// executes its dispatches. Journaling the whole group before executing
+// any start keeps nested groups (an instantaneous action completing
+// synchronously) strictly after their parent in the journal, which the
+// replay verifier's group matching relies on.
+func (c *Cluster) apply(trs []sched.Transition) {
+	for _, tr := range trs {
+		if c.jw != nil {
+			c.jw.Record(journal.SchedRecord(tr))
+		}
+		if c.OnTransition != nil {
+			c.OnTransition(tr)
+		}
+		if tr.Op == sched.OpDefer && tr.Count == 1 {
+			c.res.Deferred++
+		}
+	}
+	c.armTick()
+	for _, tr := range trs {
+		if tr.Op == sched.OpStart && !c.stopping {
+			c.execute(tr)
+		}
+	}
+}
+
+// armTick schedules the next time-driven governor re-evaluation at its
+// NextWake time (a deadline horizon expiring or an entry crossing the
+// starvation latch).
+func (c *Cluster) armTick() {
+	if c.tickEv != nil {
+		c.sim.Cancel(c.tickEv)
+		c.tickEv = nil
+	}
+	w := c.gov.NextWake(c.sim.Now())
+	if math.IsInf(w, 1) {
+		return
+	}
+	c.tickEv = c.sim.ScheduleAt(w, func(*des.Simulator) {
+		c.tickEv = nil
+		c.apply(c.gov.Tick(c.sim.Now()))
+	})
+}
+
+// execute performs one dispatched rejuvenation action: a full restart
+// (ρ = 1) kills the host's threads and takes it out of service for the
+// action's pause; a partial action restores part of the heap and stalls
+// in-flight work without killing it.
+func (c *Cluster) execute(tr sched.Transition) {
+	h := tr.Replica
+	killed := c.stations[h].rejuvenatePartial(tr.Tier.Rho, tr.Pause)
 	c.res.Lost += int64(killed)
 	c.res.Rejuvenations++
 	c.res.PerHost[h].Lost += int64(killed)
 	c.res.PerHost[h].Rejuvenations++
+	if tr.Tier.Rho < 1 {
+		c.res.Partial++
+	}
+	if c.jw != nil {
+		c.jw.Rejuvenation(c.sim.Now(), killed)
+	}
 	if det := c.detectors[h]; det != nil {
 		det.Reset()
 	}
@@ -242,30 +398,22 @@ func (c *Cluster) rejuvenate(h int) {
 		c.OnRejuvenate(c.sim.Now(), h, killed)
 	}
 	if c.res.Completed+c.res.Lost >= c.cfg.Transactions {
+		c.stopping = true
 		c.sim.Stop()
 		return
 	}
-	if num.Zero(c.cfg.RejuvenationPause) {
-		c.startNextPending()
+	if num.Zero(tr.Pause) {
+		c.finish(h)
 		return
 	}
-	c.busy = true
 	c.inService[h] = false
-	c.sim.Schedule(c.cfg.RejuvenationPause, func(*des.Simulator) {
-		c.inService[h] = true
-		c.busy = false
-		c.stations[h].tryStart()
-		c.startNextPending()
-	})
+	c.sim.Schedule(tr.Pause, func(*des.Simulator) { c.finish(h) })
 }
 
-// startNextPending serves the lowest-indexed deferred rejuvenation.
-func (c *Cluster) startNextPending() {
-	for h, want := range c.pending {
-		if want {
-			c.pending[h] = false
-			c.rejuvenate(h)
-			return
-		}
-	}
+// finish returns a host to service after its action's pause and reports
+// the completion to the governor, which may dispatch the next action.
+func (c *Cluster) finish(h int) {
+	c.inService[h] = true
+	c.stations[h].tryStart()
+	c.apply(c.gov.Complete(c.sim.Now(), h, true))
 }

@@ -25,6 +25,10 @@ type station struct {
 	gcEnd     *des.Event
 
 	gcs int64
+	// virtualAge is the station's accumulated aging in the Kijima sense:
+	// every full GC adds its stall to the age, a partial rejuvenation
+	// rolls back a fraction ρ of it, a full one resets it to zero.
+	virtualAge float64
 
 	// met is nil unless the owning model was instrumented; jw is nil
 	// unless it was journaled.
@@ -115,6 +119,7 @@ func (s *station) startService(j *job) {
 func (s *station) startGC() {
 	s.gcs++
 	s.gcActive = true
+	s.virtualAge += s.cfg.GCPause
 	if s.met != nil {
 		s.met.gcStalls.Inc()
 	}
@@ -188,6 +193,32 @@ func (s *station) rejuvenate() int {
 		s.gcEnd = nil
 	}
 	s.gcActive = false
+	s.virtualAge = 0
 	s.noteState()
 	return killed
+}
+
+// rejuvenatePartial is the Kijima-style partial action: instead of
+// killing every thread, it restores a fraction rho of the consumed heap
+// and rolls the virtual age back to (1−ρ)·V, stalling running threads
+// for the action's pause (they survive, delayed — exactly like a GC
+// stall). rho ≥ 1 degenerates to the full rejuvenation routine. It
+// returns the number of killed transactions (always 0 for a partial
+// action).
+func (s *station) rejuvenatePartial(rho, pause float64) int {
+	if rho >= 1 {
+		return s.rejuvenate()
+	}
+	s.heapMB += rho * (s.cfg.HeapMB - s.heapMB)
+	s.virtualAge *= 1 - rho
+	if pause > 0 {
+		for _, r := range s.running {
+			s.sim.Reschedule(r.completion, r.completion.Time()+pause)
+		}
+		if s.gcEnd != nil {
+			s.sim.Reschedule(s.gcEnd, s.gcEnd.Time()+pause)
+		}
+	}
+	s.noteState()
+	return 0
 }

@@ -175,6 +175,7 @@ func (e *Engine) fanIn(now time.Time, batch []StreamObs, sc *scratch) {
 		}
 		if r.flags&resRebaselined != 0 {
 			cc.reb++
+			e.lastBase[r.classIdx] = baseline{mean: r.baseMean, sd: r.baseSD}
 		}
 		if r.flags&resAdmitted == 0 {
 			continue

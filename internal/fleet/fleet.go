@@ -157,6 +157,12 @@ type Stats struct {
 	OpenStreams int
 }
 
+// baseline is one committed workload-shift baseline: the (µ, σ) pair a
+// class's thresholds are currently derived from.
+type baseline struct {
+	mean, sd float64
+}
+
 // Engine is the fleet monitoring engine. All methods are safe for
 // concurrent use; the journal determinism guarantee (byte-identical
 // journals for any shard count and GOMAXPROCS) holds when one goroutine
@@ -177,6 +183,11 @@ type Engine struct {
 	outMu sync.Mutex
 	// epoch anchors journal timestamps at the first journaled event.
 	epoch time.Time // guarded by outMu
+	// lastBase holds, per class, the (µ, σ) committed by the most
+	// recent workload-shift rebaseline — surfaced in health snapshots
+	// so an operator can see what baseline a class currently answers
+	// to. Guarded by outMu, like the journal order it mirrors.
+	lastBase []baseline
 
 	pool  sync.Pool // *scratch
 	trigs chan Trigger
@@ -299,6 +310,7 @@ func (e *Engine) register() {
 	e.suppTotal = make([]*metrics.Counter, n)
 	e.rejTotal = make([]*metrics.Counter, n)
 	e.rebTotal = make([]*metrics.Counter, n)
+	e.lastBase = make([]baseline, n)
 	for i, c := range e.classes {
 		l := metrics.Label{Name: "class", Value: c.cfg.Name}
 		e.obsTotal[i] = reg.Counter("fleet_observations_total", "observations ingested per stream class", l)

@@ -23,6 +23,12 @@ func (e *Engine) HealthSnapshot() health.Snapshot {
 	now := e.cfg.Now()
 	snap := health.Snapshot{NowNanos: now.UnixNano()}
 
+	// The committed-baseline pairs live on the ordered output side, so
+	// borrow outMu briefly; the counters themselves are atomic.
+	e.outMu.Lock()
+	base := append([]baseline(nil), e.lastBase...)
+	e.outMu.Unlock()
+
 	snap.Classes = make([]health.ClassHealth, len(e.classes))
 	for i := range e.classes {
 		snap.Classes[i] = health.ClassHealth{
@@ -32,6 +38,8 @@ func (e *Engine) HealthSnapshot() health.Snapshot {
 			Suppressed:   e.suppTotal[i].Value(),
 			Rejected:     e.rejTotal[i].Value(),
 			Rebaselined:  e.rebTotal[i].Value(),
+			BaselineMean: base[i].mean,
+			BaselineSD:   base[i].sd,
 		}
 	}
 

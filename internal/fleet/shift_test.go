@@ -287,3 +287,45 @@ func TestShiftIngestConcurrentWithHealthAndStalls(t *testing.T) {
 		t.Fatalf("concurrent shifting workload committed no rebaselines: %+v", st)
 	}
 }
+
+// TestFleetShiftBaselineTelemetry checks the per-class shift telemetry
+// surfaced to operators: after a workload shift commits rebaselines,
+// the health snapshot reports the count and the last committed (µ, σ)
+// for every shifted class, and leaves unshifted classes zeroed.
+func TestFleetShiftBaselineTelemetry(t *testing.T) {
+	e, err := New(Config{
+		Classes: shiftTestClasses(),
+		Shards:  2,
+		Now:     newFakeClock(50 * time.Millisecond).Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	runShiftWorkload(t, e, 12, 48)
+
+	snap := e.HealthSnapshot()
+	shifted := 0
+	for _, c := range snap.Classes {
+		if c.Rebaselined == 0 {
+			if c.BaselineMean != 0 || c.BaselineSD != 0 {
+				t.Errorf("class %s reports a baseline (%v, %v) without rebaselines",
+					c.Name, c.BaselineMean, c.BaselineSD)
+			}
+			continue
+		}
+		shifted++
+		// The workload steps from mean ~5 to ~13 before the ramp; the
+		// committed baseline must reflect the post-shift regime.
+		if c.BaselineMean < 10 {
+			t.Errorf("class %s committed baseline mean %v, want post-shift regime (> 10)",
+				c.Name, c.BaselineMean)
+		}
+		if !(c.BaselineSD > 0) {
+			t.Errorf("class %s committed baseline sd %v, want positive", c.Name, c.BaselineSD)
+		}
+	}
+	if shifted == 0 {
+		t.Fatal("no class committed a rebaseline")
+	}
+}

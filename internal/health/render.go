@@ -40,11 +40,15 @@ func WriteText(w io.Writer, s *Snapshot) error {
 		p.println("")
 		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 		tp := &printer{w: tw}
-		tp.println("CLASS\tOPEN\tOBS\tTRIG\tSUPP\tREJ")
+		tp.println("CLASS\tOPEN\tOBS\tTRIG\tSUPP\tREJ\tREB\tBASE-MEAN\tBASE-SD")
 		for i := range s.Classes {
 			c := &s.Classes[i]
-			tp.printf("%s\t%d\t%d\t%d\t%d\t%d\n",
-				c.Name, c.Open, c.Observations, c.Triggers, c.Suppressed, c.Rejected)
+			base := "-\t-"
+			if c.Rebaselined > 0 {
+				base = fmt.Sprintf("%.4g\t%.4g", c.BaselineMean, c.BaselineSD)
+			}
+			tp.printf("%s\t%d\t%d\t%d\t%d\t%d\t%d\t%s\n",
+				c.Name, c.Open, c.Observations, c.Triggers, c.Suppressed, c.Rejected, c.Rebaselined, base)
 		}
 		if err := flush(tw, tp); err != nil {
 			return err

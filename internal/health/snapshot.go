@@ -50,6 +50,11 @@ type ClassHealth struct {
 	// Rebaselined counts committed workload-shift rebaselines across the
 	// class's streams (shift-enabled classes only).
 	Rebaselined uint64 `json:"rebaselined,omitempty"`
+	// BaselineMean and BaselineSD are the (µ, σ) committed by the
+	// class's most recent rebaseline — the baseline its thresholds are
+	// currently derived from. Zero until the first rebaseline commits.
+	BaselineMean float64 `json:"baseline_mean,omitempty"`
+	BaselineSD   float64 `json:"baseline_sd,omitempty"`
 }
 
 // StreamHealth is one ranked stream of the top-K aging view: sketch

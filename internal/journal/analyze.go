@@ -88,6 +88,43 @@ type Analysis struct {
 	Events []TriggerEvent
 	// Actions holds one entry per actuator execution, in journal order.
 	Actions []ActionEvent
+	// Sched tallies the scheduling layer's records; all-zero when the
+	// journal has no scheduler (verify a schedule with ReplaySched).
+	Sched SchedCensus
+}
+
+// SchedCensus summarizes a journal's scheduler records.
+type SchedCensus struct {
+	// Records counts all scheduler records.
+	Records int
+	// Enqueues, Defers, Coalesces, Starts, Completes, Quarantines and
+	// Readmits count them by kind.
+	Enqueues, Defers, Coalesces, Starts, Completes, Quarantines, Readmits int
+	// StartsByTier tallies dispatched actions per tier name, in
+	// first-seen order.
+	StartsByTier []TierCount
+	// DefersByReason tallies deferral decisions per reason class, in
+	// first-seen order.
+	DefersByReason []ReasonCount
+	// QuarantineEvents holds the quarantine and readmit records in
+	// journal order, so timelines can show capacity shed and restored.
+	QuarantineEvents []Record
+}
+
+// TierCount is one action tier with its dispatch count.
+type TierCount struct {
+	// Tier is the tier name ("minor", "medium", "major").
+	Tier string
+	// N counts its dispatched actions.
+	N int
+}
+
+// ReasonCount is one deferral reason with its record count.
+type ReasonCount struct {
+	// Reason is the deferral class ("budget", "deadline", ...).
+	Reason string
+	// N counts its deferral records.
+	N int
 }
 
 // FaultCount is one fault class with its record count.
@@ -245,6 +282,31 @@ func Analyze(meta Meta, format Format, records []Record, window int) Analysis {
 		case KindRebaseline, KindStreamRebaseline:
 			a.Rebaselines++
 			a.RebaselineEvents = append(a.RebaselineEvents, r)
+		case KindSchedEnqueue:
+			a.Sched.Records++
+			a.Sched.Enqueues++
+		case KindSchedDefer:
+			a.Sched.Records++
+			a.Sched.Defers++
+			bumpReason(&a.Sched.DefersByReason, r.Class)
+		case KindSchedCoalesce:
+			a.Sched.Records++
+			a.Sched.Coalesces++
+		case KindSchedStart:
+			a.Sched.Records++
+			a.Sched.Starts++
+			bumpTier(&a.Sched.StartsByTier, r.Class)
+		case KindSchedComplete:
+			a.Sched.Records++
+			a.Sched.Completes++
+		case KindSchedQuarantine:
+			a.Sched.Records++
+			a.Sched.Quarantines++
+			a.Sched.QuarantineEvents = append(a.Sched.QuarantineEvents, r)
+		case KindSchedReadmit:
+			a.Sched.Records++
+			a.Sched.Readmits++
+			a.Sched.QuarantineEvents = append(a.Sched.QuarantineEvents, r)
 		case KindActStart:
 			a.Actions = append(a.Actions, ActionEvent{
 				Index: len(a.Actions) + 1, Rep: rep, Start: r.Time, End: r.Time,
@@ -266,6 +328,29 @@ func Analyze(meta Meta, format Format, records []Record, window int) Analysis {
 	}
 	a.Duration = repBase + lastT
 	return a
+}
+
+// bumpTier increments the count for a tier name, appending it on first
+// sight so StartsByTier preserves journal order.
+func bumpTier(tiers *[]TierCount, name string) {
+	for i := range *tiers {
+		if (*tiers)[i].Tier == name {
+			(*tiers)[i].N++
+			return
+		}
+	}
+	*tiers = append(*tiers, TierCount{Tier: name, N: 1})
+}
+
+// bumpReason is bumpTier for deferral reason classes.
+func bumpReason(reasons *[]ReasonCount, name string) {
+	for i := range *reasons {
+		if (*reasons)[i].Reason == name {
+			(*reasons)[i].N++
+			return
+		}
+	}
+	*reasons = append(*reasons, ReasonCount{Reason: name, N: 1})
 }
 
 // CausalityChain is the full observation → decision → actuation story

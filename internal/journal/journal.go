@@ -120,6 +120,37 @@ const (
 	// KindStreamRebaseline is the fleet form of KindRebaseline: Stream is
 	// the stream id, BaseMean/BaseStdDev the committed baseline.
 	KindStreamRebaseline
+	// KindSchedEnqueue marks a rejuvenation request admitted to the
+	// scheduler queue: Stream is the replica id, Level/Fill the detector
+	// state that raised it, Value the computed urgency, and TriggerID the
+	// triggering decision it descends from (0 when none).
+	KindSchedEnqueue
+	// KindSchedDefer marks a request the scheduler considered but did not
+	// start: Class names the reason ("deadline", "capacity-floor",
+	// "budget", "saturated"), Level/Fill carry the request's detector
+	// state, and Attempt the number of times it has now been deferred.
+	KindSchedDefer
+	// KindSchedCoalesce marks a duplicate request merged into an already
+	// queued one (Class "duplicate") or a starved request escalated to the
+	// front of a saturated queue (Class "starved"): Level/Fill are the
+	// merged detector state, Attempt the total requests coalesced into the
+	// entry, Value the entry's refreshed urgency.
+	KindSchedCoalesce
+	// KindSchedStart marks a rejuvenation action dispatched by the
+	// scheduler: Class names the Kijima tier ("minor", "medium", "major"),
+	// Value the rollback fraction ρ, and Backoff the pause (seconds) the
+	// action will hold the replica down.
+	KindSchedStart
+	// KindSchedComplete marks a dispatched action finishing: OK reports
+	// whether the replica returned to service (false re-enters the queue).
+	KindSchedComplete
+	// KindSchedQuarantine marks a replica quarantined after its actuator
+	// gave up: Class carries the terminal error text. The replica's
+	// capacity share is shed from the scheduler's budget accounting.
+	KindSchedQuarantine
+	// KindSchedReadmit marks a quarantined replica re-admitted to
+	// scheduling after recovery.
+	KindSchedReadmit
 )
 
 // kindNames maps kinds to their stable JSONL spellings.
@@ -144,10 +175,17 @@ var kindNames = [...]string{
 	KindStreamDecision:   "stream_decision",
 	KindRebaseline:       "rebaseline",
 	KindStreamRebaseline: "stream_rebaseline",
+	KindSchedEnqueue:     "sched_enqueue",
+	KindSchedDefer:       "sched_defer",
+	KindSchedCoalesce:    "sched_coalesce",
+	KindSchedStart:       "sched_start",
+	KindSchedComplete:    "sched_complete",
+	KindSchedQuarantine:  "sched_quarantine",
+	KindSchedReadmit:     "sched_readmit",
 }
 
 // maxKind is the highest valid kind; the decoder rejects anything above.
-const maxKind = KindStreamRebaseline
+const maxKind = KindSchedReadmit
 
 // Valid reports whether k is a known record kind.
 func (k Kind) Valid() bool { return k >= KindRepStart && k <= maxKind }
@@ -218,9 +256,10 @@ type Record struct {
 	Rep int `json:"rep,omitempty"`
 	// Seed is the replication's random seed (KindRepStart).
 	Seed uint64 `json:"seed,omitempty"`
-	// Stream is the replication's random stream (KindRepStart) or the
+	// Stream is the replication's random stream (KindRepStart), the
 	// fleet stream id (KindStreamOpen, KindStreamClose, KindStreamObserve,
-	// KindStreamDecision).
+	// KindStreamDecision) or the scheduler replica id (the KindSched*
+	// kinds).
 	Stream uint64 `json:"stream,omitempty"`
 
 	// Value is the observed metric (KindObserve, KindStreamObserve).
@@ -253,22 +292,27 @@ type Record struct {
 	HeapMB float64 `json:"heap_mb,omitempty"`
 
 	// EventTime is the virtual time a kernel event was scheduled to fire
-	// at (KindSimScheduled).
+	// at (KindSimScheduled) or the QoS deadline horizon declared with a
+	// scheduler request (KindSchedEnqueue, KindSchedCoalesce).
 	EventTime float64 `json:"event_time,omitempty"`
 
 	// Class names a fault class (KindFault), a fleet detector class
-	// (KindStreamOpen) or carries an error text (KindActAttempt,
-	// KindActGiveUp). The binary codec caps it at MaxClassLen bytes;
-	// writers truncate longer strings.
+	// (KindStreamOpen), a scheduler defer/coalesce reason or Kijima tier
+	// (KindSchedDefer, KindSchedCoalesce, KindSchedStart) or carries an
+	// error text (KindActAttempt, KindActGiveUp, KindSchedQuarantine).
+	// The binary codec caps it at MaxClassLen bytes; writers truncate
+	// longer strings.
 	Class string `json:"class,omitempty"`
 
-	// Attempt is the 1-based attempt number (KindActAttempt) or the
-	// total attempts made (KindActGiveUp).
+	// Attempt is the 1-based attempt number (KindActAttempt), the total
+	// attempts made (KindActGiveUp), the deferral count (KindSchedDefer)
+	// or the coalesced request count (KindSchedCoalesce).
 	Attempt int `json:"attempt,omitempty"`
-	// OK is the attempt outcome (KindActAttempt).
+	// OK is the attempt outcome (KindActAttempt, KindSchedComplete).
 	OK bool `json:"ok,omitempty"`
 	// Backoff is the delay in seconds scheduled before the next attempt
-	// (KindActAttempt); 0 when no retry follows.
+	// (KindActAttempt; 0 when no retry follows) or the pause a dispatched
+	// rejuvenation action holds the replica down (KindSchedStart).
 	Backoff float64 `json:"backoff,omitempty"`
 
 	// BaseMean and BaseStdDev are the committed baseline of a workload-

@@ -51,6 +51,13 @@ func writeSample(jw *Writer) {
 	jw.StreamClose(71, 9001)
 	jw.Rebaseline(72, 9.25, 2.5)
 	jw.StreamRebaseline(72.5, 9002, 9.25, 2.5)
+	jw.SchedEnqueue(80, 3, 4, 2, 95.5, 15, 0xDEC1)
+	jw.SchedDefer(80.5, 3, "budget", 4, 2, 1, 0xDEC1)
+	jw.SchedCoalesce(81, 3, "duplicate", 5, 2, 2, 96, 18.25, 0xDEC1)
+	jw.SchedStart(82, 3, "medium", 0.5, 30, 0xDEC1)
+	jw.SchedComplete(112, 3, true, 0xDEC1)
+	jw.SchedQuarantine(113, 4, "restart rpc unreachable", 0xBEEF)
+	jw.SchedReadmit(120, 4, 0)
 }
 
 // wantSample is the decoded form of writeSample, in order.
@@ -80,6 +87,18 @@ func wantSample() []Record {
 		{Kind: KindStreamClose, Seq: 18, Time: 71, Stream: 9001},
 		{Kind: KindRebaseline, Seq: 19, Time: 72, BaseMean: 9.25, BaseStdDev: 2.5},
 		{Kind: KindStreamRebaseline, Seq: 20, Time: 72.5, Stream: 9002, BaseMean: 9.25, BaseStdDev: 2.5},
+		{Kind: KindSchedEnqueue, Seq: 21, Time: 80, Stream: 3, Level: 4, Fill: 2,
+			EventTime: 95.5, Value: 15, TriggerID: 0xDEC1},
+		{Kind: KindSchedDefer, Seq: 22, Time: 80.5, Stream: 3, Class: "budget",
+			Level: 4, Fill: 2, Attempt: 1, TriggerID: 0xDEC1},
+		{Kind: KindSchedCoalesce, Seq: 23, Time: 81, Stream: 3, Class: "duplicate",
+			Level: 5, Fill: 2, Attempt: 2, EventTime: 96, Value: 18.25, TriggerID: 0xDEC1},
+		{Kind: KindSchedStart, Seq: 24, Time: 82, Stream: 3, Class: "medium",
+			Value: 0.5, Backoff: 30, TriggerID: 0xDEC1},
+		{Kind: KindSchedComplete, Seq: 25, Time: 112, Stream: 3, OK: true, TriggerID: 0xDEC1},
+		{Kind: KindSchedQuarantine, Seq: 26, Time: 113, Stream: 4,
+			Class: "restart rpc unreachable", TriggerID: 0xBEEF},
+		{Kind: KindSchedReadmit, Seq: 27, Time: 120, Stream: 4},
 	}
 }
 
@@ -155,8 +174,8 @@ func TestWriterRecordMatchesTypedEmitters(t *testing.T) {
 func TestWriterCounts(t *testing.T) {
 	jw := NewWriter(io.Discard, Meta{})
 	writeSample(jw)
-	if got := jw.Seq(); got != 21 {
-		t.Errorf("seq after 21 records = %d", got)
+	if got := jw.Seq(); got != 28 {
+		t.Errorf("seq after 28 records = %d", got)
 	}
 	for _, tc := range []struct {
 		kind Kind

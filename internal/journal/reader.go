@@ -302,6 +302,46 @@ func decodeBinary(payload []byte) (Record, error) {
 		r.Stream = c.uvarint()
 		r.BaseMean = c.f64()
 		r.BaseStdDev = c.f64()
+	case KindSchedEnqueue:
+		r.Stream = c.uvarint()
+		r.Level = int(c.uvarint())
+		r.Fill = int(c.uvarint())
+		r.EventTime = c.f64()
+		r.Value = c.f64()
+		decodeTriggerID(&c, &r)
+	case KindSchedDefer:
+		r.Stream = c.uvarint()
+		r.Class = c.str()
+		r.Level = int(c.uvarint())
+		r.Fill = int(c.uvarint())
+		r.Attempt = int(c.uvarint())
+		decodeTriggerID(&c, &r)
+	case KindSchedCoalesce:
+		r.Stream = c.uvarint()
+		r.Class = c.str()
+		r.Level = int(c.uvarint())
+		r.Fill = int(c.uvarint())
+		r.Attempt = int(c.uvarint())
+		r.EventTime = c.f64()
+		r.Value = c.f64()
+		decodeTriggerID(&c, &r)
+	case KindSchedStart:
+		r.Stream = c.uvarint()
+		r.Class = c.str()
+		r.Value = c.f64()
+		r.Backoff = c.f64()
+		decodeTriggerID(&c, &r)
+	case KindSchedComplete:
+		r.Stream = c.uvarint()
+		r.OK = c.u8() != 0
+		decodeTriggerID(&c, &r)
+	case KindSchedQuarantine:
+		r.Stream = c.uvarint()
+		r.Class = c.str()
+		decodeTriggerID(&c, &r)
+	case KindSchedReadmit:
+		r.Stream = c.uvarint()
+		decodeTriggerID(&c, &r)
 	}
 	if c.err != nil {
 		return Record{}, fmt.Errorf("journal: %s record: %w", r.Kind, c.err)

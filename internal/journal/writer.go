@@ -433,6 +433,156 @@ func (jw *Writer) StreamRebaseline(t float64, stream uint64, mean, sd float64) {
 	jw.finish(b)
 }
 
+// SchedEnqueue records a rejuvenation request admitted to the scheduler
+// queue for the given replica, with the detector level/fill that raised
+// it, the QoS deadline horizon declared with the request (EventTime; 0
+// when none) and the computed urgency.
+func (jw *Writer) SchedEnqueue(t float64, replica uint64, level, fill int, deadline, urgency float64, triggerID uint64) {
+	if jw.err != nil {
+		return
+	}
+	seq := jw.nextSeq(KindSchedEnqueue)
+	if jw.jsonl(Record{Kind: KindSchedEnqueue, Seq: seq, Time: t,
+		Stream: replica, Level: level, Fill: fill, EventTime: deadline, Value: urgency, TriggerID: triggerID}) {
+		return
+	}
+	b := jw.begin(KindSchedEnqueue, seq, t)
+	b = binary.AppendUvarint(b, replica)
+	b = binary.AppendUvarint(b, uint64(level))
+	b = binary.AppendUvarint(b, uint64(fill))
+	b = appendF64(b, deadline)
+	b = appendF64(b, urgency)
+	b = appendTriggerID(b, triggerID)
+	jw.finish(b)
+}
+
+// SchedDefer records a request the scheduler considered but did not
+// start, with the reason, the request's detector state and how many
+// times it has now been deferred.
+func (jw *Writer) SchedDefer(t float64, replica uint64, reason string, level, fill, deferrals int, triggerID uint64) {
+	if jw.err != nil {
+		return
+	}
+	reason = clipClass(reason)
+	seq := jw.nextSeq(KindSchedDefer)
+	if jw.jsonl(Record{Kind: KindSchedDefer, Seq: seq, Time: t,
+		Stream: replica, Class: reason, Level: level, Fill: fill, Attempt: deferrals, TriggerID: triggerID}) {
+		return
+	}
+	b := jw.begin(KindSchedDefer, seq, t)
+	b = binary.AppendUvarint(b, replica)
+	b = appendString(b, reason)
+	b = binary.AppendUvarint(b, uint64(level))
+	b = binary.AppendUvarint(b, uint64(fill))
+	b = binary.AppendUvarint(b, uint64(deferrals))
+	b = appendTriggerID(b, triggerID)
+	jw.finish(b)
+}
+
+// SchedCoalesce records a duplicate request merged into an already
+// queued entry, or a starved entry escalated past the deferral windows:
+// level/fill are the merged detector state, deadline the QoS horizon
+// declared with the duplicate (EventTime; 0 for escalations), count the
+// total requests the entry now represents, urgency its refreshed
+// priority.
+func (jw *Writer) SchedCoalesce(t float64, replica uint64, reason string, level, fill, count int, deadline, urgency float64, triggerID uint64) {
+	if jw.err != nil {
+		return
+	}
+	reason = clipClass(reason)
+	seq := jw.nextSeq(KindSchedCoalesce)
+	if jw.jsonl(Record{Kind: KindSchedCoalesce, Seq: seq, Time: t,
+		Stream: replica, Class: reason, Level: level, Fill: fill, Attempt: count, EventTime: deadline, Value: urgency, TriggerID: triggerID}) {
+		return
+	}
+	b := jw.begin(KindSchedCoalesce, seq, t)
+	b = binary.AppendUvarint(b, replica)
+	b = appendString(b, reason)
+	b = binary.AppendUvarint(b, uint64(level))
+	b = binary.AppendUvarint(b, uint64(fill))
+	b = binary.AppendUvarint(b, uint64(count))
+	b = appendF64(b, deadline)
+	b = appendF64(b, urgency)
+	b = appendTriggerID(b, triggerID)
+	jw.finish(b)
+}
+
+// SchedStart records a rejuvenation action dispatched by the scheduler:
+// the Kijima tier name, its rollback fraction ρ and the pause (seconds)
+// the action holds the replica down.
+func (jw *Writer) SchedStart(t float64, replica uint64, tier string, rho, pause float64, triggerID uint64) {
+	if jw.err != nil {
+		return
+	}
+	tier = clipClass(tier)
+	seq := jw.nextSeq(KindSchedStart)
+	if jw.jsonl(Record{Kind: KindSchedStart, Seq: seq, Time: t,
+		Stream: replica, Class: tier, Value: rho, Backoff: pause, TriggerID: triggerID}) {
+		return
+	}
+	b := jw.begin(KindSchedStart, seq, t)
+	b = binary.AppendUvarint(b, replica)
+	b = appendString(b, tier)
+	b = appendF64(b, rho)
+	b = appendF64(b, pause)
+	b = appendTriggerID(b, triggerID)
+	jw.finish(b)
+}
+
+// SchedComplete records a dispatched action finishing; ok reports
+// whether the replica returned to service.
+func (jw *Writer) SchedComplete(t float64, replica uint64, ok bool, triggerID uint64) {
+	if jw.err != nil {
+		return
+	}
+	seq := jw.nextSeq(KindSchedComplete)
+	if jw.jsonl(Record{Kind: KindSchedComplete, Seq: seq, Time: t, Stream: replica, OK: ok, TriggerID: triggerID}) {
+		return
+	}
+	b := jw.begin(KindSchedComplete, seq, t)
+	b = binary.AppendUvarint(b, replica)
+	if ok {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = appendTriggerID(b, triggerID)
+	jw.finish(b)
+}
+
+// SchedQuarantine records a replica quarantined after its actuator gave
+// up, with the terminal error text.
+func (jw *Writer) SchedQuarantine(t float64, replica uint64, errText string, triggerID uint64) {
+	if jw.err != nil {
+		return
+	}
+	errText = clipClass(errText)
+	seq := jw.nextSeq(KindSchedQuarantine)
+	if jw.jsonl(Record{Kind: KindSchedQuarantine, Seq: seq, Time: t, Stream: replica, Class: errText, TriggerID: triggerID}) {
+		return
+	}
+	b := jw.begin(KindSchedQuarantine, seq, t)
+	b = binary.AppendUvarint(b, replica)
+	b = appendString(b, errText)
+	b = appendTriggerID(b, triggerID)
+	jw.finish(b)
+}
+
+// SchedReadmit records a quarantined replica re-admitted to scheduling.
+func (jw *Writer) SchedReadmit(t float64, replica uint64, triggerID uint64) {
+	if jw.err != nil {
+		return
+	}
+	seq := jw.nextSeq(KindSchedReadmit)
+	if jw.jsonl(Record{Kind: KindSchedReadmit, Seq: seq, Time: t, Stream: replica, TriggerID: triggerID}) {
+		return
+	}
+	b := jw.begin(KindSchedReadmit, seq, t)
+	b = binary.AppendUvarint(b, replica)
+	b = appendTriggerID(b, triggerID)
+	jw.finish(b)
+}
+
 // jsonl encodes r on the JSONL debug codec and reports whether the
 // record was consumed there. The binary emitters call it first and fall
 // through to the allocation-free scratch-buffer path when it declines.
@@ -608,6 +758,50 @@ func appendPayload(b []byte, r *Record) []byte {
 		b = binary.AppendUvarint(b, r.Stream)
 		b = appendF64(b, r.BaseMean)
 		b = appendF64(b, r.BaseStdDev)
+	case KindSchedEnqueue:
+		b = binary.AppendUvarint(b, r.Stream)
+		b = binary.AppendUvarint(b, uint64(r.Level))
+		b = binary.AppendUvarint(b, uint64(r.Fill))
+		b = appendF64(b, r.EventTime)
+		b = appendF64(b, r.Value)
+		b = appendTriggerID(b, r.TriggerID)
+	case KindSchedDefer:
+		b = binary.AppendUvarint(b, r.Stream)
+		b = appendString(b, clipClass(r.Class))
+		b = binary.AppendUvarint(b, uint64(r.Level))
+		b = binary.AppendUvarint(b, uint64(r.Fill))
+		b = binary.AppendUvarint(b, uint64(r.Attempt))
+		b = appendTriggerID(b, r.TriggerID)
+	case KindSchedCoalesce:
+		b = binary.AppendUvarint(b, r.Stream)
+		b = appendString(b, clipClass(r.Class))
+		b = binary.AppendUvarint(b, uint64(r.Level))
+		b = binary.AppendUvarint(b, uint64(r.Fill))
+		b = binary.AppendUvarint(b, uint64(r.Attempt))
+		b = appendF64(b, r.EventTime)
+		b = appendF64(b, r.Value)
+		b = appendTriggerID(b, r.TriggerID)
+	case KindSchedStart:
+		b = binary.AppendUvarint(b, r.Stream)
+		b = appendString(b, clipClass(r.Class))
+		b = appendF64(b, r.Value)
+		b = appendF64(b, r.Backoff)
+		b = appendTriggerID(b, r.TriggerID)
+	case KindSchedComplete:
+		b = binary.AppendUvarint(b, r.Stream)
+		if r.OK {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+		b = appendTriggerID(b, r.TriggerID)
+	case KindSchedQuarantine:
+		b = binary.AppendUvarint(b, r.Stream)
+		b = appendString(b, clipClass(r.Class))
+		b = appendTriggerID(b, r.TriggerID)
+	case KindSchedReadmit:
+		b = binary.AppendUvarint(b, r.Stream)
+		b = appendTriggerID(b, r.TriggerID)
 	}
 	return b
 }

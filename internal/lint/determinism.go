@@ -23,6 +23,7 @@ var deterministicScopes = []string{
 	"internal/faults",
 	"internal/fleet",
 	"internal/health",
+	"internal/sched",
 }
 
 // bannedImports are entropy or wall-clock sources that must never be

@@ -1,0 +1,179 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+
+	"rejuv/internal/num"
+)
+
+// Config parameterizes a Governor. The zero value of every field has a
+// usable default, so Config{Replicas: n} is a valid one-group,
+// one-down, full-restart policy.
+type Config struct {
+	// Replicas is the number of replicas under scheduling. Required.
+	Replicas int
+	// Group maps each replica to its replica group; nil puts every
+	// replica in group 0. The capacity budget and floor apply per group.
+	Group []int
+	// MaxDown is the capacity budget: the maximum number of replicas of
+	// one group down (restarting) simultaneously. Default 1.
+	MaxDown int
+	// QueueDepth bounds the priority queue. A request for an unqueued
+	// replica arriving at a full queue is refused (journaled as a
+	// saturated defer) and the oldest starved entry is escalated.
+	// Default 2×Replicas, minimum 4.
+	QueueDepth int
+	// CapacityFloor is the minimum fraction of a group's non-quarantined
+	// replicas that must stay in service; a start violating it is
+	// deferred (until the max-defer latch escalates the entry). 0
+	// disables the floor.
+	CapacityFloor float64
+	// MaxDefer is the hard starvation latch in seconds: an entry queued
+	// longer is escalated past the deadline and floor windows, so only
+	// the capacity budget can still defer it. 0 selects the default
+	// (600 s); negative disables the latch.
+	MaxDefer float64
+	// AgeScale converts request age to urgency: effective urgency =
+	// (level+1)×(fill+1) + age/AgeScale. Default 60 s per urgency point.
+	AgeScale float64
+	// TriggerLevel is the detector bucket count K at which the trigger
+	// fires, used to map request levels to tier severities
+	// (core.Severity). Default 5 (the paper's K).
+	TriggerLevel int
+	// FullPause is the full-restart pause in seconds; a tier's action
+	// pauses PauseFrac×FullPause. 0 selects the default (60 s, the
+	// paper's restart cost); negative means instantaneous restarts.
+	FullPause float64
+	// Tiers is the Kijima action ladder, ordered by ascending
+	// MinSeverity. Default DefaultTiers().
+	Tiers []Tier
+}
+
+// OneDown returns the legacy rolling-restart policy used by
+// examples/cluster before the scheduler existed: at most one replica
+// down at a time, every action a full restart of the given pause, no
+// deferral windows and no starvation latch.
+func OneDown(replicas int, pause float64) Config {
+	if !(pause > 0) {
+		pause = -1 // explicit instantaneous, not the 60 s default
+	}
+	return Config{
+		Replicas:  replicas,
+		MaxDown:   1,
+		FullPause: pause,
+		MaxDefer:  -1,
+		Tiers:     FullRestartTiers(),
+	}
+}
+
+// Scheduled returns the cost-aware policy the -cluster demo compares
+// against OneDown: one replica down at a time, the three-tier Kijima
+// ladder over the same full pause, a half-capacity floor and a
+// starvation latch of ten full pauses.
+func Scheduled(replicas int, pause float64) Config {
+	cfg := Config{
+		Replicas:      replicas,
+		MaxDown:       1,
+		FullPause:     pause,
+		CapacityFloor: 0.5,
+		MaxDefer:      10 * pause,
+		Tiers:         DefaultTiers(),
+	}
+	if !(pause > 0) {
+		cfg.FullPause = -1
+		cfg.MaxDefer = -1
+	}
+	return cfg
+}
+
+// withDefaults fills zero fields with their documented defaults.
+func (c Config) withDefaults() Config {
+	if c.MaxDown == 0 {
+		c.MaxDown = 1
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 2 * c.Replicas
+		if c.QueueDepth < 4 {
+			c.QueueDepth = 4
+		}
+	}
+	if num.Zero(c.MaxDefer) {
+		c.MaxDefer = 600
+	}
+	if num.Zero(c.AgeScale) {
+		c.AgeScale = 60
+	}
+	if c.TriggerLevel == 0 {
+		c.TriggerLevel = 5
+	}
+	if num.Zero(c.FullPause) {
+		c.FullPause = 60
+	} else if c.FullPause < 0 {
+		// Canonical "instantaneous" spelling. Kept negative (not clamped
+		// to 0, the use-the-default sentinel) so defaulting a defaulted
+		// config is a no-op — replay rebuilds a governor from the
+		// defaulted config and must land on the identical policy.
+		c.FullPause = -1
+	}
+	if c.Tiers == nil {
+		c.Tiers = DefaultTiers()
+	}
+	return c
+}
+
+// validate checks a defaulted config.
+func (c Config) validate() error {
+	if c.Replicas <= 0 {
+		return fmt.Errorf("sched: Replicas must be positive, got %d", c.Replicas)
+	}
+	if c.Group != nil && len(c.Group) != c.Replicas {
+		return fmt.Errorf("sched: Group maps %d replicas, config has %d", len(c.Group), c.Replicas)
+	}
+	for r, grp := range c.Group {
+		if grp < 0 {
+			return fmt.Errorf("sched: replica %d mapped to negative group %d", r, grp)
+		}
+	}
+	if c.MaxDown < 1 {
+		return fmt.Errorf("sched: MaxDown must be at least 1, got %d", c.MaxDown)
+	}
+	if c.QueueDepth < 1 {
+		return fmt.Errorf("sched: QueueDepth must be at least 1, got %d", c.QueueDepth)
+	}
+	if c.CapacityFloor < 0 || c.CapacityFloor >= 1 || math.IsNaN(c.CapacityFloor) {
+		return fmt.Errorf("sched: CapacityFloor %v must be in [0, 1)", c.CapacityFloor)
+	}
+	if math.IsNaN(c.MaxDefer) || math.IsInf(c.MaxDefer, 0) {
+		return fmt.Errorf("sched: MaxDefer %v must be finite", c.MaxDefer)
+	}
+	if c.AgeScale <= 0 || math.IsNaN(c.AgeScale) || math.IsInf(c.AgeScale, 0) {
+		return fmt.Errorf("sched: AgeScale %v must be positive and finite", c.AgeScale)
+	}
+	if c.TriggerLevel < 1 {
+		return fmt.Errorf("sched: TriggerLevel must be at least 1, got %d", c.TriggerLevel)
+	}
+	if math.IsNaN(c.FullPause) || math.IsInf(c.FullPause, 0) {
+		return fmt.Errorf("sched: FullPause %v must be finite", c.FullPause)
+	}
+	if len(c.Tiers) == 0 {
+		return fmt.Errorf("sched: at least one action tier is required")
+	}
+	prev := math.Inf(-1)
+	for i, tier := range c.Tiers {
+		if tier.Name == "" {
+			return fmt.Errorf("sched: tier %d has no name", i)
+		}
+		if tier.Rho <= 0 || tier.Rho > 1 || math.IsNaN(tier.Rho) {
+			return fmt.Errorf("sched: tier %q rho %v must be in (0, 1]", tier.Name, tier.Rho)
+		}
+		if tier.PauseFrac <= 0 || tier.PauseFrac > 1 || math.IsNaN(tier.PauseFrac) {
+			return fmt.Errorf("sched: tier %q pause fraction %v must be in (0, 1]", tier.Name, tier.PauseFrac)
+		}
+		if math.IsNaN(tier.MinSeverity) || tier.MinSeverity < prev {
+			return fmt.Errorf("sched: tier %q min severity %v must be ordered ascending", tier.Name, tier.MinSeverity)
+		}
+		prev = tier.MinSeverity
+	}
+	return nil
+}

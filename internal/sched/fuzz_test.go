@@ -1,0 +1,126 @@
+package sched
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzSchedulerPlan drives a governor with an arbitrary byte-encoded op
+// script and asserts the scheduling invariants the conformance laws
+// rely on: the capacity budget is never exceeded, the queue stays
+// bounded, no request is dropped silently (every Request produces an
+// admission transition), quarantine accounting balances, and the whole
+// plan is deterministic — mirroring the same script into a second
+// governor yields an identical transition stream.
+func FuzzSchedulerPlan(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x10, 0x21, 0x32, 0x43, 0x54, 0x65})
+	f.Add([]byte{0x00, 0x01, 0x02, 0x80, 0x91, 0xA2, 0xF0, 0x00, 0x11, 0x22})
+	f.Add([]byte{0x30, 0x31, 0x32, 0x33, 0x34, 0x35, 0x36, 0x37, 0x38, 0x39})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg := Config{
+			Replicas:      4,
+			Group:         []int{0, 0, 1, 1},
+			MaxDown:       1,
+			QueueDepth:    3,
+			CapacityFloor: 0.5,
+			MaxDefer:      50,
+			FullPause:     40,
+		}
+		g, err := New(cfg)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		mirror, _ := New(cfg)
+
+		now := 0.0
+		var script []Transition
+		apply := func(trs, mirrored []Transition) {
+			if !reflect.DeepEqual(trs, mirrored) {
+				t.Fatalf("mirrored governor diverged:\n%v\n%v", trs, mirrored)
+			}
+			script = append(script, trs...)
+			for grp := 0; grp < g.Groups(); grp++ {
+				if g.Down(grp) > cfg.MaxDown {
+					t.Fatalf("group %d: down %d exceeds budget %d", grp, g.Down(grp), cfg.MaxDown)
+				}
+				if g.Down(grp) > g.MaxDownSeen(grp) {
+					t.Fatalf("group %d: down %d above high-water %d", grp, g.Down(grp), g.MaxDownSeen(grp))
+				}
+				if g.Quarantined(grp) < 0 || g.Quarantined(grp) > 2 {
+					t.Fatalf("group %d: quarantined %d out of range", grp, g.Quarantined(grp))
+				}
+			}
+			if g.Queued() > cfg.QueueDepth {
+				t.Fatalf("queue grew to %d past depth %d", g.Queued(), cfg.QueueDepth)
+			}
+		}
+
+		for _, b := range data {
+			op := b >> 4
+			replica := int(b & 0x03)
+			now += float64(b&0x0C)/2 + 0.5 // deterministic, strictly increasing
+			switch op % 6 {
+			case 0, 1: // request; op 1 adds a deadline horizon
+				level := int(b&0x07) % 6
+				fill := int(b>>2) % 4
+				deadline := 0.0
+				if op%6 == 1 {
+					deadline = now + float64(b%32)
+				}
+				trs := g.Request(now, replica, level, fill, deadline, uint64(b)+1)
+				if len(trs) == 0 {
+					t.Fatalf("request for replica %d dropped silently", replica)
+				}
+				switch trs[0].Op {
+				case OpEnqueue, OpCoalesce, OpDefer:
+				default:
+					t.Fatalf("request admission led with %v", trs[0].Op)
+				}
+				apply(trs, mirror.Request(now, replica, level, fill, deadline, uint64(b)+1))
+			case 2:
+				ok := b&0x08 == 0
+				apply(g.Complete(now, replica, ok), mirror.Complete(now, replica, ok))
+			case 3:
+				apply(g.GiveUp(now, replica, "fuzz give-up"), mirror.GiveUp(now, replica, "fuzz give-up"))
+			case 4:
+				apply(g.Readmit(now, replica), mirror.Readmit(now, replica))
+			case 5:
+				apply(g.Tick(now), mirror.Tick(now))
+			}
+		}
+
+		// After a final tick far past the latch, no non-escalated entry
+		// may still be waiting on a deferral window: everything queued is
+		// either escalated or blocked by the budget alone.
+		final := g.Tick(now + 10*cfg.MaxDefer)
+		for _, tr := range final {
+			if tr.Op == OpDefer && (tr.Reason == ReasonDeadline || tr.Reason == ReasonFloor) {
+				t.Fatalf("entry still window-deferred (%s) past the max-defer latch", tr.Reason)
+			}
+		}
+
+		// The transition stream is internally consistent: starts and
+		// completes per replica interleave strictly.
+		downNow := map[int]bool{}
+		for _, tr := range script {
+			switch tr.Op {
+			case OpStart:
+				if downNow[tr.Replica] {
+					t.Fatalf("replica %d started twice without completing", tr.Replica)
+				}
+				downNow[tr.Replica] = true
+				if tr.Pause > cfg.FullPause {
+					t.Fatalf("tier pause %v exceeds the full pause", tr.Pause)
+				}
+			case OpComplete:
+				if !downNow[tr.Replica] {
+					t.Fatalf("replica %d completed without a start", tr.Replica)
+				}
+				downNow[tr.Replica] = false
+			case OpQuarantine:
+				downNow[tr.Replica] = false
+			}
+		}
+	})
+}

@@ -1,0 +1,484 @@
+package sched
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// mustNew builds a governor or fails the test.
+func mustNew(t *testing.T, cfg Config) *Governor {
+	t.Helper()
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return g
+}
+
+// ops extracts the op sequence of a transition slice.
+func ops(trs []Transition) []Op {
+	out := make([]Op, len(trs))
+	for i, tr := range trs {
+		out[i] = tr.Op
+	}
+	return out
+}
+
+// find returns the first transition with the op, failing when absent.
+func findOp(t *testing.T, trs []Transition, op Op) Transition {
+	t.Helper()
+	for _, tr := range trs {
+		if tr.Op == op {
+			return tr
+		}
+	}
+	t.Fatalf("no %v transition in %v", op, ops(trs))
+	return Transition{}
+}
+
+func hasOp(trs []Transition, op Op) bool {
+	for _, tr := range trs {
+		if tr.Op == op {
+			return true
+		}
+	}
+	return false
+}
+
+func TestGovernorBudgetNeverExceeded(t *testing.T) {
+	const replicas = 6
+	g := mustNew(t, Config{Replicas: replicas, MaxDown: 2, MaxDefer: -1})
+	check := func(trs []Transition) {
+		if d := g.Down(0); d > 2 {
+			t.Fatalf("down = %d exceeds budget 2 (transitions %v)", d, ops(trs))
+		}
+	}
+	// Every replica demands rejuvenation at once: only MaxDown start.
+	var started []int
+	for r := 0; r < replicas; r++ {
+		trs := g.Request(float64(r), r, 5, 0, 0, uint64(r+1))
+		check(trs)
+		for _, tr := range trs {
+			if tr.Op == OpStart {
+				started = append(started, tr.Replica)
+			}
+		}
+	}
+	if len(started) != 2 {
+		t.Fatalf("started %v, want exactly 2 dispatches", started)
+	}
+	if g.Queued() != replicas-2 {
+		t.Errorf("queued = %d, want %d", g.Queued(), replicas-2)
+	}
+	// Completions free budget slots; the queue drains two at a time.
+	for time, done := 100.0, 0; done < replicas; time++ {
+		trs := g.Complete(time, started[0], true)
+		check(trs)
+		done++
+		started = started[1:]
+		for _, tr := range trs {
+			if tr.Op == OpStart {
+				started = append(started, tr.Replica)
+			}
+		}
+	}
+	if g.Queued() != 0 || g.Down(0) != 0 {
+		t.Errorf("after drain: queued=%d down=%d, want 0/0", g.Queued(), g.Down(0))
+	}
+	if got := g.MaxDownSeen(0); got != 2 {
+		t.Errorf("MaxDownSeen = %d, want 2", got)
+	}
+	st := g.Stats()
+	if st.Starts != replicas || st.Completes != replicas {
+		t.Errorf("stats starts/completes = %d/%d, want %d/%d", st.Starts, st.Completes, replicas, replicas)
+	}
+}
+
+func TestGovernorGroupsIndependent(t *testing.T) {
+	// Two groups of two; each group has its own one-down budget.
+	g := mustNew(t, Config{Replicas: 4, Group: []int{0, 0, 1, 1}, MaxDown: 1, MaxDefer: -1})
+	starts := 0
+	for r := 0; r < 4; r++ {
+		for _, tr := range g.Request(0, r, 5, 0, 0, 0) {
+			if tr.Op == OpStart {
+				starts++
+			}
+		}
+	}
+	if starts != 2 {
+		t.Errorf("starts = %d, want one per group", starts)
+	}
+	if g.Down(0) != 1 || g.Down(1) != 1 {
+		t.Errorf("down = %d/%d, want 1/1", g.Down(0), g.Down(1))
+	}
+}
+
+func TestGovernorCoalescesDuplicates(t *testing.T) {
+	// Replica 1 queues behind replica 0 (budget 1); duplicates merge.
+	g := mustNew(t, Config{Replicas: 2, MaxDown: 1, MaxDefer: -1})
+	g.Request(0, 0, 5, 0, 0, 1)
+	trs := g.Request(1, 1, 2, 1, 0, 42)
+	findOp(t, trs, OpEnqueue)
+	trs = g.Request(2, 1, 3, 0, 50, 99)
+	co := findOp(t, trs, OpCoalesce)
+	if co.Reason != ReasonDuplicate {
+		t.Fatalf("coalesce reason %q", co.Reason)
+	}
+	if co.Level != 3 || co.Fill != 1 {
+		t.Errorf("merged level/fill = %d/%d, want max 3/1", co.Level, co.Fill)
+	}
+	if co.Count != 2 {
+		t.Errorf("count = %d, want 2", co.Count)
+	}
+	if co.TriggerID != 42 {
+		t.Errorf("trigger id = %d, want first id 42 kept", co.TriggerID)
+	}
+	if g.Queued() != 1 {
+		t.Errorf("queued = %d, want 1 (coalesced)", g.Queued())
+	}
+	st := g.Stats()
+	if st.Coalesced != 1 {
+		t.Errorf("coalesced stat = %d, want 1", st.Coalesced)
+	}
+}
+
+func TestGovernorSaturationEscalatesOldest(t *testing.T) {
+	// Queue depth 1: replica 0 is down, replica 1 queues, replica 2 is
+	// refused — journaled, not dropped — and replica 1 escalates.
+	g := mustNew(t, Config{Replicas: 3, MaxDown: 1, QueueDepth: 1, MaxDefer: -1})
+	g.Request(0, 0, 5, 0, 0, 0)
+	g.Request(1, 1, 1, 0, 0, 7)
+	trs := g.Request(2, 2, 5, 0, 0, 8)
+	d := findOp(t, trs, OpDefer)
+	if d.Reason != ReasonSaturated || d.Replica != 2 {
+		t.Errorf("refusal = %+v, want saturated defer of replica 2", d)
+	}
+	esc := findOp(t, trs, OpCoalesce)
+	if esc.Reason != ReasonStarved || esc.Replica != 1 {
+		t.Errorf("escalation = %+v, want starved coalesce of replica 1", esc)
+	}
+	st := g.Stats()
+	if st.Saturated != 1 || st.Escalated != 1 {
+		t.Errorf("saturated/escalated = %d/%d, want 1/1", st.Saturated, st.Escalated)
+	}
+	// The refusal left no queue entry for replica 2.
+	if g.Queued() != 1 {
+		t.Errorf("queued = %d, want 1", g.Queued())
+	}
+}
+
+func TestGovernorRefusalsExplicit(t *testing.T) {
+	g := mustNew(t, Config{Replicas: 2, MaxDown: 1, MaxDefer: -1})
+	g.Request(0, 0, 5, 0, 0, 0) // starts immediately
+	trs := g.Request(1, 0, 5, 0, 0, 0)
+	d := findOp(t, trs, OpDefer)
+	if d.Reason != ReasonInFlight {
+		t.Errorf("request for down replica: reason %q, want in-flight", d.Reason)
+	}
+	g.GiveUp(2, 1, "broken")
+	trs = g.Request(3, 1, 5, 0, 0, 0)
+	d = findOp(t, trs, OpDefer)
+	if d.Reason != ReasonQuarantined {
+		t.Errorf("request for quarantined replica: reason %q, want quarantined", d.Reason)
+	}
+}
+
+func TestGovernorDeadlineDeferral(t *testing.T) {
+	g := mustNew(t, Config{Replicas: 2, MaxDown: 1, MaxDefer: -1})
+	trs := g.Request(0, 0, 5, 0, 30, 0) // deadline horizon t=30
+	if hasOp(trs, OpStart) {
+		t.Fatalf("dispatched inside deadline window: %v", ops(trs))
+	}
+	d := findOp(t, trs, OpDefer)
+	if d.Reason != ReasonDeadline || d.Count != 1 {
+		t.Errorf("defer = %+v, want deadline count 1", d)
+	}
+	// Re-evaluating before the horizon does not re-journal the defer.
+	if trs := g.Tick(10); len(trs) != 0 {
+		t.Errorf("tick inside window produced %v, want nothing new", ops(trs))
+	}
+	if w := g.NextWake(10); w != 30 {
+		t.Errorf("NextWake = %v, want 30", w)
+	}
+	trs = g.Tick(30)
+	start := findOp(t, trs, OpStart)
+	if start.Replica != 0 {
+		t.Errorf("start replica = %d", start.Replica)
+	}
+	if w := g.NextWake(31); !math.IsInf(w, 1) {
+		t.Errorf("NextWake with empty queue = %v, want +Inf", w)
+	}
+}
+
+func TestGovernorMaxDeferLatch(t *testing.T) {
+	// A deadline far in the future cannot defer past the latch.
+	g := mustNew(t, Config{Replicas: 2, MaxDown: 1, MaxDefer: 100})
+	g.Request(0, 0, 5, 0, 1e6, 5)
+	if w := g.NextWake(0); w != 100 {
+		t.Errorf("NextWake = %v, want latch at 100", w)
+	}
+	trs := g.Tick(100)
+	esc := findOp(t, trs, OpCoalesce)
+	if esc.Reason != ReasonMaxDefer {
+		t.Errorf("escalation reason %q, want max-defer", esc.Reason)
+	}
+	if !hasOp(trs, OpStart) {
+		t.Errorf("escalated entry did not start: %v", ops(trs))
+	}
+}
+
+func TestGovernorMaxDeferStillRespectsBudget(t *testing.T) {
+	g := mustNew(t, Config{Replicas: 2, MaxDown: 1, MaxDefer: 100})
+	g.Request(0, 0, 5, 0, 0, 0) // replica 0 down
+	g.Request(1, 1, 5, 0, 0, 0) // replica 1 queued behind the budget
+	trs := g.Tick(200)          // past the latch
+	findOp(t, trs, OpCoalesce)  // escalated...
+	if hasOp(trs, OpStart) {
+		t.Fatalf("escalated entry started past budget: %v", ops(trs))
+	}
+	if g.Down(0) != 1 {
+		t.Errorf("down = %d, want 1", g.Down(0))
+	}
+	// Budget frees: the escalated entry starts.
+	trs = g.Complete(201, 0, true)
+	if !hasOp(trs, OpStart) {
+		t.Errorf("escalated entry did not start after budget freed: %v", ops(trs))
+	}
+}
+
+func TestGovernorCapacityFloor(t *testing.T) {
+	// Floor 0.75 of 4 replicas: one down leaves 3 = exactly the floor,
+	// so a second start (leaving 2) is deferred.
+	g := mustNew(t, Config{Replicas: 4, MaxDown: 2, CapacityFloor: 0.75, MaxDefer: -1})
+	g.Request(0, 0, 5, 0, 0, 0)
+	trs := g.Request(1, 1, 5, 0, 0, 0)
+	if hasOp(trs, OpStart) {
+		t.Fatalf("second start violated the capacity floor: %v", ops(trs))
+	}
+	d := findOp(t, trs, OpDefer)
+	if d.Reason != ReasonFloor {
+		t.Errorf("defer reason %q, want capacity-floor", d.Reason)
+	}
+	trs = g.Complete(2, 0, true)
+	if !hasOp(trs, OpStart) {
+		t.Errorf("queued entry did not start after capacity returned: %v", ops(trs))
+	}
+}
+
+func TestGovernorRequeueOnFailure(t *testing.T) {
+	g := mustNew(t, Config{Replicas: 2, MaxDown: 1, MaxDefer: -1})
+	g.Request(0, 0, 4, 2, 0, 77)
+	trs := g.Complete(10, 0, false)
+	if got := ops(trs); !reflect.DeepEqual(got, []Op{OpComplete, OpEnqueue, OpStart}) {
+		t.Fatalf("failed completion transitions = %v", got)
+	}
+	enq := findOp(t, trs, OpEnqueue)
+	if enq.Level != 4 || enq.Fill != 2 || enq.TriggerID != 77 {
+		t.Errorf("requeue kept %d/%d id %d, want the dispatched detector state 4/2 id 77", enq.Level, enq.Fill, enq.TriggerID)
+	}
+	st := g.Stats()
+	if st.Requeues != 1 {
+		t.Errorf("requeues = %d, want 1", st.Requeues)
+	}
+}
+
+func TestGovernorQuarantineShedsCapacity(t *testing.T) {
+	g := mustNew(t, Config{Replicas: 2, MaxDown: 2, MaxDefer: -1})
+	g.Request(0, 0, 5, 0, 0, 0) // down
+	trs := g.GiveUp(1, 0, "rpc unreachable")
+	q := findOp(t, trs, OpQuarantine)
+	if q.Reason != "rpc unreachable" {
+		t.Errorf("quarantine reason %q", q.Reason)
+	}
+	if g.Down(0) != 0 || g.Quarantined(0) != 1 {
+		t.Errorf("down/quar = %d/%d, want 0/1", g.Down(0), g.Quarantined(0))
+	}
+	if g.InService(0) {
+		t.Error("quarantined replica reported in service")
+	}
+	// Budget is now min(2, 2-1) = 1: only one replica may go down even
+	// though MaxDown is 2.
+	g.Request(2, 1, 5, 0, 0, 0)
+	if g.Down(0) != 1 {
+		t.Fatalf("down = %d", g.Down(0))
+	}
+	// Readmission restores the shed share and scheduling eligibility.
+	trs = g.Readmit(3, 0)
+	findOp(t, trs, OpReadmit)
+	if g.Quarantined(0) != 0 || !g.InService(0) {
+		t.Errorf("readmitted replica not back in service")
+	}
+	trs = g.Request(4, 0, 5, 0, 0, 0)
+	if !hasOp(trs, OpStart) {
+		t.Errorf("readmitted replica did not start under restored budget: %v", ops(trs))
+	}
+	if g.Down(0) != 2 {
+		t.Errorf("down = %d, want 2 (budget restored)", g.Down(0))
+	}
+}
+
+func TestGovernorQuarantineDropsQueuedEntry(t *testing.T) {
+	g := mustNew(t, Config{Replicas: 2, MaxDown: 1, MaxDefer: -1})
+	g.Request(0, 0, 5, 0, 0, 0) // down
+	g.Request(1, 1, 3, 0, 0, 0) // queued
+	g.GiveUp(2, 1, "dead")
+	if g.Queued() != 0 {
+		t.Errorf("queued = %d, want 0 after quarantining the queued replica", g.Queued())
+	}
+}
+
+func TestGovernorTierSelection(t *testing.T) {
+	g := mustNew(t, Config{Replicas: 1, FullPause: 60, TriggerLevel: 5})
+	cases := []struct {
+		level int
+		tier  string
+		rho   float64
+		pause float64
+	}{
+		{1, "minor", 0.25, 15}, // severity 0.2
+		{3, "medium", 0.5, 30}, // severity 0.6
+		{5, "major", 1, 60},    // severity 1
+	}
+	for i, c := range cases {
+		trs := g.Request(float64(i), 0, c.level, 0, 0, 0)
+		start := findOp(t, trs, OpStart)
+		if start.Tier.Name != c.tier {
+			t.Errorf("level %d: tier %q, want %q", c.level, start.Tier.Name, c.tier)
+		}
+		if start.Tier.Rho != c.rho || start.Pause != c.pause {
+			t.Errorf("level %d: rho/pause = %v/%v, want %v/%v", c.level, start.Tier.Rho, start.Pause, c.rho, c.pause)
+		}
+		g.Complete(float64(i)+0.5, 0, true)
+	}
+}
+
+func TestGovernorUrgencyOrder(t *testing.T) {
+	// With the budget spent, a later high-urgency request outranks an
+	// earlier low-urgency one when the slot frees.
+	g := mustNew(t, Config{Replicas: 3, MaxDown: 1, MaxDefer: -1})
+	g.Request(0, 0, 5, 0, 0, 0) // down
+	g.Request(1, 1, 1, 0, 0, 0) // low urgency
+	g.Request(2, 2, 5, 3, 0, 0) // high urgency
+	trs := g.Complete(3, 0, true)
+	start := findOp(t, trs, OpStart)
+	if start.Replica != 2 {
+		t.Errorf("dispatched replica %d, want the more urgent 2", start.Replica)
+	}
+}
+
+func TestGovernorAgingBreaksTies(t *testing.T) {
+	// Equal detector state: the older request wins.
+	g := mustNew(t, Config{Replicas: 3, MaxDown: 1, MaxDefer: -1})
+	g.Request(0, 0, 5, 0, 0, 0)
+	g.Request(1, 1, 2, 0, 0, 0)
+	g.Request(2, 2, 2, 0, 0, 0)
+	trs := g.Complete(3, 0, true)
+	if start := findOp(t, trs, OpStart); start.Replica != 1 {
+		t.Errorf("dispatched replica %d, want the older 1", start.Replica)
+	}
+}
+
+func TestGovernorDeterminism(t *testing.T) {
+	run := func() []Transition {
+		g := mustNew(t, Config{Replicas: 4, MaxDown: 1, QueueDepth: 2, MaxDefer: 50, CapacityFloor: 0.5})
+		var all []Transition
+		app := func(trs []Transition) { all = append(all, trs...) }
+		app(g.Request(0, 0, 5, 0, 10, 1))
+		app(g.Request(1, 1, 2, 1, 0, 2))
+		app(g.Request(2, 2, 3, 0, 0, 3))
+		app(g.Request(3, 3, 4, 1, 0, 4)) // saturates
+		app(g.Request(4, 1, 4, 0, 0, 5)) // coalesces
+		app(g.Tick(10))
+		app(g.Complete(20, 0, false))
+		app(g.GiveUp(30, 2, "stuck"))
+		app(g.Tick(60))
+		app(g.Complete(70, 1, true))
+		app(g.Readmit(80, 2))
+		app(g.Tick(90))
+		return all
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("identical scripts produced different transitions:\n%v\n%v", a, b)
+	}
+}
+
+func TestGovernorIgnoresInvalidReplica(t *testing.T) {
+	g := mustNew(t, Config{Replicas: 2})
+	if trs := g.Request(0, -1, 5, 0, 0, 0); trs != nil {
+		t.Errorf("negative replica produced %v", ops(trs))
+	}
+	if trs := g.Request(0, 2, 5, 0, 0, 0); trs != nil {
+		t.Errorf("out-of-range replica produced %v", ops(trs))
+	}
+	if trs := g.Complete(0, 0, true); trs != nil {
+		t.Errorf("complete of idle replica produced %v", ops(trs))
+	}
+	if trs := g.Readmit(0, 0); trs != nil {
+		t.Errorf("readmit of idle replica produced %v", ops(trs))
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{},                             // no replicas
+		{Replicas: 2, Group: []int{0}}, // group map wrong length
+		{Replicas: 2, Group: []int{0, -1}},
+		{Replicas: 1, MaxDown: -1},
+		{Replicas: 1, CapacityFloor: 1},
+		{Replicas: 1, CapacityFloor: -0.1},
+		{Replicas: 1, MaxDefer: math.NaN()},
+		{Replicas: 1, AgeScale: -1},
+		{Replicas: 1, TriggerLevel: -1},
+		{Replicas: 1, Tiers: []Tier{{Name: "", Rho: 1, PauseFrac: 1}}},
+		{Replicas: 1, Tiers: []Tier{{Name: "x", Rho: 0, PauseFrac: 1}}},
+		{Replicas: 1, Tiers: []Tier{{Name: "x", Rho: 1, PauseFrac: 2}}},
+		{Replicas: 1, Tiers: []Tier{ // MinSeverity out of order
+			{Name: "a", Rho: 1, PauseFrac: 1, MinSeverity: 0.5},
+			{Name: "b", Rho: 1, PauseFrac: 1, MinSeverity: 0.2},
+		}},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+	g := mustNew(t, Config{Replicas: 3})
+	cfg := g.Config()
+	if cfg.MaxDown != 1 || cfg.QueueDepth != 6 || cfg.MaxDefer != 600 ||
+		cfg.AgeScale != 60 || cfg.TriggerLevel != 5 || cfg.FullPause != 60 || len(cfg.Tiers) != 3 {
+		t.Errorf("defaults = %+v", cfg)
+	}
+	if g.Groups() != 1 {
+		t.Errorf("groups = %d", g.Groups())
+	}
+	// Negative FullPause is the explicit "instantaneous" spelling that
+	// survives defaulting (0 would select the 60 s default).
+	gi := mustNew(t, Config{Replicas: 1, FullPause: -7})
+	if p := gi.Config().FullPause; !(p == -1) { //lint:allow floatcmp exact sentinel
+		t.Errorf("negative FullPause canonicalized to %v, want -1", p)
+	}
+}
+
+func TestPresets(t *testing.T) {
+	g := mustNew(t, OneDown(4, 30))
+	if cfg := g.Config(); cfg.MaxDown != 1 || len(cfg.Tiers) != 1 || cfg.Tiers[0].Rho != 1 {
+		t.Errorf("OneDown config = %+v", cfg)
+	}
+	trs := g.Request(0, 0, 5, 0, 0, 1)
+	start := findOp(t, trs, OpStart)
+	if start.Tier.Name != "major" || start.Pause != 30 {
+		t.Errorf("OneDown start = %+v, want full 30s restart", start)
+	}
+	g2 := mustNew(t, Scheduled(4, 30))
+	if cfg := g2.Config(); cfg.MaxDefer != 300 || len(cfg.Tiers) != 3 {
+		t.Errorf("Scheduled config = %+v", cfg)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpStart.String() != "start" || Op(0).String() != "op(0)" {
+		t.Errorf("op strings: %v %v", OpStart, Op(0))
+	}
+}

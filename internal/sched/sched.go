@@ -1,0 +1,185 @@
+// Package sched is the cost-aware rejuvenation scheduling layer: it
+// decides *when* a replica that a detector wants rejuvenated may safely
+// go down, and *how much* rejuvenation it gets. The paper's algorithms
+// (and the fleet engine built on them) decide that a replica is aging;
+// left uncoordinated, correlated aging turns those per-replica triggers
+// into simultaneous restarts and a cluster-wide capacity collapse. The
+// Governor in this package sits between trigger sources (Monitor, the
+// fleet trigger queue, a simulated cluster) and the actuation layer and
+// enforces three policies:
+//
+//   - A capacity budget: at most MaxDown replicas of a group may be down
+//     at once, with a bounded priority queue ordered by urgency
+//     (detector level × fill, aged over time). When the queue saturates
+//     it degrades gracefully — duplicate requests per replica coalesce
+//     into one entry and the oldest starved entry is escalated — rather
+//     than dropping work silently.
+//
+//   - Deadline/QoS-aware deferral: a restart that would violate a
+//     declared in-flight deadline or drop group capacity below a
+//     configured floor is deferred, but a hard max-defer latch escalates
+//     any entry that has waited too long, so an aging replica cannot be
+//     deferred forever (only the capacity budget still binds then).
+//
+//   - Kijima-style partial rejuvenation: actions come in tiers (minor,
+//     medium, major) selected by detector severity; a tier rolls back a
+//     fraction ρ of the replica's accumulated virtual age and costs a
+//     proportionally shorter pause, so moderate aging is treated with a
+//     cheap partial action instead of a full restart.
+//
+// The Governor is a pure deterministic state machine: it never reads a
+// clock (timestamps are inputs), never allocates hidden randomness, and
+// reports every state change as a typed Transition. Callers journal the
+// transitions (internal/journal's KindSched* records) and execute the
+// OpStart ones; journal.ReplaySched re-derives the whole transition
+// stream from the journaled inputs and verifies it byte-identically,
+// which makes scheduling decisions as auditable as detector decisions.
+package sched
+
+import "fmt"
+
+// Op enumerates the scheduler state transitions a Governor emits.
+type Op uint8
+
+// Governor transitions. Each maps 1:1 onto a journal record kind.
+const (
+	// OpEnqueue: a request was admitted to the queue.
+	OpEnqueue Op = iota + 1
+	// OpDefer: a request was considered and not started (Reason), or
+	// refused at admission (ReasonSaturated, ReasonInFlight,
+	// ReasonQuarantined).
+	OpDefer
+	// OpCoalesce: a duplicate request merged into its queued entry
+	// (ReasonDuplicate), or a starved entry was escalated past the
+	// deferral windows (ReasonStarved, ReasonMaxDefer).
+	OpCoalesce
+	// OpStart: an action was dispatched; the replica is now down.
+	OpStart
+	// OpComplete: a dispatched action finished (OK: back in service;
+	// !OK: the request re-enters the queue).
+	OpComplete
+	// OpQuarantine: the replica's actuator gave up; its capacity share
+	// is shed until readmission.
+	OpQuarantine
+	// OpReadmit: a quarantined replica was re-admitted.
+	OpReadmit
+)
+
+// opNames maps ops to their stable spellings.
+var opNames = [...]string{
+	OpEnqueue:    "enqueue",
+	OpDefer:      "defer",
+	OpCoalesce:   "coalesce",
+	OpStart:      "start",
+	OpComplete:   "complete",
+	OpQuarantine: "quarantine",
+	OpReadmit:    "readmit",
+}
+
+// String returns the stable name of the op.
+func (op Op) String() string {
+	if op >= OpEnqueue && op <= OpReadmit {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// Defer and coalesce reasons. They are part of the journal contract:
+// ReplaySched classifies records by these strings.
+const (
+	// ReasonBudget defers the group's top candidate while the max-down
+	// budget is spent.
+	ReasonBudget = "budget"
+	// ReasonDeadline defers a replica inside its declared QoS deadline
+	// horizon.
+	ReasonDeadline = "deadline"
+	// ReasonFloor defers a start that would drop group capacity below
+	// the configured floor.
+	ReasonFloor = "capacity-floor"
+	// ReasonSaturated refuses a new request because the queue is full;
+	// the refusal is journaled, never silent.
+	ReasonSaturated = "saturated"
+	// ReasonInFlight refuses a request for a replica whose action is
+	// already running.
+	ReasonInFlight = "in-flight"
+	// ReasonQuarantined refuses a request for a quarantined replica.
+	ReasonQuarantined = "quarantined"
+	// ReasonDuplicate coalesces a duplicate request into its queued
+	// entry.
+	ReasonDuplicate = "duplicate"
+	// ReasonStarved escalates the oldest entry when the queue saturates.
+	ReasonStarved = "starved"
+	// ReasonMaxDefer escalates an entry that has waited past MaxDefer.
+	ReasonMaxDefer = "max-defer"
+)
+
+// Tier is one Kijima-style rejuvenation action class. A tier applied to
+// a replica with accumulated virtual age V rolls the age back to
+// (1−ρ)·V and holds the replica down for PauseFrac of the full
+// rejuvenation pause; ρ = 1 is a full restart ("good as new").
+type Tier struct {
+	// Name is the journaled tier label ("minor", "medium", "major").
+	Name string
+	// Rho is the rollback fraction ρ ∈ (0, 1] of accumulated virtual age.
+	Rho float64
+	// PauseFrac is the fraction of the full rejuvenation pause this
+	// tier costs, in (0, 1].
+	PauseFrac float64
+	// MinSeverity is the smallest request severity (core.Severity of the
+	// raising decision, in [0, 1]) this tier applies to. The governor
+	// picks the highest-MinSeverity tier at or below the request's
+	// severity.
+	MinSeverity float64
+}
+
+// DefaultTiers returns the three-tier Kijima ladder: cheap partial
+// actions for moderate aging, a full restart at trigger severity.
+func DefaultTiers() []Tier {
+	return []Tier{
+		{Name: "minor", Rho: 0.25, PauseFrac: 0.25, MinSeverity: 0},
+		{Name: "medium", Rho: 0.5, PauseFrac: 0.5, MinSeverity: 0.5},
+		{Name: "major", Rho: 1, PauseFrac: 1, MinSeverity: 1},
+	}
+}
+
+// FullRestartTiers returns the degenerate single-tier ladder — every
+// action is a full restart — reproducing pre-scheduler behavior.
+func FullRestartTiers() []Tier {
+	return []Tier{{Name: "major", Rho: 1, PauseFrac: 1, MinSeverity: 0}}
+}
+
+// Transition is one governor state change. The zero Op is invalid, so a
+// zeroed transition is detectably empty.
+type Transition struct {
+	// Op selects the transition; the fields below are meaningful per op.
+	Op Op
+	// Time is the input timestamp the transition happened at (seconds).
+	Time float64
+	// Replica is the replica the transition concerns.
+	Replica int
+	// Level and Fill are the request's detector state (OpEnqueue,
+	// OpDefer, OpCoalesce, OpStart).
+	Level, Fill int
+	// Deadline is the QoS horizon declared with the request (OpEnqueue,
+	// OpCoalesce with ReasonDuplicate); 0 when none.
+	Deadline float64
+	// Urgency is the entry's priority at transition time (OpEnqueue,
+	// OpCoalesce, OpStart).
+	Urgency float64
+	// Reason classifies OpDefer and OpCoalesce, and carries the terminal
+	// error text on OpQuarantine.
+	Reason string
+	// Tier is the dispatched action class (OpStart).
+	Tier Tier
+	// Pause is the dispatched action's down time in seconds (OpStart):
+	// Tier.PauseFrac × Config.FullPause.
+	Pause float64
+	// Count is the total requests coalesced into the entry (OpCoalesce)
+	// or the entry's deferral count (OpDefer).
+	Count int
+	// OK is the action outcome (OpComplete).
+	OK bool
+	// TriggerID correlates the transition with the detector decision
+	// that raised the request; 0 when none.
+	TriggerID uint64
+}

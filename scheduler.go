@@ -1,0 +1,403 @@
+package rejuv
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"rejuv/internal/journal"
+	"rejuv/internal/sched"
+)
+
+// This file is the scheduling layer between trigger sources (a Monitor
+// per replica, or a fleet Engine's trigger queue) and the Actuators
+// that restart things. A trigger says "this replica should be
+// rejuvenated"; the Scheduler decides WHETHER (coalescing duplicates,
+// refusing saturated floods), WHEN (capacity budget, deadline windows,
+// starvation latch) and HOW MUCH (the Kijima tier ladder: minor /
+// medium / major actions chosen by detector severity). Every decision
+// is journaled so a production incident can be replayed and verified
+// against the pure governor with ReplaySchedJournal.
+
+// SchedulerPolicy parameterizes the scheduling governor: replica
+// groups, capacity budget, queue depth, deferral windows and the
+// action-tier ladder. The zero value of every field has a usable
+// default; see OneDownPolicy and ScheduledPolicy for canned policies.
+type SchedulerPolicy = sched.Config
+
+// SchedulerTier is one rung of the Kijima action ladder: a rejuvenation
+// action that rolls back a fraction Rho of the replica's accumulated
+// aging at a cost of PauseFrac of the full restart pause.
+type SchedulerTier = sched.Tier
+
+// SchedulerTransition is one journaled state transition of the
+// scheduling governor; OnTransition observes the stream of them.
+type SchedulerTransition = sched.Transition
+
+// SchedulerOp enumerates scheduling transitions.
+type SchedulerOp = sched.Op
+
+// Scheduling transition ops, re-exported for OnTransition consumers.
+const (
+	SchedOpEnqueue    = sched.OpEnqueue
+	SchedOpDefer      = sched.OpDefer
+	SchedOpCoalesce   = sched.OpCoalesce
+	SchedOpStart      = sched.OpStart
+	SchedOpComplete   = sched.OpComplete
+	SchedOpQuarantine = sched.OpQuarantine
+	SchedOpReadmit    = sched.OpReadmit
+)
+
+// Defer and coalesce reason strings, re-exported for OnTransition
+// consumers and journal analysis.
+const (
+	SchedReasonBudget      = sched.ReasonBudget
+	SchedReasonDeadline    = sched.ReasonDeadline
+	SchedReasonFloor       = sched.ReasonFloor
+	SchedReasonSaturated   = sched.ReasonSaturated
+	SchedReasonInFlight    = sched.ReasonInFlight
+	SchedReasonQuarantined = sched.ReasonQuarantined
+	SchedReasonDuplicate   = sched.ReasonDuplicate
+	SchedReasonStarved     = sched.ReasonStarved
+	SchedReasonMaxDefer    = sched.ReasonMaxDefer
+)
+
+// OneDownPolicy returns the legacy rolling-restart policy: at most one
+// replica down at a time, every action a full restart of the given
+// pause (seconds), no deferral windows and no starvation latch.
+func OneDownPolicy(replicas int, pause float64) SchedulerPolicy {
+	return sched.OneDown(replicas, pause)
+}
+
+// ScheduledPolicy returns the cost-aware policy: one replica down at a
+// time, the three-tier Kijima ladder over the given full pause
+// (seconds), a half-capacity floor and a starvation latch of ten full
+// pauses.
+func ScheduledPolicy(replicas int, pause float64) SchedulerPolicy {
+	return sched.Scheduled(replicas, pause)
+}
+
+// DefaultSchedulerTiers returns the three-tier Kijima ladder (minor,
+// medium, major) used by ScheduledPolicy.
+func DefaultSchedulerTiers() []SchedulerTier { return sched.DefaultTiers() }
+
+// FullRestartTiers returns the single-tier ladder where every action is
+// a full restart, used by OneDownPolicy.
+func FullRestartTiers() []SchedulerTier { return sched.FullRestartTiers() }
+
+// SchedulerStats is a running census of scheduling transitions.
+type SchedulerStats = sched.Stats
+
+// SchedulerConfig configures a Scheduler.
+type SchedulerConfig struct {
+	// Policy is the scheduling policy. Policy.Replicas is required.
+	Policy SchedulerPolicy
+	// Actuators holds one Actuator per replica, indexed by replica
+	// number. Required, length Policy.Replicas, no nil entries. The
+	// scheduler owns executions: do not call ExecuteFor or Trigger on
+	// them directly while the scheduler runs.
+	Actuators []*Actuator
+	// Now supplies the time; nil means time.Now. Tests inject a fake —
+	// but note the deferral wake-up timer runs on the wall clock, so
+	// tests with a fake clock should drive deferrals with Tick.
+	Now func() time.Time
+	// Epoch is the zero point for journal timestamps (seconds since
+	// Epoch). The zero value means the scheduler's construction time.
+	Epoch time.Time
+	// Journal, when non-nil, records every scheduling transition to the
+	// flight recorder. Replay it with ReplaySchedJournal to verify the
+	// schedule was computed correctly.
+	Journal *JournalWriter
+	// OnTransition, when non-nil, observes every transition
+	// synchronously under the scheduler's lock. Keep it short.
+	OnTransition func(SchedulerTransition)
+	// OnQuarantine, when non-nil, runs — asynchronously — when a
+	// replica is quarantined after its actuator gave up. Page somebody:
+	// the replica is aging, unrestartable, and shed from the capacity
+	// budget until Readmit is called.
+	OnQuarantine func(replica int, err error)
+}
+
+// Scheduler routes rejuvenation triggers through a scheduling governor
+// to per-replica Actuators. It is safe for concurrent use. Construct
+// with NewScheduler, feed it triggers via Request (or wire OnTrigger
+// on each replica's Monitor to the TriggerFunc adapter), and Close it
+// when done.
+//
+// Failed executions re-enter the queue; exhausted ones (the actuator
+// gave up — ErrActuatorGaveUp) quarantine the replica, shedding it
+// from the capacity budget so the governor never waits on a restart
+// that cannot happen. Readmit returns a repaired replica to service.
+type Scheduler struct {
+	cfg   SchedulerConfig
+	epoch time.Time
+
+	mu     sync.Mutex
+	gov    *sched.Governor // guarded by mu
+	timer  *time.Timer     // guarded by mu
+	closed bool            // guarded by mu
+	wg     sync.WaitGroup
+}
+
+// NewScheduler validates the config and returns a running Scheduler.
+func NewScheduler(cfg SchedulerConfig) (*Scheduler, error) {
+	gov, err := sched.New(cfg.Policy)
+	if err != nil {
+		return nil, err
+	}
+	replicas := gov.Config().Replicas
+	if len(cfg.Actuators) != replicas {
+		return nil, fmt.Errorf("rejuv: scheduler needs %d actuators (one per replica), got %d",
+			replicas, len(cfg.Actuators))
+	}
+	for i, a := range cfg.Actuators {
+		if a == nil {
+			return nil, fmt.Errorf("rejuv: scheduler actuator %d is nil", i)
+		}
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	s := &Scheduler{cfg: cfg, gov: gov, epoch: cfg.Epoch}
+	if s.epoch.IsZero() {
+		s.epoch = cfg.Now()
+	}
+	return s, nil
+}
+
+// now returns the current journal timestamp in seconds since the epoch.
+func (s *Scheduler) now() float64 { return s.cfg.Now().Sub(s.epoch).Seconds() }
+
+// Policy returns the defaulted, validated scheduling policy in effect.
+func (s *Scheduler) Policy() SchedulerPolicy {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gov.Config()
+}
+
+// Stats returns the running transition census.
+func (s *Scheduler) Stats() SchedulerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gov.Stats()
+}
+
+// Queued returns the number of queued (waiting) requests.
+func (s *Scheduler) Queued() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gov.Queued()
+}
+
+// Down returns the number of replicas of the group currently down.
+func (s *Scheduler) Down(group int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gov.Down(group)
+}
+
+// MaxDownSeen returns the high-water mark of simultaneously down
+// replicas of the group — provably ≤ the policy's MaxDown.
+func (s *Scheduler) MaxDownSeen(group int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gov.MaxDownSeen(group)
+}
+
+// Quarantined returns the number of quarantined replicas of the group.
+func (s *Scheduler) Quarantined(group int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gov.Quarantined(group)
+}
+
+// InService reports whether the replica is serving (not down, not
+// quarantined).
+func (s *Scheduler) InService(replica int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gov.InService(replica)
+}
+
+// Request asks the scheduler to rejuvenate a replica. Level and fill
+// are the detector state behind the request (higher level → more
+// urgent, a deeper action tier); triggerID correlates the resulting
+// journal records with the detector decision that raised it. The
+// request may start immediately, queue, coalesce into an already
+// queued request, or be refused (always journaled, never silent).
+func (s *Scheduler) Request(replica, level, fill int, triggerID uint64) {
+	s.RequestDeadline(replica, level, fill, time.Time{}, triggerID)
+}
+
+// RequestDeadline is Request with a QoS deadline: the action is
+// deferred while work in flight on the replica is due to finish before
+// the deadline, unless the starvation latch escalates it first. The
+// zero deadline means none.
+func (s *Scheduler) RequestDeadline(replica, level, fill int, deadline time.Time, triggerID uint64) {
+	var d float64
+	if !deadline.IsZero() {
+		d = deadline.Sub(s.epoch).Seconds()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.apply(s.gov.Request(s.now(), replica, level, fill, d, triggerID))
+}
+
+// TriggerFunc adapts the scheduler to a Monitor: wire the returned
+// function to MonitorConfig.OnTrigger on the monitor watching the
+// given replica and every trigger becomes a scheduling request.
+func (s *Scheduler) TriggerFunc(replica int) func(Trigger) {
+	return func(t Trigger) {
+		s.Request(replica, t.Decision.Level, t.Decision.Fill, t.ID)
+	}
+}
+
+// FleetTriggerFunc adapts the scheduler to a fleet Engine's trigger
+// queue: replicaOf maps a fleet stream id to the scheduler's replica
+// number (return a negative replica to drop the trigger).
+func (s *Scheduler) FleetTriggerFunc(replicaOf func(stream StreamID) int) func(FleetTrigger) {
+	return func(t FleetTrigger) {
+		if r := replicaOf(t.Stream); r >= 0 {
+			s.Request(r, t.Decision.Level, t.Decision.Fill, t.ID)
+		}
+	}
+}
+
+// Readmit returns a quarantined replica to service after repair,
+// restoring its share of the capacity budget.
+func (s *Scheduler) Readmit(replica int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.apply(s.gov.Readmit(s.now(), replica))
+}
+
+// Tick re-evaluates deferred work now. The scheduler arms a wall-clock
+// timer for the next deferral wake-up by itself; Tick exists for tests
+// with fake clocks and for callers who want an immediate re-scan.
+func (s *Scheduler) Tick() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.apply(s.gov.Tick(s.now()))
+}
+
+// Close stops the scheduler: the wake-up timer is cancelled, new
+// requests are ignored, and the call blocks until in-flight actuator
+// executions return. Their outcomes are still recorded.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	s.closed = true
+	if s.timer != nil {
+		s.timer.Stop()
+		s.timer = nil
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// apply journals and publishes a transition group, then launches the
+// actuations it dispatched. Callers hold s.mu. The whole group is
+// journaled before any execution starts, so nested groups (an
+// execution completing) land strictly after their parent in the
+// journal — replay depends on this ordering.
+//
+//lint:holds mu
+func (s *Scheduler) apply(trs []SchedulerTransition) {
+	for _, tr := range trs {
+		if jw := s.cfg.Journal; jw != nil {
+			jw.Record(journal.SchedRecord(tr))
+		}
+		if s.cfg.OnTransition != nil {
+			s.cfg.OnTransition(tr)
+		}
+	}
+	s.rearm()
+	if s.closed {
+		// A completion arriving during Close may dispatch queued work;
+		// journal it but do not launch new executions on a scheduler
+		// that is shutting down.
+		return
+	}
+	for _, tr := range trs {
+		if tr.Op == sched.OpStart {
+			s.wg.Add(1)
+			go s.execute(tr.Replica, tr.TriggerID)
+		}
+	}
+}
+
+// execute runs one dispatched action on the replica's actuator and
+// feeds the outcome back into the governor.
+func (s *Scheduler) execute(replica int, triggerID uint64) {
+	defer s.wg.Done()
+	err := s.cfg.Actuators[replica].ExecuteFor(context.Background(), triggerID)
+
+	s.mu.Lock()
+	switch {
+	case err == nil:
+		s.apply(s.gov.Complete(s.now(), replica, true))
+	case errors.Is(err, ErrActuatorGaveUp):
+		// Terminal: every attempt failed. Quarantine the replica and
+		// shed it from the capacity budget — retrying a restart that
+		// cannot happen would starve the rest of the group.
+		s.apply(s.gov.GiveUp(s.now(), replica, err.Error()))
+	default:
+		// Cancelled or shut down mid-execution: the replica still needs
+		// rejuvenation, so the request re-enters the queue.
+		s.apply(s.gov.Complete(s.now(), replica, false))
+	}
+	closed := s.closed
+	hook := s.cfg.OnQuarantine
+	s.mu.Unlock()
+
+	if err != nil && errors.Is(err, ErrActuatorGaveUp) && hook != nil && !closed {
+		hook(replica, err)
+	}
+}
+
+// rearm points the wake-up timer at the governor's next deferral
+// horizon. Callers hold s.mu.
+//
+//lint:holds mu
+func (s *Scheduler) rearm() {
+	if s.closed {
+		return
+	}
+	if s.timer != nil {
+		s.timer.Stop()
+		s.timer = nil
+	}
+	wake := s.gov.NextWake(s.now())
+	if math.IsInf(wake, 1) {
+		return
+	}
+	delay := time.Duration((wake - s.now()) * float64(time.Second))
+	if delay < time.Millisecond {
+		delay = time.Millisecond
+	}
+	s.timer = time.AfterFunc(delay, s.Tick)
+}
+
+// ReplaySchedJournal re-executes the scheduling transitions recorded in
+// a journal against a fresh governor under the given policy and
+// verifies the recorded schedule byte-for-byte. See the package
+// documentation of internal/journal for the record layout.
+func ReplaySchedJournal(r *JournalReader, policy SchedulerPolicy) (SchedReplayReport, error) {
+	return journal.ReplaySched(r, policy)
+}
+
+// SchedReplayReport is the result of ReplaySchedJournal: the recorded
+// transition census, the observed down high-water per group, and the
+// first mismatch if the journal diverges from the recomputed schedule.
+type SchedReplayReport = journal.SchedReplayReport

@@ -1,0 +1,414 @@
+package rejuv
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// noSleep makes actuator retries instantaneous in tests.
+func noSleep(ctx context.Context, d time.Duration) error { return nil }
+
+// actuators builds n actuators sharing the given Do function.
+func actuators(t *testing.T, n int, do func(replica int) func(context.Context) error) []*Actuator {
+	t.Helper()
+	acts := make([]*Actuator, n)
+	for i := range acts {
+		a, err := NewActuator(ActuatorConfig{
+			Do:          do(i),
+			MaxAttempts: 2,
+			Sleep:       noSleep,
+		})
+		if err != nil {
+			t.Fatalf("NewActuator: %v", err)
+		}
+		acts[i] = a
+	}
+	return acts
+}
+
+// transitionLog collects scheduler transitions thread-safely and lets a
+// test wait for a specific op on a specific replica.
+type transitionLog struct {
+	mu  sync.Mutex
+	trs []SchedulerTransition
+}
+
+func (l *transitionLog) add(tr SchedulerTransition) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.trs = append(l.trs, tr)
+}
+
+func (l *transitionLog) wait(t *testing.T, op SchedulerOp, replica int) SchedulerTransition {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		l.mu.Lock()
+		for _, tr := range l.trs {
+			if tr.Op == op && tr.Replica == replica {
+				l.mu.Unlock()
+				return tr
+			}
+		}
+		l.mu.Unlock()
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("no %v transition for replica %d", op, replica)
+	return SchedulerTransition{}
+}
+
+func TestErrActuatorGaveUpSentinel(t *testing.T) {
+	boom := errors.New("supervisor unreachable")
+	a, err := NewActuator(ActuatorConfig{
+		Do:          func(context.Context) error { return boom },
+		MaxAttempts: 2,
+		Sleep:       noSleep,
+	})
+	if err != nil {
+		t.Fatalf("NewActuator: %v", err)
+	}
+	err = a.Execute(context.Background())
+	if !errors.Is(err, ErrActuatorGaveUp) {
+		t.Fatalf("give-up error %v is not ErrActuatorGaveUp", err)
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("give-up error %v does not wrap the cause", err)
+	}
+	if !strings.Contains(err.Error(), "gave up after 2 attempts") {
+		t.Fatalf("give-up error text %q lost the attempt count", err)
+	}
+	// A cancelled execution is not a give-up: no sentinel, no OnGiveUp.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	b, _ := NewActuator(ActuatorConfig{
+		Do:          func(ctx context.Context) error { return ctx.Err() },
+		MaxAttempts: 3,
+		Sleep:       func(ctx context.Context, d time.Duration) error { return ctx.Err() },
+	})
+	if err := b.Execute(ctx); errors.Is(err, ErrActuatorGaveUp) {
+		t.Fatalf("cancelled execution %v must not be a give-up", err)
+	}
+}
+
+func TestSchedulerConfigValidation(t *testing.T) {
+	acts := actuators(t, 2, func(int) func(context.Context) error {
+		return func(context.Context) error { return nil }
+	})
+	if _, err := NewScheduler(SchedulerConfig{
+		Policy:    SchedulerPolicy{Replicas: 3},
+		Actuators: acts,
+	}); err == nil {
+		t.Fatal("mismatched actuator count accepted")
+	}
+	if _, err := NewScheduler(SchedulerConfig{
+		Policy:    SchedulerPolicy{Replicas: 2},
+		Actuators: []*Actuator{acts[0], nil},
+	}); err == nil {
+		t.Fatal("nil actuator accepted")
+	}
+	if _, err := NewScheduler(SchedulerConfig{
+		Policy:    SchedulerPolicy{Replicas: 0},
+		Actuators: nil,
+	}); err == nil {
+		t.Fatal("zero replicas accepted")
+	}
+}
+
+func TestSchedulerDispatchAndComplete(t *testing.T) {
+	var calls [4]int
+	var callMu sync.Mutex
+	acts := actuators(t, 4, func(i int) func(context.Context) error {
+		return func(context.Context) error {
+			callMu.Lock()
+			calls[i]++
+			callMu.Unlock()
+			return nil
+		}
+	})
+	log := &transitionLog{}
+	s, err := NewScheduler(SchedulerConfig{
+		Policy:       OneDownPolicy(4, 30),
+		Actuators:    acts,
+		OnTransition: log.add,
+	})
+	if err != nil {
+		t.Fatalf("NewScheduler: %v", err)
+	}
+	defer s.Close()
+
+	s.Request(2, 5, 3, 0xABC)
+	tr := log.wait(t, SchedOpComplete, 2)
+	if !tr.OK {
+		t.Fatalf("completion not OK: %+v", tr)
+	}
+	log.wait(t, SchedOpStart, 2)
+	callMu.Lock()
+	got := calls[2]
+	callMu.Unlock()
+	if got != 1 {
+		t.Fatalf("actuator 2 called %d times, want 1", got)
+	}
+	st := s.Stats()
+	if st.Starts != 1 || st.Completes != 1 {
+		t.Fatalf("stats %+v, want one start and one complete", st)
+	}
+	if s.MaxDownSeen(0) != 1 {
+		t.Fatalf("MaxDownSeen %d, want 1", s.MaxDownSeen(0))
+	}
+	if !s.InService(2) {
+		t.Fatal("replica 2 should be back in service")
+	}
+}
+
+// TestSchedulerGiveUpQuarantinesReplica is the give-up path end to end:
+// a replica whose supervisor RPC is down exhausts its actuator, the
+// scheduler quarantines it and sheds it from the capacity budget, and
+// after the operator repairs and readmits it, a fresh request restarts
+// it normally.
+func TestSchedulerGiveUpQuarantinesReplica(t *testing.T) {
+	var broken sync.Map // replica -> bool
+	broken.Store(1, true)
+	acts := actuators(t, 3, func(i int) func(context.Context) error {
+		return func(context.Context) error {
+			if v, ok := broken.Load(i); ok && v.(bool) {
+				return fmt.Errorf("restart rpc: connection refused")
+			}
+			return nil
+		}
+	})
+	log := &transitionLog{}
+	quarantined := make(chan error, 1)
+	s, err := NewScheduler(SchedulerConfig{
+		Policy:       SchedulerPolicy{Replicas: 3, MaxDown: 2, FullPause: -1, MaxDefer: -1},
+		Actuators:    acts,
+		OnTransition: log.add,
+		OnQuarantine: func(replica int, err error) {
+			if replica == 1 {
+				quarantined <- err
+			}
+		},
+	})
+	if err != nil {
+		t.Fatalf("NewScheduler: %v", err)
+	}
+	defer s.Close()
+
+	s.Request(1, 5, 3, 0xF00)
+	select {
+	case err := <-quarantined:
+		if !errors.Is(err, ErrActuatorGaveUp) {
+			t.Fatalf("quarantine cause %v is not ErrActuatorGaveUp", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("OnQuarantine never fired")
+	}
+	tr := log.wait(t, SchedOpQuarantine, 1)
+	if !strings.Contains(tr.Reason, "gave up") {
+		t.Fatalf("quarantine reason %q lost the give-up cause", tr.Reason)
+	}
+	if s.Quarantined(0) != 1 || s.InService(1) {
+		t.Fatalf("replica 1 not quarantined: quarantined=%d", s.Quarantined(0))
+	}
+	if got := acts[1].Stats().GiveUps; got != 1 {
+		t.Fatalf("actuator 1 give-ups %d, want 1", got)
+	}
+
+	// Quarantine sheds capacity: the budget min(MaxDown, available) = 2
+	// still admits the healthy pair with the third replica gone.
+	s.Request(0, 5, 3, 0xF01)
+	s.Request(2, 5, 3, 0xF02)
+	log.wait(t, SchedOpComplete, 0)
+	log.wait(t, SchedOpComplete, 2)
+
+	// While quarantined, further requests are refused loudly, not run.
+	s.Request(1, 5, 3, 0xF03)
+	tr = log.wait(t, SchedOpDefer, 1)
+	if tr.Reason != SchedReasonQuarantined {
+		t.Fatalf("refusal reason %q, want %q", tr.Reason, SchedReasonQuarantined)
+	}
+	if got := acts[1].Stats().Executions; got != 1 {
+		t.Fatalf("quarantined replica executed %d times, want 1", got)
+	}
+
+	// Repair the supervisor, readmit, and the replica restarts cleanly.
+	broken.Store(1, false)
+	s.Readmit(1)
+	log.wait(t, SchedOpReadmit, 1)
+	if !s.InService(1) {
+		t.Fatal("readmitted replica not in service")
+	}
+	s.Request(1, 5, 3, 0xF04)
+	tr = log.wait(t, SchedOpComplete, 1)
+	if !tr.OK {
+		t.Fatalf("post-readmission completion not OK: %+v", tr)
+	}
+}
+
+// TestSchedulerFlakyActuatorRetriesWithinExecution checks the benign
+// failure mode: an RPC that fails once and succeeds on retry stays
+// inside one actuator execution and never reaches the governor as a
+// failure.
+func TestSchedulerFlakyActuatorRetriesWithinExecution(t *testing.T) {
+	var first sync.Once
+	acts := actuators(t, 2, func(i int) func(context.Context) error {
+		return func(context.Context) error {
+			var flake error
+			if i == 0 {
+				first.Do(func() { flake = errors.New("transient timeout") })
+			}
+			return flake
+		}
+	})
+	log := &transitionLog{}
+	s, err := NewScheduler(SchedulerConfig{
+		Policy:       SchedulerPolicy{Replicas: 2, FullPause: -1, MaxDefer: -1},
+		Actuators:    acts,
+		OnTransition: log.add,
+	})
+	if err != nil {
+		t.Fatalf("NewScheduler: %v", err)
+	}
+	defer s.Close()
+
+	s.Request(0, 5, 3, 0xFA)
+	tr := log.wait(t, SchedOpComplete, 0)
+	if !tr.OK {
+		t.Fatalf("flaky actuator completion not OK: %+v", tr)
+	}
+	st := acts[0].Stats()
+	if st.Attempts != 2 || st.GiveUps != 0 {
+		t.Fatalf("actuator stats %+v, want 2 attempts and no give-ups", st)
+	}
+	if got := s.Stats().Quarantines; got != 0 {
+		t.Fatalf("quarantines %d, want 0", got)
+	}
+}
+
+func TestSchedulerTriggerAdapters(t *testing.T) {
+	acts := actuators(t, 2, func(int) func(context.Context) error {
+		return func(context.Context) error { return nil }
+	})
+	log := &transitionLog{}
+	s, err := NewScheduler(SchedulerConfig{
+		Policy:       SchedulerPolicy{Replicas: 2, FullPause: -1, MaxDefer: -1},
+		Actuators:    acts,
+		OnTransition: log.add,
+	})
+	if err != nil {
+		t.Fatalf("NewScheduler: %v", err)
+	}
+	defer s.Close()
+
+	onTrigger := s.TriggerFunc(0)
+	onTrigger(Trigger{ID: 0x11, Decision: Decision{Triggered: true, Level: 5, Fill: 2}})
+	tr := log.wait(t, SchedOpEnqueue, 0)
+	if tr.Level != 5 || tr.Fill != 2 || tr.TriggerID != 0x11 {
+		t.Fatalf("monitor adapter lost decision state: %+v", tr)
+	}
+	log.wait(t, SchedOpComplete, 0)
+
+	fleetward := s.FleetTriggerFunc(func(stream StreamID) int {
+		if stream == 7 {
+			return 1
+		}
+		return -1
+	})
+	fleetward(FleetTrigger{ID: 0x22, Stream: 7, Decision: Decision{Level: 4, Fill: 1}})
+	fleetward(FleetTrigger{ID: 0x33, Stream: 9, Decision: Decision{Level: 4, Fill: 1}})
+	tr = log.wait(t, SchedOpEnqueue, 1)
+	if tr.TriggerID != 0x22 {
+		t.Fatalf("fleet adapter routed wrong trigger: %+v", tr)
+	}
+	log.wait(t, SchedOpComplete, 1)
+	if got := s.Stats().Enqueued; got != 2 {
+		t.Fatalf("enqueued %d, want 2 (stream 9 should be dropped)", got)
+	}
+}
+
+// TestSchedulerJournalReplay runs a journaled schedule — successes,
+// a give-up quarantine, a readmission — and verifies the journal
+// replays byte-identically under the same policy.
+func TestSchedulerJournalReplay(t *testing.T) {
+	var broken sync.Map
+	broken.Store(2, true)
+	acts := actuators(t, 3, func(i int) func(context.Context) error {
+		return func(context.Context) error {
+			if v, ok := broken.Load(i); ok && v.(bool) {
+				return errors.New("restart rpc unreachable")
+			}
+			return nil
+		}
+	})
+	var buf bytes.Buffer
+	jw := NewJournalWriter(&buf, JournalMeta{CreatedBy: "scheduler-test"})
+	log := &transitionLog{}
+	s, err := NewScheduler(SchedulerConfig{
+		Policy:       SchedulerPolicy{Replicas: 3, FullPause: -1, MaxDefer: -1},
+		Actuators:    acts,
+		Journal:      jw,
+		OnTransition: log.add,
+	})
+	if err != nil {
+		t.Fatalf("NewScheduler: %v", err)
+	}
+
+	s.Request(0, 5, 3, 0xA1)
+	log.wait(t, SchedOpComplete, 0)
+	s.Request(2, 4, 2, 0xA2)
+	log.wait(t, SchedOpQuarantine, 2)
+	broken.Store(2, false)
+	s.Readmit(2)
+	s.Request(2, 5, 3, 0xA3)
+	log.wait(t, SchedOpComplete, 2)
+	s.Request(1, 3, 1, 0xA4)
+	log.wait(t, SchedOpComplete, 1)
+	s.Close()
+
+	jr, err := NewJournalReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("NewJournalReader: %v", err)
+	}
+	report, err := ReplaySchedJournal(jr, s.Policy())
+	if err != nil {
+		t.Fatalf("ReplaySchedJournal: %v", err)
+	}
+	if !report.Identical() {
+		t.Fatalf("journal does not replay identically: %+v", report.Mismatch)
+	}
+	if report.Starts != 4 || report.Completes != 3 || report.Quarantines != 1 || report.Readmits != 1 {
+		t.Fatalf("replay census %+v, want 4 starts / 3 completes / 1 quarantine / 1 readmit", report)
+	}
+	for _, down := range report.MaxDownSeen {
+		if down > s.Policy().MaxDown {
+			t.Fatalf("replayed MaxDownSeen %v exceeds budget %d", report.MaxDownSeen, s.Policy().MaxDown)
+		}
+	}
+}
+
+// TestSchedulerCloseIgnoresLateInput checks that a closed scheduler
+// drops new requests instead of launching actuations.
+func TestSchedulerCloseIgnoresLateInput(t *testing.T) {
+	acts := actuators(t, 1, func(int) func(context.Context) error {
+		return func(context.Context) error { return nil }
+	})
+	s, err := NewScheduler(SchedulerConfig{
+		Policy:    SchedulerPolicy{Replicas: 1, FullPause: -1, MaxDefer: -1},
+		Actuators: acts,
+	})
+	if err != nil {
+		t.Fatalf("NewScheduler: %v", err)
+	}
+	s.Close()
+	s.Request(0, 5, 3, 0x1)
+	s.Tick()
+	s.Readmit(0)
+	if got := acts[0].Stats().Executions; got != 0 {
+		t.Fatalf("closed scheduler executed %d actions", got)
+	}
+}

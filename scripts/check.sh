@@ -3,7 +3,8 @@
 # build, go vet, the rejuvlint static-analysis suite, the test suite
 # (shuffled, to surface test-order dependence), race-detector passes
 # (including the statistical conformance suite), the seed-pinned
-# shift-conformance laws, and a short fuzz smoke
+# shift-conformance laws, the scheduler-conformance laws, and a short
+# fuzz smoke
 # of the existing fuzz targets — including the rejuvlint annotation and
 # directive grammar — so they are exercised beyond their seed corpora.
 #
@@ -38,13 +39,18 @@ go test -count=1 -run 'TestShiftLaw|TestShiftFault' -v ./internal/conformance | 
     echo "shift-conformance pass FAILED"; exit 1;
 }
 
+echo "== scheduler-conformance laws (capacity budget under faults, starvation latch, rho monotonicity, bounded loss + replay)"
+go test -count=1 -run 'TestSchedLaw' -v ./internal/conformance | grep -E '^(--- (PASS|FAIL)|ok|FAIL)' || {
+    echo "scheduler-conformance pass FAILED"; exit 1;
+}
+
 echo "== flight-recorder replay determinism (all detectors, 3 seeds)"
 go test -run 'TestReplayDeterminism|TestReplayJournalIdenticalAcrossGOMAXPROCS' -count=1 -v ./internal/journal | grep -E '^(=== RUN|--- (PASS|FAIL)|ok|FAIL)' || {
     echo "replay determinism pass FAILED"; exit 1;
 }
 
 echo "== fuzz smoke (${FUZZTIME:-3s} per target)"
-for pkg in ./internal/core ./internal/stats ./internal/journal ./internal/faults ./internal/lint; do
+for pkg in ./internal/core ./internal/stats ./internal/journal ./internal/faults ./internal/lint ./internal/sched; do
     for target in $(go test -list '^Fuzz' "$pkg" | grep '^Fuzz'); do
         echo "-- fuzz $pkg $target"
         go test -run='^$' -fuzz="^${target}\$" -fuzztime="${FUZZTIME:-3s}" "$pkg"
